@@ -1,0 +1,616 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md. Each benchmark
+// prepares its workload outside the timed loop and reports the headline
+// numbers of the corresponding artefact through b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the paper's story end to end:
+//
+//	Table 1   BenchmarkTable1TPCSurvey
+//	Table 2   BenchmarkTable2QuerySpace
+//	Figure 1  BenchmarkFigure1SampleGrammar
+//	Figure 2  BenchmarkFigure2DominantComponents
+//	Figure 3  BenchmarkFigure3Speedup
+//	Figure 4  BenchmarkFigure4Differentials
+//	Figure 5  BenchmarkFigure5GrammarPage
+//	Figure 6  BenchmarkFigure6PoolPage
+//	Figure 7  BenchmarkFigure7ExperimentHistory
+//	ablations BenchmarkAblation*
+//	substrate BenchmarkEnginesTPCH
+package sqalpel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sqalpel/internal/analytics"
+	"sqalpel/internal/core"
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/derive"
+	"sqalpel/internal/discriminative"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/grammar"
+	"sqalpel/internal/metrics"
+	"sqalpel/internal/pool"
+	"sqalpel/internal/server"
+	"sqalpel/internal/tpcsurvey"
+	"sqalpel/internal/workload"
+)
+
+// --- shared fixtures ---------------------------------------------------------
+
+var (
+	tpchSmallOnce sync.Once
+	tpchSmall     *engine.Database // SF 0.005, the "1x" instance
+	tpchLargeOnce sync.Once
+	tpchLarge     *engine.Database // SF 0.05, the "10x" instance
+)
+
+func smallTPCH() *engine.Database {
+	tpchSmallOnce.Do(func() {
+		tpchSmall = datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.005, Seed: 11})
+	})
+	return tpchSmall
+}
+
+func largeTPCH() *engine.Database {
+	tpchLargeOnce.Do(func() {
+		tpchLarge = datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.05, Seed: 11})
+	})
+	return tpchLarge
+}
+
+// q1Project builds a measured Q1 project on the given database with both
+// engines as targets; it is the workhorse behind the Figure 2/3/4/7 benches.
+func q1Project(b *testing.B, db *engine.Database, runs int) *core.Project {
+	b.Helper()
+	q1, _ := workload.TPCHQuery("Q1")
+	project, err := core.NewProject("q1", q1.SQL, core.ProjectOptions{Runs: runs, Pool: pool.Options{Seed: 17}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	project.AddEngineTarget("columba-1.0", engine.NewColEngine(), db)
+	project.AddEngineTarget("tuplestore-1.0", engine.NewRowEngine(), db)
+	if err := project.SeedPool(10); err != nil {
+		b.Fatal(err)
+	}
+	project.GrowPool(10)
+	if err := project.MeasureAll(); err != nil {
+		b.Fatal(err)
+	}
+	return project
+}
+
+// --- Table 1 -------------------------------------------------------------------
+
+// BenchmarkTable1TPCSurvey regenerates the TPC benchmark census of Table 1.
+func BenchmarkTable1TPCSurvey(b *testing.B) {
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		rendered = tpcsurvey.Render()
+	}
+	if !strings.Contains(rendered, "TPC-C") {
+		b.Fatal("census rendering broken")
+	}
+	b.ReportMetric(float64(tpcsurvey.TotalReports()), "reports")
+	b.ReportMetric(float64(len(tpcsurvey.BenchmarksWithoutResults())), "benchmarks_without_results")
+}
+
+// --- Table 2 -------------------------------------------------------------------
+
+// BenchmarkTable2QuerySpace regenerates the TPC-H query-space table: for each
+// of the 22 queries the baseline is converted into a grammar and its space is
+// enumerated. The per-query sub-benchmarks report the tag, template and space
+// counts the paper tabulates.
+func BenchmarkTable2QuerySpace(b *testing.B) {
+	enumOpts := grammar.EnumerateOptions{TemplateCap: grammar.DefaultTemplateCap, LiteralOnce: true}
+	for _, id := range workload.TPCHIDs() {
+		q, _ := workload.TPCHQuery(id)
+		b.Run(id, func(b *testing.B) {
+			var sum grammar.SpaceSummary
+			var err error
+			for i := 0; i < b.N; i++ {
+				sum, err = derive.Summary(q.SQL, derive.DefaultOptions(), enumOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sum.Tags), "tags")
+			b.ReportMetric(float64(sum.Templates), "templates")
+			if sum.Capped {
+				b.ReportMetric(1, "capped")
+			} else {
+				b.ReportMetric(float64(sum.Space), "space")
+			}
+		})
+	}
+}
+
+// --- Figure 1 ------------------------------------------------------------------
+
+// BenchmarkFigure1SampleGrammar parses the paper's sample grammar, checks it,
+// enumerates its space and generates concrete sentences from it.
+func BenchmarkFigure1SampleGrammar(b *testing.B) {
+	var space grammar.SpaceSummary
+	for i := 0; i < b.N; i++ {
+		g, err := grammar.Parse(workload.NationSampleGrammar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep := g.Check(); !rep.OK() {
+			b.Fatalf("grammar not clean: %v", rep)
+		}
+		space, err = g.Space(grammar.DefaultEnumerateOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := grammar.NewGenerator(g, grammar.GeneratorOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gen.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(space.Templates), "templates")
+	b.ReportMetric(float64(space.Space), "space")
+}
+
+// --- Figure 2 ------------------------------------------------------------------
+
+// BenchmarkFigure2DominantComponents reproduces the dominant-component
+// analysis: Q1 variants are measured on the column engine and the marginal
+// cost of every lexical term is computed. The paper's observation is that the
+// sum_charge expression (two multiplications with overflow-guarding casts) is
+// by far the most expensive component; the benchmark reports its rank and its
+// marginal cost relative to the mean term.
+func BenchmarkFigure2DominantComponents(b *testing.B) {
+	// Build a Q1 pool whose variants differ mostly in projection terms
+	// (prune and alter morphs), then measure every variant on the column
+	// engine only — the paired-difference attribution needs exactly these
+	// one-term-apart variants.
+	q1, _ := workload.TPCHQuery("Q1")
+	g, err := derive.FromSQL(q1.SQL, derive.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := pool.New(g, pool.Options{Seed: 29, Steering: pool.Steering{
+		Strategies: []pool.Strategy{pool.StrategyPrune, pool.StrategyAlter},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := pl.SeedRandom(6); err != nil {
+		b.Fatal(err)
+	}
+	pl.Grow(24)
+	target := &core.EngineTarget{Engine: engine.NewColEngine(), DB: smallTPCH(), Timeout: time.Minute}
+	var runs []analytics.Run
+	for _, e := range pl.Entries() {
+		m := metrics.Measure(target, e.SQL, metrics.Options{Runs: 2})
+		var terms []string
+		for _, lits := range e.Sentence().Literals {
+			for _, l := range lits {
+				terms = append(terms, l.Text)
+			}
+		}
+		run := analytics.Run{
+			QueryID: e.ID, SQL: e.SQL, Strategy: string(e.Strategy), ParentID: e.ParentID,
+			Components: e.Components, Terms: terms, Target: "columba-1.0",
+		}
+		if m.Failed() {
+			run.Error = m.Err
+		} else {
+			run.Seconds = m.Min().Seconds()
+		}
+		runs = append(runs, run)
+	}
+	b.ResetTimer()
+	var comps []analytics.Component
+	for i := 0; i < b.N; i++ {
+		comps = analytics.Components(runs, "columba-1.0")
+	}
+	b.StopTimer()
+	if len(comps) == 0 {
+		b.Fatal("no components")
+	}
+	rank := -1
+	for i, c := range comps {
+		if strings.Contains(c.Term, "sum_charge") {
+			rank = i + 1
+			break
+		}
+	}
+	if rank < 0 {
+		b.Fatal("sum_charge term not present in the analysis")
+	}
+	b.ReportMetric(float64(rank), "sum_charge_rank")
+	b.ReportMetric(comps[0].Delta*1000, "dominant_delta_ms")
+}
+
+// --- Figure 3 ------------------------------------------------------------------
+
+// BenchmarkFigure3Speedup reproduces the relative-speedup figure: the Q1
+// variants are measured on the column engine over a small instance and an
+// instance ten times larger; the per-variant slowdown factors and their
+// spread around the baseline query's factor are reported.
+func BenchmarkFigure3Speedup(b *testing.B) {
+	q1, _ := workload.TPCHQuery("Q1")
+	project, err := core.NewProject("q1-scale", q1.SQL, core.ProjectOptions{Runs: 2, Pool: pool.Options{Seed: 23}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	project.AddEngineTarget("sf1", engine.NewColEngine(), smallTPCH())
+	project.AddEngineTarget("sf10", engine.NewColEngine(), largeTPCH())
+	if err := project.SeedPool(8); err != nil {
+		b.Fatal(err)
+	}
+	project.GrowPool(8)
+	if err := project.MeasureAll(); err != nil {
+		b.Fatal(err)
+	}
+	runs := project.Runs()
+	b.ResetTimer()
+	var sum analytics.SpeedupSummary
+	for i := 0; i < b.N; i++ {
+		sum = analytics.Speedup(runs, "sf1", "sf10")
+	}
+	b.StopTimer()
+	if len(sum.Points) == 0 {
+		b.Fatal("no speedup points")
+	}
+	b.ReportMetric(sum.BaselineFactor, "baseline_factor")
+	b.ReportMetric(sum.Min, "min_factor")
+	b.ReportMetric(sum.Median, "median_factor")
+	b.ReportMetric(sum.Max, "max_factor")
+	b.ReportMetric(float64(len(sum.Points)), "variants")
+}
+
+// --- Figure 4 ------------------------------------------------------------------
+
+// BenchmarkFigure4Differentials reproduces the query-differential page: the
+// syntactic difference between the baseline Q1 and one of its pruned variants
+// plus the per-system timings.
+func BenchmarkFigure4Differentials(b *testing.B) {
+	project := q1Project(b, smallTPCH(), 2)
+	runs := project.Runs()
+	// Pick the baseline and the first morphed variant.
+	other := 0
+	for _, e := range project.Pool().Entries() {
+		if e.ID != 1 {
+			other = e.ID
+			break
+		}
+	}
+	b.ResetTimer()
+	var d analytics.Differential
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = analytics.Diff(runs, 1, other)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(d.OnlyA)+len(d.OnlyB)), "differing_tokens")
+	b.ReportMetric(float64(len(d.Times)), "targets_compared")
+}
+
+// --- Figures 5, 6, 7: the platform pages ----------------------------------------
+
+// platformFixture builds a running platform with one measured project and
+// returns the base URL plus the project id.
+func platformFixture(b *testing.B) (*httptest.Server, int, int) {
+	b.Helper()
+	srv := httptest.NewServer(server.New(server.Options{}))
+	b.Cleanup(srv.Close)
+
+	post := func(path, token string, body map[string]any) map[string]any {
+		payload, _ := json.Marshal(body)
+		req, _ := http.NewRequest("POST", srv.URL+path, bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set("X-Sqalpel-Token", token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out := map[string]any{}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode >= 400 {
+			b.Fatalf("POST %s: %d %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	token := post("/api/register", "", map[string]any{"nickname": "bench", "email": "bench@example.org"})["token"].(string)
+	created := post("/api/projects", token, map[string]any{"name": "bench-project", "public": true})
+	pid := int(created["project"].(map[string]any)["id"].(float64))
+	key := created["key"].(string)
+	exp := post(fmt.Sprintf("/api/projects/%d/experiments", pid), token, map[string]any{
+		"title": "nation", "baseline_sql": workload.NationBaselineQuery, "seed_random": 6,
+	})
+	eid := int(exp["experiment_id"].(float64))
+
+	// Contribute results through the driver protocol using a real engine.
+	db := smallTPCH()
+	target := &core.EngineTarget{Engine: engine.NewColEngine(), DB: db, Timeout: 10 * time.Second}
+	for {
+		resp := post("/api/task/request", "", map[string]any{
+			"key": key, "experiment_id": eid, "dbms": "columba-1.0", "platform": "laptop",
+		})
+		if _, ok := resp["id"]; !ok {
+			break
+		}
+		taskID := int(resp["id"].(float64))
+		sql := resp["sql"].(string)
+		start := time.Now()
+		_, _, err := target.Run(sql)
+		secs := time.Since(start).Seconds()
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		post("/api/task/complete", "", map[string]any{
+			"key": key, "task_id": taskID, "seconds": []float64{secs}, "error": errMsg,
+		})
+	}
+	return srv, pid, eid
+}
+
+func fetch(b *testing.B, url string) string {
+	b.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	return string(data)
+}
+
+// BenchmarkFigure5GrammarPage renders the "query sqalpel" page: the baseline
+// query and its derived grammar.
+func BenchmarkFigure5GrammarPage(b *testing.B) {
+	srv, pid, eid := platformFixture(b)
+	url := fmt.Sprintf("%s/projects/%d/experiments/%d/grammar", srv.URL, pid, eid)
+	b.ResetTimer()
+	var page string
+	for i := 0; i < b.N; i++ {
+		page = fetch(b, url)
+	}
+	if !strings.Contains(page, "Derived grammar") {
+		b.Fatal("grammar page incomplete")
+	}
+	b.ReportMetric(float64(len(page)), "page_bytes")
+}
+
+// BenchmarkFigure6PoolPage renders the query-pool page with its strategy
+// colour coding.
+func BenchmarkFigure6PoolPage(b *testing.B) {
+	srv, pid, eid := platformFixture(b)
+	url := fmt.Sprintf("%s/projects/%d/experiments/%d/pool", srv.URL, pid, eid)
+	b.ResetTimer()
+	var page string
+	for i := 0; i < b.N; i++ {
+		page = fetch(b, url)
+	}
+	if !strings.Contains(page, "Query pool") {
+		b.Fatal("pool page incomplete")
+	}
+	b.ReportMetric(float64(strings.Count(page, "<tr>")), "pool_rows")
+}
+
+// BenchmarkFigure7ExperimentHistory reproduces the experiment-history figure:
+// per-query execution times annotated with the morph action, the provenance
+// edge and the component count, with failed queries flagged as errors.
+func BenchmarkFigure7ExperimentHistory(b *testing.B) {
+	project := q1Project(b, smallTPCH(), 2)
+	runs := project.Runs()
+	b.ResetTimer()
+	var points []analytics.HistoryPoint
+	for i := 0; i < b.N; i++ {
+		points = analytics.History(runs, "columba-1.0")
+	}
+	b.StopTimer()
+	if len(points) == 0 {
+		b.Fatal("empty history")
+	}
+	morphs, errors := 0, 0
+	for _, p := range points {
+		if p.ParentID != 0 {
+			morphs++
+		}
+		if p.IsError {
+			errors++
+		}
+	}
+	b.ReportMetric(float64(len(points)), "queries")
+	b.ReportMetric(float64(morphs), "morphed_queries")
+	b.ReportMetric(float64(errors), "error_queries")
+}
+
+// --- substrate: the two engines on the TPC-H power run ---------------------------
+
+// BenchmarkEnginesTPCH runs all 22 TPC-H queries on each engine; the
+// per-engine wall-clock comparison is the raw material every discriminative
+// experiment builds on. The power run uses a smaller instance than the
+// figure benchmarks so the correlated sub-query queries stay affordable.
+func BenchmarkEnginesTPCH(b *testing.B) {
+	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.002, Seed: 11})
+	engines := []engine.Engine{
+		engine.NewRowEngine(),
+		engine.NewColEngine(),
+		engine.NewColEngineWithOptions(engine.ColEngineOptions{Version: "2.0", DisableGuardCasts: true}),
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run(engine.EngineKey(eng.Name(), eng.Version()), func(b *testing.B) {
+			opts := engine.ExecOptions{Timeout: time.Minute}
+			for i := 0; i < b.N; i++ {
+				for _, q := range workload.TPCH() {
+					if _, err := eng.Execute(db, q.SQL, opts); err != nil {
+						b.Fatalf("%s: %v", q.ID, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnginesQ1 isolates the paper's flagship query on both engines and
+// on the improved column-engine release (the guard-cast ablation at the
+// engine level).
+func BenchmarkEnginesQ1(b *testing.B) {
+	db := smallTPCH()
+	q1, _ := workload.TPCHQuery("Q1")
+	engines := []engine.Engine{
+		engine.NewRowEngine(),
+		engine.NewColEngine(),
+		engine.NewColEngineWithOptions(engine.ColEngineOptions{Version: "2.0", DisableGuardCasts: true}),
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run(engine.EngineKey(eng.Name(), eng.Version()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Execute(db, q1.SQL, engine.ExecOptions{Timeout: time.Minute}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablations --------------------------------------------------------------------
+
+// BenchmarkAblationLiteralOnce quantifies how much the paper's literal-once
+// rule shrinks the query space compared to allowing literal repetition.
+func BenchmarkAblationLiteralOnce(b *testing.B) {
+	q3, _ := workload.TPCHQuery("Q3")
+	g, err := derive.FromSQL(q3.SQL, derive.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var withRule, withoutRule grammar.SpaceSummary
+	for i := 0; i < b.N; i++ {
+		withRule, err = g.Space(grammar.EnumerateOptions{TemplateCap: 20000, LiteralOnce: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		withoutRule, err = g.Space(grammar.EnumerateOptions{TemplateCap: 20000, LiteralOnce: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(withRule.Templates), "templates_literal_once")
+	b.ReportMetric(float64(withoutRule.Templates), "templates_repetition")
+}
+
+// BenchmarkAblationOrdered quantifies the effect of the order-insensitive
+// counting the paper adopts (optimizers normalise expression lists) versus
+// counting ordered variants.
+func BenchmarkAblationOrdered(b *testing.B) {
+	q1, _ := workload.TPCHQuery("Q1")
+	g, err := derive.FromSQL(q1.SQL, derive.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var unordered, ordered grammar.SpaceSummary
+	for i := 0; i < b.N; i++ {
+		unordered, err = g.Space(grammar.EnumerateOptions{TemplateCap: 20000, LiteralOnce: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ordered, err = g.Space(grammar.EnumerateOptions{TemplateCap: 20000, LiteralOnce: true, OrderSensitive: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(unordered.Space), "space_unordered")
+	b.ReportMetric(float64(ordered.Space), "space_ordered")
+}
+
+// BenchmarkAblationGuidedVsRandom compares the paper's guided morphing walk
+// against blind random sampling of the space: after the same number of
+// measurements, how extreme is the best discriminative ratio each approach
+// found between the two engines?
+func BenchmarkAblationGuidedVsRandom(b *testing.B) {
+	q1, _ := workload.TPCHQuery("Q1")
+	db := smallTPCH()
+	targets := func() map[string]*core.EngineTarget {
+		return map[string]*core.EngineTarget{
+			"columba-1.0":    {Engine: engine.NewColEngine(), DB: db, Timeout: 30 * time.Second},
+			"tuplestore-1.0": {Engine: engine.NewRowEngine(), DB: db, Timeout: 30 * time.Second},
+		}
+	}
+
+	bestRatio := func(s *discriminative.Search) float64 {
+		best := 1.0
+		for _, dir := range [][2]string{{"columba-1.0", "tuplestore-1.0"}, {"tuplestore-1.0", "columba-1.0"}} {
+			if f := s.Better(dir[0], dir[1], 1); len(f) > 0 && f[0].Ratio > best {
+				best = f[0].Ratio
+			}
+		}
+		return best
+	}
+
+	var guidedBest, randomBest float64
+	for i := 0; i < b.N; i++ {
+		// Guided: seed a small pool, then let the search morph the extremes.
+		guidedGrammar, err := derive.FromSQL(q1.SQL, derive.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		guidedPool, err := pool.New(guidedGrammar, pool.Options{Seed: 41})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := guidedPool.SeedRandom(5); err != nil {
+			b.Fatal(err)
+		}
+		tg := targets()
+		guidedSearch, err := discriminative.New(guidedPool, map[string]metrics.Target{
+			"columba-1.0": tg["columba-1.0"], "tuplestore-1.0": tg["tuplestore-1.0"],
+		}, discriminative.Options{Runs: 1, GrowPerRound: 5, TopK: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		guidedSearch.Run("columba-1.0", "tuplestore-1.0", 3)
+		guidedBest = bestRatio(guidedSearch)
+
+		// Random: the same total number of queries, all sampled blindly.
+		randomGrammar, err := derive.FromSQL(q1.SQL, derive.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		randomPool, err := pool.New(randomGrammar, pool.Options{Seed: 41})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := randomPool.SeedRandom(guidedPool.Size() - 1); err != nil {
+			b.Fatal(err)
+		}
+		tg2 := targets()
+		randomSearch, err := discriminative.New(randomPool, map[string]metrics.Target{
+			"columba-1.0": tg2["columba-1.0"], "tuplestore-1.0": tg2["tuplestore-1.0"],
+		}, discriminative.Options{Runs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		randomSearch.MeasurePending()
+		randomBest = bestRatio(randomSearch)
+	}
+	b.ReportMetric(guidedBest, "guided_best_ratio")
+	b.ReportMetric(randomBest, "random_best_ratio")
+}

@@ -1,0 +1,70 @@
+// Command spacecalc regenerates the paper's tables from the command line:
+//
+//	spacecalc            # Table 2: the TPC-H query space per query
+//	spacecalc -table1    # Table 1: the TPC benchmark result census
+//	spacecalc -query Q6  # one TPC-H query in detail (grammar + space)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sqalpel/internal/derive"
+	"sqalpel/internal/grammar"
+	"sqalpel/internal/tpcsurvey"
+	"sqalpel/internal/workload"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the TPC benchmark census (Table 1)")
+	query := flag.String("query", "", "show the derived grammar and space of a single TPC-H query (e.g. Q6)")
+	cap := flag.Int("cap", grammar.DefaultTemplateCap, "hard limit on the number of derived query templates")
+	joins := flag.Bool("explicit-joins", true, "keep join paths explicit (the recommended manual grammar edit)")
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(tpcsurvey.Render())
+		return
+	}
+
+	opts := derive.DefaultOptions()
+	opts.ExplicitJoinPaths = *joins
+	enumOpts := grammar.EnumerateOptions{TemplateCap: *cap, LiteralOnce: true}
+
+	if *query != "" {
+		q, err := workload.TPCHQuery(*query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := derive.FromSQL(q.SQL, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := g.Space(enumOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %s: %s\n\n%s\n", q.ID, q.Name, g.String())
+		fmt.Printf("tags %d, templates %d, space %d (capped: %v)\n", sum.Tags, sum.Templates, sum.Space, sum.Capped)
+		return
+	}
+
+	fmt.Printf("%-5s %-6s %-10s %s\n", "query", "tags", "templates", "space")
+	for _, id := range workload.TPCHIDs() {
+		q, _ := workload.TPCHQuery(id)
+		sum, err := derive.Summary(q.SQL, opts, enumOpts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			continue
+		}
+		space := fmt.Sprintf("%d", sum.Space)
+		templates := fmt.Sprintf("%d", sum.Templates)
+		if sum.Capped {
+			templates = fmt.Sprintf(">%d", sum.Templates)
+			space = "-"
+		}
+		fmt.Printf("%-5s %-6d %-10s %s\n", id, sum.Tags, templates, space)
+	}
+}

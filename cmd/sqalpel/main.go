@@ -1,0 +1,83 @@
+// Command sqalpel is the experiment driver, the Go counterpart of the
+// paper's sqalpel.py: it reads a local configuration file, asks the platform
+// server for tasks from a project's query pool, runs them against the local
+// DBMS (here: one of the built-in engines over a generated data set) and
+// reports the measurements back.
+//
+// Usage:
+//
+//	sqalpel -config sqalpel.conf -dataset tpch -sf 0.01 -max 0
+//
+// The configuration file format is documented in internal/driver:
+//
+//	server  = http://localhost:8080
+//	key     = <contributor key>
+//	dbms    = columba-1.0
+//	platform = laptop
+//	experiment = 1
+//	runs = 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sqalpel/internal/core"
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/driver"
+	"sqalpel/internal/engine"
+)
+
+func main() {
+	configPath := flag.String("config", "sqalpel.conf", "driver configuration file")
+	dataset := flag.String("dataset", "tpch", "local data set to run against: tpch, ssb or airtraffic")
+	sf := flag.Float64("sf", 0.01, "scale factor of the local data set")
+	maxTasks := flag.Int("max", 0, "maximum number of tasks to process (0 = until the pool is exhausted)")
+	flag.Parse()
+
+	cfg, err := driver.LoadConfig(*configPath)
+	if err != nil {
+		log.Fatalf("loading configuration: %v", err)
+	}
+	client, err := driver.NewClient(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := datagen.NamedDatabase(*dataset, *sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engineForKey(cfg.DBMS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := &core.EngineTarget{Engine: eng, DB: db, Timeout: cfg.Timeout}
+
+	fmt.Printf("sqalpel driver: %s on %s, data set %s sf %g, %d runs per query\n",
+		cfg.DBMS, cfg.Platform, *dataset, *sf, cfg.Runs)
+	start := time.Now()
+	n, err := client.RunAll(target, *maxTasks)
+	if err != nil {
+		log.Fatalf("after %d tasks: %v", n, err)
+	}
+	fmt.Printf("processed %d tasks in %s\n", n, time.Since(start).Round(time.Millisecond))
+}
+
+// engineForKey maps a DBMS catalog key to a built-in engine.
+func engineForKey(key string) (engine.Engine, error) {
+	reg := engine.NewRegistry()
+	if e := reg.Get(key); e != nil {
+		return e, nil
+	}
+	// Accept bare names without a version.
+	for _, e := range reg.Engines() {
+		if strings.EqualFold(e.Name(), key) {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown DBMS %q; available: %s", key, strings.Join(reg.Keys(), ", "))
+}

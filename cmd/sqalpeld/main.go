@@ -1,0 +1,77 @@
+// Command sqalpeld runs the sqalpel platform server: the web application
+// that manages users, catalogs, performance projects, query pools, the task
+// queue and the result analytics. State is persisted as JSON in the data
+// directory and reloaded on restart.
+//
+// Usage:
+//
+//	sqalpeld -addr :8080 -data ./sqalpel-data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sqalpel/internal/repository"
+	"sqalpel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "sqalpel-data", "directory for the JSON persistence")
+	taskTimeout := flag.Duration("task-timeout", 10*time.Minute, "requeue tasks whose results were not delivered within this interval")
+	saveEvery := flag.Duration("save-every", time.Minute, "interval between automatic snapshots")
+	flag.Parse()
+
+	store, err := repository.Load(*dataDir)
+	if err != nil {
+		log.Fatalf("loading store from %s: %v", *dataDir, err)
+	}
+	store.TaskTimeout = *taskTimeout
+	srv := server.New(server.Options{Store: store})
+
+	httpServer := &http.Server{Addr: *addr, Handler: srv}
+
+	// Periodic maintenance: expire stuck tasks and snapshot the store.
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*saveEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := store.ExpireTasks(); n > 0 {
+					log.Printf("requeued %d stuck tasks", n)
+				}
+				if err := store.Save(*dataDir); err != nil {
+					log.Printf("snapshot failed: %v", err)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	go func() {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		<-sigs
+		close(stop)
+		if err := store.Save(*dataDir); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		}
+		_ = httpServer.Close()
+	}()
+
+	fmt.Printf("sqalpel platform listening on %s (data in %s)\n", *addr, *dataDir)
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

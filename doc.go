@@ -1,0 +1,25 @@
+// Package sqalpel is a Go reproduction of "SQALPEL: A database performance
+// platform" (CIDR 2019): discriminative performance benchmarking driven by a
+// query-space grammar, plus the platform to collect, manage and share the
+// resulting performance facts.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core is the public façade (projects, pools, targets, search,
+//     analytics); start there.
+//   - internal/grammar, internal/derive and internal/pool implement the
+//     query-space DSL, the SQL-to-grammar conversion and the alter / expand /
+//     prune morphing strategies.
+//   - internal/engine, internal/datagen and internal/workload are the
+//     execution substrate: two SQL engines with different performance
+//     profiles, deterministic TPC-H / SSB / airtraffic data generators and
+//     the corresponding query workloads.
+//   - internal/server, internal/webui, internal/repository, internal/catalog
+//     and internal/driver form the sharing platform (projects, access
+//     control, task queue, results, analytics pages) and its experiment
+//     driver.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper; EXPERIMENTS.md records the measured outcomes next to the published
+// ones.
+package sqalpel

@@ -1,0 +1,77 @@
+// discriminative hunts for discriminative queries between the two built-in
+// engines on a real TPC-H workload: it derives the grammar of TPC-H Q1 and
+// Q6, grows their pools with the guided random walk and reports which query
+// variants run relatively better on the column store and which on the row
+// store — together with the dominant-component analysis that explains why
+// (the paper's Figure 2 observation about the sum_charge expression).
+//
+// Run with:
+//
+//	go run ./examples/discriminative
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqalpel/internal/core"
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/workload"
+)
+
+func main() {
+	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.01})
+	colKey := "columba-1.0"
+	rowKey := "tuplestore-1.0"
+
+	for _, id := range []string{"Q1", "Q6"} {
+		q, err := workload.TPCHQuery(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== TPC-H %s: %s ===\n", q.ID, q.Name)
+
+		project, err := core.NewProject("tpch-"+q.ID, q.SQL, core.ProjectOptions{Runs: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		project.AddEngineTarget(colKey, engine.NewColEngine(), db)
+		project.AddEngineTarget(rowKey, engine.NewRowEngine(), db)
+
+		if err := project.SeedPool(10); err != nil {
+			log.Fatal(err)
+		}
+		project.GrowPool(15)
+		if err := project.Run(2, colKey, rowKey); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(project.Summary())
+
+		better, err := project.Discriminative(rowKey, colKey, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nvariants relatively better on the row store:\n")
+		for _, f := range better {
+			fmt.Printf("  %.2fx  #%d [%s] components=%d\n", f.Ratio, f.Outcome.Entry.ID, f.Outcome.Entry.Strategy, f.Outcome.Entry.Components)
+		}
+		betterCol, err := project.Discriminative(colKey, rowKey, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("variants relatively better on the column store:\n")
+		for _, f := range betterCol {
+			fmt.Printf("  %.2fx  #%d [%s] components=%d\n", f.Ratio, f.Outcome.Entry.ID, f.Outcome.Entry.Strategy, f.Outcome.Entry.Components)
+		}
+
+		fmt.Printf("\ndominant lexical components on the column store (marginal seconds):\n")
+		for i, c := range project.Components(colKey) {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %+0.4fs  %s\n", c.Delta, c.Term)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,167 @@
+// platform demonstrates the full SaaS workflow of the paper's demo: it
+// starts the sqalpel platform server in-process, registers a project owner
+// and a contributor, creates a public project with an experiment derived
+// from a TPC-H baseline query, grows the query pool, lets the contributor's
+// experiment driver work through the task queue against two local engines,
+// and finally fetches the analytics (experiment history, speedup, CSV) from
+// the platform.
+//
+// Run with:
+//
+//	go run ./examples/platform
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"sqalpel/internal/core"
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/driver"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/server"
+	"sqalpel/internal/workload"
+)
+
+func main() {
+	// 1. Start the platform (in-process; `cmd/sqalpeld` runs the same server
+	//    standalone).
+	srv := httptest.NewServer(server.New(server.Options{}))
+	defer srv.Close()
+	fmt.Println("platform running at", srv.URL)
+
+	// 2. The project owner registers and creates a public project with one
+	//    experiment derived from TPC-H Q6.
+	token := apiPost(srv.URL+"/api/register", "", map[string]any{
+		"nickname": "martin", "email": "martin@example.org",
+	})["token"].(string)
+
+	q6, _ := workload.TPCHQuery("Q6")
+	created := apiPost(srv.URL+"/api/projects", token, map[string]any{
+		"name":        "tpch-q6-forecast",
+		"synopsis":    "Forecasting revenue change: which systems handle the Q6 variants best?",
+		"attribution": "TPC-H inspired deterministic data generator",
+		"public":      true,
+	})
+	projectID := int(created["project"].(map[string]any)["id"].(float64))
+	ownerKey := created["key"].(string)
+
+	exp := apiPost(fmt.Sprintf("%s/api/projects/%d/experiments", srv.URL, projectID), token, map[string]any{
+		"title": "Q6 variants", "baseline_sql": q6.SQL, "seed_random": 6,
+	})
+	experimentID := int(exp["experiment_id"].(float64))
+	fmt.Printf("created project %d with experiment %d (%v queries)\n",
+		projectID, experimentID, exp["query_count"])
+
+	// 3. The owner grows the pool with the morphing strategies.
+	grown := apiPost(fmt.Sprintf("%s/api/projects/%d/experiments/%d/grow", srv.URL, projectID, experimentID), token, map[string]any{
+		"count": 8,
+	})
+	fmt.Printf("pool grown to %v queries\n", grown["query_count"])
+
+	// 4. A contributor runs the experiment driver against two local engines.
+	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.01})
+	for _, dbms := range []struct {
+		key string
+		eng engine.Engine
+	}{
+		{"columba-1.0", engine.NewColEngine()},
+		{"tuplestore-1.0", engine.NewRowEngine()},
+	} {
+		cfg := driver.Config{
+			Server: srv.URL, Key: ownerKey, DBMS: dbms.key, Platform: "laptop",
+			Experiment: experimentID, Runs: 3, Timeout: 30 * time.Second,
+		}
+		client, err := driver.NewClient(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target := &core.EngineTarget{Engine: dbms.eng, DB: db, Timeout: cfg.Timeout}
+		n, err := client.RunAll(target, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("driver finished %d tasks on %s\n", n, dbms.key)
+	}
+
+	// 5. Fetch the analytics the platform renders.
+	history := apiGet(fmt.Sprintf("%s/api/projects/%d/analytics/history?target=columba-1.0@laptop", srv.URL, projectID))
+	fmt.Printf("\nexperiment history on columba-1.0@laptop: %d measured queries\n", countJSONArray(history))
+
+	speedup := apiGet(fmt.Sprintf("%s/api/projects/%d/analytics/speedup?base=columba-1.0@laptop&other=tuplestore-1.0@laptop", srv.URL, projectID))
+	fmt.Printf("speedup summary (row store time / column store time): %s\n", compactJSON(speedup, 240))
+
+	csv := apiGet(fmt.Sprintf("%s/api/projects/%d/results.csv", srv.URL, projectID))
+	fmt.Printf("\nfirst lines of the CSV export:\n%s\n", firstLines(string(csv), 5))
+
+	fmt.Printf("project page: %s/projects/%d (open in a browser while the server runs)\n", srv.URL, projectID)
+}
+
+// apiPost sends a JSON POST and decodes the JSON answer.
+func apiPost(url, token string, body map[string]any) map[string]any {
+	payload, _ := json.Marshal(body)
+	req, _ := http.NewRequest("POST", url, bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("X-Sqalpel-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("POST %s failed: %d %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// apiGet fetches a URL body.
+func apiGet(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return data
+}
+
+func countJSONArray(data []byte) int {
+	var arr []any
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return 0
+	}
+	return len(arr)
+}
+
+func compactJSON(data []byte, max int) string {
+	s := string(data)
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
+}
+
+func firstLines(s string, n int) string {
+	out := ""
+	count := 0
+	for _, line := range bytes.Split([]byte(s), []byte("\n")) {
+		out += string(line) + "\n"
+		count++
+		if count >= n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Quickstart: derive a query-space grammar from a baseline query, grow a
+// query pool with the alter/expand/prune morphing strategies, measure every
+// variant on the two built-in engines and print the discriminative queries
+// plus the analytics the sqalpel platform visualises.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sqalpel/internal/core"
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/workload"
+)
+
+func main() {
+	// 1. A baseline query taken from the application: the Figure 1 example
+	//    over the TPC-H nation table.
+	baseline := workload.NationBaselineQuery
+	fmt.Println("baseline query:")
+	fmt.Println("  " + baseline)
+
+	// 2. Derive the sqalpel grammar and inspect the query space.
+	project, err := core.NewProject("quickstart", baseline, core.ProjectOptions{Runs: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := project.Space()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nderived grammar (%d lexical tags, %d templates, %d concrete queries):\n\n%s\n",
+		space.Tags, space.Templates, space.Space, project.GrammarText())
+
+	// 3. Register two target systems: the column store and the row store,
+	//    both over the same generated TPC-H instance.
+	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.01})
+	project.AddEngineTarget("", engine.NewColEngine(), db)
+	project.AddEngineTarget("", engine.NewRowEngine(), db)
+
+	// 4. Grow the query pool and run the guided discriminative search.
+	if err := project.SeedPool(8); err != nil {
+		log.Fatal(err)
+	}
+	project.GrowPool(10)
+	if err := project.Run(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(project.Summary())
+
+	// 5. Report the discriminative queries in both directions.
+	for _, pair := range [][2]string{
+		{"columba-1.0", "tuplestore-1.0"},
+		{"tuplestore-1.0", "columba-1.0"},
+	} {
+		findings, err := project.Discriminative(pair[0], pair[1], 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nqueries relatively better on %s (vs %s):\n", pair[0], pair[1])
+		if len(findings) == 0 {
+			fmt.Println("  none found")
+		}
+		for _, f := range findings {
+			fmt.Printf("  %.2fx  #%d [%s]  %s\n", f.Ratio, f.Outcome.Entry.ID, f.Outcome.Entry.Strategy, f.Outcome.Entry.SQL)
+		}
+	}
+
+	// 6. Export the raw results the way the platform does.
+	fmt.Println("\nCSV export of all measurements:")
+	if err := project.ExportCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

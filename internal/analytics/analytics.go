@@ -1,0 +1,408 @@
+// Package analytics implements the built-in visual-analytics computations of
+// the sqalpel platform: the experiment history with morph annotations
+// (Figure 7 of the paper), the dominant-component analysis of lexical terms
+// (Figure 2), relative speedups between systems, versions or database sizes
+// (Figure 3), query differentials (Figure 4) and CSV export for off-line
+// post-processing.
+//
+// The package is deliberately independent of the repository and engine
+// layers: it operates on plain Run records, which both the platform server
+// and the benchmark harness can produce.
+package analytics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one measured execution of one query variant on one target system.
+type Run struct {
+	// QueryID is the pool-local id of the query variant.
+	QueryID int
+	// SQL is the query text.
+	SQL string
+	// Strategy records how the variant was created (baseline, random,
+	// alter, expand, prune).
+	Strategy string
+	// ParentID is the variant this one was morphed from (0 for seeds).
+	ParentID int
+	// Components is the number of lexical components of the variant.
+	Components int
+	// Terms are the lexical literal texts the variant contains; used by the
+	// dominant-component analysis.
+	Terms []string
+	// Target identifies the system (and version / host / database size) the
+	// run was measured on.
+	Target string
+	// Seconds is the representative wall-clock time; ignored when Error is
+	// set.
+	Seconds float64
+	// Error carries the failure message of queries that did not execute.
+	Error string
+}
+
+// Failed reports whether the run errored.
+func (r Run) Failed() bool { return r.Error != "" }
+
+// HistoryPoint is one node of the experiment-history plot: execution time
+// per query, coloured by morph action, sized by the number of components,
+// with failed queries flagged.
+type HistoryPoint struct {
+	Seq        int
+	QueryID    int
+	ParentID   int
+	Strategy   string
+	Components int
+	Seconds    float64
+	IsError    bool
+	SQL        string
+}
+
+// History builds the experiment-history series for one target: queries in
+// pool order, each annotated with its morph action and provenance edge.
+func History(runs []Run, target string) []HistoryPoint {
+	var filtered []Run
+	for _, r := range runs {
+		if r.Target == target {
+			filtered = append(filtered, r)
+		}
+	}
+	sort.SliceStable(filtered, func(i, j int) bool { return filtered[i].QueryID < filtered[j].QueryID })
+	out := make([]HistoryPoint, 0, len(filtered))
+	for i, r := range filtered {
+		out = append(out, HistoryPoint{
+			Seq:        i + 1,
+			QueryID:    r.QueryID,
+			ParentID:   r.ParentID,
+			Strategy:   r.Strategy,
+			Components: r.Components,
+			Seconds:    r.Seconds,
+			IsError:    r.Failed(),
+			SQL:        r.SQL,
+		})
+	}
+	return out
+}
+
+// Component is the cost attribution of one lexical term.
+type Component struct {
+	// Term is the lexical literal text.
+	Term string
+	// WithMean and WithoutMean are the mean execution times of the queries
+	// containing and not containing the term.
+	WithMean    float64
+	WithoutMean float64
+	// Delta is WithMean - WithoutMean: the marginal cost attributed to the
+	// term. The larger, the more dominant the component.
+	Delta float64
+	// Queries is the number of successful runs containing the term.
+	Queries int
+}
+
+// Components attributes execution time to lexical terms for one target. Two
+// estimators are combined:
+//
+//  1. Paired differences: whenever two measured variants differ by exactly
+//     one term (the natural outcome of the expand/prune morphing
+//     strategies), the time difference is a direct sample of that term's
+//     marginal cost. This is the primary estimator.
+//  2. With/without means: for terms without such pairs, the mean runtime of
+//     the variants containing the term is compared against the variants not
+//     containing it.
+//
+// The result is sorted by descending marginal cost, so the first entry is
+// the dominant component (the paper's example: the sum_charge expression of
+// TPC-H Q1 on a column store).
+func Components(runs []Run, target string) []Component {
+	type sample struct {
+		terms   map[string]bool
+		sig     string
+		seconds float64
+	}
+	var samples []sample
+	bySig := map[string][]float64{}
+	terms := map[string]bool{}
+	for _, r := range runs {
+		if r.Target != target || r.Failed() {
+			continue
+		}
+		set := map[string]bool{}
+		for _, t := range r.Terms {
+			set[t] = true
+			terms[t] = true
+		}
+		s := sample{terms: set, sig: termSignature(set, ""), seconds: r.Seconds}
+		samples = append(samples, s)
+		bySig[s.sig] = append(bySig[s.sig], r.Seconds)
+	}
+
+	var out []Component
+	for term := range terms {
+		c := Component{Term: term}
+		var with, without, paired []float64
+		for _, s := range samples {
+			if !s.terms[term] {
+				without = append(without, s.seconds)
+				continue
+			}
+			with = append(with, s.seconds)
+			// A paired sample exists when some other variant has exactly the
+			// same term set minus this term.
+			if peers, ok := bySig[termSignature(s.terms, term)]; ok && len(peers) > 0 {
+				paired = append(paired, s.seconds-mean(peers))
+			}
+		}
+		c.Queries = len(with)
+		c.WithMean = mean(with)
+		c.WithoutMean = mean(without)
+		switch {
+		case len(paired) > 0:
+			c.Delta = mean(paired)
+		case len(with) > 0 && len(without) > 0:
+			c.Delta = c.WithMean - c.WithoutMean
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delta != out[j].Delta {
+			return out[i].Delta > out[j].Delta
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// termSignature builds a canonical key for a term set, optionally excluding
+// one term (used to find the "same query minus this term" peers).
+func termSignature(set map[string]bool, exclude string) string {
+	keys := make([]string, 0, len(set))
+	for t := range set {
+		if t == exclude {
+			continue
+		}
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x00")
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// SpeedupPoint is the relative performance of one query variant between two
+// targets (different systems, versions or database sizes).
+type SpeedupPoint struct {
+	QueryID    int
+	Components int
+	// BaseSeconds and OtherSeconds are the times on the two targets.
+	BaseSeconds  float64
+	OtherSeconds float64
+	// Factor is OtherSeconds / BaseSeconds: how many times slower the other
+	// target is (values below 1 mean it is faster).
+	Factor float64
+}
+
+// SpeedupSummary aggregates a speedup series.
+type SpeedupSummary struct {
+	Points []SpeedupPoint
+	// BaselineFactor is the factor of the baseline query (query id 1) when
+	// present, the number the paper quotes ("the baseline query runs about a
+	// factor 8 slower on a 10 times larger instance").
+	BaselineFactor float64
+	Min, Max       float64
+	Median         float64
+}
+
+// Speedup matches runs of the same query id on two targets and computes the
+// per-query factor plus the spread summary.
+func Speedup(runs []Run, baseTarget, otherTarget string) SpeedupSummary {
+	base := map[int]Run{}
+	other := map[int]Run{}
+	for _, r := range runs {
+		if r.Failed() {
+			continue
+		}
+		switch r.Target {
+		case baseTarget:
+			base[r.QueryID] = r
+		case otherTarget:
+			other[r.QueryID] = r
+		}
+	}
+	var sum SpeedupSummary
+	var factors []float64
+	ids := make([]int, 0, len(base))
+	for id := range base {
+		if _, ok := other[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b, o := base[id], other[id]
+		if b.Seconds <= 0 {
+			continue
+		}
+		p := SpeedupPoint{
+			QueryID:      id,
+			Components:   b.Components,
+			BaseSeconds:  b.Seconds,
+			OtherSeconds: o.Seconds,
+			Factor:       o.Seconds / b.Seconds,
+		}
+		sum.Points = append(sum.Points, p)
+		factors = append(factors, p.Factor)
+		if id == 1 {
+			sum.BaselineFactor = p.Factor
+		}
+	}
+	if len(factors) == 0 {
+		return sum
+	}
+	sorted := append([]float64(nil), factors...)
+	sort.Float64s(sorted)
+	sum.Min = sorted[0]
+	sum.Max = sorted[len(sorted)-1]
+	sum.Median = sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		sum.Median = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return sum
+}
+
+// Differential is the paper's query-differential page: the token-level
+// difference between two query formulations plus their performance on every
+// target both were measured on.
+type Differential struct {
+	QueryA, QueryB int
+	// OnlyA and OnlyB are the tokens appearing in only one of the two
+	// queries.
+	OnlyA []string
+	OnlyB []string
+	// Times maps target name to the pair of times [timeA, timeB].
+	Times map[string][2]float64
+}
+
+// Diff computes the differential between two query variants given all runs.
+func Diff(runs []Run, idA, idB int) (Differential, error) {
+	var sqlA, sqlB string
+	times := map[string][2]float64{}
+	var foundA, foundB bool
+	for _, r := range runs {
+		switch r.QueryID {
+		case idA:
+			sqlA = r.SQL
+			foundA = true
+			if !r.Failed() {
+				pair := times[r.Target]
+				pair[0] = r.Seconds
+				times[r.Target] = pair
+			}
+		case idB:
+			sqlB = r.SQL
+			foundB = true
+			if !r.Failed() {
+				pair := times[r.Target]
+				pair[1] = r.Seconds
+				times[r.Target] = pair
+			}
+		}
+	}
+	if !foundA || !foundB {
+		return Differential{}, fmt.Errorf("queries %d and %d are not both present in the runs", idA, idB)
+	}
+	onlyA, onlyB := tokenDiff(sqlA, sqlB)
+	return Differential{QueryA: idA, QueryB: idB, OnlyA: onlyA, OnlyB: onlyB, Times: times}, nil
+}
+
+// tokenDiff returns the whitespace-separated tokens unique to each side,
+// treating the token lists as multisets.
+func tokenDiff(a, b string) (onlyA, onlyB []string) {
+	countA := tokenCounts(a)
+	countB := tokenCounts(b)
+	for tok, n := range countA {
+		if n > countB[tok] {
+			for i := 0; i < n-countB[tok]; i++ {
+				onlyA = append(onlyA, tok)
+			}
+		}
+	}
+	for tok, n := range countB {
+		if n > countA[tok] {
+			for i := 0; i < n-countA[tok]; i++ {
+				onlyB = append(onlyB, tok)
+			}
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB
+}
+
+func tokenCounts(s string) map[string]int {
+	out := map[string]int{}
+	token := ""
+	flush := func() {
+		if token != "" {
+			out[token]++
+			token = ""
+		}
+	}
+	for _, r := range s {
+		switch r {
+		case ' ', '\t', '\n', ',', '(', ')':
+			flush()
+		default:
+			token += string(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// WriteCSV exports runs in the platform's CSV format for off-line
+// post-processing.
+func WriteCSV(w io.Writer, runs []Run) error {
+	cw := csv.NewWriter(w)
+	header := []string{"query_id", "parent_id", "strategy", "components", "target", "seconds", "error", "sql"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		rec := []string{
+			strconv.Itoa(r.QueryID),
+			strconv.Itoa(r.ParentID),
+			r.Strategy,
+			strconv.Itoa(r.Components),
+			r.Target,
+			formatSeconds(r.Seconds, r.Failed()),
+			r.Error,
+			r.SQL,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatSeconds(s float64, failed bool) string {
+	if failed || math.IsNaN(s) {
+		return ""
+	}
+	return strconv.FormatFloat(s, 'f', 6, 64)
+}

@@ -1,0 +1,75 @@
+package catalog
+
+import "testing"
+
+func TestBootstrapCatalog(t *testing.T) {
+	c := Bootstrap()
+	if len(c.ListDBMS()) < 3 {
+		t.Errorf("bootstrap DBMS entries = %d, want >= 3", len(c.ListDBMS()))
+	}
+	if len(c.ListPlatforms()) < 3 {
+		t.Errorf("bootstrap platform entries = %d, want >= 3", len(c.ListPlatforms()))
+	}
+	d, ok := c.DBMS("columba-1.0")
+	if !ok || d.Dialect != "columba" {
+		t.Errorf("columba-1.0 lookup = %+v, %v", d, ok)
+	}
+	if _, ok := c.DBMS("oracle-23"); ok {
+		t.Error("unknown DBMS should not resolve")
+	}
+	p, ok := c.Platform("xeon-e5-4657l")
+	if !ok || p.MemoryGB != 1024 {
+		t.Errorf("xeon lookup = %+v, %v", p, ok)
+	}
+}
+
+func TestAddAndValidate(t *testing.T) {
+	c := New()
+	if err := c.AddDBMS(DBMS{Name: "", Version: "1"}); err == nil {
+		t.Error("missing name should fail")
+	}
+	if err := c.AddDBMS(DBMS{Name: "x", Version: ""}); err == nil {
+		t.Error("missing version should fail")
+	}
+	if err := c.AddPlatform(Platform{}); err == nil {
+		t.Error("missing platform name should fail")
+	}
+	if err := c.AddDBMS(DBMS{Name: "MonetDB", Version: "11.39", Vendor: "CWI", Dialect: "monetdb"}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := c.DBMS("monetdb-11.39"); !ok || d.Vendor != "CWI" {
+		t.Errorf("lookup after add failed: %+v %v", d, ok)
+	}
+	// Updating an entry replaces it.
+	c.AddDBMS(DBMS{Name: "MonetDB", Version: "11.39", Vendor: "MonetDB Solutions", Dialect: "monetdb"})
+	if d, _ := c.DBMS("monetdb-11.39"); d.Vendor != "MonetDB Solutions" {
+		t.Errorf("update did not replace entry: %+v", d)
+	}
+	if len(c.ListDBMS()) != 1 {
+		t.Errorf("duplicate keys should not multiply entries")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c := Bootstrap()
+	dbms, platforms := c.Snapshot()
+	c2 := New()
+	c2.Restore(dbms, platforms)
+	if len(c2.ListDBMS()) != len(dbms) || len(c2.ListPlatforms()) != len(platforms) {
+		t.Error("restore lost entries")
+	}
+	if _, ok := c2.DBMS("tuplestore-1.0"); !ok {
+		t.Error("restored catalog misses tuplestore")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	d := DBMS{Name: "Columba", Version: "2.0"}
+	if d.Key() != "columba-2.0" {
+		t.Errorf("key = %q", d.Key())
+	}
+	p := Platform{Name: "Laptop"}
+	if p.Key() != "laptop" {
+		t.Errorf("key = %q", p.Key())
+	}
+}

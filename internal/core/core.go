@@ -1,0 +1,350 @@
+// Package core is the public façade of the sqalpel library: it ties the
+// query-space grammar, the SQL-to-grammar deriver, the query pool with its
+// morphing strategies, the execution engines, the measurement harness, the
+// discriminative search and the analytics into one convenient API.
+//
+// A typical local session looks like:
+//
+//	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.01})
+//	project, _ := core.NewProject("q1", baselineSQL, core.ProjectOptions{})
+//	project.AddEngineTarget("columba-1.0", engine.NewColEngine(), db)
+//	project.AddEngineTarget("tuplestore-1.0", engine.NewRowEngine(), db)
+//	project.GrowPool(20)
+//	project.Run(3)
+//	findings := project.Discriminative("columba-1.0", "tuplestore-1.0", 5)
+//
+// The same types also feed the platform (internal/server) and the benchmark
+// harness that regenerates the paper's tables and figures.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sqalpel/internal/analytics"
+	"sqalpel/internal/derive"
+	"sqalpel/internal/discriminative"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/grammar"
+	"sqalpel/internal/metrics"
+	"sqalpel/internal/pool"
+	"sqalpel/internal/repository"
+)
+
+// EngineTarget adapts an Engine plus a Database to the metrics.Target
+// interface used by the measurement harness. It stands in for the JDBC
+// connections of the paper's experiment driver.
+type EngineTarget struct {
+	Engine  engine.Engine
+	DB      *engine.Database
+	Timeout time.Duration
+}
+
+// Run executes the query once.
+func (t *EngineTarget) Run(query string) (int, map[string]string, error) {
+	opts := engine.ExecOptions{Timeout: t.Timeout}
+	res, err := t.Engine.Execute(t.DB, query, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	extra := map[string]string{}
+	for k, v := range res.Stats.Map() {
+		extra[k] = fmt.Sprintf("%d", v)
+	}
+	return res.NumRows(), extra, nil
+}
+
+// ProjectOptions configure a local project.
+type ProjectOptions struct {
+	// Derive are the SQL-to-grammar heuristics; zero value means defaults.
+	Derive derive.Options
+	// Pool configures the query pool (seed, cap, dialect, steering).
+	Pool pool.Options
+	// Runs is the number of repetitions per measurement (default 5).
+	Runs int
+	// SearchGrowPerRound and SearchTopK tune the guided walk.
+	SearchGrowPerRound int
+	SearchTopK         int
+}
+
+func (o ProjectOptions) withDefaults() ProjectOptions {
+	if o.Derive == (derive.Options{}) {
+		o.Derive = derive.DefaultOptions()
+	}
+	if o.Runs <= 0 {
+		o.Runs = metrics.DefaultRuns
+	}
+	return o
+}
+
+// Project is a local, in-process performance project: a grammar, its query
+// pool and a set of target systems.
+type Project struct {
+	Name     string
+	Baseline string
+	Grammar  *grammar.Grammar
+
+	opts    ProjectOptions
+	pool    *pool.Pool
+	targets map[string]metrics.Target
+	search  *discriminative.Search
+}
+
+// NewProject derives the grammar from the baseline query and seeds the pool.
+func NewProject(name, baselineSQL string, opts ProjectOptions) (*Project, error) {
+	opts = opts.withDefaults()
+	g, err := derive.FromSQL(baselineSQL, opts.Derive)
+	if err != nil {
+		return nil, err
+	}
+	return newProject(name, baselineSQL, g, opts)
+}
+
+// NewProjectFromGrammar builds a project from a hand-written grammar, the
+// other entry point the platform offers.
+func NewProjectFromGrammar(name, grammarText string, opts ProjectOptions) (*Project, error) {
+	opts = opts.withDefaults()
+	g, err := grammar.Parse(grammarText)
+	if err != nil {
+		return nil, err
+	}
+	return newProject(name, "", g, opts)
+}
+
+func newProject(name, baseline string, g *grammar.Grammar, opts ProjectOptions) (*Project, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := pool.New(g, opts.Pool)
+	if err != nil {
+		return nil, err
+	}
+	proj := &Project{
+		Name:     name,
+		Baseline: baseline,
+		Grammar:  g,
+		opts:     opts,
+		pool:     p,
+		targets:  map[string]metrics.Target{},
+	}
+	if baseline == "" {
+		proj.Baseline = p.Baseline().SQL
+	}
+	return proj, nil
+}
+
+// Pool exposes the query pool.
+func (p *Project) Pool() *pool.Pool { return p.pool }
+
+// Space returns the query-space summary of the project's grammar (the
+// paper's Table 2 row for this baseline query).
+func (p *Project) Space() (grammar.SpaceSummary, error) {
+	return p.Grammar.Space(grammar.DefaultEnumerateOptions())
+}
+
+// AddTarget registers an arbitrary measurement target under a name.
+func (p *Project) AddTarget(name string, t metrics.Target) {
+	p.targets[name] = t
+	p.search = nil
+}
+
+// AddEngineTarget registers an in-process engine plus database as a target,
+// named after the engine unless a name is given.
+func (p *Project) AddEngineTarget(name string, eng engine.Engine, db *engine.Database) {
+	if name == "" {
+		name = engine.EngineKey(eng.Name(), eng.Version())
+	}
+	p.AddTarget(name, &EngineTarget{Engine: eng, DB: db, Timeout: 30 * time.Second})
+}
+
+// Targets returns the registered target names, sorted.
+func (p *Project) Targets() []string {
+	names := make([]string, 0, len(p.targets))
+	for n := range p.targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeedPool adds n random query variants to the pool.
+func (p *Project) SeedPool(n int) error {
+	_, err := p.pool.SeedRandom(n)
+	return err
+}
+
+// GrowPool applies the morphing strategies until n new variants were added.
+func (p *Project) GrowPool(n int) int {
+	return len(p.pool.Grow(n))
+}
+
+// ensureSearch lazily constructs the discriminative search.
+func (p *Project) ensureSearch() (*discriminative.Search, error) {
+	if p.search != nil {
+		return p.search, nil
+	}
+	s, err := discriminative.New(p.pool, p.targets, discriminative.Options{
+		Runs:         p.opts.Runs,
+		GrowPerRound: p.opts.SearchGrowPerRound,
+		TopK:         p.opts.SearchTopK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.search = s
+	return s, nil
+}
+
+// MeasureAll measures every pool entry on every registered target.
+func (p *Project) MeasureAll() error {
+	s, err := p.ensureSearch()
+	if err != nil {
+		return err
+	}
+	s.MeasurePending()
+	return nil
+}
+
+// Run performs the guided discriminative search for the given number of
+// rounds between the first two registered targets (alphabetically) or the
+// explicitly named pair.
+func (p *Project) Run(rounds int, pair ...string) error {
+	s, err := p.ensureSearch()
+	if err != nil {
+		return err
+	}
+	a, b, err := p.pairOrDefault(pair)
+	if err != nil {
+		return err
+	}
+	s.Run(a, b, rounds)
+	return nil
+}
+
+func (p *Project) pairOrDefault(pair []string) (string, string, error) {
+	if len(pair) == 2 {
+		return pair[0], pair[1], nil
+	}
+	names := p.Targets()
+	if len(names) < 2 {
+		return "", "", fmt.Errorf("project needs at least two targets, has %d", len(names))
+	}
+	return names[0], names[1], nil
+}
+
+// Discriminative returns the topN queries that run relatively better on
+// target `fast` than on target `slow`.
+func (p *Project) Discriminative(fast, slow string, topN int) ([]discriminative.Finding, error) {
+	s, err := p.ensureSearch()
+	if err != nil {
+		return nil, err
+	}
+	return s.Better(fast, slow, topN), nil
+}
+
+// Summary returns a one-line report of the search state.
+func (p *Project) Summary() string {
+	if p.search == nil {
+		return fmt.Sprintf("project %q: pool %d queries, nothing measured yet", p.Name, p.pool.Size())
+	}
+	a, b, err := p.pairOrDefault(nil)
+	if err != nil {
+		return fmt.Sprintf("project %q: pool %d queries", p.Name, p.pool.Size())
+	}
+	return fmt.Sprintf("project %q: %s", p.Name, p.search.Summary(a, b))
+}
+
+// Runs converts all measured outcomes into analytics records, one per
+// (query, target) pair.
+func (p *Project) Runs() []analytics.Run {
+	if p.search == nil {
+		return nil
+	}
+	var out []analytics.Run
+	for _, o := range p.search.Outcomes() {
+		entry := o.Entry
+		var terms []string
+		for _, lits := range entry.Sentence().Literals {
+			for _, l := range lits {
+				terms = append(terms, l.Text)
+			}
+		}
+		for _, target := range p.search.Targets() {
+			m := o.ByTarget[target]
+			if m == nil {
+				continue
+			}
+			run := analytics.Run{
+				QueryID:    entry.ID,
+				SQL:        entry.SQL,
+				Strategy:   string(entry.Strategy),
+				ParentID:   entry.ParentID,
+				Components: entry.Components,
+				Terms:      terms,
+				Target:     target,
+			}
+			if m.Failed() {
+				run.Error = m.Err
+			} else {
+				run.Seconds = m.Min().Seconds()
+			}
+			out = append(out, run)
+		}
+	}
+	return out
+}
+
+// History returns the experiment-history series for one target (Figure 7).
+func (p *Project) History(target string) []analytics.HistoryPoint {
+	return analytics.History(p.Runs(), target)
+}
+
+// Components returns the dominant-component attribution for one target
+// (Figure 2).
+func (p *Project) Components(target string) []analytics.Component {
+	return analytics.Components(p.Runs(), target)
+}
+
+// Speedup compares two targets query by query (Figure 3).
+func (p *Project) Speedup(baseTarget, otherTarget string) analytics.SpeedupSummary {
+	return analytics.Speedup(p.Runs(), baseTarget, otherTarget)
+}
+
+// Diff builds the query-differential page for two pool entries (Figure 4).
+func (p *Project) Diff(queryA, queryB int) (analytics.Differential, error) {
+	return analytics.Diff(p.Runs(), queryA, queryB)
+}
+
+// ExportCSV writes all runs in the platform's CSV format.
+func (p *Project) ExportCSV(w io.Writer) error {
+	return analytics.WriteCSV(w, p.Runs())
+}
+
+// QueryRecords converts the pool into the repository's storage format, used
+// when uploading a locally grown pool to the platform.
+func (p *Project) QueryRecords() []repository.QueryRecord {
+	var out []repository.QueryRecord
+	for _, e := range p.pool.Entries() {
+		var terms []string
+		for _, lits := range e.Sentence().Literals {
+			for _, l := range lits {
+				terms = append(terms, l.Text)
+			}
+		}
+		out = append(out, repository.QueryRecord{
+			ID:         e.ID,
+			SQL:        e.SQL,
+			Strategy:   string(e.Strategy),
+			ParentID:   e.ParentID,
+			Components: e.Components,
+			Terms:      terms,
+		})
+	}
+	return out
+}
+
+// GrammarText renders the project's grammar in its source syntax, the form
+// stored and edited on the platform.
+func (p *Project) GrammarText() string { return p.Grammar.String() }

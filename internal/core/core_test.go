@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/workload"
+)
+
+// smallTPCH is shared by the core tests.
+var smallTPCH = datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.0005, Seed: 3})
+
+func newNationProject(t *testing.T) *Project {
+	t.Helper()
+	p, err := NewProject("nation", workload.NationBaselineQuery, ProjectOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddEngineTarget("", engine.NewColEngine(), smallTPCH)
+	p.AddEngineTarget("", engine.NewRowEngine(), smallTPCH)
+	return p
+}
+
+func TestNewProjectFromBaseline(t *testing.T) {
+	p := newNationProject(t)
+	if p.Pool().Size() != 1 {
+		t.Errorf("fresh pool size = %d, want 1 (baseline)", p.Pool().Size())
+	}
+	if len(p.Targets()) != 2 {
+		t.Errorf("targets = %v", p.Targets())
+	}
+	space, err := p.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Templates == 0 || space.Space == 0 {
+		t.Errorf("space summary = %+v", space)
+	}
+	if !strings.Contains(p.GrammarText(), "l_projection") {
+		t.Error("grammar text missing derived rules")
+	}
+	if !strings.Contains(p.Summary(), "nothing measured") {
+		t.Errorf("summary = %q", p.Summary())
+	}
+}
+
+func TestNewProjectFromGrammar(t *testing.T) {
+	p, err := NewProjectFromGrammar("figure1", workload.NationSampleGrammar, ProjectOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Baseline == "" {
+		t.Error("baseline should be realised from the grammar")
+	}
+	if _, err := NewProjectFromGrammar("bad", "not a grammar", ProjectOptions{}); err == nil {
+		t.Error("invalid grammar should fail")
+	}
+	if _, err := NewProject("bad", "not sql", ProjectOptions{}); err == nil {
+		t.Error("invalid SQL should fail")
+	}
+}
+
+func TestProjectEndToEnd(t *testing.T) {
+	p := newNationProject(t)
+	if err := p.SeedPool(6); err != nil {
+		t.Fatal(err)
+	}
+	grown := p.GrowPool(6)
+	if grown == 0 {
+		t.Error("grow added nothing")
+	}
+	if err := p.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	runs := p.Runs()
+	if len(runs) < 2*p.Pool().Size()-2 {
+		t.Errorf("runs = %d for pool of %d and 2 targets", len(runs), p.Pool().Size())
+	}
+	hist := p.History("columba-1.0")
+	if len(hist) == 0 {
+		t.Error("empty history")
+	}
+	comps := p.Components("columba-1.0")
+	if len(comps) == 0 {
+		t.Error("empty components")
+	}
+	speed := p.Speedup("columba-1.0", "tuplestore-1.0")
+	if len(speed.Points) == 0 {
+		t.Error("empty speedup")
+	}
+	if p.Pool().Size() >= 2 {
+		if _, err := p.Diff(1, 2); err != nil {
+			t.Errorf("diff failed: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "query_id") {
+		t.Error("CSV export missing header")
+	}
+	recs := p.QueryRecords()
+	if len(recs) != p.Pool().Size() {
+		t.Errorf("query records = %d, want %d", len(recs), p.Pool().Size())
+	}
+	if recs[0].Strategy != "baseline" {
+		t.Errorf("first record = %+v", recs[0])
+	}
+	if !strings.Contains(p.Summary(), "measured") {
+		t.Errorf("summary = %q", p.Summary())
+	}
+	// Discriminative queries exist in at least one direction on TPC-H
+	// nation-style scans.
+	fa, err := p.Discriminative("columba-1.0", "tuplestore-1.0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := p.Discriminative("tuplestore-1.0", "columba-1.0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa)+len(fb) == 0 {
+		t.Error("no discriminative queries found at all")
+	}
+}
+
+func TestRunNeedsTwoTargets(t *testing.T) {
+	p, err := NewProject("solo", workload.NationBaselineQuery, ProjectOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddEngineTarget("", engine.NewColEngine(), smallTPCH)
+	if err := p.Run(1); err == nil {
+		t.Error("run with a single target should fail")
+	}
+}
+
+func TestEngineTargetReportsStats(t *testing.T) {
+	target := &EngineTarget{Engine: engine.NewColEngine(), DB: smallTPCH, Timeout: 10 * time.Second}
+	rows, extra, err := target.Run("SELECT count(*) FROM nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 {
+		t.Errorf("rows = %d", rows)
+	}
+	if extra["rows_scanned"] == "" {
+		t.Errorf("extras = %v", extra)
+	}
+	if _, _, err := target.Run("SELECT broken FROM nowhere"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestMeasureAllAndExplicitPair(t *testing.T) {
+	p := newNationProject(t)
+	if err := p.SeedPool(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MeasureAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Runs()) == 0 {
+		t.Error("MeasureAll produced no runs")
+	}
+	if err := p.Run(1, "tuplestore-1.0", "columba-1.0"); err != nil {
+		t.Fatal(err)
+	}
+}

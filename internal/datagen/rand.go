@@ -1,0 +1,56 @@
+// Package datagen generates the deterministic synthetic data sets sqalpel
+// experiments run against: the TPC-H schema, the Star Schema Benchmark
+// schema and an airtraffic (on-time performance) schema, each parameterised
+// by a scale factor. The generators stand in for the official dbgen tools,
+// which are not available offline; they reproduce the schemas, value
+// domains and distributions closely enough that the workload queries touch
+// the same code paths with the same relative selectivities.
+package datagen
+
+// rng is a small deterministic xorshift64* generator so data sets are
+// reproducible across runs and platforms without importing math/rand.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a deterministic integer in [0, n).
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Float returns a deterministic float in [0, 1).
+func (r *rng) Float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Range returns a deterministic integer in [lo, hi] inclusive.
+func (r *rng) Range(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Pick returns a deterministic element of the slice.
+func (r *rng) Pick(items []string) string {
+	return items[r.Intn(len(items))]
+}

@@ -1,0 +1,248 @@
+// Package discriminative implements the paper's central search: given two
+// (or more) target systems that accept the same SQL dialect, find the
+// queries in a project's query space that run relatively better on one
+// system than on the other. The search measures the current pool, ranks
+// queries by their performance ratio, and grows the pool by morphing the
+// most discriminative queries found so far — the guided random walk of the
+// paper — rather than sampling the space blindly.
+package discriminative
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sqalpel/internal/metrics"
+	"sqalpel/internal/pool"
+)
+
+// Outcome is the measurement of one pool entry on every target.
+type Outcome struct {
+	Entry *pool.Entry
+	// ByTarget maps target name to its measurement.
+	ByTarget map[string]*metrics.Measurement
+}
+
+// Failed reports whether the query failed on any target.
+func (o *Outcome) Failed() bool {
+	for _, m := range o.ByTarget {
+		if m.Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Seconds returns the representative (minimum) execution time on the target
+// in seconds, or NaN when the target failed or was not measured.
+func (o *Outcome) Seconds(target string) float64 {
+	m, ok := o.ByTarget[target]
+	if !ok || m.Failed() || len(m.Runs) == 0 {
+		return math.NaN()
+	}
+	return m.Min().Seconds()
+}
+
+// Ratio returns time(a)/time(b): values above 1 mean the query runs faster
+// on b, values below 1 mean it runs faster on a. NaN when either failed.
+func (o *Outcome) Ratio(a, b string) float64 {
+	ta, tb := o.Seconds(a), o.Seconds(b)
+	if math.IsNaN(ta) || math.IsNaN(tb) || tb == 0 {
+		return math.NaN()
+	}
+	return ta / tb
+}
+
+// Finding is one discriminative query: an outcome together with the ratio
+// that makes it interesting.
+type Finding struct {
+	Outcome *Outcome
+	// Ratio is time(SystemA)/time(SystemB) for the pair the search was asked
+	// about.
+	Ratio float64
+}
+
+// Options configure the search.
+type Options struct {
+	// Runs is the number of repetitions per measurement (default 5).
+	Runs int
+	// GrowPerRound is how many new pool entries each round adds (default 8).
+	GrowPerRound int
+	// TopK is how many extreme queries each round morphs from (default 3).
+	TopK int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = metrics.DefaultRuns
+	}
+	if o.GrowPerRound <= 0 {
+		o.GrowPerRound = 8
+	}
+	if o.TopK <= 0 {
+		o.TopK = 3
+	}
+	return o
+}
+
+// Search drives the guided walk over one pool and a set of targets.
+type Search struct {
+	pool     *pool.Pool
+	targets  map[string]metrics.Target
+	names    []string
+	opts     Options
+	outcomes map[int]*Outcome // keyed by pool entry id
+}
+
+// New creates a search over the pool and the named targets.
+func New(p *pool.Pool, targets map[string]metrics.Target, opts Options) (*Search, error) {
+	if len(targets) < 2 {
+		return nil, fmt.Errorf("discriminative search needs at least two targets, got %d", len(targets))
+	}
+	names := make([]string, 0, len(targets))
+	for n := range targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return &Search{
+		pool:     p,
+		targets:  targets,
+		names:    names,
+		opts:     opts.withDefaults(),
+		outcomes: map[int]*Outcome{},
+	}, nil
+}
+
+// Pool returns the underlying pool.
+func (s *Search) Pool() *pool.Pool { return s.pool }
+
+// Targets returns the target names in deterministic order.
+func (s *Search) Targets() []string { return append([]string(nil), s.names...) }
+
+// Outcomes returns all measured outcomes in pool-entry order.
+func (s *Search) Outcomes() []*Outcome {
+	var out []*Outcome
+	for _, e := range s.pool.Entries() {
+		if o, ok := s.outcomes[e.ID]; ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// MeasureEntry measures one pool entry on every target (if not already
+// measured) and returns the outcome.
+func (s *Search) MeasureEntry(e *pool.Entry) *Outcome {
+	if o, ok := s.outcomes[e.ID]; ok {
+		return o
+	}
+	o := &Outcome{Entry: e, ByTarget: map[string]*metrics.Measurement{}}
+	for _, name := range s.names {
+		o.ByTarget[name] = metrics.Measure(s.targets[name], e.SQL, metrics.Options{Runs: s.opts.Runs})
+	}
+	s.outcomes[e.ID] = o
+	return o
+}
+
+// MeasurePending measures every pool entry that has not been measured yet
+// and returns the new outcomes.
+func (s *Search) MeasurePending() []*Outcome {
+	var out []*Outcome
+	for _, e := range s.pool.Entries() {
+		if _, ok := s.outcomes[e.ID]; ok {
+			continue
+		}
+		out = append(out, s.MeasureEntry(e))
+	}
+	return out
+}
+
+// Round measures everything pending, then grows the pool guided by the most
+// discriminative outcomes found so far: the top queries in both directions
+// are morphed with alter/expand/prune, and the remainder of the budget is
+// spent on random growth so the walk keeps exploring.
+func (s *Search) Round(a, b string) []*Outcome {
+	newOutcomes := s.MeasurePending()
+
+	extremes := append(s.Better(a, b, s.opts.TopK), s.Better(b, a, s.opts.TopK)...)
+	added := 0
+	for _, f := range extremes {
+		if added >= s.opts.GrowPerRound {
+			break
+		}
+		src := f.Outcome.Entry
+		for _, morph := range []func(*pool.Entry) (*pool.Entry, error){s.pool.AlterFrom, s.pool.PruneFrom, s.pool.ExpandFrom} {
+			if added >= s.opts.GrowPerRound {
+				break
+			}
+			if _, err := morph(src); err == nil {
+				added++
+			}
+		}
+	}
+	if added < s.opts.GrowPerRound {
+		s.pool.Grow(s.opts.GrowPerRound - added)
+	}
+	return newOutcomes
+}
+
+// Run performs the given number of rounds comparing targets a and b and
+// returns every outcome measured so far.
+func (s *Search) Run(a, b string, rounds int) []*Outcome {
+	for i := 0; i < rounds; i++ {
+		s.Round(a, b)
+	}
+	s.MeasurePending()
+	return s.Outcomes()
+}
+
+// Better returns the topN queries that run relatively better on target
+// `fast` than on target `slow`, sorted by how extreme the ratio is. Failed
+// queries are skipped.
+func (s *Search) Better(fast, slow string, topN int) []Finding {
+	var findings []Finding
+	for _, o := range s.Outcomes() {
+		if o.Failed() {
+			continue
+		}
+		// ratio = time(slow)/time(fast): the larger, the better `fast` looks.
+		r := o.Ratio(slow, fast)
+		if math.IsNaN(r) || r <= 1 {
+			continue
+		}
+		findings = append(findings, Finding{Outcome: o, Ratio: r})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Ratio > findings[j].Ratio })
+	if topN > 0 && len(findings) > topN {
+		findings = findings[:topN]
+	}
+	return findings
+}
+
+// Errors returns the outcomes whose query failed on at least one target;
+// they show up as error entries in the experiment history.
+func (s *Search) Errors() []*Outcome {
+	var out []*Outcome
+	for _, o := range s.Outcomes() {
+		if o.Failed() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Summary is a compact textual report of the search state.
+func (s *Search) Summary(a, b string) string {
+	measured := len(s.Outcomes())
+	errors := len(s.Errors())
+	bestA := s.Better(a, b, 1)
+	bestB := s.Better(b, a, 1)
+	out := fmt.Sprintf("pool %d queries, %d measured, %d errors", s.pool.Size(), measured, errors)
+	if len(bestA) > 0 {
+		out += fmt.Sprintf("; best for %s: %.2fx (#%d)", a, bestA[0].Ratio, bestA[0].Outcome.Entry.ID)
+	}
+	if len(bestB) > 0 {
+		out += fmt.Sprintf("; best for %s: %.2fx (#%d)", b, bestB[0].Ratio, bestB[0].Outcome.Entry.ID)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package discriminative
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sqalpel/internal/grammar"
+	"sqalpel/internal/metrics"
+	"sqalpel/internal/pool"
+	"sqalpel/internal/workload"
+)
+
+// fakeTarget simulates a DBMS whose execution time depends on the query
+// text: a base cost plus a per-term surcharge, so discriminative queries
+// demonstrably exist between two differently tuned fakes.
+type fakeTarget struct {
+	base       time.Duration
+	perComment time.Duration // surcharge when the query touches n_comment
+	perFilter  time.Duration // surcharge when the query has a WHERE clause
+	failOn     string
+}
+
+func (f *fakeTarget) Run(query string) (int, map[string]string, error) {
+	if f.failOn != "" && strings.Contains(query, f.failOn) {
+		return 0, nil, errors.New("simulated failure")
+	}
+	d := f.base
+	if strings.Contains(query, "n_comment") {
+		d += f.perComment
+	}
+	if strings.Contains(query, "WHERE") {
+		d += f.perFilter
+	}
+	time.Sleep(d)
+	return 1, map[string]string{"fake": "yes"}, nil
+}
+
+func newNationPool(t *testing.T) *pool.Pool {
+	t.Helper()
+	g, err := grammar.Parse(workload.NationSampleGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pool.New(g, pool.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SeedRandom(8); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSearchRequiresTwoTargets(t *testing.T) {
+	p := newNationPool(t)
+	_, err := New(p, map[string]metrics.Target{"only": &fakeTarget{}}, Options{})
+	if err == nil {
+		t.Error("expected error with a single target")
+	}
+}
+
+func TestSearchFindsDiscriminativeQueries(t *testing.T) {
+	p := newNationPool(t)
+	// System A is slow on n_comment, system B is slow on filtered queries.
+	// The surcharges dwarf scheduler noise so the assertions below stay
+	// stable even when the suite runs under heavy parallel load.
+	targets := map[string]metrics.Target{
+		"sysA": &fakeTarget{base: 200 * time.Microsecond, perComment: 10 * time.Millisecond},
+		"sysB": &fakeTarget{base: 200 * time.Microsecond, perFilter: 10 * time.Millisecond},
+	}
+	s, err := New(p, targets, Options{Runs: 1, GrowPerRound: 4, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := s.Run("sysA", "sysB", 2)
+	if len(outcomes) < 9 {
+		t.Fatalf("expected at least the seeded entries measured, got %d", len(outcomes))
+	}
+	// Queries better on sysA should avoid n_comment, queries better on sysB
+	// should avoid WHERE.
+	betterA := s.Better("sysA", "sysB", 3)
+	betterB := s.Better("sysB", "sysA", 3)
+	if len(betterA) == 0 || len(betterB) == 0 {
+		t.Fatalf("expected discriminative queries in both directions (A: %d, B: %d)", len(betterA), len(betterB))
+	}
+	// Queries with a clear advantage (well above timing noise) must reflect
+	// the cost model: sysA hates n_comment, sysB hates the filter. Queries
+	// containing both terms have ratios near 1 and are not checked.
+	for _, f := range betterA {
+		if f.Ratio > 2 && strings.Contains(f.Outcome.Entry.SQL, "n_comment") {
+			t.Errorf("query clearly better on sysA should avoid n_comment: %s", f.Outcome.Entry.SQL)
+		}
+		if f.Ratio <= 1 {
+			t.Errorf("finding ratio %f should exceed 1", f.Ratio)
+		}
+	}
+	for _, f := range betterB {
+		if f.Ratio > 2 && strings.Contains(f.Outcome.Entry.SQL, "WHERE") {
+			t.Errorf("query clearly better on sysB should avoid the filter: %s", f.Outcome.Entry.SQL)
+		}
+	}
+	if betterA[0].Ratio < 2 && betterB[0].Ratio < 2 {
+		t.Error("expected at least one clearly discriminative query")
+	}
+	// Findings are sorted by descending ratio.
+	for i := 1; i < len(betterA); i++ {
+		if betterA[i].Ratio > betterA[i-1].Ratio {
+			t.Error("findings not sorted")
+		}
+	}
+	if !strings.Contains(s.Summary("sysA", "sysB"), "pool") {
+		t.Errorf("summary = %q", s.Summary("sysA", "sysB"))
+	}
+}
+
+func TestSearchGrowsThePool(t *testing.T) {
+	p := newNationPool(t)
+	before := p.Size()
+	targets := map[string]metrics.Target{
+		"a": &fakeTarget{base: 50 * time.Microsecond, perComment: 500 * time.Microsecond},
+		"b": &fakeTarget{base: 50 * time.Microsecond},
+	}
+	s, _ := New(p, targets, Options{Runs: 1, GrowPerRound: 5})
+	s.Run("a", "b", 2)
+	if p.Size() <= before {
+		t.Errorf("pool did not grow: %d -> %d", before, p.Size())
+	}
+	// Every pool entry has been measured after Run.
+	if len(s.Outcomes()) != p.Size() {
+		t.Errorf("outcomes %d != pool size %d", len(s.Outcomes()), p.Size())
+	}
+}
+
+func TestErrorsAreTracked(t *testing.T) {
+	p := newNationPool(t)
+	targets := map[string]metrics.Target{
+		"ok":    &fakeTarget{base: 10 * time.Microsecond},
+		"picky": &fakeTarget{base: 10 * time.Microsecond, failOn: "count(*)"},
+	}
+	s, _ := New(p, targets, Options{Runs: 1, GrowPerRound: 2})
+	s.Run("ok", "picky", 1)
+	sawError := false
+	for _, o := range s.Outcomes() {
+		if strings.Contains(o.Entry.SQL, "count(*)") {
+			if !o.Failed() {
+				t.Errorf("count(*) query should have failed on the picky target")
+			}
+			sawError = true
+			if !math.IsNaN(o.Ratio("ok", "picky")) {
+				t.Error("ratio of a failed outcome should be NaN")
+			}
+		}
+	}
+	if sawError && len(s.Errors()) == 0 {
+		t.Error("Errors() should report the failed outcomes")
+	}
+	// Failed outcomes never appear among the discriminative findings.
+	for _, f := range s.Better("ok", "picky", 0) {
+		if f.Outcome.Failed() {
+			t.Error("failed outcome reported as a finding")
+		}
+	}
+}
+
+func TestOutcomeRatioAndSeconds(t *testing.T) {
+	p := newNationPool(t)
+	// The gap between the two fakes is large enough that scheduler noise
+	// (e.g. when the whole benchmark suite runs in parallel) cannot flip the
+	// comparison.
+	targets := map[string]metrics.Target{
+		"fast": &fakeTarget{base: 100 * time.Microsecond},
+		"slow": &fakeTarget{base: 25 * time.Millisecond},
+	}
+	s, _ := New(p, targets, Options{Runs: 2})
+	o := s.MeasureEntry(p.Baseline())
+	if o.Failed() {
+		t.Fatalf("unexpected failure: %+v", o)
+	}
+	r := o.Ratio("slow", "fast")
+	if math.IsNaN(r) || r < 2 {
+		t.Errorf("slow/fast ratio = %f, want clearly above 2", r)
+	}
+	if o.Seconds("fast") <= 0 || math.IsNaN(o.Seconds("missing")) == false {
+		t.Error("Seconds accessor wrong")
+	}
+	// Measuring the same entry twice reuses the outcome.
+	again := s.MeasureEntry(p.Baseline())
+	if again != o {
+		t.Error("MeasureEntry should cache outcomes")
+	}
+}

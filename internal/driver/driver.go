@@ -1,0 +1,229 @@
+// Package driver is the Go counterpart of the paper's sqalpel.py experiment
+// driver: a small client that is locally controlled through a configuration
+// file, asks the platform web server for a task from a project's query pool,
+// executes it against the locally available DBMS (five repetitions by
+// default), and reports the wall-clock times, the CPU load averages around
+// the run and an open-ended key/value list of extra indicators back to the
+// server. The contributor is identified only by a separately supplied key.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sqalpel/internal/metrics"
+	"sqalpel/internal/repository"
+)
+
+// Config is the locally controlled driver configuration.
+type Config struct {
+	// Server is the base URL of the sqalpel platform.
+	Server string
+	// Key is the contributor key identifying the source of the results
+	// without disclosing the contributor's identity.
+	Key string
+	// DBMS and Platform are the catalog keys of the system and host used.
+	DBMS     string
+	Platform string
+	// Experiment is the experiment id within the contributor's project.
+	Experiment int
+	// Runs is the number of repetitions per query (default 5).
+	Runs int
+	// Timeout bounds a single query execution.
+	Timeout time.Duration
+}
+
+// ParseConfig parses the driver configuration format: one `key = value` pair
+// per line, with '#' comments, mirroring the paper's description of a simple
+// local configuration file.
+func ParseConfig(text string) (Config, error) {
+	cfg := Config{Runs: metrics.DefaultRuns, Timeout: time.Minute}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return cfg, fmt.Errorf("line %d: expected key = value, got %q", lineNo+1, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		switch strings.ToLower(key) {
+		case "server":
+			cfg.Server = val
+		case "key":
+			cfg.Key = val
+		case "dbms":
+			cfg.DBMS = val
+		case "platform", "host":
+			cfg.Platform = val
+		case "experiment":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return cfg, fmt.Errorf("line %d: experiment must be a number", lineNo+1)
+			}
+			cfg.Experiment = n
+		case "runs":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("line %d: runs must be a positive number", lineNo+1)
+			}
+			cfg.Runs = n
+		case "timeout_seconds":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("line %d: timeout_seconds must be a positive number", lineNo+1)
+			}
+			cfg.Timeout = time.Duration(n) * time.Second
+		default:
+			return cfg, fmt.Errorf("line %d: unknown configuration key %q", lineNo+1, key)
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+// LoadConfig reads and parses a configuration file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return ParseConfig(string(data))
+}
+
+// Validate checks that the mandatory fields are present.
+func (c Config) Validate() error {
+	switch {
+	case c.Server == "":
+		return fmt.Errorf("driver config: server is required")
+	case c.Key == "":
+		return fmt.Errorf("driver config: key is required")
+	case c.DBMS == "":
+		return fmt.Errorf("driver config: dbms is required")
+	case c.Platform == "":
+		return fmt.Errorf("driver config: platform is required")
+	case c.Experiment <= 0:
+		return fmt.Errorf("driver config: experiment is required")
+	}
+	return nil
+}
+
+// Client talks to the platform server.
+type Client struct {
+	cfg  Config
+	http *http.Client
+}
+
+// NewClient builds a client from a validated configuration.
+func NewClient(cfg Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, http: &http.Client{Timeout: 2 * cfg.Timeout}}, nil
+}
+
+// Config returns the client configuration.
+func (c *Client) Config() Config { return c.cfg }
+
+func (c *Client) post(path string, body any, out any) (int, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Post(strings.TrimSuffix(c.cfg.Server, "/")+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		return resp.StatusCode, fmt.Errorf("server returned %d: %s", resp.StatusCode, apiErr.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding server response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// RequestTask asks the server for the next query to run. It returns nil when
+// the pool is exhausted for this DBMS + platform combination.
+func (c *Client) RequestTask() (*repository.Task, error) {
+	req := map[string]any{
+		"key":           c.cfg.Key,
+		"experiment_id": c.cfg.Experiment,
+		"dbms":          c.cfg.DBMS,
+		"platform":      c.cfg.Platform,
+	}
+	var task repository.Task
+	status, err := c.post("/api/task/request", req, &task)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return &task, nil
+}
+
+// Report sends a finished measurement back to the server.
+func (c *Client) Report(taskID int, m *metrics.Measurement) error {
+	req := map[string]any{
+		"key":     c.cfg.Key,
+		"task_id": taskID,
+		"seconds": m.Seconds(),
+		"error":   m.Err,
+		"extra":   m.Extra,
+	}
+	_, err := c.post("/api/task/complete", req, nil)
+	return err
+}
+
+// RunOnce requests one task, measures it on the target and reports the
+// result. It returns false when no task was available.
+func (c *Client) RunOnce(target metrics.Target) (bool, error) {
+	task, err := c.RequestTask()
+	if err != nil {
+		return false, err
+	}
+	if task == nil {
+		return false, nil
+	}
+	m := metrics.Measure(target, task.SQL, metrics.Options{Runs: c.cfg.Runs})
+	if err := c.Report(task.ID, m); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// RunAll keeps requesting and measuring tasks until the pool is exhausted or
+// maxTasks have been processed (0 means no limit). It returns the number of
+// tasks processed.
+func (c *Client) RunAll(target metrics.Target, maxTasks int) (int, error) {
+	done := 0
+	for maxTasks == 0 || done < maxTasks {
+		more, err := c.RunOnce(target)
+		if err != nil {
+			return done, err
+		}
+		if !more {
+			return done, nil
+		}
+		done++
+	}
+	return done, nil
+}

@@ -1,0 +1,222 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sqalpel/internal/metrics"
+	"sqalpel/internal/server"
+	"sqalpel/internal/workload"
+)
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(`
+# sqalpel driver configuration
+server = http://localhost:8080
+key = abc123
+dbms = columba-1.0
+platform = laptop
+experiment = 1
+runs = 3
+timeout_seconds = 30
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Server != "http://localhost:8080" || cfg.Key != "abc123" || cfg.DBMS != "columba-1.0" {
+		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.Runs != 3 || cfg.Timeout != 30*time.Second || cfg.Experiment != 1 {
+		t.Errorf("config = %+v", cfg)
+	}
+	// host is an alias for platform.
+	cfg2, err := ParseConfig("server=s\nkey=k\ndbms=d\nhost=h\nexperiment=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Platform != "h" || cfg2.Runs != metrics.DefaultRuns {
+		t.Errorf("config = %+v", cfg2)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	bad := []string{
+		"nonsense line",
+		"unknown = value\nserver=s\nkey=k\ndbms=d\nplatform=p\nexperiment=1",
+		"server=s\nkey=k\ndbms=d\nplatform=p\nexperiment=zero",
+		"server=s\nkey=k\ndbms=d\nplatform=p\nexperiment=1\nruns=-1",
+		"server=s\nkey=k\ndbms=d\nplatform=p\nexperiment=1\ntimeout_seconds=x",
+		"key=k\ndbms=d\nplatform=p\nexperiment=1",    // missing server
+		"server=s\ndbms=d\nplatform=p\nexperiment=1", // missing key
+		"server=s\nkey=k\nplatform=p\nexperiment=1",  // missing dbms
+		"server=s\nkey=k\ndbms=d\nexperiment=1",      // missing platform
+		"server=s\nkey=k\ndbms=d\nplatform=p",        // missing experiment
+	}
+	for _, src := range bad {
+		if _, err := ParseConfig(src); err == nil {
+			t.Errorf("config %q should be rejected", src)
+		}
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sqalpel.conf")
+	content := "server=http://x\nkey=k\ndbms=d\nplatform=p\nexperiment=3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Experiment != 3 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.conf")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+// setupPlatform spins up a real platform server with one project, one
+// experiment and the owner's contributor key.
+func setupPlatform(t *testing.T) (baseURL, key string, experiment int) {
+	t.Helper()
+	s := server.New(server.Options{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	post := func(path, token string, body map[string]any) map[string]any {
+		payload, _ := json.Marshal(body)
+		req, _ := http.NewRequest("POST", ts.URL+path, bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		if token != "" {
+			req.Header.Set("X-Sqalpel-Token", token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out := map[string]any{}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode >= 400 {
+			t.Fatalf("POST %s failed: %d %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	reg := post("/api/register", "", map[string]any{"nickname": "driver-owner", "email": "d@example.org"})
+	token := reg["token"].(string)
+	proj := post("/api/projects", token, map[string]any{"name": "driver-project", "public": true})
+	pid := int(proj["project"].(map[string]any)["id"].(float64))
+	key = proj["key"].(string)
+	exp := post(fmt.Sprintf("/api/projects/%d/experiments", pid), token, map[string]any{
+		"title": "nation", "baseline_sql": workload.NationBaselineQuery, "seed_random": 3,
+	})
+	return ts.URL, key, int(exp["experiment_id"].(float64))
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	url, key, eid := setupPlatform(t)
+	cfg := Config{Server: url, Key: key, DBMS: "columba-1.0", Platform: "laptop", Experiment: eid, Runs: 2, Timeout: 5 * time.Second}
+	client, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Config().Runs != 2 {
+		t.Error("config accessor wrong")
+	}
+
+	// A fake local DBMS target: fails on queries mentioning n_comment.
+	target := metrics.TargetFunc(func(query string) (int, map[string]string, error) {
+		if strings.Contains(query, "n_comment") {
+			return 0, nil, fmt.Errorf("simulated syntax error")
+		}
+		return 3, map[string]string{"engine": "fake"}, nil
+	})
+
+	n, err := client.RunAll(target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("processed %d tasks, want the whole pool", n)
+	}
+	// The pool is exhausted now.
+	more, err := client.RunOnce(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more {
+		t.Error("pool should be exhausted")
+	}
+	// The platform stored results, including the failed ones.
+	resp, err := http.Get(url + fmt.Sprintf("/api/projects/%d/results", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var results []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Errorf("platform has %d results, driver processed %d", len(results), n)
+	}
+	sawError, sawExtra := false, false
+	for _, r := range results {
+		if msg, ok := r["error"].(string); ok && msg != "" {
+			sawError = true
+		}
+		if extra, ok := r["extra"].(map[string]any); ok {
+			if _, ok := extra["before_load_avg_1"]; ok {
+				sawExtra = true
+			}
+		}
+	}
+	if !sawError {
+		t.Error("expected at least one error result (n_comment queries)")
+	}
+	if !sawExtra {
+		t.Error("expected load averages in the extras")
+	}
+}
+
+func TestClientBadKey(t *testing.T) {
+	url, _, eid := setupPlatform(t)
+	client, err := NewClient(Config{Server: url, Key: "wrong", DBMS: "d", Platform: "p", Experiment: eid, Runs: 1, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RequestTask(); err == nil {
+		t.Error("request with a bad key should fail")
+	}
+}
+
+func TestClientMaxTasks(t *testing.T) {
+	url, key, eid := setupPlatform(t)
+	client, _ := NewClient(Config{Server: url, Key: key, DBMS: "x-1", Platform: "p", Experiment: eid, Runs: 1, Timeout: time.Second})
+	target := metrics.TargetFunc(func(query string) (int, map[string]string, error) { return 1, nil, nil })
+	n, err := client.RunAll(target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("maxTasks not honoured: %d", n)
+	}
+}
+
+func TestNewClientValidates(t *testing.T) {
+	if _, err := NewClient(Config{}); err == nil {
+		t.Error("empty config should be rejected")
+	}
+}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// Result is the outcome of executing a query.
+type Result struct {
+	// Columns are the output column names in order.
+	Columns []string
+	// Rows are the output rows.
+	Rows [][]Value
+	// Stats are the execution counters of the run.
+	Stats Stats
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// String renders a compact tabular form, used by examples and debugging.
+func (r *Result) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, " | "))
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		sb.WriteString(strings.Join(parts, " | "))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Fingerprint returns an order-insensitive hashable summary of the result,
+// used by tests to check that two engines agree.
+func (r *Result) Fingerprint() string {
+	lines := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			// Round floats so the two engines' different summation orders do
+			// not produce spurious mismatches.
+			if v.Kind == KindFloat {
+				parts[i] = fmt.Sprintf("%.4f", v.F)
+			} else {
+				parts[i] = v.String()
+			}
+		}
+		lines = append(lines, strings.Join(parts, "|"))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// ExecOptions control one execution.
+type ExecOptions struct {
+	// Timeout aborts the query after the given duration; zero means no
+	// timeout.
+	Timeout time.Duration
+	// MaxJoinRows overrides the guard on intermediate join sizes; zero keeps
+	// the default.
+	MaxJoinRows int
+}
+
+// Engine is a database system under test: it accepts SQL text and executes
+// it against a Database. The two implementations (RowEngine and ColEngine)
+// model the two systems the paper compares.
+type Engine interface {
+	// Name returns the engine's product name.
+	Name() string
+	// Version returns the engine version string.
+	Version() string
+	// Dialect returns the SQL dialect tag used to select dialect-specific
+	// grammar literals.
+	Dialect() string
+	// Execute runs the query against the database.
+	Execute(db *Database, sql string, opts ExecOptions) (*Result, error)
+}
+
+// baseEngine carries the shared execution logic of both engines.
+type baseEngine struct {
+	name       string
+	version    string
+	dialect    string
+	mode       Mode
+	guardCasts bool
+}
+
+func (e *baseEngine) Name() string    { return e.name }
+func (e *baseEngine) Version() string { return e.version }
+func (e *baseEngine) Dialect() string { return e.dialect }
+
+// Execute parses and runs the query.
+func (e *baseEngine) Execute(db *Database, sql string, opts ExecOptions) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("%s: parse error: %w", e.name, err)
+	}
+	limits := executionLimits{maxJoinRows: opts.MaxJoinRows}
+	if opts.Timeout > 0 {
+		limits.deadline = time.Now().Add(opts.Timeout)
+	}
+	ex := newExecutor(db, e.mode, limits, e.guardCasts)
+	rel, err := ex.executeSelect(stmt, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.name, err)
+	}
+	res := &Result{Columns: rel.columnNames(), Stats: *ex.stats}
+	res.Rows = make([][]Value, rel.numRows())
+	for i := 0; i < rel.numRows(); i++ {
+		row := make([]Value, len(rel.cols))
+		for c := range rel.cols {
+			row[c] = rel.cols[c].vals[i]
+		}
+		res.Rows[i] = row
+	}
+	return res, nil
+}
+
+// RowEngine options and constructor.
+
+// NewRowEngine returns the tuple-at-a-time engine ("tuplestore 1.0"): full
+// width scans, short-circuit filters, no intermediate materialisation, early
+// LIMIT exit.
+func NewRowEngine() Engine {
+	return &baseEngine{name: "tuplestore", version: "1.0", dialect: "tuplestore", mode: ModeRow}
+}
+
+// ColEngineOptions tune the column engine variant.
+type ColEngineOptions struct {
+	// Version overrides the reported version string.
+	Version string
+	// DisableGuardCasts models the newer engine release that no longer pays
+	// the overflow-guarding widening pass on multiplications.
+	DisableGuardCasts bool
+}
+
+// NewColEngine returns the column-at-a-time engine ("columba 1.0") with the
+// overflow-guard materialisation behaviour the paper describes for MonetDB.
+func NewColEngine() Engine {
+	return &baseEngine{name: "columba", version: "1.0", dialect: "columba", mode: ModeColumn, guardCasts: true}
+}
+
+// NewColEngineWithOptions returns a tuned column engine variant, used to
+// compare two versions of the same system.
+func NewColEngineWithOptions(opts ColEngineOptions) Engine {
+	version := opts.Version
+	if version == "" {
+		version = "2.0"
+	}
+	return &baseEngine{
+		name:       "columba",
+		version:    version,
+		dialect:    "columba",
+		mode:       ModeColumn,
+		guardCasts: !opts.DisableGuardCasts,
+	}
+}
+
+// Registry maps engine keys ("name-version") to constructed engines, the way
+// the platform's DBMS catalog refers to them.
+type Registry struct {
+	engines map[string]Engine
+	order   []string
+}
+
+// NewRegistry returns a registry pre-populated with the built-in engines.
+func NewRegistry() *Registry {
+	r := &Registry{engines: map[string]Engine{}}
+	r.Register(NewRowEngine())
+	r.Register(NewColEngine())
+	r.Register(NewColEngineWithOptions(ColEngineOptions{Version: "2.0", DisableGuardCasts: true}))
+	return r
+}
+
+// Register adds an engine under its canonical key.
+func (r *Registry) Register(e Engine) {
+	key := EngineKey(e.Name(), e.Version())
+	if _, exists := r.engines[key]; !exists {
+		r.order = append(r.order, key)
+	}
+	r.engines[key] = e
+}
+
+// EngineKey builds the canonical registry key of an engine.
+func EngineKey(name, version string) string {
+	return strings.ToLower(name) + "-" + version
+}
+
+// Get returns the engine registered under the key, or nil.
+func (r *Registry) Get(key string) Engine {
+	return r.engines[strings.ToLower(key)]
+}
+
+// Keys lists the registered engine keys in registration order.
+func (r *Registry) Keys() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Engines lists the registered engines in registration order.
+func (r *Registry) Engines() []Engine {
+	out := make([]Engine, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.engines[k])
+	}
+	return out
+}

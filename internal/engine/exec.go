@@ -1,0 +1,1418 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// Mode selects the execution strategy of the executor.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeRow is tuple-at-a-time execution: full-width scans, short-circuit
+	// predicate evaluation, no intermediate materialisation, early exit on
+	// LIMIT.
+	ModeRow Mode = iota
+	// ModeColumn is column-at-a-time execution: column pruning, one filter
+	// pass per conjunct, materialised arithmetic intermediates with
+	// overflow-guarding casts.
+	ModeColumn
+)
+
+// Stats collects execution counters; they feed the open-ended key/value list
+// the driver reports back to the platform.
+type Stats struct {
+	RowsScanned               int64
+	TuplesMaterialized        int64
+	IntermediatesMaterialized int64
+	GuardCasts                int64
+	FilterPasses              int64
+	HashJoins                 int64
+	LoopJoins                 int64
+	SubqueryExecutions        int64
+	Groups                    int64
+	RowsReturned              int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RowsScanned += other.RowsScanned
+	s.TuplesMaterialized += other.TuplesMaterialized
+	s.IntermediatesMaterialized += other.IntermediatesMaterialized
+	s.GuardCasts += other.GuardCasts
+	s.FilterPasses += other.FilterPasses
+	s.HashJoins += other.HashJoins
+	s.LoopJoins += other.LoopJoins
+	s.SubqueryExecutions += other.SubqueryExecutions
+	s.Groups += other.Groups
+	s.RowsReturned += other.RowsReturned
+}
+
+// Map renders the stats as the key/value list reported to the platform.
+func (s Stats) Map() map[string]int64 {
+	return map[string]int64{
+		"rows_scanned":               s.RowsScanned,
+		"tuples_materialized":        s.TuplesMaterialized,
+		"intermediates_materialized": s.IntermediatesMaterialized,
+		"guard_casts":                s.GuardCasts,
+		"filter_passes":              s.FilterPasses,
+		"hash_joins":                 s.HashJoins,
+		"loop_joins":                 s.LoopJoins,
+		"subquery_executions":        s.SubqueryExecutions,
+		"groups":                     s.Groups,
+		"rows_returned":              s.RowsReturned,
+	}
+}
+
+// executionLimits guard against runaway queries: generated query variants
+// may drop join predicates and explode; the executor turns those into
+// errors, matching the error entries of the paper's experiment history.
+type executionLimits struct {
+	maxJoinRows int
+	deadline    time.Time
+}
+
+const defaultMaxJoinRows = 4_000_000
+
+// executor runs one statement against a database.
+type executor struct {
+	db     *Database
+	mode   Mode
+	stats  *Stats
+	limits executionLimits
+	// guardCasts toggles the overflow-guard widening pass of ModeColumn;
+	// disabling it models a newer engine version that removed the cost.
+	guardCasts bool
+
+	uncorrCache  map[*sqlparser.SelectStatement]*relation
+	uncorrSets   map[*sqlparser.SelectStatement]map[string]bool
+	correlated   map[*sqlparser.SelectStatement]bool
+	deadlineTick int
+}
+
+func newExecutor(db *Database, mode Mode, limits executionLimits, guardCasts bool) *executor {
+	if limits.maxJoinRows == 0 {
+		limits.maxJoinRows = defaultMaxJoinRows
+	}
+	return &executor{
+		db:          db,
+		mode:        mode,
+		stats:       &Stats{},
+		limits:      limits,
+		guardCasts:  guardCasts,
+		uncorrCache: map[*sqlparser.SelectStatement]*relation{},
+		uncorrSets:  map[*sqlparser.SelectStatement]map[string]bool{},
+		correlated:  map[*sqlparser.SelectStatement]bool{},
+	}
+}
+
+// checkDeadline returns an error when the execution deadline has passed; it
+// only consults the clock every few hundred calls to stay cheap.
+func (ex *executor) checkDeadline() error {
+	if ex.limits.deadline.IsZero() {
+		return nil
+	}
+	ex.deadlineTick++
+	if ex.deadlineTick%512 != 0 {
+		return nil
+	}
+	if time.Now().After(ex.limits.deadline) {
+		return fmt.Errorf("query exceeded its time budget")
+	}
+	return nil
+}
+
+// executeSubquery runs a nested select; uncorrelated sub-queries are
+// executed once and cached.
+func (ex *executor) executeSubquery(stmt *sqlparser.SelectStatement, outer *scope) (*relation, error) {
+	ex.stats.SubqueryExecutions++
+	if !ex.isCorrelated(stmt) {
+		if rel, ok := ex.uncorrCache[stmt]; ok {
+			return rel, nil
+		}
+		rel, err := ex.executeSelect(stmt, nil)
+		if err != nil {
+			return nil, err
+		}
+		ex.uncorrCache[stmt] = rel
+		return rel, nil
+	}
+	return ex.executeSelect(stmt, outer)
+}
+
+// subquerySet returns the set of first-column values produced by an IN
+// sub-query, cached for uncorrelated sub-queries.
+func (ex *executor) subquerySet(stmt *sqlparser.SelectStatement, outer *scope) (map[string]bool, error) {
+	if !ex.isCorrelated(stmt) {
+		if set, ok := ex.uncorrSets[stmt]; ok {
+			return set, nil
+		}
+	}
+	rel, err := ex.executeSubquery(stmt, outer)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	if len(rel.cols) > 0 {
+		for _, v := range rel.cols[0].vals {
+			if !v.IsNull() {
+				set[v.Key()] = true
+			}
+		}
+	}
+	if !ex.isCorrelated(stmt) {
+		ex.uncorrSets[stmt] = set
+	}
+	return set, nil
+}
+
+// executeSelect is the top of the interpreter.
+func (ex *executor) executeSelect(stmt *sqlparser.SelectStatement, outer *scope) (*relation, error) {
+	rel, err := ex.executeSelectCore(stmt, outer)
+	if err != nil {
+		return nil, err
+	}
+	// Set operations chain on the statement.
+	for cur := stmt; cur.SetNext != nil; cur = cur.SetNext {
+		right, err := ex.executeSelectCore(cur.SetNext, outer)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = applySetOp(cur.SetOp, rel, right)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func applySetOp(op string, left, right *relation) (*relation, error) {
+	if len(left.cols) != len(right.cols) {
+		return nil, fmt.Errorf("set operation requires matching column counts (%d vs %d)", len(left.cols), len(right.cols))
+	}
+	rowKey := func(r *relation, i int) string {
+		var sb strings.Builder
+		for _, c := range r.cols {
+			sb.WriteString(c.vals[i].Key())
+			sb.WriteByte('|')
+		}
+		return sb.String()
+	}
+	switch op {
+	case "UNION ALL":
+		out := left.selectRows(allRows(left.numRows()))
+		for i := 0; i < right.numRows(); i++ {
+			for ci, c := range out.cols {
+				c.vals = append(c.vals, right.cols[ci].vals[i])
+			}
+			out.n++
+		}
+		return out, nil
+	case "UNION":
+		seen := map[string]bool{}
+		var keep []int
+		for i := 0; i < left.numRows(); i++ {
+			k := rowKey(left, i)
+			if !seen[k] {
+				seen[k] = true
+				keep = append(keep, i)
+			}
+		}
+		out := left.selectRows(keep)
+		for i := 0; i < right.numRows(); i++ {
+			k := rowKey(right, i)
+			if !seen[k] {
+				seen[k] = true
+				for ci, c := range out.cols {
+					c.vals = append(c.vals, right.cols[ci].vals[i])
+				}
+				out.n++
+			}
+		}
+		return out, nil
+	case "EXCEPT", "INTERSECT":
+		rightKeys := map[string]bool{}
+		for i := 0; i < right.numRows(); i++ {
+			rightKeys[rowKey(right, i)] = true
+		}
+		var keep []int
+		seen := map[string]bool{}
+		for i := 0; i < left.numRows(); i++ {
+			k := rowKey(left, i)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			inRight := rightKeys[k]
+			if (op == "EXCEPT" && !inRight) || (op == "INTERSECT" && inRight) {
+				keep = append(keep, i)
+			}
+		}
+		return left.selectRows(keep), nil
+	default:
+		return nil, fmt.Errorf("unknown set operation %q", op)
+	}
+}
+
+func allRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (ex *executor) executeSelectCore(stmt *sqlparser.SelectStatement, outer *scope) (*relation, error) {
+	if len(stmt.Projection) == 0 {
+		return nil, fmt.Errorf("query has no projection")
+	}
+
+	// FROM + join graph + residual filter.
+	input, residual, err := ex.buildFrom(stmt, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	hasAgg := statementHasAggregates(stmt)
+	grouped := len(stmt.GroupBy) > 0 || hasAgg
+
+	// Early-exit opportunity for the row engine: plain scans with LIMIT and
+	// no ordering can stop as soon as enough rows qualified.
+	earlyLimit := 0
+	if ex.mode == ModeRow && !grouped && !stmt.Distinct && len(stmt.OrderBy) == 0 && stmt.Limit != nil {
+		earlyLimit = int(*stmt.Limit)
+		if stmt.Offset != nil {
+			earlyLimit += int(*stmt.Offset)
+		}
+	}
+
+	filtered, err := ex.applyFilter(input, residual, outer, earlyLimit)
+	if err != nil {
+		return nil, err
+	}
+
+	var out *relation
+	var sortKeys [][]Value
+	if grouped {
+		out, sortKeys, err = ex.projectGrouped(stmt, filtered, outer)
+	} else {
+		out, sortKeys, err = ex.projectRows(stmt, filtered, outer)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Distinct {
+		out, sortKeys = distinctRows(out, sortKeys)
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		out = sortRelation(out, sortKeys, stmt.OrderBy)
+	}
+
+	out = applyLimit(out, stmt.Limit, stmt.Offset)
+	ex.stats.RowsReturned += int64(out.numRows())
+	return out, nil
+}
+
+// buildFrom materialises the FROM clause: every comma-separated table
+// expression is built, then stitched together preferring hash joins over the
+// equi-join predicates found in WHERE; unconsumed predicates are returned as
+// the residual filter.
+func (ex *executor) buildFrom(stmt *sqlparser.SelectStatement, outer *scope) (*relation, []sqlparser.Expr, error) {
+	conjuncts := liftCommonOrConjuncts(splitAnd(stmt.Where))
+	if len(stmt.From) == 0 {
+		// SELECT without FROM: a single empty row so expressions evaluate once.
+		rel := newRelation()
+		rel.n = 1
+		return rel, conjuncts, nil
+	}
+
+	needed := ex.neededColumns(stmt)
+	var rels []*relation
+	for _, te := range stmt.From {
+		r, err := ex.buildTableExpr(te, needed, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels = append(rels, r)
+	}
+
+	current := rels[0]
+	remaining := rels[1:]
+	for len(remaining) > 0 {
+		// Find a relation connected to current through equi-join conjuncts.
+		bestIdx := -1
+		var joinConjuncts []int
+		for ri, r := range remaining {
+			var edges []int
+			for ci, c := range conjuncts {
+				if c == nil {
+					continue
+				}
+				if isEquiJoinBetween(c, current, r) {
+					edges = append(edges, ci)
+				}
+			}
+			if len(edges) > 0 {
+				bestIdx = ri
+				joinConjuncts = edges
+				break
+			}
+		}
+		if bestIdx < 0 {
+			// No join edge: cross product with the first remaining relation.
+			joined, err := ex.crossJoin(current, remaining[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			current = joined
+			remaining = remaining[1:]
+			continue
+		}
+		var leftExprs, rightExprs []sqlparser.Expr
+		for _, ci := range joinConjuncts {
+			l, r := equiJoinSides(conjuncts[ci], current, remaining[bestIdx])
+			leftExprs = append(leftExprs, l)
+			rightExprs = append(rightExprs, r)
+			conjuncts[ci] = nil
+		}
+		joined, err := ex.hashJoin(current, remaining[bestIdx], leftExprs, rightExprs, outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		current = joined
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+
+	var residual []sqlparser.Expr
+	for _, c := range conjuncts {
+		if c != nil {
+			residual = append(residual, c)
+		}
+	}
+	return current, orderBySubqueryCost(residual), nil
+}
+
+// orderBySubqueryCost moves predicates that contain sub-queries behind the
+// cheap ones, so correlated EXISTS probes (TPC-H Q21 style) only run for
+// rows that survived the inexpensive filters. The relative order within each
+// class is preserved.
+func orderBySubqueryCost(conjuncts []sqlparser.Expr) []sqlparser.Expr {
+	if len(conjuncts) < 2 {
+		return conjuncts
+	}
+	var cheap, costly []sqlparser.Expr
+	for _, c := range conjuncts {
+		if len(sqlparser.Subqueries(c)) > 0 {
+			costly = append(costly, c)
+		} else {
+			cheap = append(cheap, c)
+		}
+	}
+	return append(cheap, costly...)
+}
+
+// buildTableExpr materialises one table expression.
+func (ex *executor) buildTableExpr(te sqlparser.TableExpr, needed map[string]map[string]bool, outer *scope) (*relation, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		table := ex.db.Table(t.Name)
+		if table == nil {
+			return nil, fmt.Errorf("unknown table %q", t.Name)
+		}
+		alias := t.Alias
+		if alias == "" {
+			alias = t.Name
+		}
+		var neededCols map[string]bool
+		if ex.mode == ModeColumn {
+			neededCols = needed[strings.ToLower(alias)]
+		}
+		copyCols := ex.mode == ModeRow
+		return tableRelation(table, alias, neededCols, copyCols, ex.stats), nil
+	case *sqlparser.DerivedTable:
+		rel, err := ex.executeSelect(t.Select, nil)
+		if err != nil {
+			return nil, err
+		}
+		if t.Alias != "" {
+			rel.renameTables(t.Alias)
+		}
+		return rel, nil
+	case *sqlparser.JoinExpr:
+		return ex.buildJoin(t, needed, outer)
+	default:
+		return nil, fmt.Errorf("unsupported table expression %T", te)
+	}
+}
+
+func (ex *executor) buildJoin(j *sqlparser.JoinExpr, needed map[string]map[string]bool, outer *scope) (*relation, error) {
+	left, err := ex.buildTableExpr(j.Left, needed, outer)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.buildTableExpr(j.Right, needed, outer)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case "CROSS":
+		return ex.crossJoin(left, right)
+	case "INNER":
+		conjuncts := splitAnd(j.On)
+		var leftKeys, rightKeys []sqlparser.Expr
+		var residual []sqlparser.Expr
+		for _, c := range conjuncts {
+			if isEquiJoinBetween(c, left, right) {
+				l, r := equiJoinSides(c, left, right)
+				leftKeys = append(leftKeys, l)
+				rightKeys = append(rightKeys, r)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+		var joined *relation
+		if len(leftKeys) > 0 {
+			joined, err = ex.hashJoin(left, right, leftKeys, rightKeys, outer)
+		} else {
+			joined, err = ex.nestedLoopJoin(left, right, conjuncts, outer)
+			residual = nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(residual) > 0 {
+			return ex.applyFilter(joined, residual, outer, 0)
+		}
+		return joined, nil
+	case "LEFT", "RIGHT":
+		if j.Kind == "RIGHT" {
+			left, right = right, left
+		}
+		return ex.leftOuterJoin(left, right, splitAnd(j.On), outer)
+	default:
+		return nil, fmt.Errorf("unsupported join kind %q", j.Kind)
+	}
+}
+
+// isEquiJoinBetween reports whether the conjunct is `a = b` with a resolving
+// only in left and b only in right (or vice versa).
+func isEquiJoinBetween(c sqlparser.Expr, left, right *relation) bool {
+	be, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	lc, lok := be.Left.(*sqlparser.ColumnRef)
+	rc, rok := be.Right.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return false
+	}
+	lInLeft, lInRight := resolvesIn(lc, left), resolvesIn(lc, right)
+	rInLeft, rInRight := resolvesIn(rc, left), resolvesIn(rc, right)
+	return (lInLeft && !lInRight && rInRight && !rInLeft) ||
+		(rInLeft && !rInRight && lInRight && !lInLeft)
+}
+
+// equiJoinSides returns the expressions keyed on the left and right relation
+// respectively, assuming isEquiJoinBetween returned true.
+func equiJoinSides(c sqlparser.Expr, left, right *relation) (sqlparser.Expr, sqlparser.Expr) {
+	be := c.(*sqlparser.BinaryExpr)
+	lc := be.Left.(*sqlparser.ColumnRef)
+	if resolvesIn(lc, left) {
+		return be.Left, be.Right
+	}
+	return be.Right, be.Left
+}
+
+func resolvesIn(c *sqlparser.ColumnRef, rel *relation) bool {
+	_, err := rel.findColumn(c.Table, c.Column)
+	return err == nil
+}
+
+// hashJoin joins left and right on the given key expression lists.
+func (ex *executor) hashJoin(left, right *relation, leftKeys, rightKeys []sqlparser.Expr, outer *scope) (*relation, error) {
+	ex.stats.HashJoins++
+	// Build on the smaller side.
+	build, probe := right, left
+	buildKeys, probeKeys := rightKeys, leftKeys
+	swapped := false
+	if left.numRows() < right.numRows() {
+		build, probe = left, right
+		buildKeys, probeKeys = leftKeys, rightKeys
+		swapped = true
+	}
+	ht := map[string][]int{}
+	bev := &evaluator{ex: ex, sc: &scope{rel: build, outer: outer}}
+	for i := 0; i < build.numRows(); i++ {
+		if err := ex.checkDeadline(); err != nil {
+			return nil, err
+		}
+		bev.sc.row = i
+		key, err := joinKey(bev, buildKeys)
+		if err != nil {
+			return nil, err
+		}
+		ht[key] = append(ht[key], i)
+	}
+	var probeIdx, buildIdx []int
+	pev := &evaluator{ex: ex, sc: &scope{rel: probe, outer: outer}}
+	for i := 0; i < probe.numRows(); i++ {
+		if err := ex.checkDeadline(); err != nil {
+			return nil, err
+		}
+		pev.sc.row = i
+		key, err := joinKey(pev, probeKeys)
+		if err != nil {
+			return nil, err
+		}
+		for _, bi := range ht[key] {
+			probeIdx = append(probeIdx, i)
+			buildIdx = append(buildIdx, bi)
+			if len(probeIdx) > ex.limits.maxJoinRows {
+				return nil, fmt.Errorf("join result exceeds %d rows", ex.limits.maxJoinRows)
+			}
+		}
+	}
+	var leftIdx, rightIdx []int
+	if swapped {
+		leftIdx, rightIdx = buildIdx, probeIdx
+	} else {
+		leftIdx, rightIdx = probeIdx, buildIdx
+	}
+	out := left.selectRows(leftIdx)
+	out.appendColumns(right.selectRows(rightIdx).cols)
+	return out, nil
+}
+
+func joinKey(ev *evaluator, keys []sqlparser.Expr) (string, error) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, err := ev.eval(k)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(v.Key())
+		sb.WriteByte('|')
+	}
+	return sb.String(), nil
+}
+
+// crossJoin builds the cartesian product, guarded by the join-size limit.
+func (ex *executor) crossJoin(left, right *relation) (*relation, error) {
+	ex.stats.LoopJoins++
+	total := left.numRows() * right.numRows()
+	if total > ex.limits.maxJoinRows {
+		return nil, fmt.Errorf("cross product of %d x %d rows exceeds the %d row limit",
+			left.numRows(), right.numRows(), ex.limits.maxJoinRows)
+	}
+	leftIdx := make([]int, 0, total)
+	rightIdx := make([]int, 0, total)
+	for i := 0; i < left.numRows(); i++ {
+		for j := 0; j < right.numRows(); j++ {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, j)
+		}
+	}
+	out := left.selectRows(leftIdx)
+	out.appendColumns(right.selectRows(rightIdx).cols)
+	return out, nil
+}
+
+// nestedLoopJoin joins with an arbitrary condition.
+func (ex *executor) nestedLoopJoin(left, right *relation, conds []sqlparser.Expr, outer *scope) (*relation, error) {
+	ex.stats.LoopJoins++
+	joined, err := ex.crossJoin(left, right)
+	if err != nil {
+		return nil, err
+	}
+	return ex.applyFilter(joined, conds, outer, 0)
+}
+
+// leftOuterJoin implements LEFT [OUTER] JOIN with the ON condition applied
+// as part of the match (so non-matching left rows survive null-extended).
+func (ex *executor) leftOuterJoin(left, right *relation, conds []sqlparser.Expr, outer *scope) (*relation, error) {
+	var leftKeys, rightKeys []sqlparser.Expr
+	var residual []sqlparser.Expr
+	for _, c := range conds {
+		if isEquiJoinBetween(c, left, right) {
+			l, r := equiJoinSides(c, left, right)
+			leftKeys = append(leftKeys, l)
+			rightKeys = append(rightKeys, r)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+	// Hash the right side by the equi keys (or a single bucket when none).
+	ht := map[string][]int{}
+	rev := &evaluator{ex: ex, sc: &scope{rel: right, outer: outer}}
+	for i := 0; i < right.numRows(); i++ {
+		rev.sc.row = i
+		key := ""
+		if len(rightKeys) > 0 {
+			var err error
+			key, err = joinKey(rev, rightKeys)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ht[key] = append(ht[key], i)
+	}
+	ex.stats.HashJoins++
+
+	var leftIdx, rightIdx []int // rightIdx -1 means null-extended
+	lev := &evaluator{ex: ex, sc: &scope{rel: left, outer: outer}}
+	for i := 0; i < left.numRows(); i++ {
+		if err := ex.checkDeadline(); err != nil {
+			return nil, err
+		}
+		lev.sc.row = i
+		key := ""
+		if len(leftKeys) > 0 {
+			var err error
+			key, err = joinKey(lev, leftKeys)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matched := false
+		for _, ri := range ht[key] {
+			ok := true
+			if len(residual) > 0 {
+				// Evaluate residual conditions over the combined row.
+				pair := pairScope(left, i, right, ri, outer)
+				pev := &evaluator{ex: ex, sc: pair}
+				for _, c := range residual {
+					v, err := pev.eval(c)
+					if err != nil {
+						return nil, err
+					}
+					if !v.Bool() {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				matched = true
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, ri)
+			}
+		}
+		if !matched {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, -1)
+		}
+	}
+
+	out := left.selectRows(leftIdx)
+	rightPart := &relation{n: len(rightIdx)}
+	for _, c := range right.cols {
+		vals := make([]Value, len(rightIdx))
+		for i, ri := range rightIdx {
+			if ri < 0 {
+				vals[i] = Null()
+			} else {
+				vals[i] = c.vals[ri]
+			}
+		}
+		rightPart.cols = append(rightPart.cols, &relColumn{table: c.table, name: c.name, vals: vals})
+	}
+	out.appendColumns(rightPart.cols)
+	return out, nil
+}
+
+// pairScope builds a temporary scope exposing one row of the left relation
+// and one row of the right relation simultaneously.
+func pairScope(left *relation, li int, right *relation, ri int, outer *scope) *scope {
+	pair := &relation{n: 1}
+	for _, c := range left.cols {
+		pair.cols = append(pair.cols, &relColumn{table: c.table, name: c.name, vals: []Value{c.vals[li]}})
+	}
+	for _, c := range right.cols {
+		pair.cols = append(pair.cols, &relColumn{table: c.table, name: c.name, vals: []Value{c.vals[ri]}})
+	}
+	return &scope{rel: pair, row: 0, outer: outer}
+}
+
+// applyFilter filters the relation with the given conjuncts. The row engine
+// evaluates all conjuncts per row with short-circuiting (and can stop early
+// for LIMIT queries); the column engine makes one pass per conjunct,
+// shrinking the selection vector each time.
+func (ex *executor) applyFilter(rel *relation, conjuncts []sqlparser.Expr, outer *scope, earlyLimit int) (*relation, error) {
+	if len(conjuncts) == 0 {
+		return rel, nil
+	}
+	if ex.mode == ModeColumn {
+		selection := allRows(rel.numRows())
+		ev := &evaluator{ex: ex, sc: &scope{rel: rel, outer: outer}}
+		for _, c := range conjuncts {
+			ex.stats.FilterPasses++
+			var next []int
+			for _, ri := range selection {
+				if err := ex.checkDeadline(); err != nil {
+					return nil, err
+				}
+				ev.sc.row = ri
+				v, err := ev.eval(c)
+				if err != nil {
+					return nil, err
+				}
+				if v.Bool() {
+					next = append(next, ri)
+				}
+			}
+			selection = next
+			if len(selection) == 0 {
+				break
+			}
+		}
+		ex.stats.IntermediatesMaterialized += int64(len(selection))
+		return rel.selectRows(selection), nil
+	}
+
+	// Row mode.
+	ex.stats.FilterPasses++
+	var keep []int
+	ev := &evaluator{ex: ex, sc: &scope{rel: rel, outer: outer}}
+	for ri := 0; ri < rel.numRows(); ri++ {
+		if err := ex.checkDeadline(); err != nil {
+			return nil, err
+		}
+		ev.sc.row = ri
+		ok := true
+		for _, c := range conjuncts {
+			v, err := ev.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, ri)
+			if earlyLimit > 0 && len(keep) >= earlyLimit {
+				break
+			}
+		}
+	}
+	return rel.selectRows(keep), nil
+}
+
+// projectRows computes the projection of a non-grouped query, returning the
+// output relation plus the ORDER BY sort keys evaluated in the same context.
+func (ex *executor) projectRows(stmt *sqlparser.SelectStatement, rel *relation, outer *scope) (*relation, [][]Value, error) {
+	items, starCols := expandProjection(stmt, rel)
+	out := &relation{n: rel.numRows()}
+	for _, sc := range starCols {
+		out.cols = append(out.cols, &relColumn{table: sc.table, name: sc.name, vals: nil})
+	}
+	for _, it := range items {
+		if it.star {
+			continue
+		}
+		out.cols = append(out.cols, &relColumn{table: "", name: it.name, vals: nil})
+	}
+
+	sortKeys := make([][]Value, rel.numRows())
+	ev := &evaluator{ex: ex, sc: &scope{rel: rel, outer: outer}}
+	for ri := 0; ri < rel.numRows(); ri++ {
+		if err := ex.checkDeadline(); err != nil {
+			return nil, nil, err
+		}
+		ev.sc.row = ri
+		col := 0
+		for _, sc := range starCols {
+			out.cols[col].vals = append(out.cols[col].vals, sc.vals[ri])
+			col++
+		}
+		for _, it := range items {
+			if it.star {
+				continue
+			}
+			v, err := ev.eval(it.expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			out.cols[col].vals = append(out.cols[col].vals, v)
+			col++
+		}
+		if len(stmt.OrderBy) > 0 {
+			keys, err := ex.orderKeys(stmt, ev, out, ri, items)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys[ri] = keys
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// projectGrouped computes grouping, aggregation, HAVING and the projection
+// of a grouped query.
+func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relation, outer *scope) (*relation, [][]Value, error) {
+	// Build groups.
+	type groupEntry struct {
+		rows []int
+	}
+	var order []string
+	groups := map[string]*groupEntry{}
+	if len(stmt.GroupBy) == 0 {
+		key := "all"
+		groups[key] = &groupEntry{rows: allRows(rel.numRows())}
+		order = append(order, key)
+	} else {
+		ev := &evaluator{ex: ex, sc: &scope{rel: rel, outer: outer}}
+		for ri := 0; ri < rel.numRows(); ri++ {
+			if err := ex.checkDeadline(); err != nil {
+				return nil, nil, err
+			}
+			ev.sc.row = ri
+			var sb strings.Builder
+			for _, g := range stmt.GroupBy {
+				v, err := ev.eval(g)
+				if err != nil {
+					return nil, nil, err
+				}
+				sb.WriteString(v.Key())
+				sb.WriteByte('|')
+			}
+			key := sb.String()
+			entry, ok := groups[key]
+			if !ok {
+				entry = &groupEntry{}
+				groups[key] = entry
+				order = append(order, key)
+			}
+			entry.rows = append(entry.rows, ri)
+		}
+	}
+	ex.stats.Groups += int64(len(order))
+
+	items, _ := expandProjection(stmt, rel)
+	for _, it := range items {
+		if it.star {
+			return nil, nil, fmt.Errorf("SELECT * is not supported with GROUP BY or aggregates")
+		}
+	}
+	out := &relation{}
+	for _, it := range items {
+		out.cols = append(out.cols, &relColumn{table: "", name: it.name, vals: nil})
+	}
+
+	var sortKeys [][]Value
+	for _, key := range order {
+		entry := groups[key]
+		gev := &evaluator{ex: ex, sc: &scope{rel: rel, outer: outer}, group: entry.rows}
+		if len(entry.rows) > 0 {
+			gev.sc.row = entry.rows[0]
+		}
+		// HAVING filter.
+		if stmt.Having != nil {
+			v, err := gev.eval(stmt.Having)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		for i, it := range items {
+			v, err := gev.eval(it.expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			out.cols[i].vals = append(out.cols[i].vals, v)
+		}
+		out.n++
+		if len(stmt.OrderBy) > 0 {
+			keys, err := ex.orderKeys(stmt, gev, out, out.n-1, items)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	return out, sortKeys, nil
+}
+
+// projectionItem is one resolved projection element.
+type projectionItem struct {
+	name string
+	expr sqlparser.Expr
+	star bool
+}
+
+// expandProjection resolves projection items: star items expand to the input
+// columns, others get their output name from the alias, column name or
+// rendered expression.
+func expandProjection(stmt *sqlparser.SelectStatement, rel *relation) ([]projectionItem, []*relColumn) {
+	var items []projectionItem
+	var starCols []*relColumn
+	for _, p := range stmt.Projection {
+		if p.Star {
+			items = append(items, projectionItem{star: true})
+			for _, c := range rel.cols {
+				if p.Qualifier == "" || strings.EqualFold(p.Qualifier, c.table) {
+					starCols = append(starCols, c)
+				}
+			}
+			continue
+		}
+		name := p.Alias
+		if name == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = strings.ToLower(p.Expr.SQL())
+			}
+		}
+		items = append(items, projectionItem{name: strings.ToLower(name), expr: p.Expr})
+	}
+	return items, starCols
+}
+
+// orderKeys evaluates the ORDER BY expressions for the current output row.
+// A bare column reference naming a projection alias sorts by that output
+// column; everything else is evaluated in the current row/group context.
+func (ex *executor) orderKeys(stmt *sqlparser.SelectStatement, ev *evaluator, out *relation, outRow int, items []projectionItem) ([]Value, error) {
+	keys := make([]Value, len(stmt.OrderBy))
+	for i, ob := range stmt.OrderBy {
+		if cr, ok := ob.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			matched := false
+			for ci, it := range items {
+				if !it.star && it.name == strings.ToLower(cr.Column) {
+					keys[i] = out.cols[ci].vals[outRow]
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		if num, ok := ob.Expr.(*sqlparser.NumberLit); ok {
+			// ORDER BY <ordinal>.
+			idx := int(parseNumber(num.Value).Int()) - 1
+			if idx >= 0 && idx < len(out.cols) {
+				keys[i] = out.cols[idx].vals[outRow]
+				continue
+			}
+		}
+		v, err := ev.eval(ob.Expr)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// distinctRows removes duplicate output rows (and their sort keys).
+func distinctRows(rel *relation, sortKeys [][]Value) (*relation, [][]Value) {
+	seen := map[string]bool{}
+	var keep []int
+	for i := 0; i < rel.numRows(); i++ {
+		var sb strings.Builder
+		for _, c := range rel.cols {
+			sb.WriteString(c.vals[i].Key())
+			sb.WriteByte('|')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			keep = append(keep, i)
+		}
+	}
+	out := rel.selectRows(keep)
+	if sortKeys == nil {
+		return out, nil
+	}
+	var keys [][]Value
+	for _, i := range keep {
+		if i < len(sortKeys) {
+			keys = append(keys, sortKeys[i])
+		}
+	}
+	return out, keys
+}
+
+// sortRelation sorts the output rows by the precomputed keys.
+func sortRelation(rel *relation, keys [][]Value, orderBy []sqlparser.OrderItem) *relation {
+	idx := allRows(rel.numRows())
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range orderBy {
+			c := Compare(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if orderBy[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return rel.selectRows(idx)
+}
+
+// applyLimit applies LIMIT/OFFSET.
+func applyLimit(rel *relation, limit, offset *int64) *relation {
+	if limit == nil && offset == nil {
+		return rel
+	}
+	start := 0
+	if offset != nil {
+		start = int(*offset)
+	}
+	end := rel.numRows()
+	if limit != nil && start+int(*limit) < end {
+		end = start + int(*limit)
+	}
+	if start > rel.numRows() {
+		start = rel.numRows()
+	}
+	var keep []int
+	for i := start; i < end; i++ {
+		keep = append(keep, i)
+	}
+	return rel.selectRows(keep)
+}
+
+// liftCommonOrConjuncts looks at top-level OR conjuncts (the TPC-H Q19
+// pattern) and lifts predicates that appear in every OR arm to the top
+// level, so join edges buried inside the disjunction can still drive hash
+// joins. The original OR is kept; the lifted predicates are logically
+// implied by it, so the result is unchanged.
+func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
+	out := append([]sqlparser.Expr(nil), conjuncts...)
+	for _, c := range conjuncts {
+		arms := splitOr(c)
+		if len(arms) < 2 {
+			continue
+		}
+		// Count predicate occurrences by canonical SQL text across arms.
+		common := map[string]sqlparser.Expr{}
+		for _, p := range splitAnd(unwrapParens(arms[0])) {
+			common[p.SQL()] = p
+		}
+		for _, arm := range arms[1:] {
+			present := map[string]bool{}
+			for _, p := range splitAnd(unwrapParens(arm)) {
+				present[p.SQL()] = true
+			}
+			for k := range common {
+				if !present[k] {
+					delete(common, k)
+				}
+			}
+		}
+		for _, p := range common {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func unwrapParens(e sqlparser.Expr) sqlparser.Expr {
+	for {
+		p, ok := e.(*sqlparser.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.Expr
+	}
+}
+
+// splitOr flattens a predicate into its top-level disjuncts.
+func splitOr(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *sqlparser.BinaryExpr:
+		if v.Op == "OR" {
+			return append(splitOr(v.Left), splitOr(v.Right)...)
+		}
+	case *sqlparser.ParenExpr:
+		return splitOr(v.Expr)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// splitAnd flattens a predicate into its top-level conjuncts.
+func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// statementHasAggregates reports whether the projection or HAVING of the
+// statement uses aggregate functions.
+func statementHasAggregates(stmt *sqlparser.SelectStatement) bool {
+	for _, p := range stmt.Projection {
+		if p.Expr != nil && sqlparser.HasAggregate(p.Expr) {
+			return true
+		}
+	}
+	if stmt.Having != nil && sqlparser.HasAggregate(stmt.Having) {
+		return true
+	}
+	return false
+}
+
+// neededColumns computes, per table alias, the set of column names the
+// statement references anywhere (including sub-queries); used for column
+// pruning in column mode. Unqualified references are attributed to every
+// base table that has a column of that name.
+func (ex *executor) neededColumns(stmt *sqlparser.SelectStatement) map[string]map[string]bool {
+	needed := map[string]map[string]bool{}
+	add := func(alias, col string) {
+		alias = strings.ToLower(alias)
+		if needed[alias] == nil {
+			needed[alias] = map[string]bool{}
+		}
+		needed[alias][strings.ToLower(col)] = true
+	}
+
+	// Gather the alias → base table mapping of this statement.
+	aliases := map[string]*Table{}
+	var gatherAliases func(te sqlparser.TableExpr)
+	gatherAliases = func(te sqlparser.TableExpr) {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name
+			}
+			aliases[strings.ToLower(alias)] = ex.db.Table(t.Name)
+		case *sqlparser.JoinExpr:
+			gatherAliases(t.Left)
+			gatherAliases(t.Right)
+		}
+	}
+	for _, te := range stmt.From {
+		gatherAliases(te)
+	}
+
+	var refs []*sqlparser.ColumnRef
+	star := false
+	var collectExpr func(e sqlparser.Expr)
+	var collectStmt func(s *sqlparser.SelectStatement)
+	collectExpr = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			switch v := x.(type) {
+			case *sqlparser.ColumnRef:
+				refs = append(refs, v)
+			case *sqlparser.SubqueryExpr:
+				collectStmt(v.Select)
+			case *sqlparser.InExpr:
+				if v.Subquery != nil {
+					collectStmt(v.Subquery)
+				}
+			case *sqlparser.ExistsExpr:
+				collectStmt(v.Subquery)
+			}
+			return true
+		})
+	}
+	collectStmt = func(s *sqlparser.SelectStatement) {
+		for _, p := range s.Projection {
+			if p.Star {
+				star = true
+				continue
+			}
+			collectExpr(p.Expr)
+		}
+		collectExpr(s.Where)
+		for _, g := range s.GroupBy {
+			collectExpr(g)
+		}
+		collectExpr(s.Having)
+		for _, o := range s.OrderBy {
+			collectExpr(o.Expr)
+		}
+		for _, te := range s.From {
+			switch t := te.(type) {
+			case *sqlparser.DerivedTable:
+				collectStmt(t.Select)
+			case *sqlparser.JoinExpr:
+				collectJoin(t, collectStmt, collectExpr)
+			}
+		}
+		if s.SetNext != nil {
+			collectStmt(s.SetNext)
+		}
+	}
+	collectStmt(stmt)
+
+	if star {
+		for alias := range aliases {
+			add(alias, "*")
+		}
+	}
+	for _, r := range refs {
+		if r.Table != "" {
+			add(r.Table, r.Column)
+			continue
+		}
+		for alias, table := range aliases {
+			if table != nil && table.ColumnIndex(r.Column) >= 0 {
+				add(alias, r.Column)
+			}
+		}
+	}
+	return needed
+}
+
+func collectJoin(j *sqlparser.JoinExpr, collectStmt func(*sqlparser.SelectStatement), collectExpr func(sqlparser.Expr)) {
+	collectExpr(j.On)
+	for _, side := range []sqlparser.TableExpr{j.Left, j.Right} {
+		switch t := side.(type) {
+		case *sqlparser.DerivedTable:
+			collectStmt(t.Select)
+		case *sqlparser.JoinExpr:
+			collectJoin(t, collectStmt, collectExpr)
+		}
+	}
+}
+
+// isCorrelated reports whether the sub-query references columns it cannot
+// resolve from its own FROM clauses (at any nesting depth); such sub-queries
+// cannot be cached across outer rows.
+func (ex *executor) isCorrelated(stmt *sqlparser.SelectStatement) bool {
+	if v, ok := ex.correlated[stmt]; ok {
+		return v
+	}
+	v := ex.analyzeCorrelation(stmt, map[string]bool{})
+	ex.correlated[stmt] = v
+	return v
+}
+
+// analyzeCorrelation walks the statement with the set of column keys
+// available from enclosing FROM clauses; it returns true when any reference
+// escapes.
+func (ex *executor) analyzeCorrelation(stmt *sqlparser.SelectStatement, inherited map[string]bool) bool {
+	avail := map[string]bool{}
+	for k := range inherited {
+		avail[k] = true
+	}
+	var addTable func(te sqlparser.TableExpr)
+	addTable = func(te sqlparser.TableExpr) {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name
+			}
+			table := ex.db.Table(t.Name)
+			if table == nil {
+				return
+			}
+			for _, c := range table.Columns {
+				avail[strings.ToLower(c.Name)] = true
+				avail[strings.ToLower(alias)+"."+strings.ToLower(c.Name)] = true
+			}
+		case *sqlparser.DerivedTable:
+			for _, p := range t.Select.Projection {
+				name := p.Alias
+				if name == "" {
+					if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+						name = cr.Column
+					}
+				}
+				if name != "" {
+					avail[strings.ToLower(name)] = true
+					if t.Alias != "" {
+						avail[strings.ToLower(t.Alias)+"."+strings.ToLower(name)] = true
+					}
+				}
+				if p.Star {
+					// Approximate: expose the derived table's base columns.
+					for _, te2 := range t.Select.From {
+						addTable(te2)
+					}
+				}
+			}
+		case *sqlparser.JoinExpr:
+			addTable(t.Left)
+			addTable(t.Right)
+		}
+	}
+	for _, te := range stmt.From {
+		addTable(te)
+	}
+
+	escaped := false
+	checkRef := func(r *sqlparser.ColumnRef) {
+		key := strings.ToLower(r.Column)
+		if r.Table != "" {
+			key = strings.ToLower(r.Table) + "." + strings.ToLower(r.Column)
+		}
+		if !avail[key] {
+			escaped = true
+		}
+	}
+	var checkExpr func(e sqlparser.Expr)
+	checkExpr = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			switch v := x.(type) {
+			case *sqlparser.ColumnRef:
+				checkRef(v)
+			case *sqlparser.SubqueryExpr:
+				if ex.analyzeCorrelation(v.Select, avail) {
+					escaped = true
+				}
+			case *sqlparser.InExpr:
+				if v.Subquery != nil && ex.analyzeCorrelation(v.Subquery, avail) {
+					escaped = true
+				}
+			case *sqlparser.ExistsExpr:
+				if ex.analyzeCorrelation(v.Subquery, avail) {
+					escaped = true
+				}
+			}
+			return true
+		})
+	}
+	for _, p := range stmt.Projection {
+		checkExpr(p.Expr)
+	}
+	checkExpr(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		checkExpr(g)
+	}
+	checkExpr(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		checkExpr(o.Expr)
+	}
+	for _, te := range stmt.From {
+		if d, ok := te.(*sqlparser.DerivedTable); ok {
+			if ex.analyzeCorrelation(d.Select, map[string]bool{}) {
+				escaped = true
+			}
+		}
+	}
+	if stmt.SetNext != nil && ex.analyzeCorrelation(stmt.SetNext, inherited) {
+		escaped = true
+	}
+	return escaped
+}

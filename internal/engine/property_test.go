@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyEnginesAgreeOnRandomQueries is differential testing in the
+// spirit of the paper's related work (RAGS, SQLsmith): random simple queries
+// over the mini database must produce identical results on the row and the
+// column engine. Any divergence is a correctness bug in one of the two
+// execution models.
+func TestPropertyEnginesAgreeOnRandomQueries(t *testing.T) {
+	db := miniDB()
+	row := NewRowEngine()
+	col := NewColEngine()
+
+	columns := []string{"n_nationkey", "n_name", "n_regionkey"}
+	aggregates := []string{"count(*)", "min(n_nationkey)", "max(n_regionkey)", "sum(n_nationkey)", "avg(n_nationkey)"}
+	comparisons := []string{"<", "<=", "=", ">=", ">", "<>"}
+
+	build := func(projIdx, aggIdx, cmpIdx, threshold, limit uint8, useAgg, useFilter, useOrder, desc, distinct bool) string {
+		proj := columns[int(projIdx)%len(columns)]
+		if useAgg {
+			proj = aggregates[int(aggIdx)%len(aggregates)]
+		} else if distinct {
+			proj = "DISTINCT " + proj
+		}
+		sql := "SELECT " + proj + " FROM nation"
+		if useFilter {
+			sql += fmt.Sprintf(" WHERE n_nationkey %s %d", comparisons[int(cmpIdx)%len(comparisons)], int(threshold)%10)
+		}
+		if useOrder && !useAgg {
+			sql += " ORDER BY " + columns[int(projIdx)%len(columns)]
+			if desc {
+				sql += " DESC"
+			}
+		}
+		if limit%4 == 0 && !useAgg {
+			sql += fmt.Sprintf(" LIMIT %d", int(limit)%7+1)
+		}
+		return sql
+	}
+
+	f := func(projIdx, aggIdx, cmpIdx, threshold, limit uint8, useAgg, useFilter, useOrder, desc, distinct bool) bool {
+		sql := build(projIdx, aggIdx, cmpIdx, threshold, limit, useAgg, useFilter, useOrder, desc, distinct)
+		r1, err1 := row.Execute(db, sql, ExecOptions{})
+		r2, err2 := col.Execute(db, sql, ExecOptions{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("divergent errors for %q: row=%v col=%v", sql, err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if r1.Fingerprint() != r2.Fingerprint() {
+			t.Logf("divergent results for %q", sql)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyJoinsAgree extends the differential check to two-table joins
+// with grouping.
+func TestPropertyJoinsAgree(t *testing.T) {
+	db := miniDB()
+	row := NewRowEngine()
+	col := NewColEngine()
+	f := func(threshold uint8, groupByRegion, countStar bool) bool {
+		agg := "sum(o_total)"
+		if countStar {
+			agg = "count(*)"
+		}
+		group := "n_name"
+		if groupByRegion {
+			group = "n_regionkey"
+		}
+		sql := fmt.Sprintf(
+			"SELECT %s, %s FROM nation, orders WHERE o_nationkey = n_nationkey AND o_total > %d GROUP BY %s ORDER BY %s",
+			group, agg, int(threshold)%200, group, group)
+		r1, err1 := row.Execute(db, sql, ExecOptions{})
+		r2, err2 := col.Execute(db, sql, ExecOptions{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Fingerprint() == r2.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLimitNeverExceeds checks the LIMIT invariant on both engines
+// for arbitrary limits.
+func TestPropertyLimitNeverExceeds(t *testing.T) {
+	db := miniDB()
+	engines := []Engine{NewRowEngine(), NewColEngine()}
+	f := func(limit uint8) bool {
+		n := int(limit)%25 + 1
+		sql := fmt.Sprintf("SELECT o_orderkey FROM orders LIMIT %d", n)
+		for _, e := range engines {
+			res, err := e.Execute(db, sql, ExecOptions{})
+			if err != nil {
+				return false
+			}
+			if res.NumRows() > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnType is the declared type of a table column.
+type ColumnType uint8
+
+// Column types.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeString
+	TypeDate
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "integer"
+	case TypeFloat:
+		return "double"
+	case TypeString:
+		return "varchar"
+	case TypeDate:
+		return "date"
+	default:
+		return "unknown"
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Table is a base table with column-major storage.
+type Table struct {
+	Name    string
+	Columns []Column
+
+	cols   [][]Value
+	rows   int
+	byName map[string]int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, columns ...Column) *Table {
+	t := &Table{Name: name, Columns: columns, byName: map[string]int{}}
+	t.cols = make([][]Value, len(columns))
+	for i, c := range columns {
+		t.byName[strings.ToLower(c.Name)] = i
+	}
+	return t
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.Columns) }
+
+// ColumnIndex returns the index of the named column (case insensitive) or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if idx, ok := t.byName[strings.ToLower(name)]; ok {
+		return idx
+	}
+	return -1
+}
+
+// AppendRow adds one row; the number of values must match the column count
+// and each value must be compatible with the declared column type (NULLs are
+// always accepted).
+func (t *Table) AppendRow(vals ...Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(vals), len(t.Columns))
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		if !typeCompatible(t.Columns[i].Type, v.Kind) {
+			return fmt.Errorf("table %s: column %s expects %s, got %s",
+				t.Name, t.Columns[i].Name, t.Columns[i].Type, v.Kind)
+		}
+	}
+	for i, v := range vals {
+		t.cols[i] = append(t.cols[i], v)
+	}
+	t.rows++
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on schema mismatch; used by data
+// generators whose schemas are statically correct.
+func (t *Table) MustAppendRow(vals ...Value) {
+	if err := t.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+func typeCompatible(ct ColumnType, k Kind) bool {
+	switch ct {
+	case TypeInt:
+		return k == KindInt || k == KindBool
+	case TypeFloat:
+		return k == KindFloat || k == KindInt
+	case TypeString:
+		return k == KindString
+	case TypeDate:
+		return k == KindDate
+	default:
+		return false
+	}
+}
+
+// Value returns the value at (row, col).
+func (t *Table) Value(row, col int) Value { return t.cols[col][row] }
+
+// ColumnValues returns the backing slice of a column; callers must not
+// modify it.
+func (t *Table) ColumnValues(col int) []Value { return t.cols[col] }
+
+// Row materialises a single row; mostly used by tests.
+func (t *Table) Row(row int) []Value {
+	out := make([]Value, len(t.Columns))
+	for c := range t.Columns {
+		out[c] = t.cols[c][row]
+	}
+	return out
+}
+
+// EstimatedBytes returns a rough size of the table payload, used by the
+// catalog pages of the platform.
+func (t *Table) EstimatedBytes() int64 {
+	var total int64
+	for c := range t.Columns {
+		for _, v := range t.cols[c] {
+			switch v.Kind {
+			case KindString:
+				total += int64(len(v.S)) + 16
+			default:
+				total += 16
+			}
+		}
+	}
+	return total
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: map[string]*Table{}}
+}
+
+// AddTable registers a table; an existing table with the same name is
+// replaced.
+func (d *Database) AddTable(t *Table) {
+	d.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table returns the named table (case insensitive) or nil.
+func (d *Database) Table(name string) *Table {
+	return d.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables sorted by name.
+func (d *Database) Tables() []*Table {
+	names := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Table, 0, len(names))
+	for _, n := range names {
+		out = append(out, d.tables[n])
+	}
+	return out
+}
+
+// TotalRows returns the sum of row counts over all tables.
+func (d *Database) TotalRows() int {
+	total := 0
+	for _, t := range d.tables {
+		total += t.rows
+	}
+	return total
+}
+
+// Describe renders a short textual schema summary.
+func (d *Database) Describe() string {
+	var sb strings.Builder
+	for _, t := range d.Tables() {
+		fmt.Fprintf(&sb, "%s(%d rows):", t.Name, t.rows)
+		for i, c := range t.Columns {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s %s", c.Name, c.Type)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

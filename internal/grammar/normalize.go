@@ -1,0 +1,213 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the result of validating a grammar.
+type Report struct {
+	// Missing lists rule names that are referenced but never defined.
+	Missing []string
+	// Dead lists rules that are defined but not reachable from the start
+	// rule (the paper's "dead code rules").
+	Dead []string
+	// Recursive lists rules that can reach themselves; they are legal but
+	// the enumeration bounds their expansion.
+	Recursive []string
+	// EmptyLexical lists lexical rules without any literal alternative.
+	EmptyLexical []string
+}
+
+// OK reports whether the grammar passed validation (missing references and
+// empty lexical rules are errors; dead and recursive rules are warnings).
+func (r Report) OK() bool {
+	return len(r.Missing) == 0 && len(r.EmptyLexical) == 0
+}
+
+// String renders the report for humans.
+func (r Report) String() string {
+	var parts []string
+	if len(r.Missing) > 0 {
+		parts = append(parts, "missing rules: "+strings.Join(r.Missing, ", "))
+	}
+	if len(r.Dead) > 0 {
+		parts = append(parts, "dead rules: "+strings.Join(r.Dead, ", "))
+	}
+	if len(r.Recursive) > 0 {
+		parts = append(parts, "recursive rules: "+strings.Join(r.Recursive, ", "))
+	}
+	if len(r.EmptyLexical) > 0 {
+		parts = append(parts, "empty lexical rules: "+strings.Join(r.EmptyLexical, ", "))
+	}
+	if len(parts) == 0 {
+		return "grammar ok"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Check validates the grammar and returns a detailed report.
+func (g *Grammar) Check() Report {
+	var rep Report
+	defined := map[string]bool{}
+	for _, r := range g.Rules {
+		defined[r.Name] = true
+	}
+
+	// Missing references.
+	missing := map[string]bool{}
+	for _, r := range g.Rules {
+		for _, a := range r.Alternatives {
+			for _, ref := range a.References() {
+				if !defined[ref] && !missing[ref] {
+					missing[ref] = true
+					rep.Missing = append(rep.Missing, ref)
+				}
+			}
+		}
+	}
+	sort.Strings(rep.Missing)
+
+	// Reachability from the start rule.
+	reach := map[string]bool{}
+	var visit func(name string)
+	visit = func(name string) {
+		if reach[name] || !defined[name] {
+			return
+		}
+		reach[name] = true
+		r := g.Rule(name)
+		for _, a := range r.Alternatives {
+			for _, ref := range a.References() {
+				visit(ref)
+			}
+		}
+	}
+	visit(g.Start)
+	for _, r := range g.Rules {
+		if !reach[r.Name] {
+			rep.Dead = append(rep.Dead, r.Name)
+		}
+	}
+	sort.Strings(rep.Dead)
+
+	// Recursive rules: a rule that can reach itself through references.
+	for _, r := range g.Rules {
+		if g.canReach(r.Name, r.Name, map[string]bool{}) {
+			rep.Recursive = append(rep.Recursive, r.Name)
+		}
+	}
+	sort.Strings(rep.Recursive)
+
+	// Lexical rules with zero literals (possible when every alternative is
+	// dialect-tagged away or the rule only has reference alternatives that
+	// were classified structurally elsewhere).
+	for _, r := range g.Rules {
+		if r.IsLexical() && len(r.Literals()) == 0 {
+			rep.EmptyLexical = append(rep.EmptyLexical, r.Name)
+		}
+	}
+	sort.Strings(rep.EmptyLexical)
+	return rep
+}
+
+// canReach reports whether rule from can reach rule target through one or
+// more reference steps.
+func (g *Grammar) canReach(from, target string, seen map[string]bool) bool {
+	r := g.Rule(from)
+	if r == nil {
+		return false
+	}
+	for _, a := range r.Alternatives {
+		for _, ref := range a.References() {
+			if ref == target {
+				return true
+			}
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			if g.canReach(ref, target, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate returns an error when the grammar has missing rule references or
+// empty lexical rules. Dead and recursive rules are tolerated.
+func (g *Grammar) Validate() error {
+	rep := g.Check()
+	if rep.OK() {
+		return nil
+	}
+	var problems []string
+	if len(rep.Missing) > 0 {
+		problems = append(problems, "missing rules: "+strings.Join(rep.Missing, ", "))
+	}
+	if len(rep.EmptyLexical) > 0 {
+		problems = append(problems, "empty lexical rules: "+strings.Join(rep.EmptyLexical, ", "))
+	}
+	return fmt.Errorf("invalid grammar: %s", strings.Join(problems, "; "))
+}
+
+// Normalize returns an equivalent grammar in the internal normal form used
+// by enumeration:
+//
+//   - dead rules (unreachable from the start rule) are dropped,
+//   - rules whose alternatives are all literal snippets are kept as lexical
+//     rules, every other rule is structural,
+//   - structural rules that mix literal-only alternatives with referencing
+//     alternatives are rewritten so the literal alternatives move into a new
+//     lexical helper rule named "<rule>_lit".
+//
+// The original grammar is not modified.
+func (g *Grammar) Normalize() (*Grammar, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	rep := g.Check()
+	dead := map[string]bool{}
+	for _, d := range rep.Dead {
+		dead[d] = true
+	}
+
+	out := New(g.Start)
+	for _, r := range g.Rules {
+		if dead[r.Name] {
+			continue
+		}
+		if r.IsLexical() {
+			out.AddRule(&Rule{Name: r.Name, Line: r.Line, Alternatives: append([]Alternative(nil), r.Alternatives...)})
+			continue
+		}
+		// Mixed rule: split literal alternatives into a helper lexical rule
+		// when at least one alternative references other rules and at least
+		// one is literal-only with more than one such literal. A single
+		// literal alternative stays in place (it is part of the structure).
+		var litAlts, structAlts []Alternative
+		for _, a := range r.Alternatives {
+			if a.IsLexical() {
+				litAlts = append(litAlts, a)
+			} else {
+				structAlts = append(structAlts, a)
+			}
+		}
+		if len(structAlts) == 0 || len(litAlts) <= 1 {
+			out.AddRule(&Rule{Name: r.Name, Line: r.Line, Alternatives: append([]Alternative(nil), r.Alternatives...)})
+			continue
+		}
+		helper := r.Name + "_lit"
+		newRule := &Rule{Name: r.Name, Line: r.Line}
+		newRule.Alternatives = append(newRule.Alternatives, structAlts...)
+		newRule.Alternatives = append(newRule.Alternatives, Alternative{
+			Line:     r.Line,
+			Elements: []Element{{Ref: helper, Kind: RefRequired}},
+		})
+		out.AddRule(newRule)
+		out.AddRule(&Rule{Name: helper, Line: r.Line, Alternatives: litAlts})
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+// Package metrics implements the measurement discipline of the sqalpel
+// experiment driver: each query is executed a configurable number of times
+// (five by default, as in the paper), the wall-clock time of every step is
+// recorded, the system load is sampled at the beginning and the end of the
+// run, and an open-ended key/value list carries system-specific performance
+// indicators for post inspection.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sqalpel/internal/sysload"
+)
+
+// DefaultRuns is the default number of repetitions per experiment.
+const DefaultRuns = 5
+
+// Measurement is the outcome of measuring one query on one target.
+type Measurement struct {
+	// Runs are the wall-clock times of the individual repetitions, in the
+	// order they were executed.
+	Runs []time.Duration
+	// Rows is the number of result rows of the last repetition.
+	Rows int
+	// Err holds the error message when the query failed; failed queries
+	// carry no timings.
+	Err string
+	// LoadBefore and LoadAfter are the system load samples around the run.
+	LoadBefore sysload.Load
+	LoadAfter  sysload.Load
+	// Extra is the open-ended key/value list of system specific indicators.
+	Extra map[string]string
+}
+
+// Failed reports whether the measurement captured an error.
+func (m *Measurement) Failed() bool { return m.Err != "" }
+
+// Min returns the fastest repetition; zero when the measurement failed.
+func (m *Measurement) Min() time.Duration {
+	if len(m.Runs) == 0 {
+		return 0
+	}
+	min := m.Runs[0]
+	for _, r := range m.Runs[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Max returns the slowest repetition.
+func (m *Measurement) Max() time.Duration {
+	var max time.Duration
+	for _, r := range m.Runs {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean of the repetitions.
+func (m *Measurement) Mean() time.Duration {
+	if len(m.Runs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, r := range m.Runs {
+		total += r
+	}
+	return total / time.Duration(len(m.Runs))
+}
+
+// Median returns the median repetition time.
+func (m *Measurement) Median() time.Duration {
+	if len(m.Runs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), m.Runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// Stddev returns the standard deviation of the repetitions in seconds.
+func (m *Measurement) Stddev() float64 {
+	if len(m.Runs) < 2 {
+		return 0
+	}
+	mean := m.Mean().Seconds()
+	var sum float64
+	for _, r := range m.Runs {
+		d := r.Seconds() - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(m.Runs)-1))
+}
+
+// Seconds returns the per-run times in seconds, the unit used by the
+// platform's result records and analytics.
+func (m *Measurement) Seconds() []float64 {
+	out := make([]float64, len(m.Runs))
+	for i, r := range m.Runs {
+		out[i] = r.Seconds()
+	}
+	return out
+}
+
+// String summarises the measurement.
+func (m *Measurement) String() string {
+	if m.Failed() {
+		return "error: " + m.Err
+	}
+	return fmt.Sprintf("%d runs, min %.4fs, median %.4fs, max %.4fs",
+		len(m.Runs), m.Min().Seconds(), m.Median().Seconds(), m.Max().Seconds())
+}
+
+// Target is anything that can execute a query and report how many rows came
+// back plus optional extra indicators. The engine adapters in the core
+// package implement it; remote JDBC-style targets would too.
+type Target interface {
+	// Run executes the query once and returns the number of result rows and
+	// system-specific extras.
+	Run(query string) (rows int, extra map[string]string, err error)
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(query string) (int, map[string]string, error)
+
+// Run implements Target.
+func (f TargetFunc) Run(query string) (int, map[string]string, error) { return f(query) }
+
+// Options configure a measurement.
+type Options struct {
+	// Runs is the number of repetitions; zero means DefaultRuns.
+	Runs int
+	// WarmupRuns are executed before measuring, not recorded.
+	WarmupRuns int
+}
+
+// Measure runs the query against the target with the configured number of
+// repetitions and captures timings, load and extras.
+func Measure(target Target, query string, opts Options) *Measurement {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	m := &Measurement{Extra: map[string]string{}, LoadBefore: sysload.Sample()}
+	for i := 0; i < opts.WarmupRuns; i++ {
+		if _, _, err := target.Run(query); err != nil {
+			m.Err = err.Error()
+			m.LoadAfter = sysload.Sample()
+			return m
+		}
+	}
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		rows, extra, err := target.Run(query)
+		elapsed := time.Since(start)
+		if err != nil {
+			m.Err = err.Error()
+			m.Runs = nil
+			m.LoadAfter = sysload.Sample()
+			return m
+		}
+		m.Runs = append(m.Runs, elapsed)
+		m.Rows = rows
+		for k, v := range extra {
+			m.Extra[k] = v
+		}
+	}
+	m.LoadAfter = sysload.Sample()
+	for k, v := range m.LoadBefore.Map() {
+		m.Extra["before_"+k] = v
+	}
+	for k, v := range m.LoadAfter.Map() {
+		m.Extra["after_"+k] = v
+	}
+	return m
+}

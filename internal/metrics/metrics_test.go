@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedTarget(delay time.Duration, rows int) Target {
+	return TargetFunc(func(query string) (int, map[string]string, error) {
+		time.Sleep(delay)
+		return rows, map[string]string{"engine": "fake"}, nil
+	})
+}
+
+func TestMeasureDefaults(t *testing.T) {
+	m := Measure(fixedTarget(time.Millisecond, 7), "SELECT 1", Options{})
+	if m.Failed() {
+		t.Fatalf("unexpected failure: %s", m.Err)
+	}
+	if len(m.Runs) != DefaultRuns {
+		t.Errorf("runs = %d, want %d", len(m.Runs), DefaultRuns)
+	}
+	if m.Rows != 7 {
+		t.Errorf("rows = %d, want 7", m.Rows)
+	}
+	if m.Min() <= 0 || m.Max() < m.Min() || m.Mean() < m.Min() || m.Mean() > m.Max() {
+		t.Errorf("summary stats inconsistent: min=%v mean=%v max=%v", m.Min(), m.Mean(), m.Max())
+	}
+	if m.Extra["engine"] != "fake" {
+		t.Errorf("extras = %v", m.Extra)
+	}
+	if _, ok := m.Extra["before_load_avg_1"]; !ok {
+		t.Error("load averages should be attached to extras")
+	}
+	if len(m.Seconds()) != DefaultRuns {
+		t.Error("Seconds() length mismatch")
+	}
+	if !strings.Contains(m.String(), "5 runs") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestMeasureCustomRunsAndWarmup(t *testing.T) {
+	calls := 0
+	target := TargetFunc(func(query string) (int, map[string]string, error) {
+		calls++
+		return 1, nil, nil
+	})
+	m := Measure(target, "SELECT 1", Options{Runs: 3, WarmupRuns: 2})
+	if len(m.Runs) != 3 {
+		t.Errorf("runs = %d, want 3", len(m.Runs))
+	}
+	if calls != 5 {
+		t.Errorf("target calls = %d, want 5 (2 warmup + 3 measured)", calls)
+	}
+}
+
+func TestMeasureFailure(t *testing.T) {
+	target := TargetFunc(func(query string) (int, map[string]string, error) {
+		return 0, nil, errors.New("syntax error near FROM")
+	})
+	m := Measure(target, "SELECT", Options{})
+	if !m.Failed() {
+		t.Fatal("expected failure")
+	}
+	if len(m.Runs) != 0 {
+		t.Error("failed measurements must not carry timings")
+	}
+	if m.Min() != 0 || m.Mean() != 0 || m.Median() != 0 {
+		t.Error("summary of a failed measurement should be zero")
+	}
+	if !strings.Contains(m.String(), "error") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestMeasureWarmupFailure(t *testing.T) {
+	calls := 0
+	target := TargetFunc(func(query string) (int, map[string]string, error) {
+		calls++
+		return 0, nil, errors.New("boom")
+	})
+	m := Measure(target, "SELECT 1", Options{Runs: 3, WarmupRuns: 1})
+	if !m.Failed() || calls != 1 {
+		t.Errorf("warmup failure should abort immediately (calls=%d)", calls)
+	}
+}
+
+func TestSummaryStatistics(t *testing.T) {
+	m := &Measurement{Runs: []time.Duration{
+		40 * time.Millisecond,
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		30 * time.Millisecond,
+		50 * time.Millisecond,
+	}}
+	if m.Min() != 10*time.Millisecond {
+		t.Errorf("min = %v", m.Min())
+	}
+	if m.Max() != 50*time.Millisecond {
+		t.Errorf("max = %v", m.Max())
+	}
+	if m.Mean() != 30*time.Millisecond {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	if m.Median() != 30*time.Millisecond {
+		t.Errorf("median = %v", m.Median())
+	}
+	if m.Stddev() <= 0 {
+		t.Errorf("stddev = %v", m.Stddev())
+	}
+	even := &Measurement{Runs: []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}}
+	if even.Median() != 15*time.Millisecond {
+		t.Errorf("even median = %v", even.Median())
+	}
+}

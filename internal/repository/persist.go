@@ -1,0 +1,109 @@
+package repository
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// snapshot is the on-disk JSON representation of a store.
+type snapshot struct {
+	Users    []*User    `json:"users"`
+	Projects []*Project `json:"projects"`
+	Results  []*Result  `json:"results"`
+	Comments []*Comment `json:"comments"`
+	Tasks    []*Task    `json:"tasks"`
+
+	NextProjectID int `json:"next_project_id"`
+	NextResultID  int `json:"next_result_id"`
+	NextCommentID int `json:"next_comment_id"`
+	NextTaskID    int `json:"next_task_id"`
+
+	TaskTimeoutSeconds int       `json:"task_timeout_seconds"`
+	SavedAt            time.Time `json:"saved_at"`
+}
+
+// Save writes the store to <dir>/sqalpel.json, creating the directory when
+// needed. The write is atomic (temp file + rename).
+func (s *Store) Save(dir string) error {
+	s.mu.RLock()
+	snap := snapshot{
+		Results:            s.results,
+		Comments:           s.comments,
+		NextProjectID:      s.nextProjectID,
+		NextResultID:       s.nextResultID,
+		NextCommentID:      s.nextCommentID,
+		NextTaskID:         s.nextTaskID,
+		TaskTimeoutSeconds: int(s.TaskTimeout.Seconds()),
+		SavedAt:            s.now(),
+	}
+	for _, u := range s.users {
+		snap.Users = append(snap.Users, u)
+	}
+	for _, p := range s.projects {
+		snap.Projects = append(snap.Projects, p)
+	}
+	for _, t := range s.tasks {
+		snap.Tasks = append(snap.Tasks, t)
+	}
+	s.mu.RUnlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating store directory: %w", err)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding store: %w", err)
+	}
+	tmp := filepath.Join(dir, "sqalpel.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("writing store: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, "sqalpel.json"))
+}
+
+// Load reads a store previously written by Save. A missing file yields an
+// empty store rather than an error, so a fresh deployment just works.
+func Load(dir string) (*Store, error) {
+	s := NewStore()
+	data, err := os.ReadFile(filepath.Join(dir, "sqalpel.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("reading store: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("decoding store: %w", err)
+	}
+	for _, u := range snap.Users {
+		s.users[u.Nickname] = u
+	}
+	for _, p := range snap.Projects {
+		s.projects[p.ID] = p
+	}
+	s.results = snap.Results
+	s.comments = snap.Comments
+	for _, t := range snap.Tasks {
+		s.tasks[t.ID] = t
+	}
+	if snap.NextProjectID > 0 {
+		s.nextProjectID = snap.NextProjectID
+	}
+	if snap.NextResultID > 0 {
+		s.nextResultID = snap.NextResultID
+	}
+	if snap.NextCommentID > 0 {
+		s.nextCommentID = snap.NextCommentID
+	}
+	if snap.NextTaskID > 0 {
+		s.nextTaskID = snap.NextTaskID
+	}
+	if snap.TaskTimeoutSeconds > 0 {
+		s.TaskTimeout = time.Duration(snap.TaskTimeoutSeconds) * time.Second
+	}
+	return s, nil
+}

@@ -1,0 +1,180 @@
+package repository
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TaskStatus tracks the execution status of a queued query.
+type TaskStatus string
+
+// Task statuses.
+const (
+	TaskRunning TaskStatus = "running"
+	TaskDone    TaskStatus = "done"
+	TaskFailed  TaskStatus = "failed"
+	TaskTimeout TaskStatus = "timeout"
+	TaskKilled  TaskStatus = "killed"
+)
+
+// Task is one entry of the execution queue: a query handed to a contributor
+// for a specific DBMS + platform combination. The queue lets the owner kill
+// stuck queries and automatically requeues tasks whose results were not
+// delivered within the timeout interval.
+type Task struct {
+	ID             int        `json:"id"`
+	ProjectID      int        `json:"project_id"`
+	ExperimentID   int        `json:"experiment_id"`
+	QueryID        int        `json:"query_id"`
+	SQL            string     `json:"sql"`
+	ContributorKey string     `json:"contributor_key"`
+	DBMSKey        string     `json:"dbms_key"`
+	PlatformKey    string     `json:"platform_key"`
+	Status         TaskStatus `json:"status"`
+	Assigned       time.Time  `json:"assigned"`
+	Deadline       time.Time  `json:"deadline"`
+	Finished       time.Time  `json:"finished,omitempty"`
+}
+
+// Active reports whether the task still occupies its query/dbms/platform
+// slot.
+func (t *Task) Active() bool { return t.Status == TaskRunning || t.Status == TaskDone }
+
+// RequestTask hands the next unmeasured query of the experiment to the
+// contributor for the given DBMS + platform combination. It returns nil
+// (and no error) when nothing is left to do.
+func (s *Store) RequestTask(contributorKey string, experimentID int, dbmsKey, platformKey string) (*Task, error) {
+	p, _, err := s.FindContributor(contributorKey)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireTasksLocked()
+	e := p.Experiment(experimentID)
+	if e == nil {
+		return nil, fmt.Errorf("unknown experiment %d in project %q", experimentID, p.Name)
+	}
+	// Collect query ids already covered for this DBMS+platform combination:
+	// either a delivered result or an active task.
+	covered := map[int]bool{}
+	for _, r := range s.results {
+		if r.ProjectID == p.ID && r.ExperimentID == experimentID && r.DBMSKey == dbmsKey && r.PlatformKey == platformKey {
+			covered[r.QueryID] = true
+		}
+	}
+	for _, t := range s.tasks {
+		if t.ProjectID == p.ID && t.ExperimentID == experimentID && t.DBMSKey == dbmsKey && t.PlatformKey == platformKey && t.Active() {
+			covered[t.QueryID] = true
+		}
+	}
+	for _, q := range e.Queries {
+		if covered[q.ID] {
+			continue
+		}
+		task := &Task{
+			ID:             s.nextTaskID,
+			ProjectID:      p.ID,
+			ExperimentID:   experimentID,
+			QueryID:        q.ID,
+			SQL:            q.SQL,
+			ContributorKey: contributorKey,
+			DBMSKey:        dbmsKey,
+			PlatformKey:    platformKey,
+			Status:         TaskRunning,
+			Assigned:       s.now(),
+			Deadline:       s.now().Add(s.TaskTimeout),
+		}
+		s.nextTaskID++
+		s.tasks[task.ID] = task
+		return task, nil
+	}
+	return nil, nil
+}
+
+// CompleteTask reports the outcome of a task and records the result row.
+func (s *Store) CompleteTask(taskID int, contributorKey string, seconds []float64, errMsg string, extra map[string]string) (*Result, error) {
+	s.mu.Lock()
+	task := s.tasks[taskID]
+	if task == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("unknown task %d", taskID)
+	}
+	if task.ContributorKey != contributorKey {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("task %d belongs to a different contributor", taskID)
+	}
+	if task.Status != TaskRunning {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("task %d is %s, not running", taskID, task.Status)
+	}
+	if errMsg == "" {
+		task.Status = TaskDone
+	} else {
+		task.Status = TaskFailed
+	}
+	task.Finished = s.now()
+	expID, qID, dbms, platform := task.ExperimentID, task.QueryID, task.DBMSKey, task.PlatformKey
+	s.mu.Unlock()
+
+	return s.AddResult(contributorKey, expID, qID, dbms, platform, seconds, errMsg, extra)
+}
+
+// KillTask marks a running task as killed so the query can be handed out
+// again; only the project owner may kill tasks.
+func (s *Store) KillTask(requester string, taskID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	task := s.tasks[taskID]
+	if task == nil {
+		return fmt.Errorf("unknown task %d", taskID)
+	}
+	if s.roleOfLocked(requester, task.ProjectID) != RoleOwner {
+		return fmt.Errorf("only the project owner can kill tasks")
+	}
+	if task.Status != TaskRunning {
+		return fmt.Errorf("task %d is not running", taskID)
+	}
+	task.Status = TaskKilled
+	task.Finished = s.now()
+	return nil
+}
+
+// ExpireTasks requeues every running task whose deadline passed; it returns
+// the number of tasks expired.
+func (s *Store) ExpireTasks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expireTasksLocked()
+}
+
+func (s *Store) expireTasksLocked() int {
+	now := s.now()
+	expired := 0
+	for _, t := range s.tasks {
+		if t.Status == TaskRunning && now.After(t.Deadline) {
+			t.Status = TaskTimeout
+			t.Finished = now
+			expired++
+		}
+	}
+	return expired
+}
+
+// Tasks returns the tasks of a project visible to the viewer, sorted by id.
+func (s *Store) Tasks(viewer string, projectID int) []*Task {
+	if !s.CanView(viewer, projectID) {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Task
+	for _, t := range s.tasks {
+		if t.ProjectID == projectID {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

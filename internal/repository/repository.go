@@ -1,0 +1,627 @@
+// Package repository implements the data model of the sqalpel platform: the
+// GitHub-like organisation of performance projects the paper describes.
+//
+// It covers user registration (nickname + email, with the email never
+// exposed through the API), public and private projects with owner /
+// contributor / reader roles, contributor keys that identify the source of
+// results without disclosing the contributor's identity, experiments with
+// their grammar and query pool, the task queue with timeouts, the raw
+// results table with owner moderation (hide / remove suspicious results),
+// and project comments. Persistence is a single JSON document per store.
+package repository
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Role is the relationship of a user to a project.
+type Role string
+
+// Roles.
+const (
+	RoleOwner       Role = "owner"
+	RoleContributor Role = "contributor"
+	RoleReader      Role = "reader"
+	RoleNone        Role = "none"
+)
+
+// User is a registered platform user.
+type User struct {
+	// Nickname is the unique public identifier.
+	Nickname string `json:"nickname"`
+	// Email is used only for legal interaction with the registered user and
+	// is never exposed in the interface.
+	Email   string    `json:"email"`
+	Created time.Time `json:"created"`
+}
+
+// Contributor is an invitation of a user into a project, carrying the
+// anonymous key the experiment driver uses to submit results.
+type Contributor struct {
+	Nickname string    `json:"nickname"`
+	Key      string    `json:"key"`
+	Invited  time.Time `json:"invited"`
+}
+
+// QueryRecord is one query of an experiment's pool as stored by the
+// platform.
+type QueryRecord struct {
+	ID         int      `json:"id"`
+	SQL        string   `json:"sql"`
+	Strategy   string   `json:"strategy"`
+	ParentID   int      `json:"parent_id"`
+	Components int      `json:"components"`
+	Terms      []string `json:"terms,omitempty"`
+}
+
+// Experiment is one experiment of a project: a baseline query, the grammar
+// derived from it and the query pool.
+type Experiment struct {
+	ID          int           `json:"id"`
+	Title       string        `json:"title"`
+	BaselineSQL string        `json:"baseline_sql"`
+	GrammarText string        `json:"grammar_text"`
+	Queries     []QueryRecord `json:"queries"`
+	Created     time.Time     `json:"created"`
+}
+
+// Query returns the query with the given id, or nil.
+func (e *Experiment) Query(id int) *QueryRecord {
+	for i := range e.Queries {
+		if e.Queries[i].ID == id {
+			return &e.Queries[i]
+		}
+	}
+	return nil
+}
+
+// Project is a performance project.
+type Project struct {
+	ID int `json:"id"`
+	// Name is unique across the platform.
+	Name     string `json:"name"`
+	Synopsis string `json:"synopsis"`
+	// Attribution credits the database generator developers, as the paper
+	// requires of a project synopsis.
+	Attribution string `json:"attribution"`
+	Owner       string `json:"owner"`
+	Public      bool   `json:"public"`
+	// DBMSKeys and PlatformKeys reference the global catalogs.
+	DBMSKeys     []string       `json:"dbms_keys"`
+	PlatformKeys []string       `json:"platform_keys"`
+	Contributors []*Contributor `json:"contributors"`
+	Experiments  []*Experiment  `json:"experiments"`
+	Created      time.Time      `json:"created"`
+}
+
+// Experiment returns the experiment with the given id, or nil.
+func (p *Project) Experiment(id int) *Experiment {
+	for _, e := range p.Experiments {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// contributor returns the contributor entry of a nickname, or nil.
+func (p *Project) contributor(nickname string) *Contributor {
+	for _, c := range p.Contributors {
+		if c.Nickname == nickname {
+			return c
+		}
+	}
+	return nil
+}
+
+// Result is one row of the raw results table.
+type Result struct {
+	ID           int `json:"id"`
+	ProjectID    int `json:"project_id"`
+	ExperimentID int `json:"experiment_id"`
+	QueryID      int `json:"query_id"`
+	// ContributorKey identifies the source without disclosing the identity.
+	ContributorKey string `json:"contributor_key"`
+	DBMSKey        string `json:"dbms_key"`
+	PlatformKey    string `json:"platform_key"`
+	// Seconds are the wall-clock times of the individual repetitions.
+	Seconds []float64         `json:"seconds,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	Extra   map[string]string `json:"extra,omitempty"`
+	// Hidden results are only visible to the owner and contributors; the
+	// owner uses this to keep dubious measurements private until clarified.
+	Hidden  bool      `json:"hidden"`
+	Created time.Time `json:"created"`
+}
+
+// Failed reports whether the result captured an error.
+func (r *Result) Failed() bool { return r.Error != "" }
+
+// MinSeconds returns the fastest repetition or 0.
+func (r *Result) MinSeconds() float64 {
+	if len(r.Seconds) == 0 {
+		return 0
+	}
+	min := r.Seconds[0]
+	for _, s := range r.Seconds[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Comment is a registered user's remark on a project.
+type Comment struct {
+	ID        int       `json:"id"`
+	ProjectID int       `json:"project_id"`
+	Author    string    `json:"author"`
+	Text      string    `json:"text"`
+	Created   time.Time `json:"created"`
+}
+
+// Store is the in-memory repository with JSON persistence; it is safe for
+// concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	users    map[string]*User
+	projects map[int]*Project
+	results  []*Result
+	comments []*Comment
+	tasks    map[int]*Task
+
+	nextProjectID int
+	nextResultID  int
+	nextCommentID int
+	nextTaskID    int
+
+	// TaskTimeout is the interval after which an assigned task that has not
+	// reported back is considered stuck and requeued.
+	TaskTimeout time.Duration
+
+	// now allows tests to control time.
+	now func() time.Time
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		users:         map[string]*User{},
+		projects:      map[int]*Project{},
+		tasks:         map[int]*Task{},
+		nextProjectID: 1,
+		nextResultID:  1,
+		nextCommentID: 1,
+		nextTaskID:    1,
+		TaskTimeout:   10 * time.Minute,
+		now:           time.Now,
+	}
+}
+
+// --- users ---------------------------------------------------------------
+
+// RegisterUser adds a user with a unique nickname and a syntactically valid
+// email address.
+func (s *Store) RegisterUser(nickname, email string) (*User, error) {
+	nickname = strings.TrimSpace(nickname)
+	if nickname == "" {
+		return nil, fmt.Errorf("nickname must not be empty")
+	}
+	if !validEmail(email) {
+		return nil, fmt.Errorf("invalid email address %q", email)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.users[nickname]; exists {
+		return nil, fmt.Errorf("nickname %q is already taken", nickname)
+	}
+	u := &User{Nickname: nickname, Email: email, Created: s.now()}
+	s.users[nickname] = u
+	return u, nil
+}
+
+func validEmail(email string) bool {
+	at := strings.Index(email, "@")
+	if at <= 0 || at == len(email)-1 {
+		return false
+	}
+	domain := email[at+1:]
+	return strings.Contains(domain, ".") && !strings.ContainsAny(email, " \t\n")
+}
+
+// User returns the user with the given nickname, or nil.
+func (s *Store) User(nickname string) *User {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.users[nickname]
+}
+
+// Users returns all users sorted by nickname.
+func (s *Store) Users() []*User {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*User, 0, len(s.users))
+	for _, u := range s.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nickname < out[j].Nickname })
+	return out
+}
+
+// --- projects and access control ------------------------------------------
+
+// CreateProject creates a project owned by the given user.
+func (s *Store) CreateProject(owner, name, synopsis string, public bool) (*Project, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.users[owner] == nil {
+		return nil, fmt.Errorf("unknown user %q", owner)
+	}
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("project name must not be empty")
+	}
+	for _, p := range s.projects {
+		if strings.EqualFold(p.Name, name) {
+			return nil, fmt.Errorf("project name %q is already taken", name)
+		}
+	}
+	p := &Project{
+		ID:       s.nextProjectID,
+		Name:     name,
+		Synopsis: synopsis,
+		Owner:    owner,
+		Public:   public,
+		Created:  s.now(),
+	}
+	// The owner is implicitly also a contributor with a key.
+	p.Contributors = append(p.Contributors, &Contributor{Nickname: owner, Key: newKey(), Invited: s.now()})
+	s.projects[p.ID] = p
+	s.nextProjectID++
+	return p, nil
+}
+
+// newKey generates a contributor key.
+func newKey() string {
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		// crypto/rand failing is unrecoverable for key generation.
+		panic(err)
+	}
+	return hex.EncodeToString(buf)
+}
+
+// Project returns the project with the given id, or nil.
+func (s *Store) Project(id int) *Project {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.projects[id]
+}
+
+// ProjectByName returns the project with the given name, or nil.
+func (s *Store) ProjectByName(name string) *Project {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.projects {
+		if strings.EqualFold(p.Name, name) {
+			return p
+		}
+	}
+	return nil
+}
+
+// RoleOf returns the viewer's role for a project. Unregistered or unrelated
+// users get RoleReader on public projects and RoleNone on private ones.
+func (s *Store) RoleOf(nickname string, projectID int) Role {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.roleOfLocked(nickname, projectID)
+}
+
+func (s *Store) roleOfLocked(nickname string, projectID int) Role {
+	p := s.projects[projectID]
+	if p == nil {
+		return RoleNone
+	}
+	if nickname != "" && p.Owner == nickname {
+		return RoleOwner
+	}
+	if nickname != "" && p.contributor(nickname) != nil {
+		return RoleContributor
+	}
+	if p.Public {
+		return RoleReader
+	}
+	return RoleNone
+}
+
+// CanView reports whether the viewer may read the project description and
+// visible results.
+func (s *Store) CanView(nickname string, projectID int) bool {
+	return s.RoleOf(nickname, projectID) != RoleNone
+}
+
+// CanContribute reports whether the user may submit results.
+func (s *Store) CanContribute(nickname string, projectID int) bool {
+	r := s.RoleOf(nickname, projectID)
+	return r == RoleOwner || r == RoleContributor
+}
+
+// IsOwner reports whether the user moderates the project.
+func (s *Store) IsOwner(nickname string, projectID int) bool {
+	return s.RoleOf(nickname, projectID) == RoleOwner
+}
+
+// Projects returns the projects visible to the viewer, sorted by id.
+func (s *Store) Projects(viewer string) []*Project {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Project
+	for id, p := range s.projects {
+		if s.roleOfLocked(viewer, id) != RoleNone {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetVisibility switches a project between public and private; only the
+// owner may do this.
+func (s *Store) SetVisibility(requester string, projectID int, public bool) error {
+	if !s.IsOwner(requester, projectID) {
+		return fmt.Errorf("only the project owner can change visibility")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.projects[projectID].Public = public
+	return nil
+}
+
+// UpdateSynopsis updates the project synopsis and attribution; owner only.
+func (s *Store) UpdateSynopsis(requester string, projectID int, synopsis, attribution string) error {
+	if !s.IsOwner(requester, projectID) {
+		return fmt.Errorf("only the project owner can edit the synopsis")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.projects[projectID]
+	p.Synopsis = synopsis
+	p.Attribution = attribution
+	return nil
+}
+
+// ReferenceCatalogs records which DBMS and platform catalog entries the
+// project uses; owner only.
+func (s *Store) ReferenceCatalogs(requester string, projectID int, dbmsKeys, platformKeys []string) error {
+	if !s.IsOwner(requester, projectID) {
+		return fmt.Errorf("only the project owner can edit catalog references")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.projects[projectID]
+	p.DBMSKeys = append([]string(nil), dbmsKeys...)
+	p.PlatformKeys = append([]string(nil), platformKeys...)
+	return nil
+}
+
+// Invite adds a registered user as contributor and returns the contributor
+// key to hand to them. There is no limit on the number of contributors.
+func (s *Store) Invite(requester string, projectID int, nickname string) (string, error) {
+	if !s.IsOwner(requester, projectID) {
+		return "", fmt.Errorf("only the project owner can invite contributors")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.users[nickname] == nil {
+		return "", fmt.Errorf("unknown user %q", nickname)
+	}
+	p := s.projects[projectID]
+	if c := p.contributor(nickname); c != nil {
+		return c.Key, nil
+	}
+	c := &Contributor{Nickname: nickname, Key: newKey(), Invited: s.now()}
+	p.Contributors = append(p.Contributors, c)
+	return c.Key, nil
+}
+
+// FindContributor resolves a contributor key to its project and nickname.
+func (s *Store) FindContributor(key string) (*Project, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.projects {
+		for _, c := range p.Contributors {
+			if c.Key == key {
+				return p, c.Nickname, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("unknown contributor key")
+}
+
+// --- experiments and the query pool ----------------------------------------
+
+// AddExperiment adds an experiment to a project; owner only.
+func (s *Store) AddExperiment(requester string, projectID int, title, baselineSQL, grammarText string) (*Experiment, error) {
+	if !s.IsOwner(requester, projectID) {
+		return nil, fmt.Errorf("only the project owner can add experiments")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.projects[projectID]
+	e := &Experiment{
+		ID:          len(p.Experiments) + 1,
+		Title:       title,
+		BaselineSQL: baselineSQL,
+		GrammarText: grammarText,
+		Created:     s.now(),
+	}
+	p.Experiments = append(p.Experiments, e)
+	return e, nil
+}
+
+// ReplaceQueries replaces the query pool snapshot of an experiment; owner
+// only (the owner moderates pool growth).
+func (s *Store) ReplaceQueries(requester string, projectID, experimentID int, queries []QueryRecord) error {
+	if !s.IsOwner(requester, projectID) {
+		return fmt.Errorf("only the project owner can manage the query pool")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.projects[projectID]
+	e := p.Experiment(experimentID)
+	if e == nil {
+		return fmt.Errorf("unknown experiment %d", experimentID)
+	}
+	e.Queries = append([]QueryRecord(nil), queries...)
+	return nil
+}
+
+// AppendQueries appends new queries to the pool snapshot; owner only.
+func (s *Store) AppendQueries(requester string, projectID, experimentID int, queries []QueryRecord) error {
+	if !s.IsOwner(requester, projectID) {
+		return fmt.Errorf("only the project owner can manage the query pool")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.projects[projectID]
+	e := p.Experiment(experimentID)
+	if e == nil {
+		return fmt.Errorf("unknown experiment %d", experimentID)
+	}
+	e.Queries = append(e.Queries, queries...)
+	return nil
+}
+
+// --- results ----------------------------------------------------------------
+
+// AddResult records a measurement submitted with a contributor key.
+func (s *Store) AddResult(contributorKey string, experimentID, queryID int, dbmsKey, platformKey string, seconds []float64, errMsg string, extra map[string]string) (*Result, error) {
+	p, _, err := s.FindContributor(contributorKey)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := p.Experiment(experimentID)
+	if e == nil {
+		return nil, fmt.Errorf("unknown experiment %d in project %q", experimentID, p.Name)
+	}
+	if e.Query(queryID) == nil {
+		return nil, fmt.Errorf("unknown query %d in experiment %d", queryID, experimentID)
+	}
+	r := &Result{
+		ID:             s.nextResultID,
+		ProjectID:      p.ID,
+		ExperimentID:   experimentID,
+		QueryID:        queryID,
+		ContributorKey: contributorKey,
+		DBMSKey:        dbmsKey,
+		PlatformKey:    platformKey,
+		Seconds:        append([]float64(nil), seconds...),
+		Error:          errMsg,
+		Extra:          extra,
+		Created:        s.now(),
+	}
+	s.nextResultID++
+	s.results = append(s.results, r)
+	return r, nil
+}
+
+// Results returns the results of a project visible to the viewer: hidden
+// results are only shown to the owner and contributors.
+func (s *Store) Results(viewer string, projectID int) []*Result {
+	role := s.RoleOf(viewer, projectID)
+	if role == RoleNone {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Result
+	for _, r := range s.results {
+		if r.ProjectID != projectID {
+			continue
+		}
+		if r.Hidden && role == RoleReader {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// HideResult toggles the hidden flag of a result; owner only.
+func (s *Store) HideResult(requester string, resultID int, hidden bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.results {
+		if r.ID == resultID {
+			if s.roleOfLocked(requester, r.ProjectID) != RoleOwner {
+				return fmt.Errorf("only the project owner can moderate results")
+			}
+			r.Hidden = hidden
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown result %d", resultID)
+}
+
+// DeleteResult removes a result, e.g. when a re-run is required; owner only.
+func (s *Store) DeleteResult(requester string, resultID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.results {
+		if r.ID == resultID {
+			if s.roleOfLocked(requester, r.ProjectID) != RoleOwner {
+				return fmt.Errorf("only the project owner can moderate results")
+			}
+			s.results = append(s.results[:i], s.results[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown result %d", resultID)
+}
+
+// --- comments ---------------------------------------------------------------
+
+// AddComment attaches a comment to a project; any registered user who can
+// view the project may comment.
+func (s *Store) AddComment(author string, projectID int, text string) (*Comment, error) {
+	if s.User(author) == nil {
+		return nil, fmt.Errorf("unknown user %q", author)
+	}
+	if !s.CanView(author, projectID) {
+		return nil, fmt.Errorf("user %q cannot view project %d", author, projectID)
+	}
+	if strings.TrimSpace(text) == "" {
+		return nil, fmt.Errorf("empty comment")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Comment{ID: s.nextCommentID, ProjectID: projectID, Author: author, Text: text, Created: s.now()}
+	s.nextCommentID++
+	s.comments = append(s.comments, c)
+	return c, nil
+}
+
+// Comments returns the comments of a project visible to the viewer.
+func (s *Store) Comments(viewer string, projectID int) []*Comment {
+	if !s.CanView(viewer, projectID) {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Comment
+	for _, c := range s.comments {
+		if c.ProjectID == projectID {
+			out = append(out, c)
+		}
+	}
+	return out
+}

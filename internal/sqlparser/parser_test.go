@@ -1,0 +1,579 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStatement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q) failed: %v", sql, err)
+	}
+	return stmt
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, b FROM t WHERE a >= 10 AND b <> 'x''y'")
+	if err != nil {
+		t.Fatalf("Tokenize failed: %v", err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "SELECT" {
+		t.Errorf("first token = %+v, want SELECT keyword", toks[0])
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Errorf("last token should be EOF, got %v", kinds[len(kinds)-1])
+	}
+	// find the escaped string literal
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokString && tok.Text == "x'y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped string literal not found in %v", toks)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("SELECT 1 -- trailing comment\n/* block\ncomment */ , 2")
+	if err != nil {
+		t.Fatalf("Tokenize failed: %v", err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"SELECT", "1", ",", "2"}
+	if len(texts) != len(want) {
+		t.Fatalf("got tokens %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []string{"1", "3.14", "0.05", ".5", "1e6", "2.5E-3"}
+	for _, c := range cases {
+		toks, err := Tokenize(c)
+		if err != nil {
+			t.Fatalf("Tokenize(%q) failed: %v", c, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Text != c {
+			t.Errorf("Tokenize(%q) = %+v, want number %q", c, toks[0], c)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{"'unterminated", "\"unterminated", "SELECT ${oops", "SELECT a ? b"}
+	for _, c := range cases {
+		if _, err := Tokenize(c); err == nil {
+			t.Errorf("Tokenize(%q) should have failed", c)
+		}
+	}
+}
+
+func TestTokenizeLineNumbers(t *testing.T) {
+	toks, err := Tokenize("SELECT\n  a\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 {
+		t.Errorf("token %q line = %d, want 2", toks[1].Text, toks[1].Line)
+	}
+	if toks[2].Line != 3 {
+		t.Errorf("token %q line = %d, want 3", toks[2].Text, toks[2].Line)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT n_name, n_regionkey FROM nation WHERE n_name = 'BRAZIL'")
+	if len(stmt.Projection) != 2 {
+		t.Fatalf("projection count = %d, want 2", len(stmt.Projection))
+	}
+	if len(stmt.From) != 1 {
+		t.Fatalf("from count = %d, want 1", len(stmt.From))
+	}
+	tn, ok := stmt.From[0].(*TableName)
+	if !ok || tn.Name != "nation" {
+		t.Errorf("from = %#v, want nation", stmt.From[0])
+	}
+	be, ok := stmt.Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where = %#v, want equality", stmt.Where)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM nation")
+	if !stmt.Projection[0].Star {
+		t.Error("expected star projection")
+	}
+	stmt = mustParse(t, "SELECT n.* FROM nation n")
+	if !stmt.Projection[0].Star || stmt.Projection[0].Qualifier != "n" {
+		t.Errorf("expected qualified star, got %+v", stmt.Projection[0])
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := mustParse(t, "SELECT count(*) FROM nation")
+	f, ok := stmt.Projection[0].Expr.(*FuncCall)
+	if !ok || !f.Star || f.Name != "count" {
+		t.Fatalf("projection = %#v, want count(*)", stmt.Projection[0].Expr)
+	}
+	if !f.IsAggregate() {
+		t.Error("count should be an aggregate")
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT l_returnflag AS flag, sum(l_quantity) total FROM lineitem l")
+	if stmt.Projection[0].Alias != "flag" {
+		t.Errorf("alias = %q, want flag", stmt.Projection[0].Alias)
+	}
+	if stmt.Projection[1].Alias != "total" {
+		t.Errorf("alias = %q, want total", stmt.Projection[1].Alias)
+	}
+	tn := stmt.From[0].(*TableName)
+	if tn.Alias != "l" {
+		t.Errorf("table alias = %q, want l", tn.Alias)
+	}
+}
+
+func TestParseGroupHavingOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT l_returnflag, count(*) FROM lineitem
+		WHERE l_quantity > 10 GROUP BY l_returnflag HAVING count(*) > 5
+		ORDER BY l_returnflag DESC LIMIT 10 OFFSET 2`)
+	if len(stmt.GroupBy) != 1 {
+		t.Errorf("group by count = %d, want 1", len(stmt.GroupBy))
+	}
+	if stmt.Having == nil {
+		t.Error("expected HAVING clause")
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Errorf("order by = %+v, want single DESC item", stmt.OrderBy)
+	}
+	if stmt.Limit == nil || *stmt.Limit != 10 {
+		t.Errorf("limit = %v, want 10", stmt.Limit)
+	}
+	if stmt.Offset == nil || *stmt.Offset != 2 {
+		t.Errorf("offset = %v, want 2", stmt.Offset)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c - d / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should parse as (a + (b*c)) - (d/2).
+	top, ok := e.(*BinaryExpr)
+	if !ok || top.Op != "-" {
+		t.Fatalf("top op = %#v, want -", e)
+	}
+	l := top.Left.(*BinaryExpr)
+	if l.Op != "+" {
+		t.Errorf("left op = %s, want +", l.Op)
+	}
+	if l.Right.(*BinaryExpr).Op != "*" {
+		t.Errorf("nested op = %s, want *", l.Right.(*BinaryExpr).Op)
+	}
+	if top.Right.(*BinaryExpr).Op != "/" {
+		t.Errorf("right op = %s, want /", top.Right.(*BinaryExpr).Op)
+	}
+}
+
+func TestParseBooleanPrecedence(t *testing.T) {
+	e, err := ParseExpr("a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*BinaryExpr)
+	if top.Op != "OR" {
+		t.Fatalf("top op = %s, want OR", top.Op)
+	}
+	if top.Right.(*BinaryExpr).Op != "AND" {
+		t.Errorf("right op = %s, want AND", top.Right.(*BinaryExpr).Op)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	e, err := ParseExpr("l_shipdate BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*BetweenExpr); !ok {
+		t.Errorf("expected BetweenExpr, got %#v", e)
+	}
+
+	e, err = ParseExpr("n_name NOT IN ('FRANCE', 'GERMANY')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := e.(*InExpr)
+	if !ok || !in.Not || len(in.List) != 2 {
+		t.Errorf("expected NOT IN with two items, got %#v", e)
+	}
+
+	e, err = ParseExpr("p_type LIKE '%BRASS'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be, ok := e.(*BinaryExpr); !ok || be.Op != "LIKE" {
+		t.Errorf("expected LIKE, got %#v", e)
+	}
+
+	e, err = ParseExpr("p_type NOT LIKE 'MEDIUM POLISHED%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be, ok := e.(*BinaryExpr); !ok || be.Op != "NOT LIKE" {
+		t.Errorf("expected NOT LIKE, got %#v", e)
+	}
+
+	e, err = ParseExpr("c_comment IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is, ok := e.(*IsNullExpr); !ok || !is.Not {
+		t.Errorf("expected IS NOT NULL, got %#v", e)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	stmt := mustParse(t, `SELECT s_name FROM supplier WHERE s_suppkey IN (
+		SELECT ps_suppkey FROM partsupp WHERE ps_availqty > 100)`)
+	in, ok := stmt.Where.(*InExpr)
+	if !ok || in.Subquery == nil {
+		t.Fatalf("expected IN subquery, got %#v", stmt.Where)
+	}
+
+	stmt = mustParse(t, `SELECT c_name FROM customer WHERE EXISTS (
+		SELECT * FROM orders WHERE o_custkey = c_custkey)`)
+	if _, ok := stmt.Where.(*ExistsExpr); !ok {
+		t.Fatalf("expected EXISTS, got %#v", stmt.Where)
+	}
+
+	stmt = mustParse(t, `SELECT c_name FROM customer WHERE NOT EXISTS (
+		SELECT * FROM orders WHERE o_custkey = c_custkey)`)
+	ex, ok := stmt.Where.(*ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("expected NOT EXISTS, got %#v", stmt.Where)
+	}
+
+	stmt = mustParse(t, `SELECT p_partkey FROM part WHERE p_size = (
+		SELECT max(p_size) FROM part)`)
+	be, ok := stmt.Where.(*BinaryExpr)
+	if !ok {
+		t.Fatalf("expected comparison, got %#v", stmt.Where)
+	}
+	if _, ok := be.Right.(*SubqueryExpr); !ok {
+		t.Errorf("expected scalar subquery, got %#v", be.Right)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	stmt := mustParse(t, `SELECT avg(total) FROM (
+		SELECT o_custkey, sum(o_totalprice) AS total FROM orders GROUP BY o_custkey) t`)
+	d, ok := stmt.From[0].(*DerivedTable)
+	if !ok {
+		t.Fatalf("expected derived table, got %#v", stmt.From[0])
+	}
+	if d.Alias != "t" {
+		t.Errorf("alias = %q, want t", d.Alias)
+	}
+	if len(d.Select.GroupBy) != 1 {
+		t.Errorf("inner group by missing")
+	}
+}
+
+func TestParseExplicitJoins(t *testing.T) {
+	stmt := mustParse(t, `SELECT n_name, r_name FROM nation JOIN region ON n_regionkey = r_regionkey`)
+	j, ok := stmt.From[0].(*JoinExpr)
+	if !ok || j.Kind != "INNER" || j.On == nil {
+		t.Fatalf("expected inner join with ON, got %#v", stmt.From[0])
+	}
+
+	stmt = mustParse(t, `SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c`)
+	outer, ok := stmt.From[0].(*JoinExpr)
+	if !ok || outer.Kind != "CROSS" {
+		t.Fatalf("expected cross join at top, got %#v", stmt.From[0])
+	}
+	inner, ok := outer.Left.(*JoinExpr)
+	if !ok || inner.Kind != "LEFT" {
+		t.Fatalf("expected left join nested, got %#v", outer.Left)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	e, err := ParseExpr(`CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := e.(*CaseExpr)
+	if !ok || len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("expected searched case, got %#v", e)
+	}
+
+	e, err = ParseExpr(`CASE n_name WHEN 'BRAZIL' THEN 1 WHEN 'FRANCE' THEN 2 END`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = e.(*CaseExpr)
+	if c.Operand == nil || len(c.Whens) != 2 {
+		t.Fatalf("expected simple case with two arms, got %#v", e)
+	}
+}
+
+func TestParseDateArithmetic(t *testing.T) {
+	e, err := ParseExpr("o_orderdate < DATE '1995-03-15' + INTERVAL '3' MONTH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := e.(*BinaryExpr)
+	add, ok := be.Right.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("expected date + interval, got %#v", be.Right)
+	}
+	if _, ok := add.Left.(*DateLit); !ok {
+		t.Errorf("expected date literal, got %#v", add.Left)
+	}
+	if iv, ok := add.Right.(*IntervalLit); !ok || iv.Unit != "MONTH" {
+		t.Errorf("expected month interval, got %#v", add.Right)
+	}
+}
+
+func TestParseExtractSubstringCast(t *testing.T) {
+	e, err := ParseExpr("EXTRACT(YEAR FROM l_shipdate)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex, ok := e.(*ExtractExpr); !ok || ex.Unit != "YEAR" {
+		t.Fatalf("expected extract year, got %#v", e)
+	}
+
+	e, err = ParseExpr("SUBSTRING(c_phone FROM 1 FOR 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := e.(*SubstringExpr); !ok || s.Length == nil {
+		t.Fatalf("expected substring with length, got %#v", e)
+	}
+
+	e, err = ParseExpr("substring(c_phone, 1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*SubstringExpr); !ok {
+		t.Fatalf("expected substring (call style), got %#v", e)
+	}
+
+	e, err = ParseExpr("CAST(l_quantity AS integer)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := e.(*CastExpr); !ok || c.Type != "integer" {
+		t.Fatalf("expected cast to integer, got %#v", e)
+	}
+
+	e, err = ParseExpr("CAST(l_extendedprice AS decimal(15, 2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := e.(*CastExpr); !ok || c.Type != "decimal" {
+		t.Fatalf("expected cast to decimal, got %#v", e)
+	}
+}
+
+func TestParseUnionAndSetOps(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v")
+	if stmt.SetOp != "UNION ALL" || stmt.SetNext == nil {
+		t.Fatalf("first set op = %q, want UNION ALL", stmt.SetOp)
+	}
+	if stmt.SetNext.SetOp != "UNION" || stmt.SetNext.SetNext == nil {
+		t.Fatalf("second set op = %q, want UNION", stmt.SetNext.SetOp)
+	}
+}
+
+func TestParseDistinctAndTop(t *testing.T) {
+	stmt := mustParse(t, "SELECT DISTINCT n_regionkey FROM nation")
+	if !stmt.Distinct {
+		t.Error("expected DISTINCT")
+	}
+	stmt = mustParse(t, "SELECT TOP 5 n_name FROM nation")
+	if stmt.Limit == nil || *stmt.Limit != 5 {
+		t.Errorf("TOP 5 should set limit, got %v", stmt.Limit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a IN (",
+		"SELECT a FROM t JOIN u",
+		"SELECT a b c FROM t",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t; SELECT b FROM u",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should have failed", sql)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	// Parsing the rendered SQL again must give the identical rendering
+	// (canonical form fixed point).
+	queries := []string{
+		"SELECT count(*) FROM nation",
+		"SELECT n_name, n_regionkey FROM nation WHERE n_name = 'BRAZIL'",
+		"SELECT l_returnflag, sum(l_quantity) AS sum_qty FROM lineitem WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY GROUP BY l_returnflag ORDER BY l_returnflag",
+		"SELECT s_name FROM supplier, nation WHERE s_nationkey = n_nationkey AND n_name = 'GERMANY'",
+		"SELECT o_orderpriority, count(*) AS order_count FROM orders WHERE EXISTS (SELECT * FROM lineitem WHERE l_orderkey = o_orderkey) GROUP BY o_orderpriority",
+		"SELECT sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) / sum(volume) AS mkt_share FROM (SELECT n_name AS nation, l_extendedprice AS volume FROM lineitem, supplier, nation WHERE l_suppkey = s_suppkey AND s_nationkey = n_nationkey) all_nations",
+		"SELECT c_custkey FROM customer WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN ('13', '31') AND c_acctbal > 0.00",
+		"SELECT * FROM a LEFT JOIN b ON a.x = b.x",
+		"SELECT DISTINCT p_brand FROM part WHERE p_size IN (1, 2, 3) AND p_type NOT LIKE 'SMALL%'",
+	}
+	for _, q := range queries {
+		stmt1 := mustParse(t, q)
+		r1 := stmt1.SQL()
+		stmt2 := mustParse(t, r1)
+		r2 := stmt2.SQL()
+		if r1 != r2 {
+			t.Errorf("round trip not a fixed point:\n first: %s\nsecond: %s", r1, r2)
+		}
+	}
+}
+
+func TestWalkAndHelpers(t *testing.T) {
+	e, err := ParseExpr("sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := ColumnsIn(e)
+	if len(cols) != 3 {
+		t.Errorf("ColumnsIn = %v, want 3 columns", cols)
+	}
+	if !HasAggregate(e) {
+		t.Error("HasAggregate should be true for sum(...)")
+	}
+	e2, _ := ParseExpr("l_extendedprice * l_discount")
+	if HasAggregate(e2) {
+		t.Error("HasAggregate should be false without aggregates")
+	}
+	e3, _ := ParseExpr("x IN (SELECT y FROM t) AND EXISTS (SELECT 1 FROM u) AND z = (SELECT max(w) FROM v)")
+	if got := len(Subqueries(e3)); got != 3 {
+		t.Errorf("Subqueries = %d, want 3", got)
+	}
+}
+
+func TestColumnsInDeduplicates(t *testing.T) {
+	e, _ := ParseExpr("a + a + b.a")
+	cols := ColumnsIn(e)
+	if len(cols) != 2 {
+		t.Errorf("ColumnsIn = %v, want 2 (a and b.a)", cols)
+	}
+}
+
+func TestKeywordClassification(t *testing.T) {
+	if !IsKeyword("select") || !IsKeyword("SELECT") {
+		t.Error("select should be a keyword in any case")
+	}
+	if IsKeyword("lineitem") {
+		t.Error("lineitem should not be a keyword")
+	}
+	if !IsAggregateName("Sum") || IsAggregateName("substring") {
+		t.Error("aggregate classification wrong")
+	}
+}
+
+// TestParsePropertyTokenizeNeverPanics feeds random printable strings to the
+// tokenizer; it must either produce tokens or return an error, never panic,
+// and every non-EOF token must carry non-empty text.
+func TestParsePropertyTokenizeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r < 32 || r > 126 {
+				return ' '
+			}
+			return r
+		}, s)
+		toks, err := Tokenize(clean)
+		if err != nil {
+			return true
+		}
+		for _, tok := range toks {
+			if tok.Kind != TokEOF && tok.Text == "" && tok.Kind != TokString && tok.Kind != TokIdent && tok.Kind != TokParam {
+				return false
+			}
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsePropertyRenderedSQLReparses checks that any successfully parsed
+// query from a generator of small random queries re-parses after rendering.
+func TestParsePropertyRenderedSQLReparses(t *testing.T) {
+	cols := []string{"n_nationkey", "n_name", "n_regionkey", "n_comment"}
+	ops := []string{"=", "<>", "<", ">", "<=", ">="}
+	f := func(colIdx, opIdx uint8, limit uint8, desc bool) bool {
+		col := cols[int(colIdx)%len(cols)]
+		op := ops[int(opIdx)%len(ops)]
+		sql := "SELECT " + col + " FROM nation WHERE n_nationkey " + op + " 5"
+		if desc {
+			sql += " ORDER BY " + col + " DESC"
+		}
+		if limit > 0 {
+			sql += " LIMIT " + strconvItoa(int(limit))
+		}
+		stmt, err := Parse(sql)
+		if err != nil {
+			return false
+		}
+		stmt2, err := Parse(stmt.SQL())
+		if err != nil {
+			return false
+		}
+		return stmt.SQL() == stmt2.SQL()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func strconvItoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}

@@ -1,0 +1,345 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// SQL dialect used throughout sqalpel: the subset of SQL-92 plus the common
+// analytic extensions needed by TPC-H, the Star Schema Benchmark and the
+// airtraffic workloads (joins, sub-queries, CASE expressions, EXISTS / IN /
+// BETWEEN / LIKE predicates, arithmetic, aggregates, date literals and
+// intervals, GROUP BY / HAVING / ORDER BY / LIMIT).
+//
+// The parser produces an AST (see ast.go) that the derive package walks to
+// turn a baseline query into a sqalpel query-space grammar, and that the
+// engine package compiles into executable plans.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a lexical token.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokOperator
+	TokLParen
+	TokRParen
+	TokComma
+	TokSemicolon
+	TokDot
+	TokParam // ${name} style parameter, used when parsing template text
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokOperator:
+		return "operator"
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokComma:
+		return ","
+	case TokSemicolon:
+		return ";"
+	case TokDot:
+		return "."
+	case TokParam:
+		return "parameter"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is a single lexical token with its position in the input.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords are upper-cased, identifiers keep their case
+	Pos  int    // byte offset in the input
+	Line int    // 1-based line number
+	Col  int    // 1-based column number
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords recognised by the lexer. Identifiers matching these (case
+// insensitively) are classified as TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "EXISTS": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "DISTINCT": true,
+	"ALL": true, "ANY": true, "SOME": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true, "CROSS": true,
+	"ON": true, "USING": true, "UNION": true, "EXCEPT": true, "INTERSECT": true,
+	"ASC": true, "DESC": true, "DATE": true, "INTERVAL": true, "YEAR": true,
+	"MONTH": true, "DAY": true, "EXTRACT": true, "SUBSTRING": true, "FOR": true,
+	"CAST": true, "TRUE": true, "FALSE": true, "TOP": true, "NULLS": true,
+	"FIRST": true, "LAST": true, "WITH": true, "VALUES": true,
+}
+
+// aggregate function names; used by the parser and by derive to classify
+// projection elements.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregateName reports whether name (any case) is a recognised SQL
+// aggregate function name.
+func IsAggregateName(name string) bool {
+	return aggregateFuncs[strings.ToUpper(name)]
+}
+
+// IsKeyword reports whether the given word (any case) is a reserved keyword
+// of the sqalpel SQL dialect.
+func IsKeyword(word string) bool {
+	return keywords[strings.ToUpper(word)]
+}
+
+// Lexer turns SQL text into a stream of tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the given SQL text.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize lexes the whole input and returns the token slice terminated by a
+// TokEOF token. It returns an error for unterminated strings or illegal
+// characters.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peekByteAt(1) == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token in the input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start, line, col := l.pos, l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: line, Col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: start, Line: line, Col: col}, nil
+	case c == ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: start, Line: line, Col: col}, nil
+	case c == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: start, Line: line, Col: col}, nil
+	case c == ';':
+		l.advance()
+		return Token{Kind: TokSemicolon, Text: ";", Pos: start, Line: line, Col: col}, nil
+	case c == '$' && l.peekByteAt(1) == '{':
+		// ${name} template parameter (used by the grammar layer).
+		l.advance()
+		l.advance()
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.peekByte() != '}' {
+			sb.WriteByte(l.advance())
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("line %d: unterminated ${...} parameter", line)
+		}
+		l.advance() // consume '}'
+		return Token{Kind: TokParam, Text: sb.String(), Pos: start, Line: line, Col: col}, nil
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("line %d: unterminated string literal", line)
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				// '' escapes a quote inside a string
+				if l.peekByte() == '\'' {
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: sb.String(), Pos: start, Line: line, Col: col}, nil
+	case c == '"':
+		// Double-quoted identifier.
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("line %d: unterminated quoted identifier", line)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		return Token{Kind: TokIdent, Text: sb.String(), Pos: start, Line: line, Col: col}, nil
+	case isDigit(c) || (c == '.' && isDigit(l.peekByteAt(1))):
+		var sb strings.Builder
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.peekByte()
+			if isDigit(ch) {
+				sb.WriteByte(l.advance())
+				continue
+			}
+			if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				sb.WriteByte(l.advance())
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp && isDigitOrSign(l.peekByteAt(1)) {
+				seenExp = true
+				sb.WriteByte(l.advance())
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					sb.WriteByte(l.advance())
+				}
+				continue
+			}
+			break
+		}
+		return Token{Kind: TokNumber, Text: sb.String(), Pos: start, Line: line, Col: col}, nil
+	case c == '.':
+		l.advance()
+		return Token{Kind: TokDot, Text: ".", Pos: start, Line: line, Col: col}, nil
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			sb.WriteByte(l.advance())
+		}
+		word := sb.String()
+		if IsKeyword(word) {
+			return Token{Kind: TokKeyword, Text: strings.ToUpper(word), Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start, Line: line, Col: col}, nil
+	default:
+		// Operators, possibly two characters.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.advance()
+			l.advance()
+			return Token{Kind: TokOperator, Text: two, Pos: start, Line: line, Col: col}, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '%':
+			l.advance()
+			return Token{Kind: TokOperator, Text: string(c), Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{}, fmt.Errorf("line %d col %d: illegal character %q", line, col, string(c))
+	}
+}
+
+func isDigitOrSign(c byte) bool {
+	return isDigit(c) || c == '+' || c == '-'
+}

@@ -1,0 +1,84 @@
+// Package sysload captures the CPU load averages the experiment driver
+// reports alongside each measurement, mirroring the paper's use of the
+// Linux 1/5/15-minute load averages as an indication of processor load
+// during a run. On systems without /proc/loadavg a portable fallback based
+// on the Go runtime is used so the reporting shape stays identical.
+package sysload
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Load is a snapshot of the system load.
+type Load struct {
+	// Avg1, Avg5 and Avg15 are the 1, 5 and 15 minute load averages.
+	Avg1  float64
+	Avg5  float64
+	Avg15 float64
+	// Source documents where the numbers came from: "proc" for
+	// /proc/loadavg, "runtime" for the portable fallback.
+	Source string
+}
+
+// String renders the load the way `uptime` does.
+func (l Load) String() string {
+	return fmt.Sprintf("%.2f %.2f %.2f (%s)", l.Avg1, l.Avg5, l.Avg15, l.Source)
+}
+
+// Map returns the load as the key/value pairs attached to experiment
+// results.
+func (l Load) Map() map[string]string {
+	return map[string]string{
+		"load_avg_1":  fmt.Sprintf("%.2f", l.Avg1),
+		"load_avg_5":  fmt.Sprintf("%.2f", l.Avg5),
+		"load_avg_15": fmt.Sprintf("%.2f", l.Avg15),
+		"load_source": l.Source,
+	}
+}
+
+// procLoadavgPath is a variable so tests can point it at a fixture.
+var procLoadavgPath = "/proc/loadavg"
+
+// Sample captures the current load.
+func Sample() Load {
+	if l, ok := fromProc(); ok {
+		return l
+	}
+	return fromRuntime()
+}
+
+// fromProc parses /proc/loadavg when available.
+func fromProc() (Load, bool) {
+	data, err := os.ReadFile(procLoadavgPath)
+	if err != nil {
+		return Load{}, false
+	}
+	return ParseProcLoadavg(string(data))
+}
+
+// ParseProcLoadavg parses the /proc/loadavg format: "0.42 0.36 0.30 1/123 456".
+func ParseProcLoadavg(content string) (Load, bool) {
+	fields := strings.Fields(content)
+	if len(fields) < 3 {
+		return Load{}, false
+	}
+	a1, err1 := strconv.ParseFloat(fields[0], 64)
+	a5, err2 := strconv.ParseFloat(fields[1], 64)
+	a15, err3 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Load{}, false
+	}
+	return Load{Avg1: a1, Avg5: a5, Avg15: a15, Source: "proc"}, true
+}
+
+// fromRuntime approximates load from the number of running goroutines
+// relative to the number of CPUs; it keeps the reporting pipeline working on
+// platforms without /proc.
+func fromRuntime() Load {
+	load := float64(runtime.NumGoroutine()) / float64(runtime.NumCPU())
+	return Load{Avg1: load, Avg5: load, Avg15: load, Source: "runtime"}
+}

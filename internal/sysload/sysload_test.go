@@ -1,0 +1,54 @@
+package sysload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseProcLoadavg(t *testing.T) {
+	l, ok := ParseProcLoadavg("0.42 0.36 0.30 1/123 456\n")
+	if !ok {
+		t.Fatal("expected parse to succeed")
+	}
+	if l.Avg1 != 0.42 || l.Avg5 != 0.36 || l.Avg15 != 0.30 {
+		t.Errorf("parsed = %+v", l)
+	}
+	if l.Source != "proc" {
+		t.Errorf("source = %q", l.Source)
+	}
+	if _, ok := ParseProcLoadavg("garbage"); ok {
+		t.Error("garbage should not parse")
+	}
+	if _, ok := ParseProcLoadavg("a b c"); ok {
+		t.Error("non numeric fields should not parse")
+	}
+}
+
+func TestSampleNeverFails(t *testing.T) {
+	l := Sample()
+	if l.Source != "proc" && l.Source != "runtime" {
+		t.Errorf("unexpected source %q", l.Source)
+	}
+	if l.Avg1 < 0 {
+		t.Errorf("negative load %f", l.Avg1)
+	}
+	if !strings.Contains(l.String(), l.Source) {
+		t.Errorf("String() = %q should mention the source", l.String())
+	}
+	m := l.Map()
+	for _, key := range []string{"load_avg_1", "load_avg_5", "load_avg_15", "load_source"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("Map() missing %s", key)
+		}
+	}
+}
+
+func TestSampleFallsBackWithoutProc(t *testing.T) {
+	old := procLoadavgPath
+	procLoadavgPath = "/nonexistent/loadavg"
+	defer func() { procLoadavgPath = old }()
+	l := Sample()
+	if l.Source != "runtime" {
+		t.Errorf("expected runtime fallback, got %q", l.Source)
+	}
+}

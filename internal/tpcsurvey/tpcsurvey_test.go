@@ -1,0 +1,61 @@
+package tpcsurvey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCensusMatchesPaperTable1(t *testing.T) {
+	rows := Census()
+	if len(rows) != 14 {
+		t.Fatalf("census rows = %d, want 14", len(rows))
+	}
+	byName := map[string]Entry{}
+	for _, e := range rows {
+		byName[e.Benchmark] = e
+	}
+	checks := map[string]int{
+		"TPC-C":           368,
+		"TPC-E":           77,
+		"TPC-H <= SF-300": 252,
+		"TPC-DS":          1,
+		"TPC-DI":          0,
+		"TPCx-IoT":        1,
+	}
+	for name, want := range checks {
+		if byName[name].Reports != want {
+			t.Errorf("%s reports = %d, want %d", name, byName[name].Reports, want)
+		}
+	}
+	if !strings.Contains(strings.Join(byName["TPC-C"].Systems, ","), "Oracle") {
+		t.Error("TPC-C systems should include Oracle")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	if TotalReports() != 368+0+1+77+252+4+6+9+1+0+4+0+0+1 {
+		t.Errorf("total reports = %d", TotalReports())
+	}
+	missing := BenchmarksWithoutResults()
+	if len(missing) != 4 {
+		t.Errorf("benchmarks without results = %v, want 4", missing)
+	}
+	if len(DistinctSystems()) < 10 {
+		t.Errorf("distinct systems = %d, want >= 10", len(DistinctSystems()))
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render()
+	for _, want := range []string{"TPC-C", "368", "benchmarks without public results: 4", "systems reported"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Census returns a copy.
+	rows := Census()
+	rows[0].Reports = 99999
+	if Census()[0].Reports == 99999 {
+		t.Error("Census must return a copy")
+	}
+}

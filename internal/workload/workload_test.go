@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"sqalpel/internal/sqlparser"
+)
+
+func TestTPCHHas22Queries(t *testing.T) {
+	qs := TPCH()
+	if len(qs) != 22 {
+		t.Fatalf("TPCH query count = %d, want 22", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seen[q.ID] = true
+		if q.Name == "" || q.SQL == "" {
+			t.Errorf("query %s is incomplete", q.ID)
+		}
+	}
+}
+
+func TestAllWorkloadQueriesParse(t *testing.T) {
+	for workload, qs := range All() {
+		for _, q := range qs {
+			if _, err := sqlparser.Parse(q.SQL); err != nil {
+				t.Errorf("%s %s does not parse: %v", workload, q.ID, err)
+			}
+		}
+	}
+}
+
+func TestTPCHQueriesRoundTrip(t *testing.T) {
+	for _, q := range TPCH() {
+		stmt, err := sqlparser.Parse(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		rendered := stmt.SQL()
+		stmt2, err := sqlparser.Parse(rendered)
+		if err != nil {
+			t.Fatalf("%s: rendered SQL does not re-parse: %v\n%s", q.ID, err, rendered)
+		}
+		if stmt2.SQL() != rendered {
+			t.Errorf("%s: rendering is not a fixed point", q.ID)
+		}
+	}
+}
+
+func TestTPCHQueryLookup(t *testing.T) {
+	q, err := TPCHQuery("q17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != "Q17" {
+		t.Errorf("lookup returned %s, want Q17", q.ID)
+	}
+	if _, err := TPCHQuery("Q23"); err == nil {
+		t.Error("Q23 should not exist")
+	}
+}
+
+func TestTPCHIDsOrdered(t *testing.T) {
+	ids := TPCHIDs()
+	if len(ids) != 22 {
+		t.Fatalf("id count = %d", len(ids))
+	}
+	if ids[0] != "Q1" || ids[1] != "Q2" || ids[9] != "Q10" || ids[21] != "Q22" {
+		t.Errorf("ids not in numeric order: %v", ids)
+	}
+}
+
+func TestTPCHReturnsCopies(t *testing.T) {
+	a := TPCH()
+	a[0].SQL = "mutated"
+	b := TPCH()
+	if b[0].SQL == "mutated" {
+		t.Error("TPCH should return an independent copy")
+	}
+}
+
+func TestSpecificQueryShapes(t *testing.T) {
+	q1, _ := TPCHQuery("Q1")
+	stmt, err := sqlparser.Parse(q1.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Projection) != 10 {
+		t.Errorf("Q1 projection count = %d, want 10", len(stmt.Projection))
+	}
+	if len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 2 {
+		t.Errorf("Q1 group/order = %d/%d, want 2/2", len(stmt.GroupBy), len(stmt.OrderBy))
+	}
+
+	q19, _ := TPCHQuery("Q19")
+	stmt, err = sqlparser.Parse(q19.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q19 is the classic OR-of-AND query; the WHERE must be a top-level OR.
+	be, ok := stmt.Where.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != "OR" {
+		t.Errorf("Q19 WHERE should be an OR, got %T", stmt.Where)
+	}
+
+	q21, _ := TPCHQuery("Q21")
+	stmt, err = sqlparser.Parse(q21.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := sqlparser.Subqueries(stmt.Where)
+	if len(subs) != 2 {
+		t.Errorf("Q21 should have 2 correlated sub-queries (EXISTS / NOT EXISTS), got %d", len(subs))
+	}
+}
+
+func TestNationSampleGrammarAndBaseline(t *testing.T) {
+	if !strings.Contains(NationSampleGrammar, "l_column:") {
+		t.Error("sample grammar must define l_column")
+	}
+	if _, err := sqlparser.Parse(NationBaselineQuery); err != nil {
+		t.Errorf("baseline query does not parse: %v", err)
+	}
+}
+
+func TestSSBAndAirtrafficShapes(t *testing.T) {
+	if len(SSB()) < 4 {
+		t.Error("expected at least 4 SSB queries")
+	}
+	if len(Airtraffic()) < 3 {
+		t.Error("expected at least 3 airtraffic queries")
+	}
+	for _, q := range SSB() {
+		if !strings.Contains(q.SQL, "lineorder") {
+			t.Errorf("%s should reference the lineorder fact table", q.ID)
+		}
+	}
+	for _, q := range Airtraffic() {
+		if !strings.Contains(q.SQL, "flights") {
+			t.Errorf("%s should reference the flights table", q.ID)
+		}
+	}
+}
