@@ -14,7 +14,7 @@
 //	Figure 6  BenchmarkFigure6PoolPage
 //	Figure 7  BenchmarkFigure7ExperimentHistory
 //	ablations BenchmarkAblation*
-//	substrate BenchmarkEnginesTPCH
+//	substrate BenchmarkEnginesTPCH, BenchmarkParadigmsScanAggregation
 package sqalpel
 
 import (
@@ -453,6 +453,8 @@ func BenchmarkEnginesTPCH(b *testing.B) {
 		engine.NewRowEngine(),
 		engine.NewColEngine(),
 		engine.NewColEngineWithOptions(engine.ColEngineOptions{Version: "2.0", DisableGuardCasts: true}),
+		engine.NewVektorEngine(),
+		engine.NewVektorEngineWithOptions(engine.VektorOptions{Version: "2.0", BatchSize: 4096}),
 	}
 	for _, eng := range engines {
 		eng := eng
@@ -479,6 +481,7 @@ func BenchmarkEnginesQ1(b *testing.B) {
 		engine.NewRowEngine(),
 		engine.NewColEngine(),
 		engine.NewColEngineWithOptions(engine.ColEngineOptions{Version: "2.0", DisableGuardCasts: true}),
+		engine.NewVektorEngine(),
 	}
 	for _, eng := range engines {
 		eng := eng
@@ -489,6 +492,59 @@ func BenchmarkEnginesQ1(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParadigmsScanAggregation compares the three execution paradigms
+// head to head on the scan-heavy aggregation queries the vectorized engine
+// is built for (TPC-H Q1 and Q6 plus SSB Q1.1): tuple-at-a-time
+// interpretation, column-at-a-time interpretation with materialised boxed
+// intermediates, and batch-vectorized execution over typed vectors with
+// selection vectors. The per-paradigm speedup over columba is the headline
+// number of the vektor subsystem.
+func BenchmarkParadigmsScanAggregation(b *testing.B) {
+	tpch := smallTPCH()
+	ssb := datagen.SSB(datagen.SSBOptions{ScaleFactor: 0.002})
+	q1, _ := workload.TPCHQuery("Q1")
+	q6, _ := workload.TPCHQuery("Q6")
+	var ssbQ11 workload.Query
+	for _, q := range workload.SSB() {
+		if q.ID == "SSB-Q1.1" {
+			ssbQ11 = q
+		}
+	}
+	cases := []struct {
+		name string
+		db   *engine.Database
+		sql  string
+	}{
+		{"TPCH-Q1", tpch, q1.SQL},
+		{"TPCH-Q6", tpch, q6.SQL},
+		{"SSB-Q1.1", ssb, ssbQ11.SQL},
+	}
+	paradigms := []struct {
+		name string
+		eng  engine.Engine
+	}{
+		{"tuple-at-a-time", engine.NewRowEngine()},
+		{"column-at-a-time", engine.NewColEngine()},
+		{"batch-vectorized", engine.NewVektorEngine()},
+	}
+	for _, tc := range cases {
+		for _, p := range paradigms {
+			tc, p := tc, p
+			b.Run(tc.name+"/"+p.name, func(b *testing.B) {
+				var rows int
+				for i := 0; i < b.N; i++ {
+					res, err := p.eng.Execute(tc.db, tc.sql, engine.ExecOptions{Timeout: time.Minute})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = res.NumRows()
+				}
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
 	}
 }
 

@@ -10,10 +10,12 @@
 //   - internal/grammar, internal/derive and internal/pool implement the
 //     query-space DSL, the SQL-to-grammar conversion and the alter / expand /
 //     prune morphing strategies.
-//   - internal/engine, internal/datagen and internal/workload are the
-//     execution substrate: two SQL engines with different performance
-//     profiles, deterministic TPC-H / SSB / airtraffic data generators and
-//     the corresponding query workloads.
+//   - internal/engine, internal/vexec, internal/datagen and
+//     internal/workload are the execution substrate: three SQL execution
+//     paradigms with genuinely different performance profiles
+//     (tuple-at-a-time, column-at-a-time and the batch-vectorized vektor
+//     engine built on internal/vexec), deterministic TPC-H / SSB /
+//     airtraffic data generators and the corresponding query workloads.
 //   - internal/server, internal/webui, internal/repository, internal/catalog
 //     and internal/driver form the sharing platform (projects, access
 //     control, task queue, results, analytics pages) and its experiment

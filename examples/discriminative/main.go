@@ -1,9 +1,11 @@
-// discriminative hunts for discriminative queries between the two built-in
+// discriminative hunts for discriminative queries between the built-in
 // engines on a real TPC-H workload: it derives the grammar of TPC-H Q1 and
 // Q6, grows their pools with the guided random walk and reports which query
 // variants run relatively better on the column store and which on the row
 // store — together with the dominant-component analysis that explains why
-// (the paper's Figure 2 observation about the sum_charge expression).
+// (the paper's Figure 2 observation about the sum_charge expression) and
+// the three-paradigm discrimination matrix that adds the batch-vectorized
+// vektor engine to the comparison.
 //
 // Run with:
 //
@@ -24,6 +26,7 @@ func main() {
 	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.01})
 	colKey := "columba-1.0"
 	rowKey := "tuplestore-1.0"
+	vekKey := "vektor-1.0"
 
 	for _, id := range []string{"Q1", "Q6"} {
 		q, err := workload.TPCHQuery(id)
@@ -38,6 +41,7 @@ func main() {
 		}
 		project.AddEngineTarget(colKey, engine.NewColEngine(), db)
 		project.AddEngineTarget(rowKey, engine.NewRowEngine(), db)
+		project.AddEngineTarget(vekKey, engine.NewVektorEngine(), db)
 
 		if err := project.SeedPool(10); err != nil {
 			log.Fatal(err)
@@ -71,6 +75,20 @@ func main() {
 				break
 			}
 			fmt.Printf("  %+0.4fs  %s\n", c.Delta, c.Term)
+		}
+
+		fmt.Printf("\nthree-paradigm discrimination matrix (best ratio per pair):\n")
+		cells, err := project.Matrix()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cell := range cells {
+			if cell.Best == nil {
+				fmt.Printf("  %-16s > %-16s  (no separating query)\n", cell.Fast, cell.Slow)
+				continue
+			}
+			fmt.Printf("  %-16s > %-16s  %.2fx on #%d (%d queries)\n",
+				cell.Fast, cell.Slow, cell.Best.Ratio, cell.Best.Outcome.Entry.ID, cell.Count)
 		}
 		fmt.Println()
 	}

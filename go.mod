@@ -1,0 +1,3 @@
+module sqalpel
+
+go 1.22

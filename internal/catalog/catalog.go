@@ -87,6 +87,16 @@ func Bootstrap() *Catalog {
 		Description: "Column-at-a-time engine, new release without the overflow-guard widening pass.",
 		Knobs:       map[string]string{"execution_model": "column-at-a-time", "guard_casts": "off"},
 	})
+	c.AddDBMS(DBMS{
+		Name: "vektor", Version: "1.0", Vendor: "sqalpel", Dialect: "vektor",
+		Description: "Batch-vectorized engine: typed unboxed vectors, selection-vector filters, 1024-row pipelines.",
+		Knobs:       map[string]string{"execution_model": "batch-at-a-time", "batch_size": "1024"},
+	})
+	c.AddDBMS(DBMS{
+		Name: "vektor", Version: "2.0", Vendor: "sqalpel", Dialect: "vektor",
+		Description: "Batch-vectorized engine, new release with quadrupled 4096-row batches.",
+		Knobs:       map[string]string{"execution_model": "batch-at-a-time", "batch_size": "4096"},
+	})
 	c.AddPlatform(Platform{Name: "raspberry-pi-4", CPU: "ARM Cortex-A72", Cores: 4, MemoryGB: 4,
 		Description: "Small single-board computer used for the low end of the spectrum."})
 	c.AddPlatform(Platform{Name: "xeon-e5-4657l", CPU: "Intel Xeon E5-4657L", Cores: 48, MemoryGB: 1024,

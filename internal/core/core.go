@@ -159,6 +159,28 @@ func (p *Project) AddEngineTarget(name string, eng engine.Engine, db *engine.Dat
 	p.AddTarget(name, &EngineTarget{Engine: eng, DB: db, Timeout: 30 * time.Second})
 }
 
+// AddRegistryTargets registers every built-in engine (all three execution
+// paradigms, every release) against the database and returns the target
+// names in registry order.
+func (p *Project) AddRegistryTargets(db *engine.Database) []string {
+	reg := engine.NewRegistry()
+	keys := reg.Keys()
+	for _, key := range keys {
+		p.AddEngineTarget(key, reg.Get(key), db)
+	}
+	return keys
+}
+
+// Matrix computes the pairwise discrimination matrix over every registered
+// target from the outcomes measured so far.
+func (p *Project) Matrix() ([]discriminative.MatrixCell, error) {
+	s, err := p.ensureSearch()
+	if err != nil {
+		return nil, err
+	}
+	return s.Matrix(), nil
+}
+
 // Targets returns the registered target names, sorted.
 func (p *Project) Targets() []string {
 	names := make([]string, 0, len(p.targets))

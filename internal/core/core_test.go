@@ -172,3 +172,42 @@ func TestMeasureAllAndExplicitPair(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRegistryTargetsAndMatrix registers every built-in engine — the three
+// execution paradigms — measures the pool once and reads the pairwise
+// discrimination matrix.
+func TestRegistryTargetsAndMatrix(t *testing.T) {
+	p, err := NewProject("nation", workload.NationBaselineQuery, ProjectOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := p.AddRegistryTargets(smallTPCH)
+	if len(keys) < 5 {
+		t.Fatalf("registry targets = %v, want at least 5", keys)
+	}
+	if got := p.Targets(); len(got) != len(keys) {
+		t.Fatalf("targets = %v", got)
+	}
+	families := map[string]bool{}
+	for _, k := range keys {
+		families[strings.SplitN(k, "-", 2)[0]] = true
+	}
+	for _, want := range []string{"tuplestore", "columba", "vektor"} {
+		if !families[want] {
+			t.Errorf("missing paradigm %s in %v", want, keys)
+		}
+	}
+	if err := p.SeedPool(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MeasureAll(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := p.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(keys) * (len(keys) - 1); len(cells) != want {
+		t.Errorf("matrix cells = %d, want %d", len(cells), want)
+	}
+}

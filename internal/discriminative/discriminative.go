@@ -219,6 +219,40 @@ func (s *Search) Better(fast, slow string, topN int) []Finding {
 	return findings
 }
 
+// MatrixCell is one ordered pair of the discrimination matrix: how many
+// measured queries run relatively better on Fast than on Slow, and the most
+// extreme one.
+type MatrixCell struct {
+	Fast  string
+	Slow  string
+	Count int
+	// Best is the most discriminative finding of the pair; nil when no
+	// query separates it.
+	Best *Finding
+}
+
+// Matrix computes the full pairwise discrimination matrix over every
+// registered target. With three engine paradigms registered this is the
+// three-way separation table: each paradigm pair gets both directions.
+func (s *Search) Matrix() []MatrixCell {
+	var out []MatrixCell
+	for _, a := range s.names {
+		for _, b := range s.names {
+			if a == b {
+				continue
+			}
+			findings := s.Better(a, b, 0)
+			cell := MatrixCell{Fast: a, Slow: b, Count: len(findings)}
+			if len(findings) > 0 {
+				f := findings[0]
+				cell.Best = &f
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
 // Errors returns the outcomes whose query failed on at least one target;
 // they show up as error entries in the experiment history.
 func (s *Search) Errors() []*Outcome {

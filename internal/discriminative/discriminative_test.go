@@ -192,3 +192,45 @@ func TestOutcomeRatioAndSeconds(t *testing.T) {
 		t.Error("MeasureEntry should cache outcomes")
 	}
 }
+
+// TestMatrixThreeTargets measures three differently tuned fakes and checks
+// that the pairwise discrimination matrix covers every ordered pair and
+// surfaces the separations the fakes are built to show.
+func TestMatrixThreeTargets(t *testing.T) {
+	p := newNationPool(t)
+	targets := map[string]metrics.Target{
+		"fast":   &fakeTarget{base: time.Microsecond},
+		"steady": &fakeTarget{base: 400 * time.Microsecond},
+		"picky":  &fakeTarget{base: time.Microsecond, perComment: 2 * time.Millisecond},
+	}
+	s, err := New(p, targets, Options{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MeasurePending()
+
+	cells := s.Matrix()
+	if len(cells) != 6 {
+		t.Fatalf("matrix cells = %d, want 6 ordered pairs", len(cells))
+	}
+	seen := map[string]MatrixCell{}
+	for _, c := range cells {
+		if c.Fast == c.Slow {
+			t.Fatalf("matrix contains a diagonal cell %q", c.Fast)
+		}
+		seen[c.Fast+">"+c.Slow] = c
+		if c.Best != nil && c.Best.Ratio <= 1 {
+			t.Errorf("%s>%s best ratio = %v, want > 1", c.Fast, c.Slow, c.Best.Ratio)
+		}
+		if (c.Best == nil) != (c.Count == 0) {
+			t.Errorf("%s>%s: best/count disagree", c.Fast, c.Slow)
+		}
+	}
+	// Everything beats the uniformly slow target.
+	for _, fast := range []string{"fast", "picky"} {
+		c := seen[fast+">steady"]
+		if c.Count == 0 {
+			t.Errorf("%s should beat steady on some query", fast)
+		}
+	}
+}

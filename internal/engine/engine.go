@@ -171,12 +171,16 @@ type Registry struct {
 	order   []string
 }
 
-// NewRegistry returns a registry pre-populated with the built-in engines.
+// NewRegistry returns a registry pre-populated with the built-in engines:
+// the three execution paradigms (tuple-at-a-time, column-at-a-time,
+// batch-vectorized), the latter two in two releases each.
 func NewRegistry() *Registry {
 	r := &Registry{engines: map[string]Engine{}}
 	r.Register(NewRowEngine())
 	r.Register(NewColEngine())
 	r.Register(NewColEngineWithOptions(ColEngineOptions{Version: "2.0", DisableGuardCasts: true}))
+	r.Register(NewVektorEngine())
+	r.Register(NewVektorEngineWithOptions(VektorOptions{Version: "2.0", BatchSize: 4096}))
 	return r
 }
 

@@ -37,6 +37,9 @@ type Stats struct {
 	SubqueryExecutions        int64
 	Groups                    int64
 	RowsReturned              int64
+	// Batches counts the fixed-size batches processed by the vectorized
+	// engine; the interpreters always report zero.
+	Batches int64
 }
 
 // Add accumulates other into s.
@@ -51,6 +54,7 @@ func (s *Stats) Add(other Stats) {
 	s.SubqueryExecutions += other.SubqueryExecutions
 	s.Groups += other.Groups
 	s.RowsReturned += other.RowsReturned
+	s.Batches += other.Batches
 }
 
 // Map renders the stats as the key/value list reported to the platform.
@@ -66,6 +70,7 @@ func (s Stats) Map() map[string]int64 {
 		"subquery_executions":        s.SubqueryExecutions,
 		"groups":                     s.Groups,
 		"rows_returned":              s.RowsReturned,
+		"batches":                    s.Batches,
 	}
 }
 
@@ -989,7 +994,7 @@ func (ex *executor) orderKeys(stmt *sqlparser.SelectStatement, ev *evaluator, ou
 			matched := false
 			for ci, it := range items {
 				if !it.star && it.name == strings.ToLower(cr.Column) {
-					keys[i] = out.cols[ci].vals[outRow]
+					keys[i] = out.cols[itemColumn(items, len(out.cols), ci)].vals[outRow]
 					matched = true
 					break
 				}
@@ -1013,6 +1018,26 @@ func (ex *executor) orderKeys(stmt *sqlparser.SelectStatement, ev *evaluator, ou
 		keys[i] = v
 	}
 	return keys, nil
+}
+
+// itemColumn maps a projection item index to its output column index: star
+// items expand to the full star block ahead of the computed columns, so a
+// computed item's column sits after the star block at its non-star rank.
+func itemColumn(items []projectionItem, numOutCols, itemIdx int) int {
+	nonStar := 0
+	for _, it := range items {
+		if !it.star {
+			nonStar++
+		}
+	}
+	starWidth := numOutCols - nonStar
+	rank := 0
+	for i := 0; i < itemIdx; i++ {
+		if !items[i].star {
+			rank++
+		}
+	}
+	return starWidth + rank
 }
 
 // distinctRows removes duplicate output rows (and their sort keys).

@@ -2,7 +2,7 @@
 // runs experiments against. It provides a relational storage layer
 // (Database/Table with column-major storage), a query executor covering the
 // SQL dialect of internal/sqlparser (joins, sub-queries, grouping,
-// aggregation, ordering), and two execution back-ends with genuinely
+// aggregation, ordering), and three execution back-ends with genuinely
 // different performance profiles:
 //
 //   - RowEngine: a tuple-at-a-time interpreter that carries full rows,
@@ -12,10 +12,14 @@
 //     filters with one pass per conjunct, and materialises every arithmetic
 //     intermediate as a full vector with an overflow-guarding widening pass —
 //     the profile of MonetDB-style systems the paper reports on.
+//   - VektorEngine: a batch-vectorized engine (see internal/vexec) working
+//     on typed unboxed vectors with selection vectors and fixed-size batch
+//     pipelines — the VectorWise-style profile; statements outside its
+//     subset fall back to the column interpreter.
 //
-// The two engines stand in for the external DBMSs the paper drives over
-// JDBC: discriminative benchmarking needs two systems that accept the same
-// dialect but disagree on performance, which is exactly what they provide.
+// The engines stand in for the external DBMSs the paper drives over JDBC:
+// discriminative benchmarking needs systems that accept the same dialect
+// but disagree on performance, which is exactly what they provide.
 package engine
 
 import (

@@ -1,0 +1,169 @@
+package vexec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// colMeta names one column of a batch: the table alias it came from (empty
+// for computed columns) and the column name, both lower case.
+type colMeta struct {
+	table string
+	name  string
+}
+
+// Batch is the unit of data flowing between operators: a set of typed
+// vectors of equal physical length plus an optional selection vector. When
+// sel is non-nil only the listed row indexes are live; filters shrink sel
+// instead of copying the payload vectors.
+type Batch struct {
+	cols []*Vector
+	meta []colMeta
+	sel  []int
+	n    int // physical rows in the vectors
+}
+
+// newBatch builds a batch over dense vectors.
+func newBatch(n int) *Batch { return &Batch{n: n} }
+
+// addCol appends a column.
+func (b *Batch) addCol(table, name string, v *Vector) {
+	b.cols = append(b.cols, v)
+	b.meta = append(b.meta, colMeta{table: strings.ToLower(table), name: strings.ToLower(name)})
+}
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// errColumnNotFound distinguishes "not in this batch" from ambiguity.
+var errColumnNotFound = fmt.Errorf("column not found")
+
+// findColumn resolves a possibly qualified column reference with the same
+// rules as the interpreter's relation: unqualified lookups over columns of
+// the same name in different tables are ambiguous.
+func (b *Batch) findColumn(table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i, m := range b.meta {
+		if m.name != name {
+			continue
+		}
+		if table != "" && m.table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, errColumnNotFound
+	}
+	return found, nil
+}
+
+// dense returns column i as a dense vector over the live rows: the column
+// itself when no selection is active (zero copy), a gathered copy otherwise.
+func (b *Batch) dense(i int) *Vector {
+	if b.sel == nil {
+		return b.cols[i]
+	}
+	return b.cols[i].Gather(b.sel)
+}
+
+// compact applies the selection vector, turning the batch into a dense one.
+func (b *Batch) compact() *Batch {
+	if b.sel == nil {
+		return b
+	}
+	out := &Batch{n: len(b.sel), meta: b.meta}
+	out.cols = make([]*Vector, len(b.cols))
+	for i, c := range b.cols {
+		out.cols[i] = c.Gather(b.sel)
+	}
+	return out
+}
+
+// gatherRows builds a dense batch containing the given physical row indexes.
+func (b *Batch) gatherRows(rows []int) *Batch {
+	out := &Batch{n: len(rows), meta: b.meta}
+	out.cols = make([]*Vector, len(b.cols))
+	for i, c := range b.cols {
+		out.cols[i] = c.Gather(rows)
+	}
+	return out
+}
+
+// concatBatches stitches dense copies of the batches into one dense batch.
+// All batches must share the same column layout; a nil result means zero
+// batches were supplied.
+func concatBatches(batches []*Batch) *Batch {
+	if len(batches) == 0 {
+		return nil
+	}
+	first := batches[0]
+	total := 0
+	for _, b := range batches {
+		total += b.Len()
+	}
+	out := &Batch{n: total, meta: first.meta}
+	out.cols = make([]*Vector, len(first.cols))
+	for ci := range first.cols {
+		out.cols[ci] = concatVectors(batches, ci, total)
+	}
+	return out
+}
+
+// concatVectors concatenates column ci of the batches (dense views) into one
+// vector. The column kind is uniform across batches of one pipeline — all
+// slices of one scan or gathers of one join share it — except that KindNull
+// (empty) chunks and float chunks with/without the IsInt mask may mix.
+func concatVectors(batches []*Batch, ci, total int) *Vector {
+	kind := KindNull
+	anyIsInt := false
+	for _, b := range batches {
+		c := b.cols[ci]
+		if c.Kind != KindNull {
+			kind = c.Kind
+		}
+		if c.IsInt != nil {
+			anyIsInt = true
+		}
+	}
+	out := NewVector(kind, total)
+	if kind == KindFloat && anyIsInt {
+		out.Ints = make([]int64, total)
+		out.IsInt = make([]bool, total)
+	}
+	pos := 0
+	for _, b := range batches {
+		v := b.dense(ci)
+		for i := 0; i < v.Len(); i++ {
+			if v.IsNull(i) {
+				out.SetNull(pos)
+				pos++
+				continue
+			}
+			switch kind {
+			case KindInt, KindDate, KindBool:
+				out.Ints[pos] = v.Ints[i]
+			case KindFloat:
+				out.Floats[pos] = v.Floats[i]
+				if v.IsInt != nil && v.IsInt[i] {
+					out.Ints[pos] = v.Ints[i]
+					out.IsInt[pos] = true
+				}
+			case KindString:
+				out.Strs[pos] = v.Strs[i]
+			}
+			pos++
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package vexec is sqalpel's third execution paradigm: a batch-at-a-time
+// vectorized executor in the VectorWise tradition, contrasting with the
+// tuple-at-a-time interpreter (tuplestore) and the full-column materializing
+// interpreter (columba) of internal/engine.
+//
+// Its distinguishing mechanics:
+//
+//   - Typed, unboxed columnar vectors ([]int64, []float64, []string) with
+//     separate null bitmaps instead of boxed []Value cells. Numeric vectors
+//     may carry a per-row int/float duality mask so the SQL value semantics
+//     of internal/engine (exact integer arithmetic, int-preserving division)
+//     are reproduced bit for bit.
+//   - Selection vectors: filters shrink an index list over a batch instead
+//     of copying payload columns; one pass per conjunct, like a column store,
+//     but over fixed-size batches.
+//   - A pull-based operator pipeline (scan -> filter -> hash join -> hash
+//     aggregate -> order/limit -> project) processing fixed-size batches
+//     (default 1024 rows) end to end, so intermediates stay cache resident.
+//
+// The package depends only on internal/sqlparser. It executes the dialect
+// subset that vectorizes well (conjunctive filters, equi hash joins, hash
+// aggregation, ordering, DISTINCT, LIMIT and the full scalar expression
+// repertoire); statements using sub-queries, outer joins, derived tables or
+// set operations return ErrUnsupported so the engine-level adapter
+// (internal/engine's vektor family) can fall back to the interpreter. The
+// conversion from the boxed []Value storage of engine.Database into typed
+// vectors happens once per table in that adapter, not here.
+package vexec

@@ -1,0 +1,809 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// ErrUnsupported marks statements (or runtime value shapes) outside the
+// vectorized subset; the engine-level adapter falls back to the interpreter
+// when it sees this error.
+var ErrUnsupported = errors.New("vexec: unsupported construct")
+
+// DefaultBatchSize is the number of rows per pipeline batch.
+const DefaultBatchSize = 1024
+
+const defaultMaxJoinRows = 4_000_000
+
+// Options configure one execution.
+type Options struct {
+	// BatchSize is the pipeline batch size (default 1024).
+	BatchSize int
+	// MaxJoinRows guards intermediate join sizes (default 4,000,000).
+	MaxJoinRows int
+	// Deadline aborts the query when passed; zero means no deadline.
+	Deadline time.Time
+}
+
+// Stats are the execution counters of one run.
+type Stats struct {
+	RowsScanned  int64
+	Batches      int64
+	FilterPasses int64
+	HashJoins    int64
+	LoopJoins    int64
+	Groups       int64
+	RowsReturned int64
+}
+
+// Result is a finished query: named, typed output columns.
+type Result struct {
+	Columns []string
+	Cols    []*Vector
+	Stats   Stats
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// executor runs one statement.
+type executor struct {
+	cat   Catalog
+	opts  Options
+	stats Stats
+}
+
+// Execute runs a parsed SELECT against the catalog.
+func Execute(cat Catalog, stmt *sqlparser.SelectStatement, opts Options) (*Result, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.MaxJoinRows <= 0 {
+		opts.MaxJoinRows = defaultMaxJoinRows
+	}
+	if err := checkSupported(stmt); err != nil {
+		return nil, err
+	}
+	ex := &executor{cat: cat, opts: opts}
+	res, err := ex.run(stmt)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ex.stats
+	return res, nil
+}
+
+// checkDeadline aborts overdue queries; called once per batch.
+func (ex *executor) checkDeadline() error {
+	if ex.opts.Deadline.IsZero() {
+		return nil
+	}
+	if time.Now().After(ex.opts.Deadline) {
+		return fmt.Errorf("query exceeded its time budget")
+	}
+	return nil
+}
+
+// --- static support check ----------------------------------------------------
+
+// checkSupported rejects the statement shapes the vectorized subset does not
+// cover: set operations, derived tables, outer joins and sub-queries.
+func checkSupported(stmt *sqlparser.SelectStatement) error {
+	if stmt.SetNext != nil {
+		return fmt.Errorf("%w: set operations", ErrUnsupported)
+	}
+	exprs := []sqlparser.Expr{stmt.Where, stmt.Having}
+	for _, p := range stmt.Projection {
+		exprs = append(exprs, p.Expr)
+	}
+	exprs = append(exprs, stmt.GroupBy...)
+	for _, o := range stmt.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if len(sqlparser.Subqueries(e)) > 0 {
+			return fmt.Errorf("%w: sub-queries", ErrUnsupported)
+		}
+	}
+	var checkTE func(te sqlparser.TableExpr) error
+	checkTE = func(te sqlparser.TableExpr) error {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			return nil
+		case *sqlparser.DerivedTable:
+			return fmt.Errorf("%w: derived tables", ErrUnsupported)
+		case *sqlparser.JoinExpr:
+			if t.Kind == "LEFT" || t.Kind == "RIGHT" || t.Kind == "FULL" {
+				return fmt.Errorf("%w: %s outer joins", ErrUnsupported, t.Kind)
+			}
+			if t.On != nil && len(sqlparser.Subqueries(t.On)) > 0 {
+				return fmt.Errorf("%w: sub-queries", ErrUnsupported)
+			}
+			if err := checkTE(t.Left); err != nil {
+				return err
+			}
+			return checkTE(t.Right)
+		default:
+			return fmt.Errorf("%w: table expression %T", ErrUnsupported, te)
+		}
+	}
+	for _, te := range stmt.From {
+		if err := checkTE(te); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func statementHasAggregates(stmt *sqlparser.SelectStatement) bool {
+	for _, p := range stmt.Projection {
+		if p.Expr != nil && sqlparser.HasAggregate(p.Expr) {
+			return true
+		}
+	}
+	return stmt.Having != nil && sqlparser.HasAggregate(stmt.Having)
+}
+
+// --- predicate helpers (mirroring the interpreter's planning) ----------------
+
+func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+func splitOr(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *sqlparser.BinaryExpr:
+		if v.Op == "OR" {
+			return append(splitOr(v.Left), splitOr(v.Right)...)
+		}
+	case *sqlparser.ParenExpr:
+		return splitOr(v.Expr)
+	}
+	return []sqlparser.Expr{e}
+}
+
+func unwrapParens(e sqlparser.Expr) sqlparser.Expr {
+	for {
+		p, ok := e.(*sqlparser.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.Expr
+	}
+}
+
+// liftCommonOrConjuncts lifts predicates occurring in every arm of a
+// top-level OR to the top level (the TPC-H Q19 pattern), so join edges
+// buried in the disjunction can still drive hash joins.
+func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
+	out := append([]sqlparser.Expr(nil), conjuncts...)
+	for _, c := range conjuncts {
+		arms := splitOr(c)
+		if len(arms) < 2 {
+			continue
+		}
+		common := map[string]sqlparser.Expr{}
+		for _, p := range splitAnd(unwrapParens(arms[0])) {
+			common[p.SQL()] = p
+		}
+		for _, arm := range arms[1:] {
+			present := map[string]bool{}
+			for _, p := range splitAnd(unwrapParens(arm)) {
+				present[p.SQL()] = true
+			}
+			for k := range common {
+				if !present[k] {
+					delete(common, k)
+				}
+			}
+		}
+		for _, p := range common {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// schemaFind resolves a column reference against a schema with the same
+// ambiguity rules as Batch.findColumn.
+func schemaFind(meta []colMeta, table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i, m := range meta {
+		if m.name != name {
+			continue
+		}
+		if table != "" && m.table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, errColumnNotFound
+	}
+	return found, nil
+}
+
+func resolvesInSchema(c *sqlparser.ColumnRef, meta []colMeta) bool {
+	_, err := schemaFind(meta, c.Table, c.Column)
+	return err == nil
+}
+
+func allRefsResolve(e sqlparser.Expr, meta []colMeta) bool {
+	ok := true
+	for _, c := range sqlparser.ColumnsIn(e) {
+		if !resolvesInSchema(c, meta) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// isEquiJoinBetween reports whether the conjunct is `a = b` with a resolving
+// only on the left schema and b only on the right (or vice versa).
+func isEquiJoinBetween(c sqlparser.Expr, left, right []colMeta) bool {
+	be, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	lc, lok := be.Left.(*sqlparser.ColumnRef)
+	rc, rok := be.Right.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return false
+	}
+	lInLeft, lInRight := resolvesInSchema(lc, left), resolvesInSchema(lc, right)
+	rInLeft, rInRight := resolvesInSchema(rc, left), resolvesInSchema(rc, right)
+	return (lInLeft && !lInRight && rInRight && !rInLeft) ||
+		(rInLeft && !rInRight && lInRight && !lInLeft)
+}
+
+func equiJoinSides(c sqlparser.Expr, left []colMeta) (sqlparser.Expr, sqlparser.Expr) {
+	be := c.(*sqlparser.BinaryExpr)
+	lc := be.Left.(*sqlparser.ColumnRef)
+	if resolvesInSchema(lc, left) {
+		return be.Left, be.Right
+	}
+	return be.Right, be.Left
+}
+
+// --- planning ----------------------------------------------------------------
+
+func (ex *executor) run(stmt *sqlparser.SelectStatement) (*Result, error) {
+	if len(stmt.Projection) == 0 {
+		return nil, fmt.Errorf("query has no projection")
+	}
+	pipe, err := ex.buildFrom(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.GroupBy) > 0 || statementHasAggregates(stmt) {
+		return ex.runGrouped(stmt, pipe)
+	}
+	return ex.runRows(stmt, pipe)
+}
+
+// buildFrom assembles the scan/filter/join pipeline of the FROM and WHERE
+// clauses. Single-table conjuncts are pushed below the joins (a selection
+// the interpreter does not perform — the result set is provably identical);
+// equi-join conjuncts drive hash joins; the rest is applied as a residual
+// filter after the joins.
+func (ex *executor) buildFrom(stmt *sqlparser.SelectStatement) (operator, error) {
+	conjuncts := liftCommonOrConjuncts(splitAnd(stmt.Where))
+	if len(stmt.From) == 0 {
+		var op operator = &dualOp{}
+		if len(conjuncts) > 0 {
+			op = &filterOp{ex: ex, child: op, conjuncts: conjuncts}
+		}
+		return op, nil
+	}
+
+	pipes := make([]operator, len(stmt.From))
+	for i, te := range stmt.From {
+		p, err := ex.buildTableExpr(te)
+		if err != nil {
+			return nil, err
+		}
+		pipes[i] = p
+	}
+
+	// Push single-table conjuncts below the joins. A conjunct is pushed only
+	// when its references resolve in exactly one pipeline, so references that
+	// would be ambiguous over the joined relation still fail the same way
+	// they do in the interpreter.
+	pushed := make([][]sqlparser.Expr, len(pipes))
+	for ci, c := range conjuncts {
+		if c == nil {
+			continue
+		}
+		if len(sqlparser.ColumnsIn(c)) == 0 && len(pipes) > 0 {
+			// Constant predicates apply anywhere; evaluate them once on the
+			// first pipeline.
+			pushed[0] = append(pushed[0], c)
+			conjuncts[ci] = nil
+			continue
+		}
+		target := -1
+		for pi := range pipes {
+			if allRefsResolve(c, pipes[pi].schema()) {
+				if target >= 0 {
+					target = -2 // ambiguous: leave as residual
+					break
+				}
+				target = pi
+			}
+		}
+		if target >= 0 {
+			pushed[target] = append(pushed[target], c)
+			conjuncts[ci] = nil
+		}
+	}
+	for pi := range pipes {
+		if len(pushed[pi]) > 0 {
+			pipes[pi] = &filterOp{ex: ex, child: pipes[pi], conjuncts: pushed[pi]}
+		}
+	}
+
+	var current operator
+	if len(pipes) == 1 {
+		current = pipes[0]
+	} else {
+		// Multiple FROM items: materialize and stitch with hash joins over
+		// the equi-join conjuncts, mirroring the interpreter's join order.
+		mats := make([]*Batch, len(pipes))
+		for i, p := range pipes {
+			m, err := materialize(p)
+			if err != nil {
+				return nil, err
+			}
+			mats[i] = m
+		}
+		cur := mats[0]
+		remaining := mats[1:]
+		for len(remaining) > 0 {
+			bestIdx := -1
+			var joinConjuncts []int
+			for ri, r := range remaining {
+				var edges []int
+				for ci, c := range conjuncts {
+					if c == nil {
+						continue
+					}
+					if isEquiJoinBetween(c, cur.meta, r.meta) {
+						edges = append(edges, ci)
+					}
+				}
+				if len(edges) > 0 {
+					bestIdx = ri
+					joinConjuncts = edges
+					break
+				}
+			}
+			if bestIdx < 0 {
+				joined, err := ex.crossJoin(cur, remaining[0])
+				if err != nil {
+					return nil, err
+				}
+				cur = joined
+				remaining = remaining[1:]
+				continue
+			}
+			var leftKeys, rightKeys []sqlparser.Expr
+			for _, ci := range joinConjuncts {
+				l, r := equiJoinSides(conjuncts[ci], cur.meta)
+				leftKeys = append(leftKeys, l)
+				rightKeys = append(rightKeys, r)
+				conjuncts[ci] = nil
+			}
+			joined, err := ex.hashJoin(cur, remaining[bestIdx], leftKeys, rightKeys)
+			if err != nil {
+				return nil, err
+			}
+			cur = joined
+			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		}
+		current = &matOp{ex: ex, b: cur}
+	}
+
+	var residual []sqlparser.Expr
+	for _, c := range conjuncts {
+		if c != nil {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		current = &filterOp{ex: ex, child: current, conjuncts: residual}
+	}
+	return current, nil
+}
+
+// buildTableExpr builds the pipeline of one FROM item.
+func (ex *executor) buildTableExpr(te sqlparser.TableExpr) (operator, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		table, err := ex.cat.VTable(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		return newScanOp(ex, table, t.Alias), nil
+	case *sqlparser.JoinExpr:
+		b, err := ex.buildJoinBatch(t)
+		if err != nil {
+			return nil, err
+		}
+		return &matOp{ex: ex, b: b}, nil
+	default:
+		return nil, fmt.Errorf("%w: table expression %T", ErrUnsupported, te)
+	}
+}
+
+// buildJoinBatch materializes an explicit JOIN tree.
+func (ex *executor) buildJoinBatch(j *sqlparser.JoinExpr) (*Batch, error) {
+	leftOp, err := ex.buildTableExpr(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	left, err := materialize(leftOp)
+	if err != nil {
+		return nil, err
+	}
+	rightOp, err := ex.buildTableExpr(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	right, err := materialize(rightOp)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case "CROSS":
+		return ex.crossJoin(left, right)
+	case "INNER":
+		conjuncts := splitAnd(j.On)
+		var leftKeys, rightKeys []sqlparser.Expr
+		var residual []sqlparser.Expr
+		for _, c := range conjuncts {
+			if isEquiJoinBetween(c, left.meta, right.meta) {
+				l, r := equiJoinSides(c, left.meta)
+				leftKeys = append(leftKeys, l)
+				rightKeys = append(rightKeys, r)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+		if len(leftKeys) == 0 {
+			// Arbitrary join condition: cartesian product plus a filter over
+			// every conjunct.
+			ex.stats.LoopJoins++
+			joined, err := ex.crossJoin(left, right)
+			if err != nil {
+				return nil, err
+			}
+			return ex.applyFilterBatch(joined, conjuncts)
+		}
+		joined, err := ex.hashJoin(left, right, leftKeys, rightKeys)
+		if err != nil {
+			return nil, err
+		}
+		if len(residual) > 0 {
+			return ex.applyFilterBatch(joined, residual)
+		}
+		return joined, nil
+	default:
+		return nil, fmt.Errorf("%w: %s join", ErrUnsupported, j.Kind)
+	}
+}
+
+// --- projection and epilogue -------------------------------------------------
+
+// projItem is one resolved projection element.
+type projItem struct {
+	name string
+	expr sqlparser.Expr
+	star bool
+}
+
+// expandProjection resolves the projection list against the input schema.
+func expandProjection(stmt *sqlparser.SelectStatement, meta []colMeta) ([]projItem, []int) {
+	var items []projItem
+	var starCols []int
+	for _, p := range stmt.Projection {
+		if p.Star {
+			items = append(items, projItem{star: true})
+			for ci, m := range meta {
+				if p.Qualifier == "" || strings.EqualFold(p.Qualifier, m.table) {
+					starCols = append(starCols, ci)
+				}
+			}
+			continue
+		}
+		name := p.Alias
+		if name == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = strings.ToLower(p.Expr.SQL())
+			}
+		}
+		items = append(items, projItem{name: strings.ToLower(name), expr: p.Expr})
+	}
+	return items, starCols
+}
+
+// runRows executes a non-grouped query: drain the pipeline, project, then
+// run the shared epilogue.
+func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Result, error) {
+	b, err := materialize(pipe)
+	if err != nil {
+		return nil, err
+	}
+	items, starCols := expandProjection(stmt, b.meta)
+	ctx := &evalCtx{ex: ex, batch: b}
+
+	var cols []*Vector
+	var names []string
+	for _, ci := range starCols {
+		cols = append(cols, b.dense(ci))
+		names = append(names, b.meta[ci].name)
+	}
+	for _, it := range items {
+		if it.star {
+			continue
+		}
+		v, err := ctx.eval(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, v)
+		names = append(names, it.name)
+	}
+	sortKeys, err := ex.orderKeyVectors(stmt, items, cols, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ex.epilogue(stmt, names, cols, sortKeys, b.Len())
+}
+
+// runGrouped executes a grouped query: hash-aggregate the pipeline, apply
+// HAVING, project the groups, then run the shared epilogue.
+func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (*Result, error) {
+	agg, err := ex.hashAggregate(pipe, stmt)
+	if err != nil {
+		return nil, err
+	}
+	n := agg.n
+	ctx := &evalCtx{ex: ex, batch: &Batch{n: n}, aggs: agg.aggs, refs: agg.refs}
+
+	if stmt.Having != nil {
+		pred, err := ctx.eval(stmt.Having)
+		if err != nil {
+			return nil, err
+		}
+		var sel []int
+		for i := 0; i < n; i++ {
+			if !pred.IsNull(i) && truthy(pred, i) {
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) < n {
+			for k, v := range agg.aggs {
+				agg.aggs[k] = v.Gather(sel)
+			}
+			for k, v := range agg.refs {
+				agg.refs[k] = v.Gather(sel)
+			}
+			n = len(sel)
+			ctx = &evalCtx{ex: ex, batch: &Batch{n: n}, aggs: agg.aggs, refs: agg.refs}
+		}
+	}
+
+	items, _ := expandProjection(stmt, nil)
+	for _, it := range items {
+		if it.star {
+			return nil, fmt.Errorf("SELECT * is not supported with GROUP BY or aggregates")
+		}
+	}
+	var cols []*Vector
+	var names []string
+	for _, it := range items {
+		v, err := ctx.eval(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, v)
+		names = append(names, it.name)
+	}
+	sortKeys, err := ex.orderKeyVectors(stmt, items, cols, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ex.epilogue(stmt, names, cols, sortKeys, n)
+}
+
+// orderKeyVectors evaluates the ORDER BY expressions: a bare reference
+// naming a projection alias sorts by that output column, a numeric literal
+// in range sorts by ordinal, everything else is evaluated in the current
+// context.
+func (ex *executor) orderKeyVectors(stmt *sqlparser.SelectStatement, items []projItem, cols []*Vector, ctx *evalCtx) ([]*Vector, error) {
+	if len(stmt.OrderBy) == 0 {
+		return nil, nil
+	}
+	// Map projection item index to output column index (stars expand ahead
+	// of the computed columns).
+	itemCol := make([]int, len(items))
+	base := 0
+	for _, it := range items {
+		if it.star {
+			base = -1 // star present: computed columns start after the star block
+		}
+	}
+	if base == 0 {
+		for i := range items {
+			itemCol[i] = i
+		}
+	} else {
+		starWidth := len(cols)
+		nonStar := 0
+		for _, it := range items {
+			if !it.star {
+				nonStar++
+			}
+		}
+		starWidth -= nonStar
+		next := starWidth
+		for i, it := range items {
+			if it.star {
+				itemCol[i] = -1
+				continue
+			}
+			itemCol[i] = next
+			next++
+		}
+	}
+
+	keys := make([]*Vector, len(stmt.OrderBy))
+	for oi, ob := range stmt.OrderBy {
+		if cr, ok := ob.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			matched := false
+			for ii, it := range items {
+				if !it.star && it.name == strings.ToLower(cr.Column) {
+					keys[oi] = cols[itemCol[ii]]
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		if num, ok := ob.Expr.(*sqlparser.NumberLit); ok {
+			idx := int(parseNumberScalar(num.Value).intVal()) - 1
+			if idx >= 0 && idx < len(cols) {
+				keys[oi] = cols[idx]
+				continue
+			}
+		}
+		v, err := ctx.eval(ob.Expr)
+		if err != nil {
+			return nil, err
+		}
+		keys[oi] = v
+	}
+	return keys, nil
+}
+
+// epilogue applies DISTINCT, ORDER BY and LIMIT/OFFSET to the projected
+// columns and finishes the result.
+func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, cols []*Vector, sortKeys []*Vector, n int) (*Result, error) {
+	if stmt.Distinct {
+		seen := map[string]bool{}
+		var keep []int
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.Reset()
+			for _, c := range cols {
+				appendRowKey(&sb, c, i)
+				sb.WriteByte('|')
+			}
+			k := sb.String()
+			if !seen[k] {
+				seen[k] = true
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) < n {
+			cols = gatherAll(cols, keep)
+			sortKeys = gatherAll(sortKeys, keep)
+			n = len(keep)
+		}
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for i := range stmt.OrderBy {
+				c := compareScalars(sortKeys[i].At(idx[a]), sortKeys[i].At(idx[b]))
+				if c == 0 {
+					continue
+				}
+				if stmt.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := false
+		for i := range idx {
+			if idx[i] != i {
+				sorted = true
+				break
+			}
+		}
+		if sorted {
+			cols = gatherAll(cols, idx)
+		}
+	}
+
+	if stmt.Limit != nil || stmt.Offset != nil {
+		start := 0
+		if stmt.Offset != nil {
+			start = int(*stmt.Offset)
+		}
+		end := n
+		if stmt.Limit != nil && start+int(*stmt.Limit) < end {
+			end = start + int(*stmt.Limit)
+		}
+		if start > n {
+			start = n
+		}
+		keep := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			keep = append(keep, i)
+		}
+		cols = gatherAll(cols, keep)
+		n = len(keep)
+	}
+
+	ex.stats.RowsReturned += int64(n)
+	return &Result{Columns: names, Cols: cols}, nil
+}
+
+func gatherAll(cols []*Vector, rows []int) []*Vector {
+	if cols == nil {
+		return nil
+	}
+	out := make([]*Vector, len(cols))
+	for i, c := range cols {
+		out[i] = c.Gather(rows)
+	}
+	return out
+}

@@ -1,0 +1,931 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// evalCtx evaluates expressions over one batch. In grouped context the
+// batch rows are groups: aggs maps canonical aggregate SQL text to the
+// per-group aggregate column and refs maps column reference keys to the
+// per-group first-row columns; both are nil in row context.
+type evalCtx struct {
+	ex    *executor
+	batch *Batch
+	aggs  map[string]*Vector
+	refs  map[string]*Vector
+}
+
+func refKey(table, col string) string {
+	return strings.ToLower(table) + "." + strings.ToLower(col)
+}
+
+// errEval wraps evaluation failures with the failing expression.
+func errEval(e sqlparser.Expr, err error) error {
+	return fmt.Errorf("evaluating %q: %w", e.SQL(), err)
+}
+
+// deferToFallback marks runtime errors raised in conditionally-evaluated
+// contexts (filter conjuncts, AND/OR arms, CASE arms, IN list items) as
+// ErrUnsupported. Vectorized evaluation is eager over the whole batch, so
+// it can raise type errors on rows the interpreters' short-circuiting (or
+// the interpreters' later filter placement) never reaches; deferring those
+// statements to the interpreter keeps the engines' observable behaviour
+// identical — the interpreter decides whether the query errors.
+func deferToFallback(err error) error {
+	if err == nil || errors.Is(err, ErrUnsupported) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrUnsupported, err)
+}
+
+// eval evaluates an expression into a dense vector over the batch's live
+// rows.
+func (ctx *evalCtx) eval(e sqlparser.Expr) (*Vector, error) {
+	n := ctx.batch.Len()
+	switch v := e.(type) {
+	case *sqlparser.NumberLit:
+		return constVec(parseNumberScalar(v.Value), n), nil
+	case *sqlparser.StringLit:
+		return constVec(scalar{kind: KindString, s: v.Value}, n), nil
+	case *sqlparser.BoolLit:
+		b := int64(0)
+		if v.Value {
+			b = 1
+		}
+		return constVec(scalar{kind: KindBool, i: b}, n), nil
+	case *sqlparser.NullLit:
+		return NewNullVector(n), nil
+	case *sqlparser.DateLit:
+		d, err := parseDate(v.Value)
+		if err != nil {
+			return nil, errEval(e, fmt.Errorf("invalid date %q: %w", v.Value, err))
+		}
+		return constVec(scalar{kind: KindDate, i: d}, n), nil
+	case *sqlparser.IntervalLit:
+		// Bare intervals evaluate to their numeric count; date arithmetic
+		// with a unit is handled in the BinaryExpr case.
+		return constVec(parseNumberScalar(v.Value), n), nil
+	case *sqlparser.ColumnRef:
+		return ctx.resolveColumn(v)
+	case *sqlparser.ParenExpr:
+		return ctx.eval(v.Expr)
+	case *sqlparser.UnaryExpr:
+		return ctx.evalUnary(v)
+	case *sqlparser.BinaryExpr:
+		return ctx.evalBinary(v)
+	case *sqlparser.FuncCall:
+		return ctx.evalFunc(v)
+	case *sqlparser.CaseExpr:
+		return ctx.evalCase(v)
+	case *sqlparser.BetweenExpr:
+		return ctx.evalBetween(v)
+	case *sqlparser.InExpr:
+		return ctx.evalIn(v)
+	case *sqlparser.IsNullExpr:
+		val, err := ctx.eval(v.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out := NewVector(KindBool, n)
+		for i := 0; i < n; i++ {
+			if val.IsNull(i) != v.Not {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+	case *sqlparser.ExistsExpr, *sqlparser.SubqueryExpr:
+		return nil, fmt.Errorf("%w: sub-queries", ErrUnsupported)
+	case *sqlparser.ExtractExpr:
+		return ctx.evalExtract(v)
+	case *sqlparser.SubstringExpr:
+		return ctx.evalSubstring(v)
+	case *sqlparser.CastExpr:
+		return ctx.evalCast(v)
+	case *sqlparser.ParamRef:
+		return nil, fmt.Errorf("unresolved template parameter ${%s}", v.Name)
+	default:
+		return nil, fmt.Errorf("%w: expression %T", ErrUnsupported, e)
+	}
+}
+
+func (ctx *evalCtx) resolveColumn(v *sqlparser.ColumnRef) (*Vector, error) {
+	if ctx.refs != nil {
+		if vec, ok := ctx.refs[refKey(v.Table, v.Column)]; ok {
+			return vec, nil
+		}
+	}
+	idx, err := ctx.batch.findColumn(v.Table, v.Column)
+	if err == errColumnNotFound {
+		if v.Table != "" {
+			return nil, fmt.Errorf("unknown column %s.%s", v.Table, v.Column)
+		}
+		return nil, fmt.Errorf("unknown column %s", v.Column)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ctx.batch.dense(idx), nil
+}
+
+// constVec fills a vector with one scalar.
+func constVec(s scalar, n int) *Vector {
+	if s.kind == KindNull {
+		return NewNullVector(n)
+	}
+	out := NewVector(s.kind, n)
+	switch s.kind {
+	case KindInt, KindDate, KindBool:
+		for i := range out.Ints {
+			out.Ints[i] = s.i
+		}
+	case KindFloat:
+		for i := range out.Floats {
+			out.Floats[i] = s.f
+		}
+	case KindString:
+		for i := range out.Strs {
+			out.Strs[i] = s.s
+		}
+	}
+	return out
+}
+
+// parseNumberScalar mirrors the interpreter's numeric literal parsing:
+// integers stay exact, everything else becomes a float.
+func parseNumberScalar(s string) scalar {
+	if !strings.ContainsAny(s, ".eE") {
+		var n int64
+		neg := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if i == 0 && (c == '-' || c == '+') {
+				neg = c == '-'
+				continue
+			}
+			if c < '0' || c > '9' {
+				return scalar{kind: KindFloat, f: atof(s)}
+			}
+			n = n*10 + int64(c-'0')
+		}
+		if neg {
+			n = -n
+		}
+		return scalar{kind: KindInt, i: n}
+	}
+	return scalar{kind: KindFloat, f: atof(s)}
+}
+
+func atof(s string) float64 {
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		return 0
+	}
+	return f
+}
+
+// truthy is the two-valued truth of row i: NULL is false.
+func truthy(v *Vector, i int) bool {
+	if v.IsNull(i) {
+		return false
+	}
+	switch v.Kind {
+	case KindBool, KindInt, KindDate:
+		return v.Ints[i] != 0
+	case KindFloat:
+		return v.Floats[i] != 0
+	default:
+		return false
+	}
+}
+
+func (ctx *evalCtx) evalUnary(v *sqlparser.UnaryExpr) (*Vector, error) {
+	val, err := ctx.eval(v.Expr)
+	if err != nil {
+		return nil, err
+	}
+	n := val.Len()
+	switch v.Op {
+	case "NOT":
+		out := NewVector(KindBool, n)
+		for i := 0; i < n; i++ {
+			if val.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			if !truthy(val, i) {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+	case "-":
+		// Fast paths for homogeneous numeric vectors.
+		if val.Kind == KindInt {
+			out := NewVector(KindInt, n)
+			for i := 0; i < n; i++ {
+				out.Ints[i] = -val.Ints[i]
+			}
+			out.Nulls = copyNulls(val.Nulls)
+			return out, nil
+		}
+		if val.Kind == KindFloat && val.IsInt == nil {
+			out := NewVector(KindFloat, n)
+			for i := 0; i < n; i++ {
+				out.Floats[i] = -val.Floats[i]
+			}
+			out.Nulls = copyNulls(val.Nulls)
+			return out, nil
+		}
+		bld := newBuilder(n)
+		for i := 0; i < n; i++ {
+			s := val.At(i)
+			switch s.kind {
+			case KindNull:
+				bld.append(nullScalar)
+			case KindInt:
+				bld.append(scalar{kind: KindInt, i: -s.i})
+			default:
+				bld.append(scalar{kind: KindFloat, f: -s.floatVal()})
+			}
+		}
+		return bld.finalize()
+	case "+":
+		return val, nil
+	default:
+		return nil, fmt.Errorf("unknown unary operator %q", v.Op)
+	}
+}
+
+func copyNulls(nulls []bool) []bool {
+	if nulls == nil {
+		return nil
+	}
+	out := make([]bool, len(nulls))
+	copy(out, nulls)
+	return out
+}
+
+func (ctx *evalCtx) evalBinary(v *sqlparser.BinaryExpr) (*Vector, error) {
+	switch v.Op {
+	case "AND", "OR":
+		l, err := ctx.eval(v.Left)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		r, err := ctx.eval(v.Right)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		n := l.Len()
+		out := NewVector(KindBool, n)
+		if v.Op == "AND" {
+			for i := 0; i < n; i++ {
+				if truthy(l, i) && truthy(r, i) {
+					out.Ints[i] = 1
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if truthy(l, i) || truthy(r, i) {
+					out.Ints[i] = 1
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Date +/- INTERVAL with a calendar unit.
+	if iv, ok := v.Right.(*sqlparser.IntervalLit); ok && (v.Op == "+" || v.Op == "-") {
+		l, err := ctx.eval(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		nv := parseNumberScalar(iv.Value).intVal()
+		if v.Op == "-" {
+			nv = -nv
+		}
+		n := l.Len()
+		out := NewVector(KindDate, n)
+		for i := 0; i < n; i++ {
+			s := l.At(i)
+			if s.isNull() {
+				out.SetNull(i)
+				continue
+			}
+			if s.kind != KindDate {
+				return nil, fmt.Errorf("interval arithmetic requires a date, got %s", s.kind)
+			}
+			d, ok := addInterval(s.i, nv, iv.Unit)
+			if !ok {
+				return nil, fmt.Errorf("unknown interval unit %q", iv.Unit)
+			}
+			out.Ints[i] = d
+		}
+		return out, nil
+	}
+
+	l, err := ctx.eval(v.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ctx.eval(v.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case "+", "-", "*", "/", "%", "||":
+		out, err := arithVec(v.Op, l, r)
+		if err != nil {
+			return nil, errEval(v, err)
+		}
+		return out, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return cmpVec(v.Op, l, r), nil
+	case "LIKE", "NOT LIKE":
+		return likeVec(l, r, v.Op == "NOT LIKE"), nil
+	default:
+		return nil, fmt.Errorf("unknown binary operator %q", v.Op)
+	}
+}
+
+// arithScalar mirrors engine.Arithmetic exactly: numeric promotion, date
+// day-count arithmetic, integer-preserving division, NULL on division by
+// zero.
+func arithScalar(op string, a, b scalar) (scalar, error) {
+	if a.isNull() || b.isNull() {
+		return nullScalar, nil
+	}
+	if a.kind == KindDate && b.isNumeric() {
+		switch op {
+		case "+":
+			return scalar{kind: KindDate, i: a.i + b.intVal()}, nil
+		case "-":
+			return scalar{kind: KindDate, i: a.i - b.intVal()}, nil
+		}
+	}
+	if a.kind == KindDate && b.kind == KindDate && op == "-" {
+		return scalar{kind: KindInt, i: a.i - b.i}, nil
+	}
+	if a.kind == KindString || b.kind == KindString {
+		if op == "||" {
+			return scalar{kind: KindString, s: a.render() + b.render()}, nil
+		}
+		return scalar{}, fmt.Errorf("cannot apply %q to %s and %s", op, a.kind, b.kind)
+	}
+	if op == "||" {
+		return scalar{kind: KindString, s: a.render() + b.render()}, nil
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case "+":
+			return scalar{kind: KindInt, i: a.i + b.i}, nil
+		case "-":
+			return scalar{kind: KindInt, i: a.i - b.i}, nil
+		case "*":
+			return scalar{kind: KindInt, i: a.i * b.i}, nil
+		case "%":
+			if b.i == 0 {
+				return nullScalar, nil
+			}
+			return scalar{kind: KindInt, i: a.i % b.i}, nil
+		case "/":
+			if b.i == 0 {
+				return nullScalar, nil
+			}
+			if a.i%b.i == 0 {
+				return scalar{kind: KindInt, i: a.i / b.i}, nil
+			}
+			return scalar{kind: KindFloat, f: float64(a.i) / float64(b.i)}, nil
+		}
+	}
+	af, bf := a.floatVal(), b.floatVal()
+	switch op {
+	case "+":
+		return scalar{kind: KindFloat, f: af + bf}, nil
+	case "-":
+		return scalar{kind: KindFloat, f: af - bf}, nil
+	case "*":
+		return scalar{kind: KindFloat, f: af * bf}, nil
+	case "/":
+		if bf == 0 {
+			return nullScalar, nil
+		}
+		return scalar{kind: KindFloat, f: af / bf}, nil
+	case "%":
+		if bf == 0 {
+			return nullScalar, nil
+		}
+		return scalar{kind: KindFloat, f: float64(int64(af) % int64(bf))}, nil
+	default:
+		return scalar{}, fmt.Errorf("unknown arithmetic operator %q", op)
+	}
+}
+
+// arithVec applies an arithmetic operator element-wise with typed fast
+// paths for the hot shapes (pure int and pure float vectors) and a generic
+// scalar loop for everything else.
+func arithVec(op string, l, r *Vector) (*Vector, error) {
+	n := l.Len()
+	pureFloat := func(v *Vector) bool { return v.Kind == KindFloat && v.IsInt == nil }
+
+	// int op int for the exact operators.
+	if l.Kind == KindInt && r.Kind == KindInt && (op == "+" || op == "-" || op == "*") {
+		out := NewVector(KindInt, n)
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			switch op {
+			case "+":
+				out.Ints[i] = l.Ints[i] + r.Ints[i]
+			case "-":
+				out.Ints[i] = l.Ints[i] - r.Ints[i]
+			case "*":
+				out.Ints[i] = l.Ints[i] * r.Ints[i]
+			}
+		}
+		return out, nil
+	}
+
+	// Mixes of pure int and pure float vectors for + - *.
+	numericPure := func(v *Vector) bool { return v.Kind == KindInt || pureFloat(v) }
+	if numericPure(l) && numericPure(r) && (pureFloat(l) || pureFloat(r)) && (op == "+" || op == "-" || op == "*") {
+		out := NewVector(KindFloat, n)
+		lf := func(i int) float64 {
+			if l.Kind == KindInt {
+				return float64(l.Ints[i])
+			}
+			return l.Floats[i]
+		}
+		rf := func(i int) float64 {
+			if r.Kind == KindInt {
+				return float64(r.Ints[i])
+			}
+			return r.Floats[i]
+		}
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			switch op {
+			case "+":
+				out.Floats[i] = lf(i) + rf(i)
+			case "-":
+				out.Floats[i] = lf(i) - rf(i)
+			case "*":
+				out.Floats[i] = lf(i) * rf(i)
+			}
+		}
+		return out, nil
+	}
+
+	// Generic scalar path covering division, modulo, concatenation, dates,
+	// bools and the int/float duality masks.
+	bld := newBuilder(n)
+	for i := 0; i < n; i++ {
+		s, err := arithScalar(op, l.At(i), r.At(i))
+		if err != nil {
+			return nil, err
+		}
+		bld.append(s)
+	}
+	return bld.finalize()
+}
+
+// cmpVec applies a comparison operator; any NULL operand compares false.
+func cmpVec(op string, l, r *Vector) *Vector {
+	n := l.Len()
+	out := NewVector(KindBool, n)
+	set := func(i, c int) {
+		var ok bool
+		switch op {
+		case "=":
+			ok = c == 0
+		case "<>":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		default:
+			ok = c >= 0
+		}
+		if ok {
+			out.Ints[i] = 1
+		}
+	}
+	intKinds := func(v *Vector) bool {
+		return v.Kind == KindInt || v.Kind == KindDate || v.Kind == KindBool
+	}
+	switch {
+	case intKinds(l) && intKinds(r):
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				continue
+			}
+			a, b := l.Ints[i], r.Ints[i]
+			c := 0
+			if a < b {
+				c = -1
+			} else if a > b {
+				c = 1
+			}
+			set(i, c)
+		}
+	case l.Kind == KindFloat && l.IsInt == nil && r.Kind == KindFloat && r.IsInt == nil:
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				continue
+			}
+			a, b := l.Floats[i], r.Floats[i]
+			c := 0
+			if a < b {
+				c = -1
+			} else if a > b {
+				c = 1
+			}
+			set(i, c)
+		}
+	case l.Kind == KindString && r.Kind == KindString:
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				continue
+			}
+			set(i, strings.Compare(l.Strs[i], r.Strs[i]))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			a, b := l.At(i), r.At(i)
+			if a.isNull() || b.isNull() {
+				continue
+			}
+			set(i, compareScalars(a, b))
+		}
+	}
+	return out
+}
+
+// likeVec applies LIKE / NOT LIKE; NULL operands yield false.
+func likeVec(l, r *Vector, negate bool) *Vector {
+	n := l.Len()
+	out := NewVector(KindBool, n)
+	for i := 0; i < n; i++ {
+		a, b := l.At(i), r.At(i)
+		if a.isNull() || b.isNull() {
+			continue
+		}
+		m := likeMatch(a.render(), b.render())
+		if negate {
+			m = !m
+		}
+		if m {
+			out.Ints[i] = 1
+		}
+	}
+	return out
+}
+
+func (ctx *evalCtx) evalCase(v *sqlparser.CaseExpr) (*Vector, error) {
+	n := ctx.batch.Len()
+	var operand *Vector
+	var err error
+	if v.Operand != nil {
+		operand, err = ctx.eval(v.Operand)
+		if err != nil {
+			return nil, err
+		}
+	}
+	conds := make([]*Vector, len(v.Whens))
+	thens := make([]*Vector, len(v.Whens))
+	for wi, w := range v.Whens {
+		if conds[wi], err = ctx.eval(w.When); err != nil {
+			return nil, deferToFallback(err)
+		}
+		if thens[wi], err = ctx.eval(w.Then); err != nil {
+			return nil, deferToFallback(err)
+		}
+	}
+	var elseVec *Vector
+	if v.Else != nil {
+		if elseVec, err = ctx.eval(v.Else); err != nil {
+			return nil, deferToFallback(err)
+		}
+	}
+	bld := newBuilder(n)
+	for i := 0; i < n; i++ {
+		matched := false
+		for wi := range v.Whens {
+			var hit bool
+			if operand != nil {
+				hit = equalScalars(operand.At(i), conds[wi].At(i))
+			} else {
+				hit = truthy(conds[wi], i)
+			}
+			if hit {
+				bld.append(thens[wi].At(i))
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			if elseVec != nil {
+				bld.append(elseVec.At(i))
+			} else {
+				bld.append(nullScalar)
+			}
+		}
+	}
+	return bld.finalize()
+}
+
+func (ctx *evalCtx) evalBetween(v *sqlparser.BetweenExpr) (*Vector, error) {
+	val, err := ctx.eval(v.Expr)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := ctx.eval(v.Lo)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := ctx.eval(v.Hi)
+	if err != nil {
+		return nil, err
+	}
+	n := val.Len()
+	out := NewVector(KindBool, n)
+	for i := 0; i < n; i++ {
+		a, l, h := val.At(i), lo.At(i), hi.At(i)
+		if a.isNull() || l.isNull() || h.isNull() {
+			continue
+		}
+		in := compareScalars(a, l) >= 0 && compareScalars(a, h) <= 0
+		if v.Not {
+			in = !in
+		}
+		if in {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
+	if v.Subquery != nil {
+		return nil, fmt.Errorf("%w: IN sub-query", ErrUnsupported)
+	}
+	val, err := ctx.eval(v.Expr)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*Vector, len(v.List))
+	for ii, item := range v.List {
+		if items[ii], err = ctx.eval(item); err != nil {
+			return nil, deferToFallback(err)
+		}
+	}
+	n := val.Len()
+	out := NewVector(KindBool, n)
+	for i := 0; i < n; i++ {
+		a := val.At(i)
+		found := false
+		if !a.isNull() {
+			for _, item := range items {
+				if equalScalars(a, item.At(i)) {
+					found = true
+					break
+				}
+			}
+		}
+		if a.isNull() {
+			// NULL IN (...) is false, NULL NOT IN (...) is false too.
+			continue
+		}
+		if v.Not {
+			found = !found
+		}
+		if found {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) evalExtract(v *sqlparser.ExtractExpr) (*Vector, error) {
+	val, err := ctx.eval(v.From)
+	if err != nil {
+		return nil, err
+	}
+	n := val.Len()
+	out := NewVector(KindInt, n)
+	for i := 0; i < n; i++ {
+		s := val.At(i)
+		if s.isNull() {
+			out.SetNull(i)
+			continue
+		}
+		if s.kind != KindDate {
+			return nil, errEval(v, fmt.Errorf("EXTRACT requires a date, got %s", s.kind))
+		}
+		y, m, d := dateParts(s.i)
+		switch v.Unit {
+		case "YEAR":
+			out.Ints[i] = int64(y)
+		case "MONTH":
+			out.Ints[i] = int64(m)
+		default:
+			out.Ints[i] = int64(d)
+		}
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) evalSubstring(v *sqlparser.SubstringExpr) (*Vector, error) {
+	val, err := ctx.eval(v.Expr)
+	if err != nil {
+		return nil, err
+	}
+	start, err := ctx.eval(v.Start)
+	if err != nil {
+		return nil, err
+	}
+	var length *Vector
+	if v.Length != nil {
+		if length, err = ctx.eval(v.Length); err != nil {
+			return nil, err
+		}
+	}
+	n := val.Len()
+	out := NewVector(KindString, n)
+	for i := 0; i < n; i++ {
+		s := val.At(i)
+		if s.isNull() {
+			out.SetNull(i)
+			continue
+		}
+		str := s.render()
+		from := int(start.At(i).intVal()) - 1
+		if from < 0 {
+			from = 0
+		}
+		if from > len(str) {
+			from = len(str)
+		}
+		to := len(str)
+		if length != nil {
+			to = from + int(length.At(i).intVal())
+			if to > len(str) {
+				to = len(str)
+			}
+			if to < from {
+				to = from
+			}
+		}
+		out.Strs[i] = str[from:to]
+	}
+	return out, nil
+}
+
+func (ctx *evalCtx) evalCast(v *sqlparser.CastExpr) (*Vector, error) {
+	val, err := ctx.eval(v.Expr)
+	if err != nil {
+		return nil, err
+	}
+	n := val.Len()
+	bld := newBuilder(n)
+	for i := 0; i < n; i++ {
+		s := val.At(i)
+		if s.isNull() {
+			bld.append(nullScalar)
+			continue
+		}
+		switch strings.ToLower(v.Type) {
+		case "integer", "int", "bigint", "smallint":
+			bld.append(scalar{kind: KindInt, i: s.intVal()})
+		case "double", "float", "real", "decimal", "numeric":
+			bld.append(scalar{kind: KindFloat, f: s.floatVal()})
+		case "varchar", "char", "text", "string":
+			bld.append(scalar{kind: KindString, s: s.render()})
+		case "date":
+			if s.kind == KindDate {
+				bld.append(s)
+				continue
+			}
+			d, err := parseDate(s.render())
+			if err != nil {
+				return nil, fmt.Errorf("invalid date %q: %w", s.render(), err)
+			}
+			bld.append(scalar{kind: KindDate, i: d})
+		default:
+			return nil, fmt.Errorf("unsupported cast target %q", v.Type)
+		}
+	}
+	return bld.finalize()
+}
+
+func (ctx *evalCtx) evalFunc(v *sqlparser.FuncCall) (*Vector, error) {
+	if v.IsAggregate() {
+		if ctx.aggs == nil {
+			return nil, fmt.Errorf("aggregate %s used outside GROUP BY context", v.Name)
+		}
+		vec, ok := ctx.aggs[v.SQL()]
+		if !ok {
+			return nil, fmt.Errorf("internal: aggregate %s was not precomputed", v.SQL())
+		}
+		return vec, nil
+	}
+	n := ctx.batch.Len()
+	args := make([]*Vector, len(v.Args))
+	for ai, a := range v.Args {
+		var err error
+		if args[ai], err = ctx.eval(a); err != nil {
+			return nil, err
+		}
+	}
+	switch v.Name {
+	case "abs":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("abs expects 1 argument")
+		}
+		bld := newBuilder(n)
+		for i := 0; i < n; i++ {
+			s := args[0].At(i)
+			if s.isNull() {
+				bld.append(nullScalar)
+				continue
+			}
+			f := s.floatVal()
+			if f < 0 {
+				f = -f
+			}
+			if s.kind == KindInt {
+				bld.append(scalar{kind: KindInt, i: int64(f)})
+			} else {
+				bld.append(scalar{kind: KindFloat, f: f})
+			}
+		}
+		return bld.finalize()
+	case "length", "char_length":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%s expects 1 argument", v.Name)
+		}
+		out := NewVector(KindInt, n)
+		for i := 0; i < n; i++ {
+			out.Ints[i] = int64(len(args[0].At(i).render()))
+		}
+		return out, nil
+	case "upper", "lower":
+		out := NewVector(KindString, n)
+		for i := 0; i < n; i++ {
+			if v.Name == "upper" {
+				out.Strs[i] = strings.ToUpper(args[0].At(i).render())
+			} else {
+				out.Strs[i] = strings.ToLower(args[0].At(i).render())
+			}
+		}
+		return out, nil
+	case "coalesce":
+		bld := newBuilder(n)
+		for i := 0; i < n; i++ {
+			picked := nullScalar
+			for _, a := range args {
+				if s := a.At(i); !s.isNull() {
+					picked = s
+					break
+				}
+			}
+			bld.append(picked)
+		}
+		return bld.finalize()
+	case "round":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("round expects at least 1 argument")
+		}
+		out := NewVector(KindFloat, n)
+		for i := 0; i < n; i++ {
+			f := args[0].At(i).floatVal()
+			scale := 0
+			if len(args) > 1 {
+				scale = int(args[1].At(i).intVal())
+			}
+			mult := 1.0
+			for j := 0; j < scale; j++ {
+				mult *= 10
+			}
+			half := 0.5
+			if f < 0 {
+				half = -0.5
+			}
+			out.Floats[i] = float64(int64(f*mult+half)) / mult
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown function %q", v.Name)
+	}
+}

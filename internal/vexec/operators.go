@@ -1,0 +1,651 @@
+package vexec
+
+import (
+	"fmt"
+	"strings"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// operator is a pull-based batch producer: next returns nil at end of
+// stream. schema describes the output columns without pulling data, so the
+// planner can resolve references and detect join edges up front.
+type operator interface {
+	next() (*Batch, error)
+	schema() []colMeta
+}
+
+// --- scan --------------------------------------------------------------------
+
+// scanOp emits fixed-size windows over a typed base table. The windows are
+// zero-copy slices of the table's vectors.
+type scanOp struct {
+	ex    *executor
+	table *Table
+	meta  []colMeta
+	pos   int
+}
+
+func newScanOp(ex *executor, t *Table, alias string) *scanOp {
+	if alias == "" {
+		alias = t.Name
+	}
+	meta := make([]colMeta, len(t.Cols))
+	for i, c := range t.Cols {
+		meta[i] = colMeta{table: strings.ToLower(alias), name: strings.ToLower(c.Name)}
+	}
+	return &scanOp{ex: ex, table: t, meta: meta}
+}
+
+func (s *scanOp) schema() []colMeta { return s.meta }
+
+func (s *scanOp) next() (*Batch, error) {
+	if s.pos >= s.table.NumRows() {
+		return nil, nil
+	}
+	if err := s.ex.checkDeadline(); err != nil {
+		return nil, err
+	}
+	hi := s.pos + s.ex.opts.BatchSize
+	if hi > s.table.NumRows() {
+		hi = s.table.NumRows()
+	}
+	b := &Batch{n: hi - s.pos, meta: s.meta}
+	b.cols = make([]*Vector, len(s.table.Cols))
+	for i, c := range s.table.Cols {
+		b.cols[i] = c.Vec.Slice(s.pos, hi)
+	}
+	s.ex.stats.RowsScanned += int64(hi - s.pos)
+	s.ex.stats.Batches++
+	s.pos = hi
+	return b, nil
+}
+
+// dualOp emits a single one-row, zero-column batch: the FROM-less SELECT.
+type dualOp struct {
+	done bool
+}
+
+func (d *dualOp) schema() []colMeta { return nil }
+
+func (d *dualOp) next() (*Batch, error) {
+	if d.done {
+		return nil, nil
+	}
+	d.done = true
+	return &Batch{n: 1}, nil
+}
+
+// --- filter ------------------------------------------------------------------
+
+// filterOp applies conjuncts one pass at a time, shrinking the batch's
+// selection vector; payload columns are never copied. Batches filtered down
+// to zero rows are skipped.
+type filterOp struct {
+	ex        *executor
+	child     operator
+	conjuncts []sqlparser.Expr
+}
+
+func (f *filterOp) schema() []colMeta { return f.child.schema() }
+
+func (f *filterOp) next() (*Batch, error) {
+	for {
+		b, err := f.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		for _, c := range f.conjuncts {
+			f.ex.stats.FilterPasses++
+			ctx := &evalCtx{ex: f.ex, batch: b}
+			pred, err := ctx.eval(c)
+			if err != nil {
+				// Pushed-down conjuncts run over rows the interpreter's
+				// post-join filter never evaluates; runtime errors here must
+				// defer to the interpreter.
+				return nil, deferToFallback(err)
+			}
+			// The empty selection must stay non-nil: a nil selection vector
+			// means "all rows live".
+			sel := make([]int, 0, b.Len())
+			if b.sel == nil {
+				for i := 0; i < b.n; i++ {
+					if !pred.IsNull(i) && truthy(pred, i) {
+						sel = append(sel, i)
+					}
+				}
+			} else {
+				for j, ri := range b.sel {
+					if !pred.IsNull(j) && truthy(pred, j) {
+						sel = append(sel, ri)
+					}
+				}
+			}
+			b.sel = sel
+			if len(sel) == 0 {
+				break
+			}
+		}
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+}
+
+// --- materialization ---------------------------------------------------------
+
+// matOp re-emits a dense batch in fixed-size windows, bridging materialized
+// intermediates (join results) back into the batch pipeline.
+type matOp struct {
+	ex  *executor
+	b   *Batch
+	pos int
+}
+
+func (m *matOp) schema() []colMeta { return m.b.meta }
+
+func (m *matOp) next() (*Batch, error) {
+	if m.pos >= m.b.n {
+		return nil, nil
+	}
+	if err := m.ex.checkDeadline(); err != nil {
+		return nil, err
+	}
+	hi := m.pos + m.ex.opts.BatchSize
+	if hi > m.b.n {
+		hi = m.b.n
+	}
+	out := &Batch{n: hi - m.pos, meta: m.b.meta}
+	out.cols = make([]*Vector, len(m.b.cols))
+	for i, c := range m.b.cols {
+		out.cols[i] = c.Slice(m.pos, hi)
+	}
+	m.ex.stats.Batches++
+	m.pos = hi
+	return out, nil
+}
+
+// materialize drains a pipeline into one dense batch. An empty stream yields
+// a zero-row batch with the pipeline's schema.
+func materialize(op operator) (*Batch, error) {
+	var batches []*Batch
+	for {
+		b, err := op.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		batches = append(batches, b)
+	}
+	if len(batches) == 0 {
+		meta := op.schema()
+		out := &Batch{n: 0, meta: meta}
+		out.cols = make([]*Vector, len(meta))
+		for i := range out.cols {
+			out.cols[i] = NewNullVector(0)
+		}
+		return out, nil
+	}
+	if len(batches) == 1 {
+		return batches[0].compact(), nil
+	}
+	return concatBatches(batches), nil
+}
+
+// --- joins -------------------------------------------------------------------
+
+// rowKeys evaluates the key expressions over a dense batch and encodes one
+// hash key per row.
+func (ex *executor) rowKeys(b *Batch, keys []sqlparser.Expr) ([]string, error) {
+	ctx := &evalCtx{ex: ex, batch: b}
+	vecs := make([]*Vector, len(keys))
+	for i, k := range keys {
+		v, err := ctx.eval(k)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	out := make([]string, b.Len())
+	var sb strings.Builder
+	for i := 0; i < b.Len(); i++ {
+		sb.Reset()
+		for _, v := range vecs {
+			appendRowKey(&sb, v, i)
+			sb.WriteByte('|')
+		}
+		out[i] = sb.String()
+	}
+	return out, nil
+}
+
+// hashJoin joins two dense batches on the given key expression lists,
+// mirroring the interpreter's join exactly: build on the smaller side, probe
+// in input order, matches in build insertion order.
+func (ex *executor) hashJoin(left, right *Batch, leftKeys, rightKeys []sqlparser.Expr) (*Batch, error) {
+	ex.stats.HashJoins++
+	build, probe := right, left
+	buildKeys, probeKeys := rightKeys, leftKeys
+	swapped := false
+	if left.Len() < right.Len() {
+		build, probe = left, right
+		buildKeys, probeKeys = leftKeys, rightKeys
+		swapped = true
+	}
+	bKeys, err := ex.rowKeys(build, buildKeys)
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[string][]int, len(bKeys))
+	for i, k := range bKeys {
+		ht[k] = append(ht[k], i)
+	}
+	pKeys, err := ex.rowKeys(probe, probeKeys)
+	if err != nil {
+		return nil, err
+	}
+	var probeIdx, buildIdx []int
+	for i, k := range pKeys {
+		for _, bi := range ht[k] {
+			probeIdx = append(probeIdx, i)
+			buildIdx = append(buildIdx, bi)
+			if len(probeIdx) > ex.opts.MaxJoinRows {
+				return nil, fmt.Errorf("join result exceeds %d rows", ex.opts.MaxJoinRows)
+			}
+		}
+	}
+	if err := ex.checkDeadline(); err != nil {
+		return nil, err
+	}
+	leftIdx, rightIdx := probeIdx, buildIdx
+	if swapped {
+		leftIdx, rightIdx = buildIdx, probeIdx
+	}
+	out := left.gatherRows(leftIdx)
+	rightPart := right.gatherRows(rightIdx)
+	out.cols = append(out.cols, rightPart.cols...)
+	out.meta = append(append([]colMeta(nil), left.meta...), right.meta...)
+	return out, nil
+}
+
+// crossJoin builds the cartesian product of two dense batches, guarded by
+// the join-size limit.
+func (ex *executor) crossJoin(left, right *Batch) (*Batch, error) {
+	ex.stats.LoopJoins++
+	total := left.Len() * right.Len()
+	if total > ex.opts.MaxJoinRows {
+		return nil, fmt.Errorf("cross product of %d x %d rows exceeds the %d row limit",
+			left.Len(), right.Len(), ex.opts.MaxJoinRows)
+	}
+	leftIdx := make([]int, 0, total)
+	rightIdx := make([]int, 0, total)
+	for i := 0; i < left.Len(); i++ {
+		for j := 0; j < right.Len(); j++ {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, j)
+		}
+	}
+	out := left.gatherRows(leftIdx)
+	rightPart := right.gatherRows(rightIdx)
+	out.cols = append(out.cols, rightPart.cols...)
+	out.meta = append(append([]colMeta(nil), left.meta...), right.meta...)
+	return out, nil
+}
+
+// applyFilterBatch filters a dense batch with the conjuncts (one selection
+// pass per conjunct) and compacts the result.
+func (ex *executor) applyFilterBatch(b *Batch, conjuncts []sqlparser.Expr) (*Batch, error) {
+	for _, c := range conjuncts {
+		ex.stats.FilterPasses++
+		if b.Len() == 0 {
+			break
+		}
+		ctx := &evalCtx{ex: ex, batch: b}
+		pred, err := ctx.eval(c)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		sel := make([]int, 0, b.Len())
+		if b.sel == nil {
+			for i := 0; i < b.n; i++ {
+				if !pred.IsNull(i) && truthy(pred, i) {
+					sel = append(sel, i)
+				}
+			}
+		} else {
+			for j, ri := range b.sel {
+				if !pred.IsNull(j) && truthy(pred, j) {
+					sel = append(sel, ri)
+				}
+			}
+		}
+		b.sel = sel
+	}
+	return b.compact(), nil
+}
+
+// --- hash aggregation --------------------------------------------------------
+
+// aggSpec is one distinct aggregate call of the statement.
+type aggSpec struct {
+	call *sqlparser.FuncCall
+	key  string // canonical SQL text
+}
+
+// aggAcc accumulates one aggregate for one group, mirroring the
+// interpreter's fold (distinct sets, int-preserving sums, scalar min/max).
+type aggAcc struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	sumIsInt bool
+	minV     scalar
+	maxV     scalar
+	distinct map[string]bool
+}
+
+func (a *aggAcc) fold(val scalar, distinct bool) {
+	if val.isNull() {
+		return
+	}
+	if distinct {
+		var sb strings.Builder
+		appendKey(&sb, val)
+		k := sb.String()
+		if a.distinct[k] {
+			return
+		}
+		a.distinct[k] = true
+	}
+	a.count++
+	if val.kind == KindInt {
+		a.sumI += val.i
+	} else {
+		a.sumIsInt = false
+	}
+	a.sumF += val.floatVal()
+	if a.minV.kind == KindNull || compareScalars(val, a.minV) < 0 {
+		a.minV = val
+	}
+	if a.maxV.kind == KindNull || compareScalars(val, a.maxV) > 0 {
+		a.maxV = val
+	}
+}
+
+func (a *aggAcc) finalize(name string, star bool, groupRows int64) (scalar, error) {
+	switch name {
+	case "count":
+		if star {
+			return scalar{kind: KindInt, i: groupRows}, nil
+		}
+		return scalar{kind: KindInt, i: a.count}, nil
+	case "sum":
+		if a.count == 0 {
+			return nullScalar, nil
+		}
+		if a.sumIsInt {
+			return scalar{kind: KindInt, i: a.sumI}, nil
+		}
+		return scalar{kind: KindFloat, f: a.sumF}, nil
+	case "avg":
+		if a.count == 0 {
+			return nullScalar, nil
+		}
+		return scalar{kind: KindFloat, f: a.sumF / float64(a.count)}, nil
+	case "min":
+		if a.count == 0 {
+			return nullScalar, nil
+		}
+		return a.minV, nil
+	case "max":
+		if a.count == 0 {
+			return nullScalar, nil
+		}
+		return a.maxV, nil
+	default:
+		return scalar{}, fmt.Errorf("unknown aggregate %q", name)
+	}
+}
+
+// aggState is the running state of one group.
+type aggState struct {
+	rows   int64
+	accs   []aggAcc
+	firsts []scalar
+}
+
+// aggResult is the output of hash aggregation: one logical row per group.
+type aggResult struct {
+	n    int
+	aggs map[string]*Vector // canonical aggregate SQL -> per-group values
+	refs map[string]*Vector // column reference key -> first-row values
+}
+
+// collectAggregates gathers the distinct aggregate calls of the statement's
+// projection, HAVING and ORDER BY.
+func collectAggregates(stmt *sqlparser.SelectStatement) ([]aggSpec, error) {
+	var specs []aggSpec
+	seen := map[string]bool{}
+	walk := func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncCall); ok && f.IsAggregate() {
+				key := f.SQL()
+				if !seen[key] {
+					seen[key] = true
+					specs = append(specs, aggSpec{call: f, key: key})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, p := range stmt.Projection {
+		walk(p.Expr)
+	}
+	walk(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		walk(o.Expr)
+	}
+	for _, s := range specs {
+		name := strings.ToLower(s.call.Name)
+		if s.call.Star && name != "count" {
+			return nil, fmt.Errorf("%s(*) is not valid", name)
+		}
+		if !s.call.Star && len(s.call.Args) != 1 {
+			return nil, fmt.Errorf("aggregate %s expects exactly 1 argument", name)
+		}
+	}
+	return specs, nil
+}
+
+// collectCarriedRefs gathers the column references of projection, HAVING and
+// ORDER BY that sit outside aggregate arguments; their first-row values per
+// group reproduce the interpreter's "plain columns resolve against the first
+// row of the group" behaviour. ORDER BY items that resolve as projection
+// aliases sort by the output column instead and are not carried.
+func collectCarriedRefs(stmt *sqlparser.SelectStatement) []*sqlparser.ColumnRef {
+	var refs []*sqlparser.ColumnRef
+	seen := map[string]bool{}
+	walk := func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncCall); ok && f.IsAggregate() {
+				return false
+			}
+			if c, ok := x.(*sqlparser.ColumnRef); ok {
+				key := refKey(c.Table, c.Column)
+				if !seen[key] {
+					seen[key] = true
+					refs = append(refs, c)
+				}
+			}
+			return true
+		})
+	}
+	itemNames := map[string]bool{}
+	for _, p := range stmt.Projection {
+		if p.Star {
+			continue
+		}
+		name := p.Alias
+		if name == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = p.Expr.SQL()
+			}
+		}
+		itemNames[strings.ToLower(name)] = true
+	}
+	for _, p := range stmt.Projection {
+		walk(p.Expr)
+	}
+	walk(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" && itemNames[strings.ToLower(cr.Column)] {
+			continue
+		}
+		walk(o.Expr)
+	}
+	return refs
+}
+
+// hashAggregate drains the pipeline into per-group accumulators: the
+// streaming pipeline breaker of grouped queries.
+func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatement) (*aggResult, error) {
+	specs, err := collectAggregates(stmt)
+	if err != nil {
+		return nil, err
+	}
+	carried := collectCarriedRefs(stmt)
+
+	groups := map[string]*aggState{}
+	var order []*aggState
+	newState := func() *aggState {
+		st := &aggState{accs: make([]aggAcc, len(specs)), firsts: make([]scalar, len(carried))}
+		for i := range st.accs {
+			st.accs[i].sumIsInt = true
+			if specs[i].call.Distinct {
+				st.accs[i].distinct = map[string]bool{}
+			}
+		}
+		return st
+	}
+	if len(stmt.GroupBy) == 0 {
+		// Aggregates without GROUP BY form one global group even over an
+		// empty input.
+		st := newState()
+		groups["all"] = st
+		order = append(order, st)
+	}
+
+	for {
+		b, err := child.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := ex.checkDeadline(); err != nil {
+			return nil, err
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		ctx := &evalCtx{ex: ex, batch: b}
+		keyVecs := make([]*Vector, len(stmt.GroupBy))
+		for i, g := range stmt.GroupBy {
+			if keyVecs[i], err = ctx.eval(g); err != nil {
+				return nil, err
+			}
+		}
+		argVecs := make([]*Vector, len(specs))
+		for i, s := range specs {
+			if s.call.Star {
+				continue
+			}
+			if argVecs[i], err = ctx.eval(s.call.Args[0]); err != nil {
+				return nil, err
+			}
+		}
+		refVecs := make([]*Vector, len(carried))
+		for i, r := range carried {
+			if refVecs[i], err = ctx.resolveColumn(r); err != nil {
+				return nil, err
+			}
+		}
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			var st *aggState
+			if len(stmt.GroupBy) == 0 {
+				st = order[0]
+			} else {
+				sb.Reset()
+				for _, kv := range keyVecs {
+					appendRowKey(&sb, kv, j)
+					sb.WriteByte('|')
+				}
+				key := sb.String()
+				var ok bool
+				st, ok = groups[key]
+				if !ok {
+					st = newState()
+					groups[key] = st
+					order = append(order, st)
+					for ri, rv := range refVecs {
+						st.firsts[ri] = rv.At(j)
+					}
+				}
+			}
+			if len(stmt.GroupBy) == 0 && st.rows == 0 {
+				for ri, rv := range refVecs {
+					st.firsts[ri] = rv.At(j)
+				}
+			}
+			st.rows++
+			for ai := range specs {
+				if specs[ai].call.Star {
+					continue
+				}
+				st.accs[ai].fold(argVecs[ai].At(j), specs[ai].call.Distinct)
+			}
+		}
+	}
+	ex.stats.Groups += int64(len(order))
+
+	res := &aggResult{n: len(order), aggs: map[string]*Vector{}, refs: map[string]*Vector{}}
+	for ai, s := range specs {
+		bld := newBuilder(len(order))
+		name := strings.ToLower(s.call.Name)
+		for _, st := range order {
+			val, err := st.accs[ai].finalize(name, s.call.Star, st.rows)
+			if err != nil {
+				return nil, err
+			}
+			bld.append(val)
+		}
+		vec, err := bld.finalize()
+		if err != nil {
+			return nil, err
+		}
+		res.aggs[s.key] = vec
+	}
+	for ri, r := range carried {
+		bld := newBuilder(len(order))
+		for _, st := range order {
+			bld.append(st.firsts[ri])
+		}
+		vec, err := bld.finalize()
+		if err != nil {
+			return nil, err
+		}
+		res.refs[refKey(r.Table, r.Column)] = vec
+	}
+	return res, nil
+}

@@ -1,0 +1,252 @@
+package vexec
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file reproduces the scalar SQL value semantics of internal/engine
+// over the unboxed scalar type: comparison, hash-key encoding, rendering and
+// the date/LIKE helpers. The two implementations must agree exactly — the
+// differential tests in internal/engine hold the vektor engines to the
+// interpreters' answers bit for bit.
+
+// boolVal reports the two-valued truth of a scalar: NULL and non-numeric
+// values are false.
+func (s scalar) boolVal() bool {
+	switch s.kind {
+	case KindBool, KindInt, KindDate:
+		return s.i != 0
+	case KindFloat:
+		return s.f != 0
+	default:
+		return false
+	}
+}
+
+// floatVal converts the scalar for numeric operations.
+func (s scalar) floatVal() float64 {
+	switch s.kind {
+	case KindInt, KindBool, KindDate:
+		return float64(s.i)
+	case KindFloat:
+		return s.f
+	case KindString:
+		f, _ := strconv.ParseFloat(s.s, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// intVal converts the scalar to an integer.
+func (s scalar) intVal() int64 {
+	switch s.kind {
+	case KindInt, KindBool, KindDate:
+		return s.i
+	case KindFloat:
+		return int64(s.f)
+	case KindString:
+		i, _ := strconv.ParseInt(s.s, 10, 64)
+		return i
+	default:
+		return 0
+	}
+}
+
+// isNull reports whether the scalar is SQL NULL.
+func (s scalar) isNull() bool { return s.kind == KindNull }
+
+// isNumeric reports whether the scalar participates in numeric arithmetic.
+func (s scalar) isNumeric() bool {
+	return s.kind == KindInt || s.kind == KindFloat || s.kind == KindBool
+}
+
+// render prints the scalar the way result tables do.
+func (s scalar) render() string {
+	switch s.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if s.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(s.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(s.f, 'f', -1, 64)
+	case KindString:
+		return s.s
+	case KindDate:
+		return formatDate(s.i)
+	default:
+		return "?"
+	}
+}
+
+// compareScalars returns -1, 0 or 1 with SQL ordering semantics: NULL sorts
+// below everything, strings compare lexicographically only against strings,
+// everything else goes through the numeric path.
+func compareScalars(a, b scalar) int {
+	if a.isNull() || b.isNull() {
+		switch {
+		case a.isNull() && b.isNull():
+			return 0
+		case a.isNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.kind == KindString && b.kind == KindString {
+		return strings.Compare(a.s, b.s)
+	}
+	af, bf := a.floatVal(), b.floatVal()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// equalScalars is SQL equality: NULL never equals anything.
+func equalScalars(a, b scalar) bool {
+	if a.isNull() || b.isNull() {
+		return false
+	}
+	return compareScalars(a, b) == 0
+}
+
+// appendKey writes the hash-key encoding of the scalar, matching
+// engine.Value.Key: kinds stay separate so 1 and '1' never collide, but
+// int-valued floats normalize to the integer encoding so mixed numeric join
+// and group keys match.
+func appendKey(sb *strings.Builder, s scalar) {
+	switch s.kind {
+	case KindNull:
+		sb.WriteString("\x00N")
+	case KindString:
+		sb.WriteString("\x01")
+		sb.WriteString(s.s)
+	case KindDate:
+		sb.WriteString("\x02")
+		sb.WriteString(strconv.FormatInt(s.i, 10))
+	case KindFloat:
+		sb.WriteString("\x03")
+		if s.f == float64(int64(s.f)) {
+			sb.WriteString(strconv.FormatInt(int64(s.f), 10))
+		} else {
+			sb.WriteString(strconv.FormatFloat(s.f, 'g', -1, 64))
+		}
+	default:
+		sb.WriteString("\x03")
+		sb.WriteString(strconv.FormatInt(s.i, 10))
+	}
+}
+
+// appendRowKey writes the key of row i of the vector (used by the hot
+// group/join key loops without building an intermediate scalar for the
+// common single-kind cases).
+func appendRowKey(sb *strings.Builder, v *Vector, i int) {
+	if v.IsNull(i) {
+		sb.WriteString("\x00N")
+		return
+	}
+	switch v.Kind {
+	case KindString:
+		sb.WriteString("\x01")
+		sb.WriteString(v.Strs[i])
+	case KindDate:
+		sb.WriteString("\x02")
+		sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
+	case KindInt, KindBool:
+		sb.WriteString("\x03")
+		sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
+	case KindFloat:
+		if v.IsInt != nil && v.IsInt[i] {
+			sb.WriteString("\x03")
+			sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
+			return
+		}
+		sb.WriteString("\x03")
+		f := v.Floats[i]
+		if f == float64(int64(f)) {
+			sb.WriteString(strconv.FormatInt(int64(f), 10))
+		} else {
+			sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+	}
+}
+
+// --- dates -------------------------------------------------------------------
+
+var epoch = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// parseDate converts an ISO yyyy-mm-dd string into days since the epoch.
+func parseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, err
+	}
+	return int64(t.Sub(epoch).Hours() / 24), nil
+}
+
+// formatDate renders days since the epoch as yyyy-mm-dd.
+func formatDate(days int64) string {
+	return epoch.AddDate(0, 0, int(days)).Format("2006-01-02")
+}
+
+// dateParts returns the year, month and day of a day number.
+func dateParts(days int64) (year, month, day int) {
+	t := epoch.AddDate(0, 0, int(days))
+	return t.Year(), int(t.Month()), t.Day()
+}
+
+// addInterval adds n DAY/MONTH/YEAR units to a day number.
+func addInterval(days, n int64, unit string) (int64, bool) {
+	t := epoch.AddDate(0, 0, int(days))
+	switch strings.ToUpper(unit) {
+	case "DAY":
+		t = t.AddDate(0, 0, int(n))
+	case "MONTH":
+		t = t.AddDate(0, int(n), 0)
+	case "YEAR":
+		t = t.AddDate(int(n), 0, 0)
+	default:
+		return 0, false
+	}
+	return int64(t.Sub(epoch).Hours() / 24), true
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards (greedy two-pointer
+// algorithm, the same one the interpreters use).
+func likeMatch(s, p string) bool {
+	var si, pi int
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			starP = pi
+			starS = si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

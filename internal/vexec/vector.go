@@ -1,0 +1,341 @@
+package vexec
+
+import "fmt"
+
+// Kind enumerates the vector element kinds. They mirror the runtime value
+// kinds of internal/engine so results can be converted loss-free.
+type Kind uint8
+
+// Vector kinds.
+const (
+	KindNull Kind = iota // every row is NULL; no payload slice
+	KindBool             // Ints holds 0/1
+	KindInt              // Ints
+	KindFloat            // Floats (plus optional per-row IsInt duality mask)
+	KindString           // Strs
+	KindDate             // Ints holds days since 1970-01-01
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindDate:
+		return "date"
+	default:
+		return "unknown"
+	}
+}
+
+// Vector is one typed column of a batch. Exactly one payload slice is
+// populated according to Kind; Nulls is nil when no row is NULL.
+//
+// A KindFloat vector may additionally carry an IsInt mask: rows flagged
+// there are semantically SQL integers (their exact value lives in Ints[i]).
+// This per-row duality is what lets integer-preserving division and CASE
+// expressions over mixed numeric arms reproduce the boxed-value semantics of
+// internal/engine without giving up unboxed storage for the common case.
+type Vector struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  []bool
+	IsInt  []bool
+	n      int
+}
+
+// NewVector allocates a vector of the given kind and length with all payload
+// cells zeroed.
+func NewVector(kind Kind, n int) *Vector {
+	v := &Vector{Kind: kind, n: n}
+	switch kind {
+	case KindInt, KindDate, KindBool:
+		v.Ints = make([]int64, n)
+	case KindFloat:
+		v.Floats = make([]float64, n)
+	case KindString:
+		v.Strs = make([]string, n)
+	}
+	return v
+}
+
+// NewNullVector returns an all-NULL vector of length n.
+func NewNullVector(n int) *Vector { return &Vector{Kind: KindNull, n: n} }
+
+// Len returns the number of rows.
+func (v *Vector) Len() int { return v.n }
+
+// IsNull reports whether row i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	if v.Kind == KindNull {
+		return true
+	}
+	return v.Nulls != nil && v.Nulls[i]
+}
+
+// SetNull marks row i as NULL, allocating the bitmap lazily.
+func (v *Vector) SetNull(i int) {
+	if v.Nulls == nil {
+		v.Nulls = make([]bool, v.n)
+	}
+	v.Nulls[i] = true
+}
+
+// HasNulls reports whether any row is NULL.
+func (v *Vector) HasNulls() bool {
+	if v.Kind == KindNull {
+		return v.n > 0
+	}
+	for _, b := range v.Nulls {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// rowIsInt reports whether row i is semantically a SQL integer.
+func (v *Vector) rowIsInt(i int) bool {
+	if v.Kind == KindInt {
+		return true
+	}
+	return v.Kind == KindFloat && v.IsInt != nil && v.IsInt[i]
+}
+
+// Gather builds a new vector containing the rows of v listed in sel.
+func (v *Vector) Gather(sel []int) *Vector {
+	out := &Vector{Kind: v.Kind, n: len(sel)}
+	switch v.Kind {
+	case KindNull:
+		return out
+	case KindInt, KindDate, KindBool:
+		out.Ints = make([]int64, len(sel))
+		for i, ri := range sel {
+			out.Ints[i] = v.Ints[ri]
+		}
+	case KindFloat:
+		out.Floats = make([]float64, len(sel))
+		for i, ri := range sel {
+			out.Floats[i] = v.Floats[ri]
+		}
+		if v.IsInt != nil {
+			out.IsInt = make([]bool, len(sel))
+			out.Ints = make([]int64, len(sel))
+			for i, ri := range sel {
+				out.IsInt[i] = v.IsInt[ri]
+				out.Ints[i] = v.Ints[ri]
+			}
+		}
+	case KindString:
+		out.Strs = make([]string, len(sel))
+		for i, ri := range sel {
+			out.Strs[i] = v.Strs[ri]
+		}
+	}
+	if v.Nulls != nil {
+		out.Nulls = make([]bool, len(sel))
+		for i, ri := range sel {
+			out.Nulls[i] = v.Nulls[ri]
+		}
+	}
+	return out
+}
+
+// Slice returns a zero-copy window [lo, hi) of the vector; the payload
+// slices are shared with v, which is safe because vectors are immutable once
+// published.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Kind: v.Kind, n: hi - lo}
+	if v.Ints != nil {
+		out.Ints = v.Ints[lo:hi]
+	}
+	if v.Floats != nil {
+		out.Floats = v.Floats[lo:hi]
+	}
+	if v.Strs != nil {
+		out.Strs = v.Strs[lo:hi]
+	}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[lo:hi]
+	}
+	if v.IsInt != nil {
+		out.IsInt = v.IsInt[lo:hi]
+	}
+	return out
+}
+
+// scalar is one SQL value extracted from a vector row: the boxed form used
+// at the block boundaries of the executor (group accumulators, sort keys,
+// result conversion). kindNull is represented by Kind == KindNull.
+type scalar struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+var nullScalar = scalar{kind: KindNull}
+
+// At extracts row i as a scalar.
+func (v *Vector) At(i int) scalar {
+	if v.IsNull(i) {
+		return nullScalar
+	}
+	switch v.Kind {
+	case KindInt, KindDate, KindBool:
+		return scalar{kind: v.Kind, i: v.Ints[i]}
+	case KindFloat:
+		if v.IsInt != nil && v.IsInt[i] {
+			return scalar{kind: KindInt, i: v.Ints[i]}
+		}
+		return scalar{kind: KindFloat, f: v.Floats[i]}
+	case KindString:
+		return scalar{kind: KindString, s: v.Strs[i]}
+	default:
+		return nullScalar
+	}
+}
+
+// ValueAt decomposes row i into its effective kind and payload, the form
+// consumers box back into their own value type. NULL rows report KindNull;
+// rows of a float vector flagged in the IsInt duality mask report KindInt
+// with their exact integer payload.
+func (v *Vector) ValueAt(i int) (Kind, int64, float64, string) {
+	s := v.At(i)
+	return s.kind, s.i, s.f, s.s
+}
+
+// ValueBuilder accumulates decomposed values of possibly mixed numeric
+// kinds and finalizes them into one typed vector. It is the exported face
+// of the internal builder, used by the engine adapter's column-import shim
+// so decoding boxed storage and merging expression results share a single
+// kind-promotion algorithm.
+type ValueBuilder struct {
+	b builder
+}
+
+// NewValueBuilder creates a builder for the given expected row count.
+func NewValueBuilder(capacity int) *ValueBuilder {
+	return &ValueBuilder{b: builder{vals: make([]scalar, 0, capacity)}}
+}
+
+// Append adds one value in ValueAt's decomposed form; the payload slot
+// matching the kind is read, the others are ignored.
+func (vb *ValueBuilder) Append(kind Kind, i int64, f float64, s string) {
+	switch kind {
+	case KindInt, KindDate, KindBool:
+		vb.b.append(scalar{kind: kind, i: i})
+	case KindFloat:
+		vb.b.append(scalar{kind: kind, f: f})
+	case KindString:
+		vb.b.append(scalar{kind: kind, s: s})
+	default:
+		vb.b.append(nullScalar)
+	}
+}
+
+// AppendNull adds a NULL row.
+func (vb *ValueBuilder) AppendNull() { vb.b.append(nullScalar) }
+
+// Finalize builds the typed vector; mixed incompatible kinds report
+// ErrUnsupported.
+func (vb *ValueBuilder) Finalize() (*Vector, error) { return vb.b.finalize() }
+
+// builder accumulates scalars of possibly mixed numeric kinds and finalizes
+// them into one typed vector, promoting {int,float} mixes to a KindFloat
+// vector with an IsInt duality mask. Incompatible mixes (string next to
+// numeric, bool next to int, ...) report ErrUnsupported so the caller can
+// fall back to the interpreter.
+type builder struct {
+	vals []scalar
+}
+
+func newBuilder(capacity int) *builder {
+	return &builder{vals: make([]scalar, 0, capacity)}
+}
+
+func (b *builder) append(s scalar) { b.vals = append(b.vals, s) }
+
+func (b *builder) len() int { return len(b.vals) }
+
+// finalize builds the vector.
+func (b *builder) finalize() (*Vector, error) {
+	var hasInt, hasFloat, hasStr, hasDate, hasBool bool
+	for _, s := range b.vals {
+		switch s.kind {
+		case KindInt:
+			hasInt = true
+		case KindFloat:
+			hasFloat = true
+		case KindString:
+			hasStr = true
+		case KindDate:
+			hasDate = true
+		case KindBool:
+			hasBool = true
+		}
+	}
+	classes := 0
+	for _, c := range []bool{hasInt || hasFloat, hasStr, hasDate, hasBool} {
+		if c {
+			classes++
+		}
+	}
+	if classes > 1 {
+		return nil, fmt.Errorf("%w: mixed value kinds in one column", ErrUnsupported)
+	}
+	n := len(b.vals)
+	var kind Kind
+	switch {
+	case hasStr:
+		kind = KindString
+	case hasDate:
+		kind = KindDate
+	case hasBool:
+		kind = KindBool
+	case hasFloat:
+		kind = KindFloat
+	case hasInt:
+		kind = KindInt
+	default:
+		return NewNullVector(n), nil
+	}
+	out := NewVector(kind, n)
+	mixed := hasInt && hasFloat
+	if mixed {
+		out.Ints = make([]int64, n)
+		out.IsInt = make([]bool, n)
+	}
+	for i, s := range b.vals {
+		if s.kind == KindNull {
+			out.SetNull(i)
+			continue
+		}
+		switch kind {
+		case KindInt, KindDate, KindBool:
+			out.Ints[i] = s.i
+		case KindFloat:
+			if s.kind == KindInt {
+				out.Floats[i] = float64(s.i)
+				if mixed {
+					out.Ints[i] = s.i
+					out.IsInt[i] = true
+				}
+			} else {
+				out.Floats[i] = s.f
+			}
+		case KindString:
+			out.Strs[i] = s.s
+		}
+	}
+	return out, nil
+}
