@@ -670,3 +670,40 @@ func BenchmarkAblationGuidedVsRandom(b *testing.B) {
 	b.ReportMetric(guidedBest, "guided_best_ratio")
 	b.ReportMetric(randomBest, "random_best_ratio")
 }
+
+// BenchmarkSchedulerWorkers regenerates the serial-vs-parallel wall-clock
+// table of EXPERIMENTS.md: the same TPC-H Q1 demo pool is measured on the
+// three engine paradigms with 1, 2, 4 and 8 measurement workers. The pool
+// and therefore the work are identical in every variant — the pool seed
+// drives the walk and the scheduler only changes the fan-out — so the
+// sub-benchmark wall-clocks divide directly into the speedup column.
+func BenchmarkSchedulerWorkers(b *testing.B) {
+	q1, _ := workload.TPCHQuery("Q1")
+	db := smallTPCH()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				project, err := core.NewProject("sched-q1", q1.SQL, core.ProjectOptions{
+					Runs:        1,
+					Parallelism: workers,
+					Timeout:     30 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				project.AddEngineTarget("columba-1.0", engine.NewColEngine(), db)
+				project.AddEngineTarget("tuplestore-1.0", engine.NewRowEngine(), db)
+				project.AddEngineTarget("vektor-1.0", engine.NewVektorEngine(), db)
+				if err := project.SeedPool(8); err != nil {
+					b.Fatal(err)
+				}
+				project.GrowPool(8)
+				b.StartTimer()
+				if err := project.MeasureAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

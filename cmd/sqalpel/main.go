@@ -16,6 +16,11 @@
 //	platform = laptop
 //	experiment = 1
 //	runs = 5
+//	workers = 4
+//
+// With workers > 1 (from the configuration file or the -workers flag) the
+// driver leases tasks in batches and measures them concurrently, so several
+// drivers can crowd-source one experiment without double-measuring.
 package main
 
 import (
@@ -36,11 +41,19 @@ func main() {
 	dataset := flag.String("dataset", "tpch", "local data set to run against: tpch, ssb or airtraffic")
 	sf := flag.Float64("sf", 0.01, "scale factor of the local data set")
 	maxTasks := flag.Int("max", 0, "maximum number of tasks to process (0 = until the pool is exhausted)")
+	workers := flag.Int("workers", 0, "concurrent measurement workers (0 = take from the config file)")
+	batch := flag.Int("batch", 0, "tasks to lease per request (0 = worker count)")
 	flag.Parse()
 
 	cfg, err := driver.LoadConfig(*configPath)
 	if err != nil {
 		log.Fatalf("loading configuration: %v", err)
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
 	}
 	client, err := driver.NewClient(cfg)
 	if err != nil {
@@ -57,8 +70,8 @@ func main() {
 	}
 	target := &core.EngineTarget{Engine: eng, DB: db, Timeout: cfg.Timeout}
 
-	fmt.Printf("sqalpel driver: %s on %s, data set %s sf %g, %d runs per query\n",
-		cfg.DBMS, cfg.Platform, *dataset, *sf, cfg.Runs)
+	fmt.Printf("sqalpel driver: %s on %s, data set %s sf %g, %d runs per query, %d workers\n",
+		cfg.DBMS, cfg.Platform, *dataset, *sf, cfg.Runs, cfg.Workers)
 	start := time.Now()
 	n, err := client.RunAll(target, *maxTasks)
 	if err != nil {

@@ -3,25 +3,35 @@
 // query-space grammar, plus the platform to collect, manage and share the
 // resulting performance facts.
 //
-// The implementation lives under internal/:
+// The implementation lives under internal/ (ARCHITECTURE.md maps each paper
+// section onto the packages):
 //
 //   - internal/core is the public façade (projects, pools, targets, search,
 //     analytics); start there.
 //   - internal/grammar, internal/derive and internal/pool implement the
 //     query-space DSL, the SQL-to-grammar conversion and the alter / expand /
 //     prune morphing strategies.
+//   - internal/metrics and internal/sched form the measurement plane:
+//     repetition discipline with context cancellation and per-repetition
+//     timeouts, fanned out across a worker pool with a result cache keyed by
+//     (target, normalized SQL). The guided search is deterministic at any
+//     worker count — parallelism changes wall-clock, never the findings.
 //   - internal/engine, internal/vexec, internal/datagen and
-//     internal/workload are the execution substrate: three SQL execution
-//     paradigms with genuinely different performance profiles
-//     (tuple-at-a-time, column-at-a-time and the batch-vectorized vektor
-//     engine built on internal/vexec), deterministic TPC-H / SSB /
-//     airtraffic data generators and the corresponding query workloads.
+//     internal/workload are the execution substrate: the engine registry
+//     spans five engines across three SQL execution paradigms with genuinely
+//     different performance profiles — tuplestore 1.0 (tuple-at-a-time),
+//     columba 1.0/2.0 (column-at-a-time) and vektor 1.0/2.0 (the
+//     batch-vectorized executor built on internal/vexec) — plus
+//     deterministic TPC-H / SSB / airtraffic data generators and the
+//     corresponding query workloads.
 //   - internal/server, internal/webui, internal/repository, internal/catalog
 //     and internal/driver form the sharing platform (projects, access
-//     control, task queue, results, analytics pages) and its experiment
-//     driver.
+//     control, the task queue with batch leasing and lease-expiry re-queue,
+//     results, analytics pages) and its experiment driver, which pulls task
+//     batches and measures them on its own worker pool so many drivers can
+//     crowd-source one experiment without double-measuring.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper; EXPERIMENTS.md records the measured outcomes next to the published
-// ones.
+// paper plus the scheduler scaling table; EXPERIMENTS.md records the
+// measured outcomes next to the published ones.
 package sqalpel

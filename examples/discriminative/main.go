@@ -15,6 +15,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	"sqalpel/internal/core"
 	"sqalpel/internal/datagen"
@@ -35,7 +37,14 @@ func main() {
 		}
 		fmt.Printf("=== TPC-H %s: %s ===\n", q.ID, q.Name)
 
-		project, err := core.NewProject("tpch-"+q.ID, q.SQL, core.ProjectOptions{Runs: 3})
+		// The search fans the pool's (query, target) cells across a worker
+		// pool; the findings are identical at any parallelism, only the
+		// wall-clock changes (see EXPERIMENTS.md for the scaling table).
+		project, err := core.NewProject("tpch-"+q.ID, q.SQL, core.ProjectOptions{
+			Runs:        3,
+			Parallelism: runtime.GOMAXPROCS(0),
+			Timeout:     30 * time.Second,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,10 +1,10 @@
 // platform demonstrates the full SaaS workflow of the paper's demo: it
 // starts the sqalpel platform server in-process, registers a project owner
 // and a contributor, creates a public project with an experiment derived
-// from a TPC-H baseline query, grows the query pool, lets the contributor's
-// experiment driver work through the task queue against two local engines,
-// and finally fetches the analytics (experiment history, speedup, CSV) from
-// the platform.
+// from a TPC-H baseline query, grows the query pool, lets two concurrent
+// experiment drivers crowd-source the task queue in leased batches against
+// two local engines, and finally fetches the analytics (experiment history,
+// speedup, CSV) from the platform.
 //
 // Run with:
 //
@@ -19,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"sqalpel/internal/core"
@@ -65,8 +66,12 @@ func main() {
 	})
 	fmt.Printf("pool grown to %v queries\n", grown["query_count"])
 
-	// 4. A contributor runs the experiment driver against two local engines.
+	// 4. Two experiment drivers crowd-source the queue concurrently, one per
+	//    engine: each leases tasks in batches and measures them on its own
+	//    worker pool. The server's per-lease deadlines guarantee that no
+	//    query is measured twice however many drivers join in.
 	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.01})
+	var wg sync.WaitGroup
 	for _, dbms := range []struct {
 		key string
 		eng engine.Engine
@@ -77,18 +82,24 @@ func main() {
 		cfg := driver.Config{
 			Server: srv.URL, Key: ownerKey, DBMS: dbms.key, Platform: "laptop",
 			Experiment: experimentID, Runs: 3, Timeout: 30 * time.Second,
+			Workers: 2, Batch: 4,
 		}
 		client, err := driver.NewClient(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		target := &core.EngineTarget{Engine: dbms.eng, DB: db, Timeout: cfg.Timeout}
-		n, err := client.RunAll(target, 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("driver finished %d tasks on %s\n", n, dbms.key)
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			n, err := client.RunAll(target, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("driver finished %d tasks on %s\n", n, key)
+		}(dbms.key)
 	}
+	wg.Wait()
 
 	// 5. Fetch the analytics the platform renders.
 	history := apiGet(fmt.Sprintf("%s/api/projects/%d/analytics/history?target=columba-1.0@laptop", srv.URL, projectID))

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -35,7 +36,9 @@ import (
 
 // EngineTarget adapts an Engine plus a Database to the metrics.Target
 // interface used by the measurement harness. It stands in for the JDBC
-// connections of the paper's experiment driver.
+// connections of the paper's experiment driver. The built-in engines only
+// read the database during execution, so an EngineTarget is safe for
+// concurrent use by the scheduler's worker pool.
 type EngineTarget struct {
 	Engine  engine.Engine
 	DB      *engine.Database
@@ -44,7 +47,49 @@ type EngineTarget struct {
 
 // Run executes the query once.
 func (t *EngineTarget) Run(query string) (int, map[string]string, error) {
+	return t.run(query, engine.ExecOptions{Timeout: t.Timeout})
+}
+
+// RunContext executes the query once, tightening the engine timeout to the
+// context deadline; it implements metrics.ContextTarget. A plain
+// cancellation (no deadline) also returns promptly: the engines cannot be
+// interrupted mid-query, so the abandoned execution finishes on its own
+// goroutine — reading the immutable database, bounded by the engine
+// timeout when one is set — and its result is discarded.
+func (t *EngineTarget) RunContext(ctx context.Context, query string) (int, map[string]string, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	opts := engine.ExecOptions{Timeout: t.Timeout}
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			// An expired deadline must not degrade into "no engine timeout".
+			return 0, nil, context.DeadlineExceeded
+		}
+		if opts.Timeout == 0 || remaining < opts.Timeout {
+			opts.Timeout = remaining
+		}
+	}
+	type execResult struct {
+		rows  int
+		extra map[string]string
+		err   error
+	}
+	done := make(chan execResult, 1)
+	go func() {
+		rows, extra, err := t.run(query, opts)
+		done <- execResult{rows, extra, err}
+	}()
+	select {
+	case r := <-done:
+		return r.rows, r.extra, r.err
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+}
+
+func (t *EngineTarget) run(query string, opts engine.ExecOptions) (int, map[string]string, error) {
 	res, err := t.Engine.Execute(t.DB, query, opts)
 	if err != nil {
 		return 0, nil, err
@@ -67,6 +112,13 @@ type ProjectOptions struct {
 	// SearchGrowPerRound and SearchTopK tune the guided walk.
 	SearchGrowPerRound int
 	SearchTopK         int
+	// Parallelism is the number of concurrent measurement workers fanning
+	// the pool's (query, target) cells out; 0 or 1 measures serially. The
+	// findings are identical at any worker count — only wall-clock changes.
+	Parallelism int
+	// Timeout bounds a single query repetition during the search; zero
+	// means no limit.
+	Timeout time.Duration
 }
 
 func (o ProjectOptions) withDefaults() ProjectOptions {
@@ -211,6 +263,8 @@ func (p *Project) ensureSearch() (*discriminative.Search, error) {
 		Runs:         p.opts.Runs,
 		GrowPerRound: p.opts.SearchGrowPerRound,
 		TopK:         p.opts.SearchTopK,
+		Parallelism:  p.opts.Parallelism,
+		Timeout:      p.opts.Timeout,
 	})
 	if err != nil {
 		return nil, err

@@ -2,12 +2,14 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"sqalpel/internal/datagen"
 	"sqalpel/internal/engine"
+	"sqalpel/internal/metrics"
 	"sqalpel/internal/workload"
 )
 
@@ -210,4 +212,58 @@ func TestRegistryTargetsAndMatrix(t *testing.T) {
 	if want := len(keys) * (len(keys) - 1); len(cells) != want {
 		t.Errorf("matrix cells = %d, want %d", len(cells), want)
 	}
+}
+
+func TestParallelProjectRunMatchesSerial(t *testing.T) {
+	// The same project run with 1 and with 8 measurement workers over real
+	// engines grows identical pools: the walk is driven by the pool seed and
+	// the scheduler only changes wall-clock. (Findings on real engines are
+	// timing-dependent, so only the pool trajectory is compared here; the
+	// bit-identical findings guarantee is covered with simulated targets in
+	// internal/discriminative.)
+	poolOf := func(parallelism int) []string {
+		p, err := NewProject("nation", workload.NationBaselineQuery, ProjectOptions{
+			Runs: 1, Parallelism: parallelism, Timeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.AddEngineTarget("", engine.NewColEngine(), smallTPCH)
+		p.AddEngineTarget("", engine.NewRowEngine(), smallTPCH)
+		if err := p.SeedPool(6); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.MeasureAll(); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, e := range p.Pool().Entries() {
+			out = append(out, e.SQL)
+		}
+		return out
+	}
+	serial := poolOf(1)
+	parallel := poolOf(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("pool sizes diverged: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("pool entry %d diverged:\n serial:   %s\n parallel: %s", i+1, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestEngineTargetRunContext(t *testing.T) {
+	target := &EngineTarget{Engine: engine.NewColEngine(), DB: smallTPCH, Timeout: 30 * time.Second}
+	rows, _, err := target.RunContext(context.Background(), "SELECT count(*) FROM nation")
+	if err != nil || rows == 0 {
+		t.Fatalf("RunContext = %d rows, err %v", rows, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := target.RunContext(ctx, "SELECT count(*) FROM nation"); err == nil {
+		t.Error("cancelled context should refuse to execute")
+	}
+	var _ metrics.ContextTarget = target
 }

@@ -5,15 +5,24 @@
 // queries by their performance ratio, and grows the pool by morphing the
 // most discriminative queries found so far — the guided random walk of the
 // paper — rather than sampling the space blindly.
+//
+// Measurement is delegated to the concurrent scheduler (internal/sched):
+// every round fans its pending (entry, target) cells across a worker pool
+// sized by Options.Parallelism, while the walk itself — ranking, morphing,
+// random growth — stays strictly sequential and seeded, so the findings are
+// bit-identical at Parallelism=1 and Parallelism=N.
 package discriminative
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"sqalpel/internal/metrics"
 	"sqalpel/internal/pool"
+	"sqalpel/internal/sched"
 )
 
 // Outcome is the measurement of one pool entry on every target.
@@ -44,10 +53,13 @@ func (o *Outcome) Seconds(target string) float64 {
 }
 
 // Ratio returns time(a)/time(b): values above 1 mean the query runs faster
-// on b, values below 1 mean it runs faster on a. NaN when either failed.
+// on b, values below 1 mean it runs faster on a. NaN when either target
+// failed or reported a zero time — a zero wall-clock measurement is below
+// the clock's resolution on either side of the fraction, so neither
+// direction can support a meaningful ratio.
 func (o *Outcome) Ratio(a, b string) float64 {
 	ta, tb := o.Seconds(a), o.Seconds(b)
-	if math.IsNaN(ta) || math.IsNaN(tb) || tb == 0 {
+	if math.IsNaN(ta) || math.IsNaN(tb) || ta == 0 || tb == 0 {
 		return math.NaN()
 	}
 	return ta / tb
@@ -70,6 +82,12 @@ type Options struct {
 	GrowPerRound int
 	// TopK is how many extreme queries each round morphs from (default 3).
 	TopK int
+	// Parallelism is the number of concurrent measurement workers; 0 or 1
+	// measures serially. With Parallelism > 1 every target must be safe for
+	// concurrent use.
+	Parallelism int
+	// Timeout bounds a single query repetition; zero means no limit.
+	Timeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +100,9 @@ func (o Options) withDefaults() Options {
 	if o.TopK <= 0 {
 		o.TopK = 3
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
 	return o
 }
 
@@ -91,6 +112,7 @@ type Search struct {
 	targets  map[string]metrics.Target
 	names    []string
 	opts     Options
+	sched    *sched.Scheduler
 	outcomes map[int]*Outcome // keyed by pool entry id
 }
 
@@ -104,14 +126,19 @@ func New(p *pool.Pool, targets map[string]metrics.Target, opts Options) (*Search
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	opts = opts.withDefaults()
 	return &Search{
 		pool:     p,
 		targets:  targets,
 		names:    names,
-		opts:     opts.withDefaults(),
+		opts:     opts,
+		sched:    sched.New(sched.Options{Workers: opts.Parallelism, Timeout: opts.Timeout}),
 		outcomes: map[int]*Outcome{},
 	}, nil
 }
+
+// Scheduler exposes the measurement scheduler (for cache statistics).
+func (s *Search) Scheduler() *sched.Scheduler { return s.sched }
 
 // Pool returns the underlying pool.
 func (s *Search) Pool() *pool.Pool { return s.pool }
@@ -136,23 +163,63 @@ func (s *Search) MeasureEntry(e *pool.Entry) *Outcome {
 	if o, ok := s.outcomes[e.ID]; ok {
 		return o
 	}
-	o := &Outcome{Entry: e, ByTarget: map[string]*metrics.Measurement{}}
-	for _, name := range s.names {
-		o.ByTarget[name] = metrics.Measure(s.targets[name], e.SQL, metrics.Options{Runs: s.opts.Runs})
-	}
-	s.outcomes[e.ID] = o
-	return o
+	return s.measureEntries(context.Background(), []*pool.Entry{e})[0]
 }
 
 // MeasurePending measures every pool entry that has not been measured yet
 // and returns the new outcomes.
 func (s *Search) MeasurePending() []*Outcome {
-	var out []*Outcome
+	return s.MeasurePendingContext(context.Background())
+}
+
+// MeasurePendingContext is MeasurePending with cancellation: entries whose
+// measurement was cut short by the context come back as failed outcomes.
+func (s *Search) MeasurePendingContext(ctx context.Context) []*Outcome {
+	var pending []*pool.Entry
 	for _, e := range s.pool.Entries() {
 		if _, ok := s.outcomes[e.ID]; ok {
 			continue
 		}
-		out = append(out, s.MeasureEntry(e))
+		pending = append(pending, e)
+	}
+	return s.measureEntries(ctx, pending)
+}
+
+// measureEntries fans the (entry, target) cells of the given entries across
+// the scheduler's worker pool and assembles the outcomes in entry order.
+// The scheduler's result cache makes morphs that collapse onto an already
+// measured SQL text free.
+func (s *Search) measureEntries(ctx context.Context, entries []*pool.Entry) []*Outcome {
+	if len(entries) == 0 {
+		return nil
+	}
+	cells := make([]sched.Cell, 0, len(entries)*len(s.names))
+	for _, e := range entries {
+		for _, name := range s.names {
+			cells = append(cells, sched.Cell{
+				Target: name,
+				Runner: s.targets[name],
+				SQL:    e.SQL,
+				Runs:   s.opts.Runs,
+			})
+		}
+	}
+	results := s.sched.Measure(ctx, cells)
+	cancelled := ctx.Err() != nil
+	out := make([]*Outcome, 0, len(entries))
+	for i, e := range entries {
+		o := &Outcome{Entry: e, ByTarget: map[string]*metrics.Measurement{}}
+		for j, name := range s.names {
+			o.ByTarget[name] = results[i*len(s.names)+j].Measurement
+		}
+		// A failure during a cancelled run says nothing about the query:
+		// don't record it, so a later un-cancelled call measures the entry
+		// again (the scheduler evicts those cells from its cache too; the
+		// targets that did complete stay cached and are free to replay).
+		if !(cancelled && o.Failed()) {
+			s.outcomes[e.ID] = o
+		}
+		out = append(out, o)
 	}
 	return out
 }
@@ -162,7 +229,12 @@ func (s *Search) MeasurePending() []*Outcome {
 // are morphed with alter/expand/prune, and the remainder of the budget is
 // spent on random growth so the walk keeps exploring.
 func (s *Search) Round(a, b string) []*Outcome {
-	newOutcomes := s.MeasurePending()
+	return s.RoundContext(context.Background(), a, b)
+}
+
+// RoundContext is Round with cancellation.
+func (s *Search) RoundContext(ctx context.Context, a, b string) []*Outcome {
+	newOutcomes := s.MeasurePendingContext(ctx)
 
 	extremes := append(s.Better(a, b, s.opts.TopK), s.Better(b, a, s.opts.TopK)...)
 	added := 0
@@ -189,10 +261,18 @@ func (s *Search) Round(a, b string) []*Outcome {
 // Run performs the given number of rounds comparing targets a and b and
 // returns every outcome measured so far.
 func (s *Search) Run(a, b string, rounds int) []*Outcome {
-	for i := 0; i < rounds; i++ {
-		s.Round(a, b)
+	return s.RunContext(context.Background(), a, b, rounds)
+}
+
+// RunContext is Run with cancellation: the walk stops growing once the
+// context is done and returns what was measured so far.
+func (s *Search) RunContext(ctx context.Context, a, b string, rounds int) []*Outcome {
+	for i := 0; i < rounds && ctx.Err() == nil; i++ {
+		s.RoundContext(ctx, a, b)
 	}
-	s.MeasurePending()
+	if ctx.Err() == nil {
+		s.MeasurePendingContext(ctx)
+	}
 	return s.Outcomes()
 }
 
@@ -212,7 +292,14 @@ func (s *Search) Better(fast, slow string, topN int) []Finding {
 		}
 		findings = append(findings, Finding{Outcome: o, Ratio: r})
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].Ratio > findings[j].Ratio })
+	// Stable ranking: break ratio ties on the pool entry id so the ordering
+	// is identical however the measurements were scheduled.
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Ratio != findings[j].Ratio {
+			return findings[i].Ratio > findings[j].Ratio
+		}
+		return findings[i].Outcome.Entry.ID < findings[j].Outcome.Entry.ID
+	})
 	if topN > 0 && len(findings) > topN {
 		findings = findings[:topN]
 	}

@@ -1,7 +1,9 @@
 package discriminative
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -198,10 +200,12 @@ func TestOutcomeRatioAndSeconds(t *testing.T) {
 // surfaces the separations the fakes are built to show.
 func TestMatrixThreeTargets(t *testing.T) {
 	p := newNationPool(t)
+	// The gaps between the tiers stay well above timer resolution so the
+	// assertions hold under the race detector on a loaded box.
 	targets := map[string]metrics.Target{
-		"fast":   &fakeTarget{base: time.Microsecond},
-		"steady": &fakeTarget{base: 400 * time.Microsecond},
-		"picky":  &fakeTarget{base: time.Microsecond, perComment: 2 * time.Millisecond},
+		"fast":   &fakeTarget{base: 50 * time.Microsecond},
+		"steady": &fakeTarget{base: 5 * time.Millisecond},
+		"picky":  &fakeTarget{base: 50 * time.Microsecond, perComment: 20 * time.Millisecond},
 	}
 	s, err := New(p, targets, Options{Runs: 1})
 	if err != nil {
@@ -231,6 +235,178 @@ func TestMatrixThreeTargets(t *testing.T) {
 		c := seen[fast+">steady"]
 		if c.Count == 0 {
 			t.Errorf("%s should beat steady on some query", fast)
+		}
+	}
+}
+
+func TestRatioZeroTimesSymmetric(t *testing.T) {
+	mk := func(a, b time.Duration) *Outcome {
+		return &Outcome{ByTarget: map[string]*metrics.Measurement{
+			"a": {Runs: []time.Duration{a}},
+			"b": {Runs: []time.Duration{b}},
+		}}
+	}
+	// A zero wall-clock time is below the clock's resolution; the ratio must
+	// be NaN whichever side it appears on (it used to be 0 for ta == 0 but
+	// NaN for tb == 0).
+	if r := mk(0, time.Millisecond).Ratio("a", "b"); !math.IsNaN(r) {
+		t.Errorf("Ratio with zero numerator = %v, want NaN", r)
+	}
+	if r := mk(time.Millisecond, 0).Ratio("a", "b"); !math.IsNaN(r) {
+		t.Errorf("Ratio with zero denominator = %v, want NaN", r)
+	}
+	if r := mk(0, 0).Ratio("a", "b"); !math.IsNaN(r) {
+		t.Errorf("Ratio with both zero = %v, want NaN", r)
+	}
+	if r := mk(2*time.Millisecond, time.Millisecond).Ratio("a", "b"); math.Abs(r-2) > 1e-9 {
+		t.Errorf("Ratio = %v, want 2", r)
+	}
+	// Symmetry: swapping the arguments inverts the ratio or stays NaN.
+	if ra, rb := mk(0, time.Millisecond).Ratio("a", "b"), mk(0, time.Millisecond).Ratio("b", "a"); math.IsNaN(ra) != math.IsNaN(rb) {
+		t.Errorf("zero-time handling is asymmetric: %v vs %v", ra, rb)
+	}
+}
+
+// simTarget is a deterministic simulator: instead of sleeping it reports
+// its cost through metrics.SimulatedDurationKey, so two runs of the same
+// search measure bit-identical timings whatever the scheduling order.
+type simTarget struct {
+	base       time.Duration
+	perComment time.Duration
+	perFilter  time.Duration
+}
+
+func (f *simTarget) Run(query string) (int, map[string]string, error) {
+	d := f.base
+	if strings.Contains(query, "n_comment") {
+		d += f.perComment
+	}
+	if strings.Contains(query, "WHERE") {
+		d += f.perFilter
+	}
+	// A per-query fingerprint keeps ratios distinct so rankings have no ties.
+	for _, r := range query {
+		d += time.Duration(r % 17)
+	}
+	return 1, map[string]string{metrics.SimulatedDurationKey: fmt.Sprintf("%d", d.Nanoseconds())}, nil
+}
+
+// searchFindings runs one full guided search at the given parallelism and
+// returns the identifying trace: pool SQL texts plus the ranked finding ids
+// in both directions.
+func searchFindings(t *testing.T, workers int) (poolSQL []string, better []int) {
+	t.Helper()
+	p := newNationPool(t)
+	targets := map[string]metrics.Target{
+		"sysA": &simTarget{base: 200 * time.Microsecond, perComment: 12 * time.Millisecond},
+		"sysB": &simTarget{base: 200 * time.Microsecond, perFilter: 12 * time.Millisecond},
+	}
+	s, err := New(p, targets, Options{Runs: 1, GrowPerRound: 4, TopK: 2, Parallelism: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run("sysA", "sysB", 2)
+	for _, e := range p.Entries() {
+		poolSQL = append(poolSQL, e.SQL)
+	}
+	for _, f := range append(s.Better("sysA", "sysB", 0), s.Better("sysB", "sysA", 0)...) {
+		better = append(better, f.Outcome.Entry.ID)
+	}
+	return poolSQL, better
+}
+
+func TestSearchDeterministicAcrossParallelism(t *testing.T) {
+	// The guided walk must be a pure function of the pool seed: fanning the
+	// measurements across 8 workers may only change wall-clock, never the
+	// findings. The fake targets' surcharges dwarf scheduler noise so the
+	// rankings are stable.
+	serialPool, serialBetter := searchFindings(t, 1)
+	parallelPool, parallelBetter := searchFindings(t, 8)
+	if len(serialPool) != len(parallelPool) {
+		t.Fatalf("pool diverged: %d vs %d entries", len(serialPool), len(parallelPool))
+	}
+	for i := range serialPool {
+		if serialPool[i] != parallelPool[i] {
+			t.Errorf("pool entry %d diverged:\n workers=1: %s\n workers=8: %s", i+1, serialPool[i], parallelPool[i])
+		}
+	}
+	if len(serialBetter) != len(parallelBetter) {
+		t.Fatalf("findings diverged: %v vs %v", serialBetter, parallelBetter)
+	}
+	for i := range serialBetter {
+		if serialBetter[i] != parallelBetter[i] {
+			t.Fatalf("finding order diverged: %v vs %v", serialBetter, parallelBetter)
+		}
+	}
+}
+
+func TestSearchResultCacheAcrossDuplicateSQL(t *testing.T) {
+	p := newNationPool(t)
+	targets := map[string]metrics.Target{
+		"sysA": &fakeTarget{base: 100 * time.Microsecond},
+		"sysB": &fakeTarget{base: 100 * time.Microsecond},
+	}
+	s, err := New(p, targets, Options{Runs: 1, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MeasurePending()
+	measured, _ := s.Scheduler().Stats()
+	if want := p.Size() * 2; measured != want {
+		t.Errorf("measured %d cells, want %d", measured, want)
+	}
+	// Re-measuring the same pool is free.
+	before, _ := s.Scheduler().Stats()
+	s.MeasureEntry(p.Baseline())
+	after, _ := s.Scheduler().Stats()
+	if after != before {
+		t.Errorf("already measured entry triggered %d new measurements", after-before)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p := newNationPool(t)
+	targets := map[string]metrics.Target{
+		"sysA": &fakeTarget{base: time.Millisecond},
+		"sysB": &fakeTarget{base: time.Millisecond},
+	}
+	s, err := New(p, targets, Options{Runs: 1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := p.Size()
+	s.RunContext(ctx, "sysA", "sysB", 3)
+	if p.Size() != before {
+		t.Errorf("cancelled run grew the pool from %d to %d", before, p.Size())
+	}
+}
+
+func TestCancelledMeasurementsAreRetried(t *testing.T) {
+	p := newNationPool(t)
+	targets := map[string]metrics.Target{
+		"sysA": &fakeTarget{base: 100 * time.Microsecond},
+		"sysB": &fakeTarget{base: 100 * time.Microsecond},
+	}
+	s, err := New(p, targets, Options{Runs: 1, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.MeasurePendingContext(ctx)
+	if n := len(s.Outcomes()); n != 0 {
+		t.Fatalf("cancelled run recorded %d outcomes; they would never be re-measured", n)
+	}
+	// A later, un-cancelled call measures everything for real.
+	s.MeasurePending()
+	if n := len(s.Outcomes()); n != p.Size() {
+		t.Fatalf("retry measured %d of %d entries", n, p.Size())
+	}
+	for _, o := range s.Outcomes() {
+		if o.Failed() {
+			t.Errorf("entry #%d still failed after the retry: %+v", o.Entry.ID, o.ByTarget)
 		}
 	}
 }

@@ -1,10 +1,17 @@
 // Package driver is the Go counterpart of the paper's sqalpel.py experiment
 // driver: a small client that is locally controlled through a configuration
-// file, asks the platform web server for a task from a project's query pool,
-// executes it against the locally available DBMS (five repetitions by
+// file, asks the platform web server for tasks from a project's query pool,
+// executes them against the locally available DBMS (five repetitions by
 // default), and reports the wall-clock times, the CPU load averages around
 // the run and an open-ended key/value list of extra indicators back to the
 // server. The contributor is identified only by a separately supplied key.
+//
+// With workers > 1 the driver leases tasks in batches (the `max` parameter
+// of POST /api/task/request) and measures them on a local worker pool, so a
+// handful of drivers — possibly on different machines — can crowd-source
+// one experiment concurrently; the server's per-lease deadlines guarantee
+// that no query is measured twice and that the leases of a crashed driver
+// are handed out again.
 package driver
 
 import (
@@ -15,6 +22,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqalpel/internal/metrics"
@@ -37,13 +46,20 @@ type Config struct {
 	Runs int
 	// Timeout bounds a single query execution.
 	Timeout time.Duration
+	// Workers is the number of concurrent measurement workers (default 1 =
+	// serial). With more than one worker the target must be safe for
+	// concurrent use, which the built-in engines are.
+	Workers int
+	// Batch is how many tasks to lease per request; zero defaults to the
+	// worker count so a full batch keeps every worker busy.
+	Batch int
 }
 
 // ParseConfig parses the driver configuration format: one `key = value` pair
 // per line, with '#' comments, mirroring the paper's description of a simple
 // local configuration file.
 func ParseConfig(text string) (Config, error) {
-	cfg := Config{Runs: metrics.DefaultRuns, Timeout: time.Minute}
+	cfg := Config{Runs: metrics.DefaultRuns, Timeout: time.Minute, Workers: 1}
 	for lineNo, raw := range strings.Split(text, "\n") {
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -82,6 +98,18 @@ func ParseConfig(text string) (Config, error) {
 				return cfg, fmt.Errorf("line %d: timeout_seconds must be a positive number", lineNo+1)
 			}
 			cfg.Timeout = time.Duration(n) * time.Second
+		case "workers":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("line %d: workers must be a positive number", lineNo+1)
+			}
+			cfg.Workers = n
+		case "batch":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("line %d: batch must be a positive number", lineNo+1)
+			}
+			cfg.Batch = n
 		default:
 			return cfg, fmt.Errorf("line %d: unknown configuration key %q", lineNo+1, key)
 		}
@@ -180,8 +208,45 @@ func (c *Client) RequestTask() (*repository.Task, error) {
 	return &task, nil
 }
 
+// RequestTasks leases up to max tasks in one round trip. An empty slice
+// means the pool is exhausted for this DBMS + platform combination.
+func (c *Client) RequestTasks(max int) ([]*repository.Task, error) {
+	if max <= 1 {
+		task, err := c.RequestTask()
+		if err != nil || task == nil {
+			return nil, err
+		}
+		return []*repository.Task{task}, nil
+	}
+	req := map[string]any{
+		"key":           c.cfg.Key,
+		"experiment_id": c.cfg.Experiment,
+		"dbms":          c.cfg.DBMS,
+		"platform":      c.cfg.Platform,
+		"max":           max,
+	}
+	var resp struct {
+		Tasks []*repository.Task `json:"tasks"`
+	}
+	status, err := c.post("/api/task/request", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return resp.Tasks, nil
+}
+
 // Report sends a finished measurement back to the server.
 func (c *Client) Report(taskID int, m *metrics.Measurement) error {
+	_, err := c.report(taskID, m)
+	return err
+}
+
+// report is Report exposing the HTTP status, so the run loops can tell a
+// lost lease (409, skip and carry on) from a real failure.
+func (c *Client) report(taskID int, m *metrics.Measurement) (int, error) {
 	req := map[string]any{
 		"key":     c.cfg.Key,
 		"task_id": taskID,
@@ -189,12 +254,20 @@ func (c *Client) Report(taskID int, m *metrics.Measurement) error {
 		"error":   m.Err,
 		"extra":   m.Extra,
 	}
-	_, err := c.post("/api/task/complete", req, nil)
-	return err
+	return c.post("/api/task/complete", req, nil)
+}
+
+// measure runs one task's query on the target with the configured
+// repetitions and per-repetition timeout.
+func (c *Client) measure(target metrics.Target, task *repository.Task) *metrics.Measurement {
+	return metrics.Measure(target, task.SQL, metrics.Options{Runs: c.cfg.Runs, Timeout: c.cfg.Timeout})
 }
 
 // RunOnce requests one task, measures it on the target and reports the
-// result. It returns false when no task was available.
+// result. It returns false when no task was available. A report rejected
+// because the lease was lost in the meantime (expired and re-queued to
+// another driver) is not an error: the result is dropped and the loop
+// carries on — that is the designed recovery path, not a driver failure.
 func (c *Client) RunOnce(target metrics.Target) (bool, error) {
 	task, err := c.RequestTask()
 	if err != nil {
@@ -203,8 +276,7 @@ func (c *Client) RunOnce(target metrics.Target) (bool, error) {
 	if task == nil {
 		return false, nil
 	}
-	m := metrics.Measure(target, task.SQL, metrics.Options{Runs: c.cfg.Runs})
-	if err := c.Report(task.ID, m); err != nil {
+	if status, err := c.report(task.ID, c.measure(target, task)); err != nil && status != http.StatusConflict {
 		return true, err
 	}
 	return true, nil
@@ -212,18 +284,95 @@ func (c *Client) RunOnce(target metrics.Target) (bool, error) {
 
 // RunAll keeps requesting and measuring tasks until the pool is exhausted or
 // maxTasks have been processed (0 means no limit). It returns the number of
-// tasks processed.
+// tasks processed. With Config.Workers > 1 tasks are leased in batches and
+// measured concurrently on a local worker pool; the target must then be
+// safe for concurrent use.
 func (c *Client) RunAll(target metrics.Target, maxTasks int) (int, error) {
+	if c.cfg.Workers <= 1 {
+		done := 0
+		for maxTasks == 0 || done < maxTasks {
+			more, err := c.RunOnce(target)
+			if err != nil {
+				return done, err
+			}
+			if !more {
+				return done, nil
+			}
+			done++
+		}
+		return done, nil
+	}
+	return c.runAllParallel(target, maxTasks)
+}
+
+// runAllParallel is the batch-leasing worker-pool loop behind RunAll.
+func (c *Client) runAllParallel(target metrics.Target, maxTasks int) (int, error) {
+	batch := c.cfg.Batch
+	if batch <= 0 {
+		batch = c.cfg.Workers
+	}
 	done := 0
 	for maxTasks == 0 || done < maxTasks {
-		more, err := c.RunOnce(target)
+		want := batch
+		if maxTasks > 0 && maxTasks-done < want {
+			want = maxTasks - done
+		}
+		tasks, err := c.RequestTasks(want)
 		if err != nil {
 			return done, err
 		}
-		if !more {
+		if len(tasks) == 0 {
 			return done, nil
 		}
-		done++
+
+		workers := c.cfg.Workers
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
+		taskCh := make(chan *repository.Task)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		var aborted atomic.Bool
+		completed := 0
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for task := range taskCh {
+					// After the first error the batch is doomed (the leases
+					// will expire and re-queue); drain instead of burning
+					// measurement time on reports that cannot land.
+					if aborted.Load() {
+						continue
+					}
+					status, err := c.report(task.ID, c.measure(target, task))
+					if err != nil && status == http.StatusConflict {
+						// Lease lost to another driver after expiry — the
+						// query is covered, just not by us. Skip it.
+						continue
+					}
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+						aborted.Store(true)
+					}
+					if err == nil {
+						completed++
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, task := range tasks {
+			taskCh <- task
+		}
+		close(taskCh)
+		wg.Wait()
+		done += completed
+		if firstErr != nil {
+			return done, firstErr
+		}
 	}
 	return done, nil
 }

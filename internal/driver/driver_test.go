@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -218,5 +219,139 @@ func TestClientMaxTasks(t *testing.T) {
 func TestNewClientValidates(t *testing.T) {
 	if _, err := NewClient(Config{}); err == nil {
 		t.Error("empty config should be rejected")
+	}
+}
+
+// countingTarget counts executions per query under a lock so concurrent
+// workers can share it.
+type countingTarget struct {
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (c *countingTarget) Run(query string) (int, map[string]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.calls == nil {
+		c.calls = map[string]int{}
+	}
+	c.calls[query]++
+	return 1, nil, nil
+}
+
+// fetchResults pulls the project's result rows from the platform.
+func fetchResults(t *testing.T, url string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/api/projects/1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var results []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestBatchClaimingWorkerPool(t *testing.T) {
+	url, key, eid := setupPlatform(t)
+	cfg := Config{
+		Server: url, Key: key, DBMS: "columba-1.0", Platform: "laptop",
+		Experiment: eid, Runs: 2, Timeout: 5 * time.Second, Workers: 4, Batch: 3,
+	}
+	client, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &countingTarget{}
+	n, err := client.RunAll(target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("processed %d tasks, want the whole pool", n)
+	}
+	// Every query executed exactly Runs times: the worker pool neither
+	// skipped nor double-measured anything.
+	target.mu.Lock()
+	for query, calls := range target.calls {
+		if calls != cfg.Runs {
+			t.Errorf("query %q executed %d times, want %d", query, calls, cfg.Runs)
+		}
+	}
+	target.mu.Unlock()
+	results := fetchResults(t, url)
+	if len(results) != n {
+		t.Errorf("platform has %d results, driver processed %d", len(results), n)
+	}
+	seen := map[float64]bool{}
+	for _, r := range results {
+		qid := r["query_id"].(float64)
+		if seen[qid] {
+			t.Errorf("query %v measured twice", qid)
+		}
+		seen[qid] = true
+	}
+}
+
+func TestConcurrentDriversShareOneExperiment(t *testing.T) {
+	url, key, eid := setupPlatform(t)
+	// Two drivers with their own worker pools drain the same experiment for
+	// the same DBMS + platform slot — the crowd-sourcing scenario. The
+	// per-lease deadlines on the server guarantee no double measurements.
+	var wg sync.WaitGroup
+	totals := make([]int, 2)
+	for i := range totals {
+		cfg := Config{
+			Server: url, Key: key, DBMS: "columba-1.0", Platform: "laptop",
+			Experiment: eid, Runs: 1, Timeout: 5 * time.Second, Workers: 3, Batch: 2,
+		}
+		client, err := NewClient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			n, err := client.RunAll(&countingTarget{}, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			totals[slot] = n
+		}(i)
+	}
+	wg.Wait()
+
+	results := fetchResults(t, url)
+	if got := totals[0] + totals[1]; got != len(results) {
+		t.Errorf("drivers processed %d tasks, platform has %d results", got, len(results))
+	}
+	seen := map[float64]bool{}
+	for _, r := range results {
+		qid := r["query_id"].(float64)
+		if seen[qid] {
+			t.Errorf("query %v measured by more than one driver", qid)
+		}
+		seen[qid] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("only %d distinct queries measured, want the whole pool", len(seen))
+	}
+}
+
+func TestParseConfigWorkersAndBatch(t *testing.T) {
+	cfg, err := ParseConfig("server = s\nkey = k\ndbms = d\nplatform = p\nexperiment = 1\nworkers = 4\nbatch = 8\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 4 || cfg.Batch != 8 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if _, err := ParseConfig("server = s\nkey = k\ndbms = d\nplatform = p\nexperiment = 1\nworkers = 0\n"); err == nil {
+		t.Error("workers = 0 should be rejected")
+	}
+	if _, err := ParseConfig("server = s\nkey = k\ndbms = d\nplatform = p\nexperiment = 1\nbatch = -1\n"); err == nil {
+		t.Error("negative batch should be rejected")
 	}
 }

@@ -4,12 +4,19 @@
 // recorded, the system load is sampled at the beginning and the end of the
 // run, and an open-ended key/value list carries system-specific performance
 // indicators for post inspection.
+//
+// Measurements are cancellable: MeasureContext checks its context between
+// repetitions and forwards a per-repetition deadline to targets that
+// implement ContextTarget, which is how the concurrent scheduler
+// (internal/sched) bounds and aborts in-flight work.
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"sqalpel/internal/sysload"
@@ -17,6 +24,14 @@ import (
 
 // DefaultRuns is the default number of repetitions per experiment.
 const DefaultRuns = 5
+
+// SimulatedDurationKey is a reserved Extra key: when a target's Run reports
+// it, its value (integer nanoseconds) replaces the wall-clock time of that
+// repetition and the key is consumed rather than recorded. Simulator
+// targets use it to make measurements fully reproducible — the
+// parallelism-determinism tests rely on it, and it lets a driver replay
+// archived traces through the unchanged measurement pipeline.
+const SimulatedDurationKey = "sqalpel_simulated_ns"
 
 // Measurement is the outcome of measuring one query on one target.
 type Measurement struct {
@@ -137,42 +152,79 @@ type TargetFunc func(query string) (int, map[string]string, error)
 // Run implements Target.
 func (f TargetFunc) Run(query string) (int, map[string]string, error) { return f(query) }
 
+// ContextTarget is a Target that honours context cancellation and deadlines
+// while executing. Targets that merely implement Target are still usable
+// under MeasureContext, but a repetition already in flight cannot be
+// interrupted — cancellation then takes effect between repetitions.
+type ContextTarget interface {
+	Target
+	// RunContext executes the query once, aborting when the context is
+	// cancelled or its deadline passes.
+	RunContext(ctx context.Context, query string) (rows int, extra map[string]string, err error)
+}
+
 // Options configure a measurement.
 type Options struct {
 	// Runs is the number of repetitions; zero means DefaultRuns.
 	Runs int
 	// WarmupRuns are executed before measuring, not recorded.
 	WarmupRuns int
+	// Timeout bounds a single repetition; zero means no limit. Targets that
+	// implement ContextTarget are aborted mid-flight; plain targets are
+	// measured to completion and the repetition is then failed post hoc.
+	Timeout time.Duration
 }
 
 // Measure runs the query against the target with the configured number of
 // repetitions and captures timings, load and extras.
 func Measure(target Target, query string, opts Options) *Measurement {
+	return MeasureContext(context.Background(), target, query, opts)
+}
+
+// MeasureContext is Measure with cancellation: the context is checked before
+// every repetition, and opts.Timeout bounds each individual repetition.
+func MeasureContext(ctx context.Context, target Target, query string, opts Options) *Measurement {
 	runs := opts.Runs
 	if runs <= 0 {
 		runs = DefaultRuns
 	}
 	m := &Measurement{Extra: map[string]string{}, LoadBefore: sysload.Sample()}
+	fail := func(err error) *Measurement {
+		m.Err = err.Error()
+		m.Runs = nil
+		m.LoadAfter = sysload.Sample()
+		return m
+	}
 	for i := 0; i < opts.WarmupRuns; i++ {
-		if _, _, err := target.Run(query); err != nil {
-			m.Err = err.Error()
-			m.LoadAfter = sysload.Sample()
-			return m
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		if _, _, _, err := runOnce(ctx, target, query, opts.Timeout); err != nil {
+			return fail(err)
 		}
 	}
 	for i := 0; i < runs; i++ {
-		start := time.Now()
-		rows, extra, err := target.Run(query)
-		elapsed := time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		rows, extra, elapsed, err := runOnce(ctx, target, query, opts.Timeout)
 		if err != nil {
-			m.Err = err.Error()
-			m.Runs = nil
-			m.LoadAfter = sysload.Sample()
-			return m
+			return fail(err)
+		}
+		if v, ok := extra[SimulatedDurationKey]; ok {
+			if ns, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+				elapsed = time.Duration(ns)
+			}
 		}
 		m.Runs = append(m.Runs, elapsed)
 		m.Rows = rows
 		for k, v := range extra {
+			// The simulated duration is consumed, not recorded; skipping it
+			// here (instead of deleting it from the target's map) keeps
+			// shared extra maps safe under concurrent measurement.
+			if k == SimulatedDurationKey {
+				continue
+			}
 			m.Extra[k] = v
 		}
 	}
@@ -184,4 +236,24 @@ func Measure(target Target, query string, opts Options) *Measurement {
 		m.Extra["after_"+k] = v
 	}
 	return m
+}
+
+// runOnce executes a single repetition under the per-repetition timeout.
+func runOnce(ctx context.Context, target Target, query string, timeout time.Duration) (rows int, extra map[string]string, elapsed time.Duration, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	if ct, ok := target.(ContextTarget); ok {
+		rows, extra, err = ct.RunContext(ctx, query)
+	} else {
+		rows, extra, err = target.Run(query)
+	}
+	elapsed = time.Since(start)
+	if err == nil && timeout > 0 && elapsed > timeout {
+		err = fmt.Errorf("query exceeded the %s timeout (took %s)", timeout, elapsed.Round(time.Millisecond))
+	}
+	return rows, extra, elapsed, err
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -114,5 +115,75 @@ func TestSummaryStatistics(t *testing.T) {
 	even := &Measurement{Runs: []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}}
 	if even.Median() != 15*time.Millisecond {
 		t.Errorf("even median = %v", even.Median())
+	}
+}
+
+// ctxTarget counts executions and honours cancellation; it implements
+// ContextTarget.
+type ctxTarget struct {
+	calls int
+	block time.Duration
+}
+
+func (c *ctxTarget) Run(string) (int, map[string]string, error) {
+	c.calls++
+	return 1, nil, nil
+}
+
+func (c *ctxTarget) RunContext(ctx context.Context, query string) (int, map[string]string, error) {
+	c.calls++
+	if c.block > 0 {
+		select {
+		case <-time.After(c.block):
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
+	}
+	return 1, nil, nil
+}
+
+func TestMeasureContextCancelledBeforeStart(t *testing.T) {
+	target := &ctxTarget{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := MeasureContext(ctx, target, "SELECT 1", Options{Runs: 3})
+	if !m.Failed() {
+		t.Fatal("cancelled measurement should fail")
+	}
+	if target.calls != 0 {
+		t.Errorf("target executed %d times after cancellation", target.calls)
+	}
+	if len(m.Runs) != 0 {
+		t.Errorf("failed measurement should carry no timings, got %d", len(m.Runs))
+	}
+}
+
+func TestMeasureContextTimeoutAbortsContextTarget(t *testing.T) {
+	target := &ctxTarget{block: time.Minute}
+	start := time.Now()
+	m := MeasureContext(context.Background(), target, "SELECT 1", Options{Runs: 3, Timeout: 5 * time.Millisecond})
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout did not abort the blocked repetition")
+	}
+	if !m.Failed() || !strings.Contains(m.Err, "context deadline exceeded") {
+		t.Errorf("measurement = %+v", m)
+	}
+	if target.calls != 1 {
+		t.Errorf("aborted measurement should stop after the first repetition, got %d", target.calls)
+	}
+}
+
+func TestMeasureTimeoutFailsSlowPlainTargets(t *testing.T) {
+	// Plain targets cannot be interrupted; the repetition is failed post hoc.
+	m := Measure(fixedTarget(15*time.Millisecond, 1), "SELECT 1", Options{Runs: 2, Timeout: time.Millisecond})
+	if !m.Failed() || !strings.Contains(m.Err, "timeout") {
+		t.Errorf("measurement = %+v", m)
+	}
+}
+
+func TestMeasureWithoutTimeoutUnchanged(t *testing.T) {
+	m := Measure(fixedTarget(0, 7), "SELECT 1", Options{Runs: 2})
+	if m.Failed() || len(m.Runs) != 2 || m.Rows != 7 {
+		t.Errorf("measurement = %+v", m)
 	}
 }

@@ -4,6 +4,14 @@
 // with the three morphing strategies of the paper — alter, expand and prune
 // — under the fine-grained steering controls the project owner has
 // (strategy selection, lexical include/exclude lists, a hard size cap).
+//
+// Growth is deterministic: every random choice draws from the pool's seeded
+// RNG, entries are deduplicated by their order-insensitive sentence key and
+// numbered in insertion order. A Pool is therefore deliberately not safe
+// for concurrent mutation — the concurrent search (internal/discriminative
+// with internal/sched) parallelises measurement only and keeps all pool
+// growth on one goroutine, which is what makes search results reproducible
+// at any worker count.
 package pool
 
 import (

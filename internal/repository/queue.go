@@ -1,10 +1,17 @@
 package repository
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 )
+
+// ErrLeaseLost marks completions that arrive after the task's lease is no
+// longer valid — expired, killed or already re-queued. The work itself was
+// fine, the slot has just moved on; drivers treat this as "skip and carry
+// on" rather than a fatal error, and the server maps it to 409 Conflict.
+var ErrLeaseLost = errors.New("task lease no longer valid")
 
 // TaskStatus tracks the execution status of a queued query.
 type TaskStatus string
@@ -45,6 +52,25 @@ func (t *Task) Active() bool { return t.Status == TaskRunning || t.Status == Tas
 // contributor for the given DBMS + platform combination. It returns nil
 // (and no error) when nothing is left to do.
 func (s *Store) RequestTask(contributorKey string, experimentID int, dbmsKey, platformKey string) (*Task, error) {
+	tasks, err := s.RequestTasks(contributorKey, experimentID, dbmsKey, platformKey, 1)
+	if err != nil || len(tasks) == 0 {
+		return nil, err
+	}
+	return tasks[0], nil
+}
+
+// RequestTasks leases up to max unmeasured queries of the experiment to the
+// contributor for the given DBMS + platform combination in one round trip —
+// the batch protocol concurrent drivers use to keep their worker pools fed.
+// Every leased task carries a deadline; leases that are not completed in
+// time expire and their queries are handed out again (see ExpireTasks).
+// Leasing holds the store lock for the whole batch, so two concurrent
+// drivers draining the same experiment never receive the same query. An
+// empty slice (and no error) means nothing is left to do.
+func (s *Store) RequestTasks(contributorKey string, experimentID int, dbmsKey, platformKey string, max int) ([]*Task, error) {
+	if max < 1 {
+		max = 1
+	}
 	p, _, err := s.FindContributor(contributorKey)
 	if err != nil {
 		return nil, err
@@ -69,7 +95,11 @@ func (s *Store) RequestTask(contributorKey string, experimentID int, dbmsKey, pl
 			covered[t.QueryID] = true
 		}
 	}
+	var leased []*Task
 	for _, q := range e.Queries {
+		if len(leased) >= max {
+			break
+		}
 		if covered[q.ID] {
 			continue
 		}
@@ -88,14 +118,22 @@ func (s *Store) RequestTask(contributorKey string, experimentID int, dbmsKey, pl
 		}
 		s.nextTaskID++
 		s.tasks[task.ID] = task
-		return task, nil
+		// Hand out a copy: the stored task keeps mutating under the store
+		// lock (completion, expiry) while the caller serialises its lease.
+		clone := *task
+		leased = append(leased, &clone)
 	}
-	return nil, nil
+	return leased, nil
 }
 
 // CompleteTask reports the outcome of a task and records the result row.
+// Completions into a lease that is no longer running — expired (expiry is
+// evaluated here too, not only on request, so a single stalled driver
+// cannot sneak a stale result in), killed, or already completed — are
+// rejected with an error wrapping ErrLeaseLost.
 func (s *Store) CompleteTask(taskID int, contributorKey string, seconds []float64, errMsg string, extra map[string]string) (*Result, error) {
 	s.mu.Lock()
+	s.expireTasksLocked()
 	task := s.tasks[taskID]
 	if task == nil {
 		s.mu.Unlock()
@@ -107,7 +145,7 @@ func (s *Store) CompleteTask(taskID int, contributorKey string, seconds []float6
 	}
 	if task.Status != TaskRunning {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("task %d is %s, not running", taskID, task.Status)
+		return nil, fmt.Errorf("task %d is %s, not running: %w", taskID, task.Status, ErrLeaseLost)
 	}
 	if errMsg == "" {
 		task.Status = TaskDone
@@ -172,7 +210,8 @@ func (s *Store) Tasks(viewer string, projectID int) []*Task {
 	var out []*Task
 	for _, t := range s.tasks {
 		if t.ProjectID == projectID {
-			out = append(out, t)
+			clone := *t
+			out = append(out, &clone)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

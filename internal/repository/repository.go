@@ -5,9 +5,17 @@
 // exposed through the API), public and private projects with owner /
 // contributor / reader roles, contributor keys that identify the source of
 // results without disclosing the contributor's identity, experiments with
-// their grammar and query pool, the task queue with timeouts, the raw
-// results table with owner moderation (hide / remove suspicious results),
-// and project comments. Persistence is a single JSON document per store.
+// their grammar and query pool, the task queue, the raw results table with
+// owner moderation (hide / remove suspicious results), and project
+// comments. Persistence is a single JSON document per store.
+//
+// The task queue (queue.go) is the distributed half of the concurrent
+// measurement plane: tasks are leased — singly or in batches — with a
+// deadline per lease, expired leases re-queue their query automatically,
+// and late completions into an expired lease are rejected. One query /
+// DBMS / platform slot therefore yields exactly one result no matter how
+// many concurrent drivers drain the experiment. The Store is safe for
+// concurrent use.
 package repository
 
 import (

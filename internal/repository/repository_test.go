@@ -1,7 +1,10 @@
 package repository
 
 import (
+	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -433,4 +436,158 @@ func TestEmailsNeverExposedInProjectListings(t *testing.T) {
 		}
 	}
 	_ = pub
+}
+
+func TestRequestTasksBatch(t *testing.T) {
+	s, pub, _ := fixture(t)
+	key := s.Project(pub.ID).Contributors[0].Key
+
+	tasks, err := s.RequestTasks(key, 1, "columba-1.0", "laptop", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture experiment has two queries; both come back in one batch,
+	// each with its own lease deadline.
+	if len(tasks) != 2 {
+		t.Fatalf("leased %d tasks, want 2", len(tasks))
+	}
+	if tasks[0].QueryID == tasks[1].QueryID {
+		t.Error("one batch leased the same query twice")
+	}
+	for _, task := range tasks {
+		if task.Status != TaskRunning {
+			t.Errorf("leased task status = %s", task.Status)
+		}
+		if !task.Deadline.After(task.Assigned) {
+			t.Errorf("lease deadline %v not after assignment %v", task.Deadline, task.Assigned)
+		}
+	}
+	// The queue is drained: further requests lease nothing.
+	more, err := s.RequestTasks(key, 1, "columba-1.0", "laptop", 5)
+	if err != nil || len(more) != 0 {
+		t.Errorf("drained queue leased %d tasks (err %v)", len(more), err)
+	}
+	// A different DBMS slot is independent.
+	other, err := s.RequestTasks(key, 1, "tuplestore-1.0", "laptop", 1)
+	if err != nil || len(other) != 1 {
+		t.Fatalf("other-dbms lease = %d tasks (err %v)", len(other), err)
+	}
+}
+
+func TestBatchLeaseExpiryRequeue(t *testing.T) {
+	s, pub, _ := fixture(t)
+	key := s.Project(pub.ID).Contributors[0].Key
+	s.TaskTimeout = time.Minute
+	current := time.Date(2026, 7, 27, 9, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return current }
+
+	first, err := s.RequestTasks(key, 1, "columba-1.0", "laptop", 2)
+	if err != nil || len(first) != 2 {
+		t.Fatalf("lease = %d (err %v)", len(first), err)
+	}
+	// The driver crashes: the leases expire and the next request — which
+	// expires stale leases itself, no daemon needed — gets the same queries.
+	current = current.Add(2 * time.Minute)
+	second, err := s.RequestTasks(key, 1, "columba-1.0", "laptop", 2)
+	if err != nil || len(second) != 2 {
+		t.Fatalf("post-expiry lease = %d (err %v)", len(second), err)
+	}
+	want := map[int]bool{first[0].QueryID: true, first[1].QueryID: true}
+	for _, task := range second {
+		if !want[task.QueryID] {
+			t.Errorf("unexpected query %d re-leased", task.QueryID)
+		}
+	}
+	// The late driver coming back cannot deliver into the expired lease, so
+	// the re-leased measurement stays the only one — no duplicates.
+	if _, err := s.CompleteTask(first[0].ID, key, []float64{0.1}, "", nil); err == nil {
+		t.Error("completing an expired lease should be rejected")
+	}
+	if _, err := s.CompleteTask(second[0].ID, key, []float64{0.1}, "", nil); err != nil {
+		t.Errorf("completing the live lease failed: %v", err)
+	}
+	results := s.Results("martin", pub.ID)
+	if len(results) != 1 {
+		t.Errorf("results = %d, want exactly 1 (no duplicate measurements)", len(results))
+	}
+}
+
+func TestConcurrentBatchLeasingNeverDuplicates(t *testing.T) {
+	s, pub, _ := fixture(t)
+	key := s.Project(pub.ID).Contributors[0].Key
+	exp := s.Project(pub.ID).Experiments[0]
+	var queries []QueryRecord
+	for i := 1; i <= 40; i++ {
+		queries = append(queries, QueryRecord{ID: i, SQL: fmt.Sprintf("SELECT %d FROM nation", i), Strategy: "random"})
+	}
+	if err := s.ReplaceQueries("martin", pub.ID, exp.ID, queries); err != nil {
+		t.Fatal(err)
+	}
+
+	// Eight drivers hammer the queue concurrently with batch leases.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	claimed := map[int]int{}
+	for d := 0; d < 8; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tasks, err := s.RequestTasks(key, exp.ID, "columba-1.0", "laptop", 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(tasks) == 0 {
+					return
+				}
+				mu.Lock()
+				for _, task := range tasks {
+					claimed[task.QueryID]++
+				}
+				mu.Unlock()
+				for _, task := range tasks {
+					if _, err := s.CompleteTask(task.ID, key, []float64{0.01}, "", nil); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(claimed) != len(queries) {
+		t.Errorf("claimed %d distinct queries, want %d", len(claimed), len(queries))
+	}
+	for q, n := range claimed {
+		if n != 1 {
+			t.Errorf("query %d leased %d times", q, n)
+		}
+	}
+	if got := len(s.Results("martin", pub.ID)); got != len(queries) {
+		t.Errorf("results = %d, want %d", got, len(queries))
+	}
+}
+
+func TestLateCompletionExpiresLazily(t *testing.T) {
+	// Expiry must be evaluated on completion too: with a single stalled
+	// driver and no competing RequestTasks call to trigger it, a stale
+	// result must still be rejected.
+	s, pub, _ := fixture(t)
+	key := s.Project(pub.ID).Contributors[0].Key
+	s.TaskTimeout = time.Minute
+	current := time.Date(2026, 7, 27, 9, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return current }
+
+	task, err := s.RequestTask(key, 1, "columba-1.0", "laptop")
+	if err != nil || task == nil {
+		t.Fatal(err)
+	}
+	current = current.Add(time.Hour)
+	_, err = s.CompleteTask(task.ID, key, []float64{0.1}, "", nil)
+	if !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("late completion error = %v, want ErrLeaseLost", err)
+	}
+	if got := len(s.Results("martin", pub.ID)); got != 0 {
+		t.Errorf("stale result recorded: %d", got)
+	}
 }

@@ -2,7 +2,8 @@
 // application that manages users, the global DBMS and platform catalogs,
 // public and private performance projects, experiments with their grammars
 // and query pools, the contribution protocol used by the experiment driver
-// (request a task, report a result), the raw results table and the built-in
+// (request a task — singly or as a leased batch via the request's `max`
+// field — and report a result), the raw results table and the built-in
 // analytics. JSON endpoints live under /api/; server-side rendered HTML
 // pages (see webui.go) cover the demo's screens.
 package server
@@ -11,6 +12,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -706,21 +708,29 @@ func (s *Server) handleTaskRequest(w http.ResponseWriter, r *http.Request) {
 		ExperimentID int    `json:"experiment_id"`
 		DBMS         string `json:"dbms"`
 		Platform     string `json:"platform"`
+		// Max switches to batch leasing: with max > 1 up to that many tasks
+		// are leased in one round trip and returned as {"tasks": [...]}.
+		// Absent or 1 keeps the original single-task wire format.
+		Max int `json:"max"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	task, err := s.store.RequestTask(req.Key, req.ExperimentID, req.DBMS, req.Platform)
+	tasks, err := s.store.RequestTasks(req.Key, req.ExperimentID, req.DBMS, req.Platform, req.Max)
 	if err != nil {
 		writeError(w, http.StatusForbidden, err)
 		return
 	}
-	if task == nil {
+	if len(tasks) == 0 {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeJSON(w, http.StatusOK, task)
+	if req.Max > 1 {
+		writeJSON(w, http.StatusOK, map[string]any{"tasks": tasks})
+		return
+	}
+	writeJSON(w, http.StatusOK, tasks[0])
 }
 
 func (s *Server) handleTaskComplete(w http.ResponseWriter, r *http.Request) {
@@ -737,6 +747,13 @@ func (s *Server) handleTaskComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.store.CompleteTask(req.TaskID, req.Key, req.Seconds, req.Error, req.Extra)
 	if err != nil {
+		// A lost lease (expired and re-queued, or killed) is a normal race
+		// in the multi-driver scenario, not an authorization failure; 409
+		// tells the driver to drop the result and carry on.
+		if errors.Is(err, repository.ErrLeaseLost) {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
 		writeError(w, http.StatusForbidden, err)
 		return
 	}

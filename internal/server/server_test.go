@@ -406,3 +406,110 @@ func TestServerWithPreloadedStore(t *testing.T) {
 		t.Errorf("preloaded project missing: %s", body)
 	}
 }
+
+func TestBatchTaskLeasing(t *testing.T) {
+	c, _ := newTestClient(t)
+	c.token = c.register("martin", "martin@example.org")
+	_, eid, key := createProjectWithExperiment(t, c)
+
+	// max > 1 switches to the batch wire format: {"tasks": [...]}.
+	status, resp := c.do("POST", "/api/task/request", map[string]any{
+		"key": key, "experiment_id": eid, "dbms": "columba-1.0", "platform": "laptop", "max": 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("batch request = %d %v", status, resp)
+	}
+	tasks, ok := resp["tasks"].([]any)
+	if !ok || len(tasks) == 0 || len(tasks) > 3 {
+		t.Fatalf("batch = %v", resp["tasks"])
+	}
+	seen := map[float64]bool{}
+	for _, raw := range tasks {
+		task := raw.(map[string]any)
+		qid := task["query_id"].(float64)
+		if seen[qid] {
+			t.Errorf("query %v leased twice in one batch", qid)
+		}
+		seen[qid] = true
+		if task["sql"].(string) == "" {
+			t.Error("leased task without SQL")
+		}
+		// Complete every lease so the queue drains.
+		status, _ := c.do("POST", "/api/task/complete", map[string]any{
+			"key": key, "task_id": int(task["id"].(float64)), "seconds": []float64{0.01}, "error": "",
+		})
+		if status != http.StatusCreated {
+			t.Fatalf("complete = %d", status)
+		}
+	}
+
+	// Drain the rest, then the batch endpoint answers 204 like the single
+	// one does.
+	for i := 0; i < 100; i++ {
+		status, resp = c.do("POST", "/api/task/request", map[string]any{
+			"key": key, "experiment_id": eid, "dbms": "columba-1.0", "platform": "laptop", "max": 10,
+		})
+		if status == http.StatusNoContent {
+			break
+		}
+		if status != http.StatusOK {
+			t.Fatalf("batch request = %d %v", status, resp)
+		}
+		for _, raw := range resp["tasks"].([]any) {
+			task := raw.(map[string]any)
+			c.do("POST", "/api/task/complete", map[string]any{
+				"key": key, "task_id": int(task["id"].(float64)), "seconds": []float64{0.01}, "error": "",
+			})
+		}
+	}
+	if status != http.StatusNoContent {
+		t.Fatalf("drained batch request = %d, want 204", status)
+	}
+
+	// Omitting max keeps the original single-task wire format (the one the
+	// pre-batch drivers speak): a bare task object, not a list.
+	status, resp = c.do("POST", "/api/task/request", map[string]any{
+		"key": key, "experiment_id": eid, "dbms": "tuplestore-1.0", "platform": "laptop",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("single request = %d %v", status, resp)
+	}
+	if _, isBatch := resp["tasks"]; isBatch {
+		t.Error("single-task request must not use the batch wire format")
+	}
+	if resp["sql"].(string) == "" {
+		t.Error("single task without SQL")
+	}
+}
+
+func TestLostLeaseCompletionAnswers409(t *testing.T) {
+	c, _ := newTestClient(t)
+	c.token = c.register("martin", "martin@example.org")
+	_, eid, key := createProjectWithExperiment(t, c)
+
+	status, resp := c.do("POST", "/api/task/request", map[string]any{
+		"key": key, "experiment_id": eid, "dbms": "columba-1.0", "platform": "laptop",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("request = %d", status)
+	}
+	taskID := int(resp["id"].(float64))
+	if status, _ := c.do("POST", "/api/task/complete", map[string]any{
+		"key": key, "task_id": taskID, "seconds": []float64{0.01}, "error": "",
+	}); status != http.StatusCreated {
+		t.Fatalf("first completion = %d", status)
+	}
+	// The lease is spent: a second completion is a lost-lease conflict (409,
+	// driver skips), not an authorization failure (403, driver aborts).
+	if status, _ := c.do("POST", "/api/task/complete", map[string]any{
+		"key": key, "task_id": taskID, "seconds": []float64{0.02}, "error": "",
+	}); status != http.StatusConflict {
+		t.Errorf("lost-lease completion = %d, want 409", status)
+	}
+	// A wrong key stays 403.
+	if status, _ := c.do("POST", "/api/task/complete", map[string]any{
+		"key": "wrong", "task_id": taskID, "seconds": []float64{0.02}, "error": "",
+	}); status != http.StatusForbidden {
+		t.Errorf("wrong-key completion = %d, want 403", status)
+	}
+}

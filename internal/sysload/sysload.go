@@ -3,6 +3,8 @@
 // Linux 1/5/15-minute load averages as an indication of processor load
 // during a run. On systems without /proc/loadavg a portable fallback based
 // on the Go runtime is used so the reporting shape stays identical.
+// Sampling is read-only and safe for concurrent use, so the scheduler's
+// measurement workers can sample around overlapping runs.
 package sysload
 
 import (

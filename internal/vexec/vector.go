@@ -8,12 +8,12 @@ type Kind uint8
 
 // Vector kinds.
 const (
-	KindNull Kind = iota // every row is NULL; no payload slice
-	KindBool             // Ints holds 0/1
-	KindInt              // Ints
-	KindFloat            // Floats (plus optional per-row IsInt duality mask)
-	KindString           // Strs
-	KindDate             // Ints holds days since 1970-01-01
+	KindNull   Kind = iota // every row is NULL; no payload slice
+	KindBool               // Ints holds 0/1
+	KindInt                // Ints
+	KindFloat              // Floats (plus optional per-row IsInt duality mask)
+	KindString             // Strs
+	KindDate               // Ints holds days since 1970-01-01
 )
 
 func (k Kind) String() string {

@@ -2,7 +2,9 @@
 // TPC-H queries (in the dialect understood by internal/sqlparser), a Star
 // Schema Benchmark subset, an airtraffic analytics set, and the sample
 // grammar of the paper's Figure 1. The queries use the standard validation
-// substitution parameters so they are fully deterministic.
+// substitution parameters so they are fully deterministic — the same query
+// ids always denote the same texts, which the differential engine tests,
+// the space-size benchmarks and the examples all rely on.
 package workload
 
 import (
