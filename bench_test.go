@@ -37,6 +37,7 @@ import (
 	"sqalpel/internal/engine"
 	"sqalpel/internal/grammar"
 	"sqalpel/internal/metrics"
+	"sqalpel/internal/plan"
 	"sqalpel/internal/pool"
 	"sqalpel/internal/server"
 	"sqalpel/internal/tpcsurvey"
@@ -493,6 +494,48 @@ func BenchmarkEnginesQ1(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlanCache quantifies the shared logical-plan layer: the same
+// query executed with the plan cache on (front end paid once, repetitions
+// reuse the plan) versus re-parsed and re-analyzed on every execution — the
+// pre-plan behaviour. The instance is deliberately tiny so the front-end
+// share of the measurement is visible; Q19's OR-of-conjuncts predicate makes
+// it the analysis-heaviest TPC-H query. A third sub-benchmark isolates the
+// pure front-end cost per execution.
+func BenchmarkPlanCache(b *testing.B) {
+	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.0002, Seed: 11})
+	q19, _ := workload.TPCHQuery("Q19")
+	opts := engine.ExecOptions{Timeout: time.Minute}
+
+	b.Run("cached", func(b *testing.B) {
+		eng := engine.NewColEngine()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(db, q19.SQL, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if pc, ok := eng.(engine.PlanCached); ok {
+			_, misses := pc.PlanCacheStats()
+			b.ReportMetric(float64(misses), "plans_built")
+		}
+	})
+	b.Run("replan-every-run", func(b *testing.B) {
+		eng := engine.NewColEngine()
+		eng.(engine.PlanCached).SetPlanCache(nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(db, q19.SQL, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frontend-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Build(db, q19.SQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkParadigmsScanAggregation compares the three execution paradigms

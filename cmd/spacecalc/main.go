@@ -47,7 +47,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("-- %s: %s\n\n%s\n", q.ID, q.Name, g.String())
-		fmt.Printf("tags %d, templates %d, space %d (capped: %v)\n", sum.Tags, sum.Templates, sum.Space, sum.Capped)
+		fmt.Printf("tags %d, templates %d, space %s (capped: %v)\n",
+			sum.Tags, sum.Templates, grammar.FormatSpace(sum.Space), sum.Capped)
 		return
 	}
 
@@ -59,7 +60,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			continue
 		}
-		space := fmt.Sprintf("%d", sum.Space)
+		// Saturated uint64 space counts are lower bounds, not exact numbers;
+		// report them as such instead of printing MaxUint64 verbatim.
+		space := grammar.FormatSpace(sum.Space)
 		templates := fmt.Sprintf("%d", sum.Templates)
 		if sum.Capped {
 			templates = fmt.Sprintf(">%d", sum.Templates)

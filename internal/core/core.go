@@ -30,6 +30,7 @@ import (
 	"sqalpel/internal/engine"
 	"sqalpel/internal/grammar"
 	"sqalpel/internal/metrics"
+	"sqalpel/internal/plan"
 	"sqalpel/internal/pool"
 	"sqalpel/internal/repository"
 )
@@ -37,8 +38,10 @@ import (
 // EngineTarget adapts an Engine plus a Database to the metrics.Target
 // interface used by the measurement harness. It stands in for the JDBC
 // connections of the paper's experiment driver. The built-in engines only
-// read the database during execution, so an EngineTarget is safe for
-// concurrent use by the scheduler's worker pool.
+// read the database during execution and their plan cache is
+// concurrency-safe, so an EngineTarget is safe for concurrent use by the
+// scheduler's worker pool; repeated repetitions of one query share a single
+// cached logical plan, keeping the measured timings free of front-end work.
 type EngineTarget struct {
 	Engine  engine.Engine
 	DB      *engine.Database
@@ -142,6 +145,10 @@ type Project struct {
 	pool    *pool.Pool
 	targets map[string]metrics.Target
 	search  *discriminative.Search
+	// plans is shared by every engine target of the project, so the
+	// repetition discipline (5 runs × warmups × every engine) pays the SQL
+	// front end once per distinct variant.
+	plans *plan.Cache
 }
 
 // NewProject derives the grammar from the baseline query and seeds the pool.
@@ -180,6 +187,7 @@ func newProject(name, baseline string, g *grammar.Grammar, opts ProjectOptions) 
 		opts:     opts,
 		pool:     p,
 		targets:  map[string]metrics.Target{},
+		plans:    plan.NewCache(0),
 	}
 	if baseline == "" {
 		proj.Baseline = p.Baseline().SQL
@@ -203,10 +211,16 @@ func (p *Project) AddTarget(name string, t metrics.Target) {
 }
 
 // AddEngineTarget registers an in-process engine plus database as a target,
-// named after the engine unless a name is given.
+// named after the engine unless a name is given. The engine joins the
+// project's shared plan cache, so every target of the project (and every
+// repetition of the measurement discipline) reuses one logical plan per
+// distinct query variant.
 func (p *Project) AddEngineTarget(name string, eng engine.Engine, db *engine.Database) {
 	if name == "" {
 		name = engine.EngineKey(eng.Name(), eng.Version())
+	}
+	if pc, ok := eng.(engine.PlanCached); ok {
+		pc.SetPlanCache(p.plans)
 	}
 	p.AddTarget(name, &EngineTarget{Engine: eng, DB: db, Timeout: 30 * time.Second})
 }
@@ -221,6 +235,12 @@ func (p *Project) AddRegistryTargets(db *engine.Database) []string {
 		p.AddEngineTarget(key, reg.Get(key), db)
 	}
 	return keys
+}
+
+// PlanCacheStats returns how many logical-plan lookups by the project's
+// engine targets hit and missed the shared plan cache.
+func (p *Project) PlanCacheStats() (hits, misses uint64) {
+	return p.plans.Stats()
 }
 
 // Matrix computes the pairwise discrimination matrix over every registered

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sqalpel/internal/sched"
+	"sqalpel/internal/workload"
+)
+
+// TestPlanCacheUnderSchedulerParallelism drives the shared plan cache the
+// way production does: a sched.Scheduler worker pool fanning measurement
+// cells — the same queries across all five registry engines — out
+// concurrently. Run under -race in CI, it is the scheduler-level half of
+// the plan-cache concurrency satellite. Every cell must measure cleanly and
+// the shared cache must have been exercised.
+func TestPlanCacheUnderSchedulerParallelism(t *testing.T) {
+	p, err := NewProject("plancache", workload.NationBaselineQuery, ProjectOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := p.AddRegistryTargets(smallTPCH)
+	if len(keys) != 5 {
+		t.Fatalf("registry targets = %d, want 5", len(keys))
+	}
+
+	queries := []string{}
+	for _, id := range []string{"Q1", "Q3", "Q6", "Q14"} {
+		q, qerr := workload.TPCHQuery(id)
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		queries = append(queries, q.SQL)
+	}
+
+	s := sched.New(sched.Options{Workers: 8, Timeout: time.Minute})
+	var cells []sched.Cell
+	for _, sql := range queries {
+		for _, key := range keys {
+			cells = append(cells, sched.Cell{
+				Target: key,
+				Runner: p.targets[key],
+				SQL:    sql,
+				Runs:   2,
+			})
+		}
+	}
+	results := s.Measure(context.Background(), cells)
+	for i, r := range results {
+		if r.Measurement.Failed() {
+			t.Errorf("cell %d (%s): %s", i, cells[i].Target, r.Measurement.Err)
+		}
+	}
+
+	hits, misses := p.PlanCacheStats()
+	if misses == 0 {
+		t.Error("plan cache reported zero misses for a cold start")
+	}
+	// 4 queries × 5 engines × (2 runs + plan lookups) — everything past the
+	// first lookup per query must hit the shared cache.
+	if hits == 0 {
+		t.Error("scheduler parallelism never hit the shared plan cache")
+	}
+	if misses != uint64(len(queries)) {
+		t.Errorf("plans built = %d, want one per distinct query (%d)", misses, len(queries))
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"time"
 
-	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/plan"
 )
 
 // Result is the outcome of executing a query.
@@ -84,31 +84,74 @@ type Engine interface {
 	Execute(db *Database, sql string, opts ExecOptions) (*Result, error)
 }
 
-// baseEngine carries the shared execution logic of both engines.
+// PlanCached is implemented by engines that execute through the shared
+// logical-plan layer. Setting a cache shares plans across repetitions (and,
+// when the same cache is handed to several engines, across engines); setting
+// nil disables caching so every execution re-plans.
+type PlanCached interface {
+	// SetPlanCache installs the plan cache (nil disables caching).
+	SetPlanCache(c *plan.Cache)
+	// PlanCacheStats returns the cache's hit/miss counters; zeros when
+	// caching is disabled.
+	PlanCacheStats() (hits, misses uint64)
+}
+
+// planFor resolves the logical plan of the query: from the cache when one is
+// installed — keyed by the database identity, its schema/data version and
+// the normalized SQL, so repetitions pay zero parse/analysis work — or by
+// building fresh.
+func planFor(cache *plan.Cache, db *Database, sql string) (*plan.Plan, error) {
+	if cache == nil {
+		return plan.Build(db, sql)
+	}
+	return cache.GetOrBuild(plan.Key(db, db.Version(), sql), func() (*plan.Plan, error) {
+		return plan.Build(db, sql)
+	})
+}
+
+// baseEngine carries the shared execution logic of both interpreters.
 type baseEngine struct {
 	name       string
 	version    string
 	dialect    string
 	mode       Mode
 	guardCasts bool
+	plans      *plan.Cache
 }
 
 func (e *baseEngine) Name() string    { return e.name }
 func (e *baseEngine) Version() string { return e.version }
 func (e *baseEngine) Dialect() string { return e.dialect }
 
-// Execute parses and runs the query.
-func (e *baseEngine) Execute(db *Database, sql string, opts ExecOptions) (*Result, error) {
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, fmt.Errorf("%s: parse error: %w", e.name, err)
+// SetPlanCache implements PlanCached.
+func (e *baseEngine) SetPlanCache(c *plan.Cache) { e.plans = c }
+
+// PlanCacheStats implements PlanCached.
+func (e *baseEngine) PlanCacheStats() (hits, misses uint64) {
+	if e.plans == nil {
+		return 0, 0
 	}
+	return e.plans.Stats()
+}
+
+// Execute plans (or fetches the cached plan of) the query and runs it.
+func (e *baseEngine) Execute(db *Database, sql string, opts ExecOptions) (*Result, error) {
+	p, err := planFor(e.plans, db, sql)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.name, err)
+	}
+	return e.ExecutePlan(db, p, opts)
+}
+
+// ExecutePlan runs an already planned query; the vektor adapter uses it to
+// fall back to the interpreter without re-planning.
+func (e *baseEngine) ExecutePlan(db *Database, p *plan.Plan, opts ExecOptions) (*Result, error) {
 	limits := executionLimits{maxJoinRows: opts.MaxJoinRows}
 	if opts.Timeout > 0 {
 		limits.deadline = time.Now().Add(opts.Timeout)
 	}
-	ex := newExecutor(db, e.mode, limits, e.guardCasts)
-	rel, err := ex.executeSelect(stmt, nil)
+	ex := newExecutor(db, e.mode, limits, e.guardCasts, p)
+	rel, err := ex.executeSelect(p.Root, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.name, err)
 	}
@@ -130,7 +173,7 @@ func (e *baseEngine) Execute(db *Database, sql string, opts ExecOptions) (*Resul
 // width scans, short-circuit filters, no intermediate materialisation, early
 // LIMIT exit.
 func NewRowEngine() Engine {
-	return &baseEngine{name: "tuplestore", version: "1.0", dialect: "tuplestore", mode: ModeRow}
+	return &baseEngine{name: "tuplestore", version: "1.0", dialect: "tuplestore", mode: ModeRow, plans: plan.NewCache(0)}
 }
 
 // ColEngineOptions tune the column engine variant.
@@ -145,7 +188,7 @@ type ColEngineOptions struct {
 // NewColEngine returns the column-at-a-time engine ("columba 1.0") with the
 // overflow-guard materialisation behaviour the paper describes for MonetDB.
 func NewColEngine() Engine {
-	return &baseEngine{name: "columba", version: "1.0", dialect: "columba", mode: ModeColumn, guardCasts: true}
+	return &baseEngine{name: "columba", version: "1.0", dialect: "columba", mode: ModeColumn, guardCasts: true, plans: plan.NewCache(0)}
 }
 
 // NewColEngineWithOptions returns a tuned column engine variant, used to
@@ -161,21 +204,26 @@ func NewColEngineWithOptions(opts ColEngineOptions) Engine {
 		dialect:    "columba",
 		mode:       ModeColumn,
 		guardCasts: !opts.DisableGuardCasts,
+		plans:      plan.NewCache(0),
 	}
 }
 
 // Registry maps engine keys ("name-version") to constructed engines, the way
-// the platform's DBMS catalog refers to them.
+// the platform's DBMS catalog refers to them. All engines registered in one
+// registry share one plan cache: a measurement cell that runs the same query
+// on five engines pays the front-end analysis once.
 type Registry struct {
 	engines map[string]Engine
 	order   []string
+	plans   *plan.Cache
 }
 
 // NewRegistry returns a registry pre-populated with the built-in engines:
 // the three execution paradigms (tuple-at-a-time, column-at-a-time,
-// batch-vectorized), the latter two in two releases each.
+// batch-vectorized), the latter two in two releases each, all sharing one
+// plan cache.
 func NewRegistry() *Registry {
-	r := &Registry{engines: map[string]Engine{}}
+	r := &Registry{engines: map[string]Engine{}, plans: plan.NewCache(0)}
 	r.Register(NewRowEngine())
 	r.Register(NewColEngine())
 	r.Register(NewColEngineWithOptions(ColEngineOptions{Version: "2.0", DisableGuardCasts: true}))
@@ -184,14 +232,21 @@ func NewRegistry() *Registry {
 	return r
 }
 
-// Register adds an engine under its canonical key.
+// Register adds an engine under its canonical key, attaching the registry's
+// shared plan cache when the engine supports one.
 func (r *Registry) Register(e Engine) {
 	key := EngineKey(e.Name(), e.Version())
 	if _, exists := r.engines[key]; !exists {
 		r.order = append(r.order, key)
 	}
 	r.engines[key] = e
+	if pc, ok := e.(PlanCached); ok && r.plans != nil {
+		pc.SetPlanCache(r.plans)
+	}
 }
+
+// PlanCache returns the registry's shared plan cache.
+func (r *Registry) PlanCache() *plan.Cache { return r.plans }
 
 // EngineKey builds the canonical registry key of an engine.
 func EngineKey(name, version string) string {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"sqalpel/internal/plan"
 	"sqalpel/internal/sqlparser"
 )
 
@@ -84,7 +85,10 @@ type executionLimits struct {
 
 const defaultMaxJoinRows = 4_000_000
 
-// executor runs one statement against a database.
+// executor runs one planned statement against a database. The logical plan
+// (internal/plan) carries all front-end analysis — resolved FROM inputs,
+// join order, classified conjuncts, sub-query correlation, pruning sets —
+// so the executor walks plan nodes instead of re-analyzing the AST.
 type executor struct {
 	db     *Database
 	mode   Mode
@@ -93,14 +97,15 @@ type executor struct {
 	// guardCasts toggles the overflow-guard widening pass of ModeColumn;
 	// disabling it models a newer engine version that removed the cost.
 	guardCasts bool
+	// plan is the shared logical plan of the statement being executed.
+	plan *plan.Plan
 
 	uncorrCache  map[*sqlparser.SelectStatement]*relation
 	uncorrSets   map[*sqlparser.SelectStatement]map[string]bool
-	correlated   map[*sqlparser.SelectStatement]bool
 	deadlineTick int
 }
 
-func newExecutor(db *Database, mode Mode, limits executionLimits, guardCasts bool) *executor {
+func newExecutor(db *Database, mode Mode, limits executionLimits, guardCasts bool, p *plan.Plan) *executor {
 	if limits.maxJoinRows == 0 {
 		limits.maxJoinRows = defaultMaxJoinRows
 	}
@@ -110,9 +115,9 @@ func newExecutor(db *Database, mode Mode, limits executionLimits, guardCasts boo
 		stats:       &Stats{},
 		limits:      limits,
 		guardCasts:  guardCasts,
+		plan:        p,
 		uncorrCache: map[*sqlparser.SelectStatement]*relation{},
 		uncorrSets:  map[*sqlparser.SelectStatement]map[string]bool{},
-		correlated:  map[*sqlparser.SelectStatement]bool{},
 	}
 }
 
@@ -132,28 +137,33 @@ func (ex *executor) checkDeadline() error {
 	return nil
 }
 
-// executeSubquery runs a nested select; uncorrelated sub-queries are
-// executed once and cached.
+// executeSubquery runs a nested select through its pre-built plan;
+// uncorrelated sub-queries (classified at plan time) are executed once and
+// cached.
 func (ex *executor) executeSubquery(stmt *sqlparser.SelectStatement, outer *scope) (*relation, error) {
 	ex.stats.SubqueryExecutions++
-	if !ex.isCorrelated(stmt) {
+	sub := ex.plan.Sub(stmt)
+	if sub == nil {
+		return nil, fmt.Errorf("internal: sub-query has no plan")
+	}
+	if !ex.plan.Correlated(stmt) {
 		if rel, ok := ex.uncorrCache[stmt]; ok {
 			return rel, nil
 		}
-		rel, err := ex.executeSelect(stmt, nil)
+		rel, err := ex.executeSelect(sub, nil)
 		if err != nil {
 			return nil, err
 		}
 		ex.uncorrCache[stmt] = rel
 		return rel, nil
 	}
-	return ex.executeSelect(stmt, outer)
+	return ex.executeSelect(sub, outer)
 }
 
 // subquerySet returns the set of first-column values produced by an IN
 // sub-query, cached for uncorrelated sub-queries.
 func (ex *executor) subquerySet(stmt *sqlparser.SelectStatement, outer *scope) (map[string]bool, error) {
-	if !ex.isCorrelated(stmt) {
+	if !ex.plan.Correlated(stmt) {
 		if set, ok := ex.uncorrSets[stmt]; ok {
 			return set, nil
 		}
@@ -170,25 +180,26 @@ func (ex *executor) subquerySet(stmt *sqlparser.SelectStatement, outer *scope) (
 			}
 		}
 	}
-	if !ex.isCorrelated(stmt) {
+	if !ex.plan.Correlated(stmt) {
 		ex.uncorrSets[stmt] = set
 	}
 	return set, nil
 }
 
-// executeSelect is the top of the interpreter.
-func (ex *executor) executeSelect(stmt *sqlparser.SelectStatement, outer *scope) (*relation, error) {
-	rel, err := ex.executeSelectCore(stmt, outer)
+// executeSelect is the top of the interpreter: it runs one planned SELECT
+// and folds its set-operation continuations in.
+func (ex *executor) executeSelect(sp *plan.Select, outer *scope) (*relation, error) {
+	rel, err := ex.executeSelectCore(sp, outer)
 	if err != nil {
 		return nil, err
 	}
-	// Set operations chain on the statement.
-	for cur := stmt; cur.SetNext != nil; cur = cur.SetNext {
+	// Set operations chain on the plan, mirroring the statement chain.
+	for cur := sp; cur.SetNext != nil; cur = cur.SetNext {
 		right, err := ex.executeSelectCore(cur.SetNext, outer)
 		if err != nil {
 			return nil, err
 		}
-		rel, err = applySetOp(cur.SetOp, rel, right)
+		rel, err = applySetOp(cur.Stmt.SetOp, rel, right)
 		if err != nil {
 			return nil, err
 		}
@@ -272,38 +283,33 @@ func allRows(n int) []int {
 	return out
 }
 
-func (ex *executor) executeSelectCore(stmt *sqlparser.SelectStatement, outer *scope) (*relation, error) {
+func (ex *executor) executeSelectCore(sp *plan.Select, outer *scope) (*relation, error) {
+	stmt := sp.Stmt
 	if len(stmt.Projection) == 0 {
 		return nil, fmt.Errorf("query has no projection")
 	}
 
-	// FROM + join graph + residual filter.
-	input, residual, err := ex.buildFrom(stmt, outer)
+	// FROM inputs + precomputed join order.
+	input, err := ex.buildFrom(sp, outer)
 	if err != nil {
 		return nil, err
 	}
 
-	hasAgg := statementHasAggregates(stmt)
-	grouped := len(stmt.GroupBy) > 0 || hasAgg
-
 	// Early-exit opportunity for the row engine: plain scans with LIMIT and
 	// no ordering can stop as soon as enough rows qualified.
 	earlyLimit := 0
-	if ex.mode == ModeRow && !grouped && !stmt.Distinct && len(stmt.OrderBy) == 0 && stmt.Limit != nil {
-		earlyLimit = int(*stmt.Limit)
-		if stmt.Offset != nil {
-			earlyLimit += int(*stmt.Offset)
-		}
+	if ex.mode == ModeRow {
+		earlyLimit = sp.EarlyLimit
 	}
 
-	filtered, err := ex.applyFilter(input, residual, outer, earlyLimit)
+	filtered, err := ex.applyFilter(input, sp.Residual, outer, earlyLimit)
 	if err != nil {
 		return nil, err
 	}
 
 	var out *relation
 	var sortKeys [][]Value
-	if grouped {
+	if sp.Grouped {
 		out, sortKeys, err = ex.projectGrouped(stmt, filtered, outer)
 	} else {
 		out, sortKeys, err = ex.projectRows(stmt, filtered, outer)
@@ -325,144 +331,77 @@ func (ex *executor) executeSelectCore(stmt *sqlparser.SelectStatement, outer *sc
 	return out, nil
 }
 
-// buildFrom materialises the FROM clause: every comma-separated table
-// expression is built, then stitched together preferring hash joins over the
-// equi-join predicates found in WHERE; unconsumed predicates are returned as
-// the residual filter.
-func (ex *executor) buildFrom(stmt *sqlparser.SelectStatement, outer *scope) (*relation, []sqlparser.Expr, error) {
-	conjuncts := liftCommonOrConjuncts(splitAnd(stmt.Where))
-	if len(stmt.From) == 0 {
+// buildFrom materialises the planned FROM inputs and stitches them together
+// following the plan's precomputed join order: hash joins over the extracted
+// equi-join keys, cross products where no edge connects the inputs.
+func (ex *executor) buildFrom(sp *plan.Select, outer *scope) (*relation, error) {
+	if len(sp.From) == 0 {
 		// SELECT without FROM: a single empty row so expressions evaluate once.
 		rel := newRelation()
 		rel.n = 1
-		return rel, conjuncts, nil
+		return rel, nil
 	}
 
-	needed := ex.neededColumns(stmt)
-	var rels []*relation
-	for _, te := range stmt.From {
-		r, err := ex.buildTableExpr(te, needed, outer)
-		if err != nil {
-			return nil, nil, err
-		}
-		rels = append(rels, r)
-	}
-
-	current := rels[0]
-	remaining := rels[1:]
-	for len(remaining) > 0 {
-		// Find a relation connected to current through equi-join conjuncts.
-		bestIdx := -1
-		var joinConjuncts []int
-		for ri, r := range remaining {
-			var edges []int
-			for ci, c := range conjuncts {
-				if c == nil {
-					continue
-				}
-				if isEquiJoinBetween(c, current, r) {
-					edges = append(edges, ci)
-				}
-			}
-			if len(edges) > 0 {
-				bestIdx = ri
-				joinConjuncts = edges
-				break
-			}
-		}
-		if bestIdx < 0 {
-			// No join edge: cross product with the first remaining relation.
-			joined, err := ex.crossJoin(current, remaining[0])
-			if err != nil {
-				return nil, nil, err
-			}
-			current = joined
-			remaining = remaining[1:]
-			continue
-		}
-		var leftExprs, rightExprs []sqlparser.Expr
-		for _, ci := range joinConjuncts {
-			l, r := equiJoinSides(conjuncts[ci], current, remaining[bestIdx])
-			leftExprs = append(leftExprs, l)
-			rightExprs = append(rightExprs, r)
-			conjuncts[ci] = nil
-		}
-		joined, err := ex.hashJoin(current, remaining[bestIdx], leftExprs, rightExprs, outer)
-		if err != nil {
-			return nil, nil, err
-		}
-		current = joined
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
-	}
-
-	var residual []sqlparser.Expr
-	for _, c := range conjuncts {
-		if c != nil {
-			residual = append(residual, c)
-		}
-	}
-	return current, orderBySubqueryCost(residual), nil
-}
-
-// orderBySubqueryCost moves predicates that contain sub-queries behind the
-// cheap ones, so correlated EXISTS probes (TPC-H Q21 style) only run for
-// rows that survived the inexpensive filters. The relative order within each
-// class is preserved.
-func orderBySubqueryCost(conjuncts []sqlparser.Expr) []sqlparser.Expr {
-	if len(conjuncts) < 2 {
-		return conjuncts
-	}
-	var cheap, costly []sqlparser.Expr
-	for _, c := range conjuncts {
-		if len(sqlparser.Subqueries(c)) > 0 {
-			costly = append(costly, c)
-		} else {
-			cheap = append(cheap, c)
-		}
-	}
-	return append(cheap, costly...)
-}
-
-// buildTableExpr materialises one table expression.
-func (ex *executor) buildTableExpr(te sqlparser.TableExpr, needed map[string]map[string]bool, outer *scope) (*relation, error) {
-	switch t := te.(type) {
-	case *sqlparser.TableName:
-		table := ex.db.Table(t.Name)
-		if table == nil {
-			return nil, fmt.Errorf("unknown table %q", t.Name)
-		}
-		alias := t.Alias
-		if alias == "" {
-			alias = t.Name
-		}
-		var neededCols map[string]bool
-		if ex.mode == ModeColumn {
-			neededCols = needed[strings.ToLower(alias)]
-		}
-		copyCols := ex.mode == ModeRow
-		return tableRelation(table, alias, neededCols, copyCols, ex.stats), nil
-	case *sqlparser.DerivedTable:
-		rel, err := ex.executeSelect(t.Select, nil)
+	rels := make([]*relation, len(sp.From))
+	for i, in := range sp.From {
+		r, err := ex.buildInput(in, sp.Needed, outer)
 		if err != nil {
 			return nil, err
 		}
-		if t.Alias != "" {
-			rel.renameTables(t.Alias)
+		rels[i] = r
+	}
+
+	current := rels[0]
+	for _, step := range sp.JoinSteps {
+		var err error
+		if step.Cross {
+			current, err = ex.crossJoin(current, rels[step.Right])
+		} else {
+			current, err = ex.hashJoin(current, rels[step.Right], step.LeftKeys, step.RightKeys, outer)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return current, nil
+}
+
+// buildInput materialises one planned FROM input.
+func (ex *executor) buildInput(in *plan.Input, needed map[string]map[string]bool, outer *scope) (*relation, error) {
+	switch {
+	case in.Join != nil:
+		return ex.buildJoin(in.Join, needed, outer)
+	case in.Derived != nil:
+		rel, err := ex.executeSelect(in.Derived, nil)
+		if err != nil {
+			return nil, err
+		}
+		if in.Alias != "" {
+			rel.renameTables(in.Alias)
 		}
 		return rel, nil
-	case *sqlparser.JoinExpr:
-		return ex.buildJoin(t, needed, outer)
 	default:
-		return nil, fmt.Errorf("unsupported table expression %T", te)
+		table := ex.db.Table(in.Table)
+		if table == nil {
+			return nil, fmt.Errorf("unknown table %q", in.Table)
+		}
+		var neededCols map[string]bool
+		if ex.mode == ModeColumn {
+			neededCols = needed[strings.ToLower(in.Alias)]
+		}
+		copyCols := ex.mode == ModeRow
+		return tableRelation(table, in.Alias, neededCols, copyCols, ex.stats), nil
 	}
 }
 
-func (ex *executor) buildJoin(j *sqlparser.JoinExpr, needed map[string]map[string]bool, outer *scope) (*relation, error) {
-	left, err := ex.buildTableExpr(j.Left, needed, outer)
+// buildJoin executes an explicit JOIN tree node whose ON condition the plan
+// already classified into equi-join keys and residual predicates.
+func (ex *executor) buildJoin(j *plan.Join, needed map[string]map[string]bool, outer *scope) (*relation, error) {
+	left, err := ex.buildInput(j.Left, needed, outer)
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.buildTableExpr(j.Right, needed, outer)
+	right, err := ex.buildInput(j.Right, needed, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -470,74 +409,22 @@ func (ex *executor) buildJoin(j *sqlparser.JoinExpr, needed map[string]map[strin
 	case "CROSS":
 		return ex.crossJoin(left, right)
 	case "INNER":
-		conjuncts := splitAnd(j.On)
-		var leftKeys, rightKeys []sqlparser.Expr
-		var residual []sqlparser.Expr
-		for _, c := range conjuncts {
-			if isEquiJoinBetween(c, left, right) {
-				l, r := equiJoinSides(c, left, right)
-				leftKeys = append(leftKeys, l)
-				rightKeys = append(rightKeys, r)
-			} else {
-				residual = append(residual, c)
-			}
+		if len(j.LeftKeys) == 0 {
+			return ex.nestedLoopJoin(left, right, j.AllConds, outer)
 		}
-		var joined *relation
-		if len(leftKeys) > 0 {
-			joined, err = ex.hashJoin(left, right, leftKeys, rightKeys, outer)
-		} else {
-			joined, err = ex.nestedLoopJoin(left, right, conjuncts, outer)
-			residual = nil
-		}
+		joined, err := ex.hashJoin(left, right, j.LeftKeys, j.RightKeys, outer)
 		if err != nil {
 			return nil, err
 		}
-		if len(residual) > 0 {
-			return ex.applyFilter(joined, residual, outer, 0)
+		if len(j.Residual) > 0 {
+			return ex.applyFilter(joined, j.Residual, outer, 0)
 		}
 		return joined, nil
-	case "LEFT", "RIGHT":
-		if j.Kind == "RIGHT" {
-			left, right = right, left
-		}
-		return ex.leftOuterJoin(left, right, splitAnd(j.On), outer)
+	case "LEFT":
+		return ex.leftOuterJoin(left, right, j, outer)
 	default:
 		return nil, fmt.Errorf("unsupported join kind %q", j.Kind)
 	}
-}
-
-// isEquiJoinBetween reports whether the conjunct is `a = b` with a resolving
-// only in left and b only in right (or vice versa).
-func isEquiJoinBetween(c sqlparser.Expr, left, right *relation) bool {
-	be, ok := c.(*sqlparser.BinaryExpr)
-	if !ok || be.Op != "=" {
-		return false
-	}
-	lc, lok := be.Left.(*sqlparser.ColumnRef)
-	rc, rok := be.Right.(*sqlparser.ColumnRef)
-	if !lok || !rok {
-		return false
-	}
-	lInLeft, lInRight := resolvesIn(lc, left), resolvesIn(lc, right)
-	rInLeft, rInRight := resolvesIn(rc, left), resolvesIn(rc, right)
-	return (lInLeft && !lInRight && rInRight && !rInLeft) ||
-		(rInLeft && !rInRight && lInRight && !lInLeft)
-}
-
-// equiJoinSides returns the expressions keyed on the left and right relation
-// respectively, assuming isEquiJoinBetween returned true.
-func equiJoinSides(c sqlparser.Expr, left, right *relation) (sqlparser.Expr, sqlparser.Expr) {
-	be := c.(*sqlparser.BinaryExpr)
-	lc := be.Left.(*sqlparser.ColumnRef)
-	if resolvesIn(lc, left) {
-		return be.Left, be.Right
-	}
-	return be.Right, be.Left
-}
-
-func resolvesIn(c *sqlparser.ColumnRef, rel *relation) bool {
-	_, err := rel.findColumn(c.Table, c.Column)
-	return err == nil
 }
 
 // hashJoin joins left and right on the given key expression lists.
@@ -641,18 +528,9 @@ func (ex *executor) nestedLoopJoin(left, right *relation, conds []sqlparser.Expr
 
 // leftOuterJoin implements LEFT [OUTER] JOIN with the ON condition applied
 // as part of the match (so non-matching left rows survive null-extended).
-func (ex *executor) leftOuterJoin(left, right *relation, conds []sqlparser.Expr, outer *scope) (*relation, error) {
-	var leftKeys, rightKeys []sqlparser.Expr
-	var residual []sqlparser.Expr
-	for _, c := range conds {
-		if isEquiJoinBetween(c, left, right) {
-			l, r := equiJoinSides(c, left, right)
-			leftKeys = append(leftKeys, l)
-			rightKeys = append(rightKeys, r)
-		} else {
-			residual = append(residual, c)
-		}
-	}
+// The equi keys and residual predicates come pre-classified from the plan.
+func (ex *executor) leftOuterJoin(left, right *relation, j *plan.Join, outer *scope) (*relation, error) {
+	leftKeys, rightKeys, residual := j.LeftKeys, j.RightKeys, j.Residual
 	// Hash the right side by the equi keys (or a single bucket when none).
 	ht := map[string][]int{}
 	rev := &evaluator{ex: ex, sc: &scope{rel: right, outer: outer}}
@@ -1112,332 +990,8 @@ func applyLimit(rel *relation, limit, offset *int64) *relation {
 	return rel.selectRows(keep)
 }
 
-// liftCommonOrConjuncts looks at top-level OR conjuncts (the TPC-H Q19
-// pattern) and lifts predicates that appear in every OR arm to the top
-// level, so join edges buried inside the disjunction can still drive hash
-// joins. The original OR is kept; the lifted predicates are logically
-// implied by it, so the result is unchanged.
-func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
-	out := append([]sqlparser.Expr(nil), conjuncts...)
-	for _, c := range conjuncts {
-		arms := splitOr(c)
-		if len(arms) < 2 {
-			continue
-		}
-		// Count predicate occurrences by canonical SQL text across arms.
-		common := map[string]sqlparser.Expr{}
-		for _, p := range splitAnd(unwrapParens(arms[0])) {
-			common[p.SQL()] = p
-		}
-		for _, arm := range arms[1:] {
-			present := map[string]bool{}
-			for _, p := range splitAnd(unwrapParens(arm)) {
-				present[p.SQL()] = true
-			}
-			for k := range common {
-				if !present[k] {
-					delete(common, k)
-				}
-			}
-		}
-		for _, p := range common {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-func unwrapParens(e sqlparser.Expr) sqlparser.Expr {
-	for {
-		p, ok := e.(*sqlparser.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.Expr
-	}
-}
-
-// splitOr flattens a predicate into its top-level disjuncts.
-func splitOr(e sqlparser.Expr) []sqlparser.Expr {
-	if e == nil {
-		return nil
-	}
-	switch v := e.(type) {
-	case *sqlparser.BinaryExpr:
-		if v.Op == "OR" {
-			return append(splitOr(v.Left), splitOr(v.Right)...)
-		}
-	case *sqlparser.ParenExpr:
-		return splitOr(v.Expr)
-	}
-	return []sqlparser.Expr{e}
-}
-
-// splitAnd flattens a predicate into its top-level conjuncts.
-func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
-	if e == nil {
-		return nil
-	}
-	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
-		return append(splitAnd(be.Left), splitAnd(be.Right)...)
-	}
-	return []sqlparser.Expr{e}
-}
-
-// statementHasAggregates reports whether the projection or HAVING of the
-// statement uses aggregate functions.
-func statementHasAggregates(stmt *sqlparser.SelectStatement) bool {
-	for _, p := range stmt.Projection {
-		if p.Expr != nil && sqlparser.HasAggregate(p.Expr) {
-			return true
-		}
-	}
-	if stmt.Having != nil && sqlparser.HasAggregate(stmt.Having) {
-		return true
-	}
-	return false
-}
-
-// neededColumns computes, per table alias, the set of column names the
-// statement references anywhere (including sub-queries); used for column
-// pruning in column mode. Unqualified references are attributed to every
-// base table that has a column of that name.
-func (ex *executor) neededColumns(stmt *sqlparser.SelectStatement) map[string]map[string]bool {
-	needed := map[string]map[string]bool{}
-	add := func(alias, col string) {
-		alias = strings.ToLower(alias)
-		if needed[alias] == nil {
-			needed[alias] = map[string]bool{}
-		}
-		needed[alias][strings.ToLower(col)] = true
-	}
-
-	// Gather the alias → base table mapping of this statement.
-	aliases := map[string]*Table{}
-	var gatherAliases func(te sqlparser.TableExpr)
-	gatherAliases = func(te sqlparser.TableExpr) {
-		switch t := te.(type) {
-		case *sqlparser.TableName:
-			alias := t.Alias
-			if alias == "" {
-				alias = t.Name
-			}
-			aliases[strings.ToLower(alias)] = ex.db.Table(t.Name)
-		case *sqlparser.JoinExpr:
-			gatherAliases(t.Left)
-			gatherAliases(t.Right)
-		}
-	}
-	for _, te := range stmt.From {
-		gatherAliases(te)
-	}
-
-	var refs []*sqlparser.ColumnRef
-	star := false
-	var collectExpr func(e sqlparser.Expr)
-	var collectStmt func(s *sqlparser.SelectStatement)
-	collectExpr = func(e sqlparser.Expr) {
-		if e == nil {
-			return
-		}
-		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
-			switch v := x.(type) {
-			case *sqlparser.ColumnRef:
-				refs = append(refs, v)
-			case *sqlparser.SubqueryExpr:
-				collectStmt(v.Select)
-			case *sqlparser.InExpr:
-				if v.Subquery != nil {
-					collectStmt(v.Subquery)
-				}
-			case *sqlparser.ExistsExpr:
-				collectStmt(v.Subquery)
-			}
-			return true
-		})
-	}
-	collectStmt = func(s *sqlparser.SelectStatement) {
-		for _, p := range s.Projection {
-			if p.Star {
-				star = true
-				continue
-			}
-			collectExpr(p.Expr)
-		}
-		collectExpr(s.Where)
-		for _, g := range s.GroupBy {
-			collectExpr(g)
-		}
-		collectExpr(s.Having)
-		for _, o := range s.OrderBy {
-			collectExpr(o.Expr)
-		}
-		for _, te := range s.From {
-			switch t := te.(type) {
-			case *sqlparser.DerivedTable:
-				collectStmt(t.Select)
-			case *sqlparser.JoinExpr:
-				collectJoin(t, collectStmt, collectExpr)
-			}
-		}
-		if s.SetNext != nil {
-			collectStmt(s.SetNext)
-		}
-	}
-	collectStmt(stmt)
-
-	if star {
-		for alias := range aliases {
-			add(alias, "*")
-		}
-	}
-	for _, r := range refs {
-		if r.Table != "" {
-			add(r.Table, r.Column)
-			continue
-		}
-		for alias, table := range aliases {
-			if table != nil && table.ColumnIndex(r.Column) >= 0 {
-				add(alias, r.Column)
-			}
-		}
-	}
-	return needed
-}
-
-func collectJoin(j *sqlparser.JoinExpr, collectStmt func(*sqlparser.SelectStatement), collectExpr func(sqlparser.Expr)) {
-	collectExpr(j.On)
-	for _, side := range []sqlparser.TableExpr{j.Left, j.Right} {
-		switch t := side.(type) {
-		case *sqlparser.DerivedTable:
-			collectStmt(t.Select)
-		case *sqlparser.JoinExpr:
-			collectJoin(t, collectStmt, collectExpr)
-		}
-	}
-}
-
-// isCorrelated reports whether the sub-query references columns it cannot
-// resolve from its own FROM clauses (at any nesting depth); such sub-queries
-// cannot be cached across outer rows.
-func (ex *executor) isCorrelated(stmt *sqlparser.SelectStatement) bool {
-	if v, ok := ex.correlated[stmt]; ok {
-		return v
-	}
-	v := ex.analyzeCorrelation(stmt, map[string]bool{})
-	ex.correlated[stmt] = v
-	return v
-}
-
-// analyzeCorrelation walks the statement with the set of column keys
-// available from enclosing FROM clauses; it returns true when any reference
-// escapes.
-func (ex *executor) analyzeCorrelation(stmt *sqlparser.SelectStatement, inherited map[string]bool) bool {
-	avail := map[string]bool{}
-	for k := range inherited {
-		avail[k] = true
-	}
-	var addTable func(te sqlparser.TableExpr)
-	addTable = func(te sqlparser.TableExpr) {
-		switch t := te.(type) {
-		case *sqlparser.TableName:
-			alias := t.Alias
-			if alias == "" {
-				alias = t.Name
-			}
-			table := ex.db.Table(t.Name)
-			if table == nil {
-				return
-			}
-			for _, c := range table.Columns {
-				avail[strings.ToLower(c.Name)] = true
-				avail[strings.ToLower(alias)+"."+strings.ToLower(c.Name)] = true
-			}
-		case *sqlparser.DerivedTable:
-			for _, p := range t.Select.Projection {
-				name := p.Alias
-				if name == "" {
-					if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
-						name = cr.Column
-					}
-				}
-				if name != "" {
-					avail[strings.ToLower(name)] = true
-					if t.Alias != "" {
-						avail[strings.ToLower(t.Alias)+"."+strings.ToLower(name)] = true
-					}
-				}
-				if p.Star {
-					// Approximate: expose the derived table's base columns.
-					for _, te2 := range t.Select.From {
-						addTable(te2)
-					}
-				}
-			}
-		case *sqlparser.JoinExpr:
-			addTable(t.Left)
-			addTable(t.Right)
-		}
-	}
-	for _, te := range stmt.From {
-		addTable(te)
-	}
-
-	escaped := false
-	checkRef := func(r *sqlparser.ColumnRef) {
-		key := strings.ToLower(r.Column)
-		if r.Table != "" {
-			key = strings.ToLower(r.Table) + "." + strings.ToLower(r.Column)
-		}
-		if !avail[key] {
-			escaped = true
-		}
-	}
-	var checkExpr func(e sqlparser.Expr)
-	checkExpr = func(e sqlparser.Expr) {
-		if e == nil {
-			return
-		}
-		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
-			switch v := x.(type) {
-			case *sqlparser.ColumnRef:
-				checkRef(v)
-			case *sqlparser.SubqueryExpr:
-				if ex.analyzeCorrelation(v.Select, avail) {
-					escaped = true
-				}
-			case *sqlparser.InExpr:
-				if v.Subquery != nil && ex.analyzeCorrelation(v.Subquery, avail) {
-					escaped = true
-				}
-			case *sqlparser.ExistsExpr:
-				if ex.analyzeCorrelation(v.Subquery, avail) {
-					escaped = true
-				}
-			}
-			return true
-		})
-	}
-	for _, p := range stmt.Projection {
-		checkExpr(p.Expr)
-	}
-	checkExpr(stmt.Where)
-	for _, g := range stmt.GroupBy {
-		checkExpr(g)
-	}
-	checkExpr(stmt.Having)
-	for _, o := range stmt.OrderBy {
-		checkExpr(o.Expr)
-	}
-	for _, te := range stmt.From {
-		if d, ok := te.(*sqlparser.DerivedTable); ok {
-			if ex.analyzeCorrelation(d.Select, map[string]bool{}) {
-				escaped = true
-			}
-		}
-	}
-	if stmt.SetNext != nil && ex.analyzeCorrelation(stmt.SetNext, inherited) {
-		escaped = true
-	}
-	return escaped
-}
+// The statement-level analysis that used to live here — conjunct splitting
+// with the common-OR lift, join-edge extraction, aggregate detection,
+// needed-column computation and sub-query correlation — moved to the shared
+// logical-plan layer (internal/plan), where it runs once per (schema,
+// normalized SQL) instead of once per execution.

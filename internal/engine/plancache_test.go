@@ -1,0 +1,268 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/plan"
+	"sqalpel/internal/workload"
+)
+
+// TestPlanCacheDifferentialAllWorkloads is the conformance test of the
+// shared logical-plan layer: every workload query must produce bit-identical
+// results on all five registry engines, (a) planned fresh with caching
+// disabled, (b) on a cold shared cache, and (c) on a warm shared cache —
+// so neither plan sharing nor cache state can change an answer.
+func TestPlanCacheDifferentialAllWorkloads(t *testing.T) {
+	ssbDB := datagen.SSB(datagen.SSBOptions{ScaleFactor: 0.0003})
+	airDB := datagen.Airtraffic(datagen.AirtrafficOptions{Flights: 2000})
+	opts := engine.ExecOptions{Timeout: 2 * time.Minute}
+	workloads := []struct {
+		name    string
+		db      *engine.Database
+		queries []workload.Query
+	}{
+		{"tpch", tpchDB, workload.TPCH()},
+		{"ssb", ssbDB, workload.SSB()},
+		{"airtraffic", airDB, workload.Airtraffic()},
+	}
+
+	cached := engine.NewRegistry() // shares one plan cache across engines
+	fresh := engine.NewRegistry()
+	for _, e := range fresh.Engines() {
+		e.(engine.PlanCached).SetPlanCache(nil) // re-plan on every execution
+	}
+
+	for _, wl := range workloads {
+		for _, q := range wl.queries {
+			q := q
+			t.Run(wl.name+"/"+q.ID, func(t *testing.T) {
+				baseline := ""
+				for _, key := range cached.Keys() {
+					uncached, err := fresh.Get(key).Execute(wl.db, q.SQL, opts)
+					if err != nil {
+						t.Fatalf("%s uncached: %v", key, err)
+					}
+					cold, err := cached.Get(key).Execute(wl.db, q.SQL, opts)
+					if err != nil {
+						t.Fatalf("%s cold cache: %v", key, err)
+					}
+					warm, err := cached.Get(key).Execute(wl.db, q.SQL, opts)
+					if err != nil {
+						t.Fatalf("%s warm cache: %v", key, err)
+					}
+					fp := uncached.Fingerprint()
+					if cold.Fingerprint() != fp || warm.Fingerprint() != fp {
+						t.Fatalf("%s: cached and uncached executions disagree on %s", key, q.ID)
+					}
+					if baseline == "" {
+						baseline = fp
+						continue
+					}
+					if fp != baseline {
+						t.Errorf("%s disagrees with the first engine on %s", key, q.ID)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlanCacheEliminatesFrontendWork locks in the tentpole's point: after
+// the first execution of a query, repetitions (on any engine sharing the
+// cache) do zero parsing and analysis — every further lookup is a hit.
+func TestPlanCacheEliminatesFrontendWork(t *testing.T) {
+	reg := engine.NewRegistry()
+	q1, _ := workload.TPCHQuery("Q1")
+	opts := engine.ExecOptions{Timeout: time.Minute}
+	const reps = 4
+	for _, key := range reg.Keys() {
+		for i := 0; i < reps; i++ {
+			if _, err := reg.Get(key).Execute(tpchDB, q1.SQL, opts); err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+		}
+	}
+	hits, misses := reg.PlanCache().Stats()
+	if misses != 1 {
+		t.Errorf("plan built %d times for one query, want 1", misses)
+	}
+	// 5 engines x 4 repetitions share one plan; all but the first lookup hit.
+	if want := uint64(len(reg.Keys())*reps - 1); hits != want {
+		t.Errorf("plan cache hits = %d, want %d", hits, want)
+	}
+
+	// Whitespace-morphed SQL collapses onto the same normalized key.
+	if _, err := reg.Get(reg.Keys()[0]).Execute(tpchDB, "  "+q1.SQL+"\n\t;", opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses = reg.PlanCache().Stats(); misses != 1 {
+		t.Errorf("normalized rewrite re-planned (misses = %d)", misses)
+	}
+}
+
+// TestPlanCacheInvalidationOnMutation mutates a table after the plan and
+// typed-column caches are warm: every engine (including vektor's typed
+// import) must see the new data, not a stale cache entry.
+func TestPlanCacheInvalidationOnMutation(t *testing.T) {
+	db := engine.NewDatabase("mut")
+	tbl := engine.NewTable("t",
+		engine.Column{Name: "id", Type: engine.TypeInt},
+		engine.Column{Name: "v", Type: engine.TypeInt},
+	)
+	for i := 1; i <= 4; i++ {
+		tbl.MustAppendRow(engine.NewInt(int64(i)), engine.NewInt(int64(10*i)))
+	}
+	db.AddTable(tbl)
+
+	reg := engine.NewRegistry()
+	const sql = "SELECT sum(v) AS s FROM t"
+	opts := engine.ExecOptions{Timeout: time.Minute}
+
+	sum := func(key string) int64 {
+		t.Helper()
+		res, err := reg.Get(key).Execute(db, sql, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		return res.Rows[0][0].Int()
+	}
+
+	for _, key := range reg.Keys() {
+		if got := sum(key); got != 100 {
+			t.Fatalf("%s: warm-up sum = %d, want 100", key, got)
+		}
+	}
+
+	// In-place update: same row count, so only the data version betrays it.
+	if err := tbl.SetValue(0, 1, engine.NewInt(1010)); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range reg.Keys() {
+		if got := sum(key); got != 1100 {
+			t.Errorf("%s: sum after SetValue = %d, want 1100 (stale cache?)", key, got)
+		}
+	}
+
+	// Append: grows the table.
+	tbl.MustAppendRow(engine.NewInt(5), engine.NewInt(900))
+	for _, key := range reg.Keys() {
+		if got := sum(key); got != 2000 {
+			t.Errorf("%s: sum after append = %d, want 2000 (stale cache?)", key, got)
+		}
+	}
+
+	// Reload: replacing the table must bump the database version too.
+	fresh := engine.NewTable("t",
+		engine.Column{Name: "id", Type: engine.TypeInt},
+		engine.Column{Name: "v", Type: engine.TypeInt},
+	)
+	fresh.MustAppendRow(engine.NewInt(1), engine.NewInt(7))
+	before := db.Version()
+	db.AddTable(fresh)
+	if db.Version() <= before {
+		t.Fatalf("database version did not advance on table reload")
+	}
+	for _, key := range reg.Keys() {
+		if got := sum(key); got != 7 {
+			t.Errorf("%s: sum after reload = %d, want 7 (stale cache?)", key, got)
+		}
+	}
+}
+
+// TestPlanCacheConcurrentExecutions hammers one shared plan cache from many
+// goroutines across all five engines and a mix of queries; run under
+// -race in CI, it is the in-process half of the concurrency satellite (the
+// scheduler-level half lives in internal/core).
+func TestPlanCacheConcurrentExecutions(t *testing.T) {
+	reg := engine.NewRegistry()
+	queries := []string{}
+	for _, id := range []string{"Q1", "Q3", "Q6", "Q12", "Q14", "Q19"} {
+		q, err := workload.TPCHQuery(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q.SQL)
+	}
+	opts := engine.ExecOptions{Timeout: time.Minute}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys := reg.Keys()
+			for i := 0; i < 6; i++ {
+				key := keys[(w+i)%len(keys)]
+				sql := queries[(w*3+i)%len(queries)]
+				if _, err := reg.Get(key).Execute(tpchDB, sql, opts); err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	hits, misses := reg.PlanCache().Stats()
+	if hits == 0 {
+		t.Error("concurrent executions never hit the shared plan cache")
+	}
+	if misses == 0 {
+		t.Error("plan cache reported zero misses for a cold start")
+	}
+}
+
+// TestVektorTypedCacheInvalidation pins the typed-column import cache to the
+// table data version: an in-place mutation that keeps the row count constant
+// must still invalidate the typed vectors (the pre-version cache keyed on
+// row count would have served stale data here).
+func TestVektorTypedCacheInvalidation(t *testing.T) {
+	db := engine.NewDatabase("typed")
+	tbl := engine.NewTable("m", engine.Column{Name: "x", Type: engine.TypeInt})
+	tbl.MustAppendRow(engine.NewInt(1))
+	tbl.MustAppendRow(engine.NewInt(2))
+	db.AddTable(tbl)
+
+	vek := engine.NewVektorEngine()
+	opts := engine.ExecOptions{Timeout: time.Minute}
+	res, err := vek.Execute(db, "SELECT sum(x) AS s FROM m", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 3 {
+		t.Fatalf("warm-up sum = %d, want 3", got)
+	}
+	if err := tbl.SetValue(1, 0, engine.NewInt(40)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = vek.Execute(db, "SELECT sum(x) AS s FROM m", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 41 {
+		t.Errorf("sum after in-place mutation = %d, want 41 (stale typed columns)", got)
+	}
+}
+
+// TestPlanCacheSharedNormalization double-checks the scheduler contract: the
+// plan cache keys on the same normalization the sched result cache uses.
+func TestPlanCacheSharedNormalization(t *testing.T) {
+	a := plan.Normalize("SELECT  x\nFROM t;")
+	b := plan.Normalize("SELECT x FROM t")
+	if a != b {
+		t.Errorf("Normalize mismatch: %q vs %q", a, b)
+	}
+	if plan.Normalize("SELECT ' a  b '") != "SELECT ' a  b '" {
+		t.Error("Normalize touched a string literal")
+	}
+}

@@ -38,14 +38,17 @@ type Column struct {
 	Type ColumnType
 }
 
-// Table is a base table with column-major storage.
+// Table is a base table with column-major storage. Every mutation bumps the
+// table's data version, which invalidates derived caches (typed-column
+// imports, logical plans) keyed on it.
 type Table struct {
 	Name    string
 	Columns []Column
 
-	cols   [][]Value
-	rows   int
-	byName map[string]int
+	cols    [][]Value
+	rows    int
+	byName  map[string]int
+	version uint64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -92,8 +95,30 @@ func (t *Table) AppendRow(vals ...Value) error {
 		t.cols[i] = append(t.cols[i], v)
 	}
 	t.rows++
+	t.version++
 	return nil
 }
+
+// SetValue overwrites the value at (row, col) in place, type-checked against
+// the declared column type, and bumps the data version so caches built over
+// the old contents are invalidated.
+func (t *Table) SetValue(row, col int, v Value) error {
+	if row < 0 || row >= t.rows || col < 0 || col >= len(t.Columns) {
+		return fmt.Errorf("table %s: position (%d,%d) out of range", t.Name, row, col)
+	}
+	if !v.IsNull() && !typeCompatible(t.Columns[col].Type, v.Kind) {
+		return fmt.Errorf("table %s: column %s expects %s, got %s",
+			t.Name, t.Columns[col].Name, t.Columns[col].Type, v.Kind)
+	}
+	t.cols[col][row] = v
+	t.version++
+	return nil
+}
+
+// Version returns the table's data version: it increases on every mutation
+// (append or in-place update), never decreases, and is the invalidation hook
+// shared by the plan cache and the vektor typed-column cache.
+func (t *Table) Version() uint64 { return t.version }
 
 // MustAppendRow is AppendRow that panics on schema mismatch; used by data
 // generators whose schemas are statically correct.
@@ -155,6 +180,10 @@ func (t *Table) EstimatedBytes() int64 {
 type Database struct {
 	Name   string
 	tables map[string]*Table
+	// version accumulates schema changes (tables added or replaced); a
+	// replaced table folds its data version in so the combined Version()
+	// stays strictly monotonic.
+	version uint64
 }
 
 // NewDatabase creates an empty database.
@@ -165,7 +194,41 @@ func NewDatabase(name string) *Database {
 // AddTable registers a table; an existing table with the same name is
 // replaced.
 func (d *Database) AddTable(t *Table) {
-	d.tables[strings.ToLower(t.Name)] = t
+	key := strings.ToLower(t.Name)
+	if old, ok := d.tables[key]; ok {
+		// Fold the replaced table's data version into the schema version so
+		// Version() cannot repeat a value it reported before the swap.
+		d.version += old.version
+	}
+	d.version++
+	d.tables[key] = t
+}
+
+// Version returns the database's combined schema/data version: it changes
+// whenever a table is added, replaced or mutated, and never repeats. Plan
+// caches key on it so a schema or data bump invalidates every cached plan
+// of this database.
+func (d *Database) Version() uint64 {
+	v := d.version
+	for _, t := range d.tables {
+		v += t.version
+	}
+	return v
+}
+
+// TableColumns returns the column names of the named table in declaration
+// order; it implements the logical planner's catalog interface
+// (plan.Catalog).
+func (d *Database) TableColumns(name string) ([]string, bool) {
+	t := d.Table(name)
+	if t == nil {
+		return nil, false
+	}
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out, true
 }
 
 // Table returns the named table (case insensitive) or nil.

@@ -3,10 +3,11 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
-	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/plan"
 	"sqalpel/internal/vexec"
 )
 
@@ -14,23 +15,32 @@ import (
 // interpreters: the batch-vectorized executor of internal/vexec ("vektor"),
 // working on typed unboxed vectors with selection vectors. The adapter owns
 // the column-import shim — engine.Database stores boxed []Value columns,
-// which are decoded into typed vectors once per table and cached — and falls
-// back to the column interpreter for statements outside the vectorized
-// subset (sub-queries, outer joins, derived tables, set operations).
+// which are decoded into typed vectors once per table data version and
+// cached — and routes to the interpreter from the plan's precomputed
+// Vectorizable verdict; only data-dependent value shapes (mixed-kind
+// columns, eager-evaluation type errors) still fall back at runtime.
 type vektorEngine struct {
 	name      string
 	version   string
 	dialect   string
 	batchSize int
 	fallback  *baseEngine
+	plans     *plan.Cache
 
 	mu    sync.Mutex
 	cache map[*Table]*typedTableEntry
 }
 
+// typedTableEntry pins the typed decoding of one table to the data version
+// it was built from; any mutation (append or in-place update) bumps the
+// version and invalidates the entry. The owning database is recorded so a
+// reloaded table (Database.AddTable with a fresh *Table under the same
+// name) evicts only its own predecessors, never a same-named table of
+// another database served by the same engine.
 type typedTableEntry struct {
-	rows int
-	vt   *vexec.Table
+	version uint64
+	vt      *vexec.Table
+	db      *Database
 }
 
 // VektorOptions tune the vectorized engine variant.
@@ -67,6 +77,7 @@ func NewVektorEngineWithOptions(opts VektorOptions) Engine {
 		dialect:   "vektor",
 		batchSize: batchSize,
 		fallback:  &baseEngine{name: "vektor", version: version, dialect: "vektor", mode: ModeColumn},
+		plans:     plan.NewCache(0),
 		cache:     map[*Table]*typedTableEntry{},
 	}
 }
@@ -75,22 +86,39 @@ func (e *vektorEngine) Name() string    { return e.name }
 func (e *vektorEngine) Version() string { return e.version }
 func (e *vektorEngine) Dialect() string { return e.dialect }
 
-// Execute parses and runs the query through the vectorized executor,
-// falling back to the column interpreter when the statement (or a runtime
-// value shape) is outside the vectorized subset.
+// SetPlanCache implements PlanCached.
+func (e *vektorEngine) SetPlanCache(c *plan.Cache) { e.plans = c }
+
+// PlanCacheStats implements PlanCached.
+func (e *vektorEngine) PlanCacheStats() (hits, misses uint64) {
+	if e.plans == nil {
+		return 0, 0
+	}
+	return e.plans.Stats()
+}
+
+// Execute resolves the shared logical plan and routes on its Vectorizable
+// verdict: supported statements compile into the vectorized executor,
+// everything else goes straight to the column interpreter — consuming the
+// same plan, so neither path re-parses or re-analyzes.
 func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Result, error) {
-	stmt, err := sqlparser.Parse(sql)
+	p, err := planFor(e.plans, db, sql)
 	if err != nil {
-		return nil, fmt.Errorf("%s: parse error: %w", e.name, err)
+		return nil, fmt.Errorf("%s: %w", e.name, err)
+	}
+	if !p.Vectorizable {
+		return e.fallback.ExecutePlan(db, p, opts)
 	}
 	vopts := vexec.Options{BatchSize: e.batchSize, MaxJoinRows: opts.MaxJoinRows}
 	if opts.Timeout > 0 {
 		vopts.Deadline = time.Now().Add(opts.Timeout)
 	}
-	res, err := vexec.Execute(&typedCatalog{eng: e, db: db}, stmt, vopts)
+	res, err := vexec.ExecutePlan(&typedCatalog{eng: e, db: db}, p, vopts)
 	if err != nil {
 		if errors.Is(err, vexec.ErrUnsupported) {
-			return e.fallback.Execute(db, sql, opts)
+			// Runtime value shapes outside the typed subset defer to the
+			// interpreter, re-using the plan.
+			return e.fallback.ExecutePlan(db, p, opts)
 		}
 		return nil, fmt.Errorf("%s: %w", e.name, err)
 	}
@@ -146,16 +174,19 @@ func (c *typedCatalog) VTable(name string) (*vexec.Table, error) {
 	if t == nil {
 		return nil, fmt.Errorf("unknown table %q", name)
 	}
-	return c.eng.typedTable(t)
+	return c.eng.typedTable(c.db, t)
 }
 
 // typedTable converts a boxed table into typed vectors, caching the result
-// until the table grows (tables are append-only).
-func (e *vektorEngine) typedTable(t *Table) (*vexec.Table, error) {
+// keyed by the table's data version — the same invalidation hook the plan
+// cache uses — so mutating or reloading a table can never serve stale typed
+// columns.
+func (e *vektorEngine) typedTable(db *Database, t *Table) (*vexec.Table, error) {
+	version := t.Version()
 	e.mu.Lock()
 	entry, ok := e.cache[t]
 	e.mu.Unlock()
-	if ok && entry.rows == t.NumRows() {
+	if ok && entry.version == version {
 		return entry.vt, nil
 	}
 	cols := make([]vexec.TableColumn, len(t.Columns))
@@ -168,10 +199,29 @@ func (e *vektorEngine) typedTable(t *Table) (*vexec.Table, error) {
 	}
 	vt := vexec.NewTable(t.Name, cols...)
 	e.mu.Lock()
-	e.cache[t] = &typedTableEntry{rows: t.NumRows(), vt: vt}
+	// Drop superseded entries so a table reloaded via Database.AddTable (a
+	// fresh *Table under the same name in the same database) cannot pin its
+	// predecessors' typed copies forever; the size cap bounds pathological
+	// churn on top.
+	for old, oe := range e.cache {
+		if old != t && oe.db == db && strings.EqualFold(old.Name, t.Name) {
+			delete(e.cache, old)
+		}
+	}
+	for old := range e.cache {
+		if len(e.cache) < maxTypedTables {
+			break
+		}
+		delete(e.cache, old)
+	}
+	e.cache[t] = &typedTableEntry{version: version, vt: vt, db: db}
 	e.mu.Unlock()
 	return vt, nil
 }
+
+// maxTypedTables bounds the typed-column import cache; workloads hold at
+// most a dozen or so tables, so the cap only matters under churn.
+const maxTypedTables = 64
 
 // typedColumn decodes one boxed column into a typed vector through vexec's
 // value builder, so boxed-storage decoding and the executor's own kind

@@ -207,6 +207,27 @@ type Enumeration struct {
 // TemplateCount returns the number of distinct templates.
 func (e *Enumeration) TemplateCount() int { return len(e.Templates) }
 
+// spaceSaturated is the single definition of the saturation condition; the
+// accessors and the formatter all share it.
+func spaceSaturated(space uint64) bool { return space == math.MaxUint64 }
+
+// SpaceSaturated reports whether the space count hit the uint64 saturation
+// ceiling; the count is then a lower bound, not an exact number.
+func (e *Enumeration) SpaceSaturated() bool { return spaceSaturated(e.Space) }
+
+// SaturatedSpaceLabel is how saturated space counts are reported to humans:
+// the uint64 ceiling (~1.8e19) as a lower bound, never as an exact figure.
+const SaturatedSpaceLabel = ">= 1.8e19 (saturated)"
+
+// FormatSpace renders a space count for display, reporting saturated counts
+// as a lower bound instead of silently misreporting MaxUint64 as exact.
+func FormatSpace(space uint64) string {
+	if spaceSaturated(space) {
+		return SaturatedSpaceLabel
+	}
+	return fmt.Sprintf("%d", space)
+}
+
 // Enumerate derives the query space of the grammar: all distinct templates
 // (up to the cap) and the total space size. The grammar must validate.
 func (g *Grammar) Enumerate(opts EnumerateOptions) (*Enumeration, error) {
@@ -428,13 +449,18 @@ type SpaceSummary struct {
 	Capped    bool
 }
 
+// Saturated reports that Space hit the uint64 ceiling and is a lower bound;
+// display layers must not print it as an exact count (FormatSpace handles
+// this).
+func (s SpaceSummary) Saturated() bool { return spaceSaturated(s.Space) }
+
 // String renders the summary the way the paper prints it: capped entries are
-// shown as ">cap –".
+// shown as ">cap –", saturated spaces as a lower bound.
 func (s SpaceSummary) String() string {
 	if s.Capped {
 		return fmt.Sprintf("%d >%d –", s.Tags, s.Templates)
 	}
-	return fmt.Sprintf("%d %d %d", s.Tags, s.Templates, s.Space)
+	return fmt.Sprintf("%d %d %s", s.Tags, s.Templates, FormatSpace(s.Space))
 }
 
 // Space computes the space summary of the grammar with the given options.

@@ -1,0 +1,45 @@
+package grammar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFormatSpaceSaturation locks in the saturation-reporting contract:
+// space counts that hit the uint64 ceiling are reported as a lower bound,
+// never as an exact number.
+func TestFormatSpaceSaturation(t *testing.T) {
+	if got := FormatSpace(12345); got != "12345" {
+		t.Errorf("FormatSpace(12345) = %q", got)
+	}
+	if got := FormatSpace(math.MaxUint64); got != SaturatedSpaceLabel {
+		t.Errorf("FormatSpace(MaxUint64) = %q, want %q", got, SaturatedSpaceLabel)
+	}
+	if !strings.Contains(SaturatedSpaceLabel, "1.8e19") || !strings.Contains(SaturatedSpaceLabel, "saturated") {
+		t.Errorf("saturated label %q must name the bound and the saturation", SaturatedSpaceLabel)
+	}
+}
+
+// TestSaturatedSummaryString makes sure a saturated (but uncapped) summary
+// renders the lower bound, and that the saturating arithmetic actually pins
+// counts to the ceiling rather than wrapping.
+func TestSaturatedSummaryString(t *testing.T) {
+	s := SpaceSummary{Tags: 3, Templates: 7, Space: math.MaxUint64}
+	if !s.Saturated() {
+		t.Error("SpaceSummary.Saturated() = false at the ceiling")
+	}
+	if got := s.String(); !strings.Contains(got, SaturatedSpaceLabel) {
+		t.Errorf("saturated summary rendered as %q", got)
+	}
+	if satMul(math.MaxUint64/2, 4) != math.MaxUint64 {
+		t.Error("satMul did not saturate")
+	}
+	if satAdd(math.MaxUint64, 1) != math.MaxUint64 {
+		t.Error("satAdd did not saturate")
+	}
+	e := &Enumeration{Space: math.MaxUint64}
+	if !e.SpaceSaturated() {
+		t.Error("SpaceSaturated() = false at the ceiling")
+	}
+}

@@ -1,0 +1,849 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// Build parses and plans a query against the catalog. Parse failures are
+// reported as "parse error: ..." so engine-level wrapping reproduces the
+// historical message format.
+func Build(cat Catalog, sql string) (*Plan, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("parse error: %w", err)
+	}
+	return BuildStmt(cat, stmt)
+}
+
+// BuildStmt plans an already parsed statement against the catalog.
+func BuildStmt(cat Catalog, stmt *sqlparser.SelectStatement) (*Plan, error) {
+	b := &builder{
+		cat: cat,
+		p: &Plan{
+			subs:       map[*sqlparser.SelectStatement]*Select{},
+			correlated: map[*sqlparser.SelectStatement]bool{},
+		},
+	}
+	root, err := b.buildChain(stmt)
+	if err != nil {
+		return nil, err
+	}
+	b.p.Root = root
+	b.p.Vectorizable, b.p.NotVectorizableReason = vectorizable(stmt)
+	return b.p, nil
+}
+
+// builder carries the shared state of one Build.
+type builder struct {
+	cat Catalog
+	p   *Plan
+}
+
+// buildChain plans a statement and its set-operation continuations.
+func (b *builder) buildChain(stmt *sqlparser.SelectStatement) (*Select, error) {
+	head, err := b.buildSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	cur := head
+	for s := stmt; s.SetNext != nil; s = s.SetNext {
+		next, err := b.buildSelect(s.SetNext)
+		if err != nil {
+			return nil, err
+		}
+		cur.SetNext = next
+		cur = next
+	}
+	return head, nil
+}
+
+// buildSelect plans one SELECT core.
+func (b *builder) buildSelect(stmt *sqlparser.SelectStatement) (*Select, error) {
+	sp := &Select{Stmt: stmt}
+
+	// Plan every sub-query reachable through the statement's expressions, so
+	// the executors can look their plans (and correlation verdicts) up by
+	// statement pointer instead of re-analyzing.
+	if err := b.registerSubqueries(stmt); err != nil {
+		return nil, err
+	}
+
+	// FROM items, resolved against the catalog.
+	for _, te := range stmt.From {
+		in, err := b.buildInput(te)
+		if err != nil {
+			return nil, err
+		}
+		sp.From = append(sp.From, in)
+	}
+
+	// WHERE conjuncts: fold constants, split, lift the common-OR predicates.
+	where := FoldExpr(stmt.Where)
+	raw := liftCommonOrConjuncts(splitAnd(where))
+	sp.Conjuncts = make([]Conjunct, len(raw))
+	for i, c := range raw {
+		sp.Conjuncts[i] = Conjunct{Expr: c, Class: ClassResidual}
+	}
+
+	if len(sp.From) > 0 {
+		b.classifyPushdowns(sp)
+		b.planJoins(sp)
+	}
+
+	// Interpreter residual: every non-join conjunct in original order, with
+	// sub-query-bearing predicates moved behind the cheap ones (stable).
+	if len(sp.From) == 0 {
+		// FROM-less SELECT: the interpreters evaluate the conjuncts as-is.
+		for _, c := range sp.Conjuncts {
+			sp.Residual = append(sp.Residual, c.Expr)
+			sp.VexecResidual = append(sp.VexecResidual, c.Expr)
+		}
+	} else {
+		var cheap, costly []sqlparser.Expr
+		for _, c := range sp.Conjuncts {
+			if c.Class == ClassJoin {
+				continue
+			}
+			if len(sqlparser.Subqueries(c.Expr)) > 0 {
+				costly = append(costly, c.Expr)
+			} else {
+				cheap = append(cheap, c.Expr)
+			}
+		}
+		sp.Residual = append(cheap, costly...)
+
+		sp.VexecPushdown = make([][]sqlparser.Expr, len(sp.From))
+		for _, c := range sp.Conjuncts {
+			switch c.Class {
+			case ClassPushdown:
+				sp.VexecPushdown[c.Input] = append(sp.VexecPushdown[c.Input], c.Expr)
+			case ClassResidual:
+				sp.VexecResidual = append(sp.VexecResidual, c.Expr)
+			}
+		}
+	}
+
+	// Joined schema in join order: From[0], then each step's right input.
+	if len(sp.From) > 0 {
+		sp.Schema = append(sp.Schema, sp.From[0].Schema...)
+		for _, step := range sp.JoinSteps {
+			sp.Schema = append(sp.Schema, sp.From[step.Right].Schema...)
+		}
+	}
+
+	sp.Grouped = len(stmt.GroupBy) > 0 || statementHasAggregates(stmt)
+	if !sp.Grouped && !stmt.Distinct && len(stmt.OrderBy) == 0 && stmt.Limit != nil {
+		sp.EarlyLimit = int(*stmt.Limit)
+		if stmt.Offset != nil {
+			sp.EarlyLimit += int(*stmt.Offset)
+		}
+	}
+
+	sp.Needed = b.neededColumns(stmt)
+	sp.OutSchema = outSchema(stmt, sp.Schema)
+	return sp, nil
+}
+
+// buildInput resolves one FROM item.
+func (b *builder) buildInput(te sqlparser.TableExpr) (*Input, error) {
+	switch t := te.(type) {
+	case *sqlparser.TableName:
+		alias := t.Alias
+		if alias == "" {
+			alias = t.Name
+		}
+		in := &Input{Table: t.Name, Alias: alias}
+		if cols, ok := b.cat.TableColumns(t.Name); ok {
+			for _, c := range cols {
+				in.Schema = append(in.Schema, ColumnMeta{Table: strings.ToLower(alias), Name: strings.ToLower(c)})
+			}
+		}
+		return in, nil
+	case *sqlparser.DerivedTable:
+		sub, err := b.buildChain(t.Select)
+		if err != nil {
+			return nil, err
+		}
+		in := &Input{Derived: sub, Alias: t.Alias}
+		schema := append([]ColumnMeta(nil), sub.OutSchema...)
+		if t.Alias != "" {
+			for i := range schema {
+				schema[i].Table = strings.ToLower(t.Alias)
+			}
+		}
+		in.Schema = schema
+		return in, nil
+	case *sqlparser.JoinExpr:
+		j, err := b.buildJoin(t)
+		if err != nil {
+			return nil, err
+		}
+		return &Input{Join: j, Schema: j.Schema}, nil
+	default:
+		return nil, fmt.Errorf("unsupported table expression %T", te)
+	}
+}
+
+// buildJoin resolves an explicit JOIN tree node, classifying its ON
+// condition into equi-join keys and residual predicates.
+func (b *builder) buildJoin(j *sqlparser.JoinExpr) (*Join, error) {
+	left, err := b.buildInput(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.buildInput(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	kind := j.Kind
+	if kind == "RIGHT" {
+		// The interpreter implements RIGHT as LEFT with swapped sides; the
+		// plan normalizes the same way so all executors agree on the
+		// output column order.
+		left, right = right, left
+		kind = "LEFT"
+	}
+	out := &Join{Kind: kind, Left: left, Right: right}
+	out.Schema = append(append([]ColumnMeta(nil), left.Schema...), right.Schema...)
+	if kind == "CROSS" {
+		return out, nil
+	}
+	conds := splitAnd(j.On)
+	out.AllConds = conds
+	for _, c := range conds {
+		if isEquiJoinBetween(c, left.Schema, right.Schema) {
+			l, r := equiJoinSides(c, left.Schema)
+			out.LeftKeys = append(out.LeftKeys, l)
+			out.RightKeys = append(out.RightKeys, r)
+		} else {
+			out.Residual = append(out.Residual, c)
+		}
+	}
+	return out, nil
+}
+
+// classifyPushdowns marks conjuncts that resolve entirely within a single
+// FROM input (the vectorized executor evaluates them below the joins; the
+// result set is provably identical). Constant predicates go to input 0.
+func (b *builder) classifyPushdowns(sp *Select) {
+	for ci := range sp.Conjuncts {
+		c := &sp.Conjuncts[ci]
+		refs := sqlparser.ColumnsIn(c.Expr)
+		if len(refs) == 0 {
+			c.Class = ClassPushdown
+			c.Input = 0
+			continue
+		}
+		target := -1
+		for ii, in := range sp.From {
+			if allRefsResolve(c.Expr, in.Schema) {
+				if target >= 0 {
+					target = -2 // resolves in several inputs: leave residual
+					break
+				}
+				target = ii
+			}
+		}
+		if target >= 0 {
+			c.Class = ClassPushdown
+			c.Input = target
+		}
+	}
+}
+
+// planJoins replays the executors' greedy join-order search statically:
+// starting from the first FROM input, repeatedly join the first remaining
+// input connected to the accumulated schema through an equi-join conjunct;
+// fall back to a cross product with the first remaining input when no edge
+// exists. Consumed conjuncts become ClassJoin.
+func (b *builder) planJoins(sp *Select) {
+	accum := append([]ColumnMeta(nil), sp.From[0].Schema...)
+	remaining := make([]int, 0, len(sp.From)-1)
+	for i := 1; i < len(sp.From); i++ {
+		remaining = append(remaining, i)
+	}
+	for len(remaining) > 0 {
+		bestIdx := -1
+		var edges []int
+		for ri, fi := range remaining {
+			var found []int
+			for ci := range sp.Conjuncts {
+				c := &sp.Conjuncts[ci]
+				if c.Class == ClassJoin {
+					continue
+				}
+				if isEquiJoinBetween(c.Expr, accum, sp.From[fi].Schema) {
+					found = append(found, ci)
+				}
+			}
+			if len(found) > 0 {
+				bestIdx = ri
+				edges = found
+				break
+			}
+		}
+		if bestIdx < 0 {
+			fi := remaining[0]
+			sp.JoinSteps = append(sp.JoinSteps, JoinStep{Right: fi, Cross: true})
+			accum = append(accum, sp.From[fi].Schema...)
+			remaining = remaining[1:]
+			continue
+		}
+		fi := remaining[bestIdx]
+		step := JoinStep{Right: fi}
+		for _, ci := range edges {
+			c := &sp.Conjuncts[ci]
+			l, r := equiJoinSides(c.Expr, accum)
+			step.LeftKeys = append(step.LeftKeys, l)
+			step.RightKeys = append(step.RightKeys, r)
+			c.Class = ClassJoin
+		}
+		sp.JoinSteps = append(sp.JoinSteps, step)
+		accum = append(accum, sp.From[fi].Schema...)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+}
+
+// registerSubqueries plans every nested SELECT reachable through the
+// statement's expressions and records its correlation verdict.
+func (b *builder) registerSubqueries(stmt *sqlparser.SelectStatement) error {
+	var firstErr error
+	register := func(s *sqlparser.SelectStatement) {
+		if s == nil || b.p.subs[s] != nil {
+			return
+		}
+		sub, err := b.buildChain(s)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		b.p.subs[s] = sub
+		b.p.correlated[s] = b.analyzeCorrelation(s, map[string]bool{})
+	}
+	collect := func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			switch v := x.(type) {
+			case *sqlparser.SubqueryExpr:
+				register(v.Select)
+			case *sqlparser.InExpr:
+				register(v.Subquery)
+			case *sqlparser.ExistsExpr:
+				register(v.Subquery)
+			}
+			return true
+		})
+	}
+	for _, p := range stmt.Projection {
+		collect(p.Expr)
+	}
+	collect(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		collect(g)
+	}
+	collect(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		collect(o.Expr)
+	}
+	var walkTE func(te sqlparser.TableExpr)
+	walkTE = func(te sqlparser.TableExpr) {
+		if j, ok := te.(*sqlparser.JoinExpr); ok {
+			collect(j.On)
+			walkTE(j.Left)
+			walkTE(j.Right)
+		}
+	}
+	for _, te := range stmt.From {
+		walkTE(te)
+	}
+	return firstErr
+}
+
+// --- schema resolution -------------------------------------------------------
+
+// schemaFind resolves a possibly qualified column reference against a schema
+// with the executors' ambiguity rules: unqualified lookups matching columns
+// of the same name under different aliases are ambiguous.
+func schemaFind(meta []ColumnMeta, table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i, m := range meta {
+		if m.Name != name {
+			continue
+		}
+		if table != "" && m.Table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("column not found")
+	}
+	return found, nil
+}
+
+func resolvesIn(c *sqlparser.ColumnRef, meta []ColumnMeta) bool {
+	_, err := schemaFind(meta, c.Table, c.Column)
+	return err == nil
+}
+
+func allRefsResolve(e sqlparser.Expr, meta []ColumnMeta) bool {
+	for _, c := range sqlparser.ColumnsIn(e) {
+		if !resolvesIn(c, meta) {
+			return false
+		}
+	}
+	return true
+}
+
+// isEquiJoinBetween reports whether the conjunct is `a = b` with a resolving
+// only in the left schema and b only in the right (or vice versa).
+func isEquiJoinBetween(c sqlparser.Expr, left, right []ColumnMeta) bool {
+	be, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return false
+	}
+	lc, lok := be.Left.(*sqlparser.ColumnRef)
+	rc, rok := be.Right.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return false
+	}
+	lInLeft, lInRight := resolvesIn(lc, left), resolvesIn(lc, right)
+	rInLeft, rInRight := resolvesIn(rc, left), resolvesIn(rc, right)
+	return (lInLeft && !lInRight && rInRight && !rInLeft) ||
+		(rInLeft && !rInRight && lInRight && !lInLeft)
+}
+
+// equiJoinSides returns the expressions keyed on the left and right side
+// respectively, assuming isEquiJoinBetween returned true.
+func equiJoinSides(c sqlparser.Expr, left []ColumnMeta) (sqlparser.Expr, sqlparser.Expr) {
+	be := c.(*sqlparser.BinaryExpr)
+	lc := be.Left.(*sqlparser.ColumnRef)
+	if resolvesIn(lc, left) {
+		return be.Left, be.Right
+	}
+	return be.Right, be.Left
+}
+
+// --- predicate helpers -------------------------------------------------------
+
+// splitAnd flattens a predicate into its top-level conjuncts.
+func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// splitOr flattens a predicate into its top-level disjuncts.
+func splitOr(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *sqlparser.BinaryExpr:
+		if v.Op == "OR" {
+			return append(splitOr(v.Left), splitOr(v.Right)...)
+		}
+	case *sqlparser.ParenExpr:
+		return splitOr(v.Expr)
+	}
+	return []sqlparser.Expr{e}
+}
+
+func unwrapParens(e sqlparser.Expr) sqlparser.Expr {
+	for {
+		p, ok := e.(*sqlparser.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.Expr
+	}
+}
+
+// liftCommonOrConjuncts lifts predicates occurring in every arm of a
+// top-level OR to the top level (the TPC-H Q19 pattern), so join edges
+// buried in the disjunction can still drive hash joins. The original OR is
+// kept; the lifted predicates are logically implied by it.
+func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
+	out := append([]sqlparser.Expr(nil), conjuncts...)
+	for _, c := range conjuncts {
+		arms := splitOr(c)
+		if len(arms) < 2 {
+			continue
+		}
+		common := map[string]sqlparser.Expr{}
+		for _, p := range splitAnd(unwrapParens(arms[0])) {
+			common[p.SQL()] = p
+		}
+		for _, arm := range arms[1:] {
+			present := map[string]bool{}
+			for _, p := range splitAnd(unwrapParens(arm)) {
+				present[p.SQL()] = true
+			}
+			for k := range common {
+				if !present[k] {
+					delete(common, k)
+				}
+			}
+		}
+		for _, p := range common {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// statementHasAggregates reports whether the projection or HAVING uses
+// aggregate functions.
+func statementHasAggregates(stmt *sqlparser.SelectStatement) bool {
+	for _, p := range stmt.Projection {
+		if p.Expr != nil && sqlparser.HasAggregate(p.Expr) {
+			return true
+		}
+	}
+	return stmt.Having != nil && sqlparser.HasAggregate(stmt.Having)
+}
+
+// --- projection & output schema ----------------------------------------------
+
+// outSchema computes the statement's output schema against the joined input
+// schema: star items expand to the matching input columns ahead of the
+// computed items, which carry an empty table tag — mirroring the
+// interpreters' projection layout.
+func outSchema(stmt *sqlparser.SelectStatement, input []ColumnMeta) []ColumnMeta {
+	var stars []ColumnMeta
+	var computed []ColumnMeta
+	for _, p := range stmt.Projection {
+		if p.Star {
+			for _, m := range input {
+				if p.Qualifier == "" || strings.EqualFold(p.Qualifier, m.Table) {
+					stars = append(stars, m)
+				}
+			}
+			continue
+		}
+		name := p.Alias
+		if name == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = strings.ToLower(p.Expr.SQL())
+			}
+		}
+		computed = append(computed, ColumnMeta{Table: "", Name: strings.ToLower(name)})
+	}
+	return append(stars, computed...)
+}
+
+// --- column pruning ----------------------------------------------------------
+
+// neededColumns computes, per table alias, the set of column names the
+// statement references anywhere (including sub-queries); the column engine
+// prunes its scans to these. Unqualified references are attributed to every
+// base table that has a column of that name.
+func (b *builder) neededColumns(stmt *sqlparser.SelectStatement) map[string]map[string]bool {
+	needed := map[string]map[string]bool{}
+	add := func(alias, col string) {
+		alias = strings.ToLower(alias)
+		if needed[alias] == nil {
+			needed[alias] = map[string]bool{}
+		}
+		needed[alias][strings.ToLower(col)] = true
+	}
+
+	// Alias → base table column set of this statement.
+	aliases := map[string]map[string]bool{}
+	var gatherAliases func(te sqlparser.TableExpr)
+	gatherAliases = func(te sqlparser.TableExpr) {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name
+			}
+			var set map[string]bool
+			if cols, ok := b.cat.TableColumns(t.Name); ok {
+				set = map[string]bool{}
+				for _, c := range cols {
+					set[strings.ToLower(c)] = true
+				}
+			}
+			aliases[strings.ToLower(alias)] = set
+		case *sqlparser.JoinExpr:
+			gatherAliases(t.Left)
+			gatherAliases(t.Right)
+		}
+	}
+	for _, te := range stmt.From {
+		gatherAliases(te)
+	}
+
+	var refs []*sqlparser.ColumnRef
+	star := false
+	var collectExpr func(e sqlparser.Expr)
+	var collectStmt func(s *sqlparser.SelectStatement)
+	collectExpr = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			switch v := x.(type) {
+			case *sqlparser.ColumnRef:
+				refs = append(refs, v)
+			case *sqlparser.SubqueryExpr:
+				collectStmt(v.Select)
+			case *sqlparser.InExpr:
+				if v.Subquery != nil {
+					collectStmt(v.Subquery)
+				}
+			case *sqlparser.ExistsExpr:
+				collectStmt(v.Subquery)
+			}
+			return true
+		})
+	}
+	var collectJoin func(j *sqlparser.JoinExpr)
+	collectJoin = func(j *sqlparser.JoinExpr) {
+		collectExpr(j.On)
+		for _, side := range []sqlparser.TableExpr{j.Left, j.Right} {
+			switch t := side.(type) {
+			case *sqlparser.DerivedTable:
+				collectStmt(t.Select)
+			case *sqlparser.JoinExpr:
+				collectJoin(t)
+			}
+		}
+	}
+	collectStmt = func(s *sqlparser.SelectStatement) {
+		for _, p := range s.Projection {
+			if p.Star {
+				star = true
+				continue
+			}
+			collectExpr(p.Expr)
+		}
+		collectExpr(s.Where)
+		for _, g := range s.GroupBy {
+			collectExpr(g)
+		}
+		collectExpr(s.Having)
+		for _, o := range s.OrderBy {
+			collectExpr(o.Expr)
+		}
+		for _, te := range s.From {
+			switch t := te.(type) {
+			case *sqlparser.DerivedTable:
+				collectStmt(t.Select)
+			case *sqlparser.JoinExpr:
+				collectJoin(t)
+			}
+		}
+		if s.SetNext != nil {
+			collectStmt(s.SetNext)
+		}
+	}
+	collectStmt(stmt)
+
+	if star {
+		for alias := range aliases {
+			add(alias, "*")
+		}
+	}
+	for _, r := range refs {
+		if r.Table != "" {
+			add(r.Table, r.Column)
+			continue
+		}
+		for alias, cols := range aliases {
+			if cols != nil && cols[strings.ToLower(r.Column)] {
+				add(alias, r.Column)
+			}
+		}
+	}
+	return needed
+}
+
+// --- correlation -------------------------------------------------------------
+
+// analyzeCorrelation walks the statement with the set of column keys
+// available from enclosing FROM clauses; it returns true when any reference
+// escapes — such sub-queries cannot be cached across outer rows.
+func (b *builder) analyzeCorrelation(stmt *sqlparser.SelectStatement, inherited map[string]bool) bool {
+	avail := map[string]bool{}
+	for k := range inherited {
+		avail[k] = true
+	}
+	var addTable func(te sqlparser.TableExpr)
+	addTable = func(te sqlparser.TableExpr) {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name
+			}
+			cols, ok := b.cat.TableColumns(t.Name)
+			if !ok {
+				return
+			}
+			for _, c := range cols {
+				avail[strings.ToLower(c)] = true
+				avail[strings.ToLower(alias)+"."+strings.ToLower(c)] = true
+			}
+		case *sqlparser.DerivedTable:
+			for _, p := range t.Select.Projection {
+				name := p.Alias
+				if name == "" {
+					if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+						name = cr.Column
+					}
+				}
+				if name != "" {
+					avail[strings.ToLower(name)] = true
+					if t.Alias != "" {
+						avail[strings.ToLower(t.Alias)+"."+strings.ToLower(name)] = true
+					}
+				}
+				if p.Star {
+					// Approximate: expose the derived table's base columns.
+					for _, te2 := range t.Select.From {
+						addTable(te2)
+					}
+				}
+			}
+		case *sqlparser.JoinExpr:
+			addTable(t.Left)
+			addTable(t.Right)
+		}
+	}
+	for _, te := range stmt.From {
+		addTable(te)
+	}
+
+	escaped := false
+	checkRef := func(r *sqlparser.ColumnRef) {
+		key := strings.ToLower(r.Column)
+		if r.Table != "" {
+			key = strings.ToLower(r.Table) + "." + strings.ToLower(r.Column)
+		}
+		if !avail[key] {
+			escaped = true
+		}
+	}
+	var checkExpr func(e sqlparser.Expr)
+	checkExpr = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			switch v := x.(type) {
+			case *sqlparser.ColumnRef:
+				checkRef(v)
+			case *sqlparser.SubqueryExpr:
+				if b.analyzeCorrelation(v.Select, avail) {
+					escaped = true
+				}
+			case *sqlparser.InExpr:
+				if v.Subquery != nil && b.analyzeCorrelation(v.Subquery, avail) {
+					escaped = true
+				}
+			case *sqlparser.ExistsExpr:
+				if b.analyzeCorrelation(v.Subquery, avail) {
+					escaped = true
+				}
+			}
+			return true
+		})
+	}
+	for _, p := range stmt.Projection {
+		checkExpr(p.Expr)
+	}
+	checkExpr(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		checkExpr(g)
+	}
+	checkExpr(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		checkExpr(o.Expr)
+	}
+	for _, te := range stmt.From {
+		if d, ok := te.(*sqlparser.DerivedTable); ok {
+			if b.analyzeCorrelation(d.Select, map[string]bool{}) {
+				escaped = true
+			}
+		}
+	}
+	if stmt.SetNext != nil && b.analyzeCorrelation(stmt.SetNext, inherited) {
+		escaped = true
+	}
+	return escaped
+}
+
+// --- vectorizable verdict ----------------------------------------------------
+
+// vectorizable reports whether the statement is inside the vectorized
+// subset, and the reason when it is not — set operations, derived tables,
+// outer joins and sub-queries route to the interpreter.
+func vectorizable(stmt *sqlparser.SelectStatement) (bool, string) {
+	if stmt.SetNext != nil {
+		return false, "set operations"
+	}
+	exprs := []sqlparser.Expr{stmt.Where, stmt.Having}
+	for _, p := range stmt.Projection {
+		exprs = append(exprs, p.Expr)
+	}
+	exprs = append(exprs, stmt.GroupBy...)
+	for _, o := range stmt.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if len(sqlparser.Subqueries(e)) > 0 {
+			return false, "sub-queries"
+		}
+	}
+	var checkTE func(te sqlparser.TableExpr) string
+	checkTE = func(te sqlparser.TableExpr) string {
+		switch t := te.(type) {
+		case *sqlparser.TableName:
+			return ""
+		case *sqlparser.DerivedTable:
+			return "derived tables"
+		case *sqlparser.JoinExpr:
+			if t.Kind == "LEFT" || t.Kind == "RIGHT" || t.Kind == "FULL" {
+				return t.Kind + " outer joins"
+			}
+			if t.On != nil && len(sqlparser.Subqueries(t.On)) > 0 {
+				return "sub-queries"
+			}
+			if r := checkTE(t.Left); r != "" {
+				return r
+			}
+			return checkTE(t.Right)
+		default:
+			return fmt.Sprintf("table expression %T", te)
+		}
+	}
+	for _, te := range stmt.From {
+		if r := checkTE(te); r != "" {
+			return false, r
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,119 @@
+package plan
+
+import "sync"
+
+// DefaultCacheEntries bounds a cache created with NewCache(0). Query pools
+// of a discriminative search hold a few hundred variants; one slot per
+// variant per database leaves generous headroom.
+const DefaultCacheEntries = 4096
+
+// CacheKey identifies one cached plan: the catalog identity (comparable —
+// the engines use the *Database pointer), the catalog's schema/data version
+// at build time, and the normalized SQL text. A schema or data mutation
+// bumps the version, so stale plans are never served; they simply stop
+// being referenced and age out through the size cap.
+type CacheKey struct {
+	Catalog any
+	Version uint64
+	SQL     string
+}
+
+// Key builds a cache key, normalizing the SQL text.
+func Key(catalog any, version uint64, sql string) CacheKey {
+	return CacheKey{Catalog: catalog, Version: version, SQL: Normalize(sql)}
+}
+
+// Cache is a concurrency-safe plan cache. Build failures (parse errors,
+// unsupported constructs) are cached too: a failing variant re-measured by
+// the scheduler should not re-parse either.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[CacheKey]cacheEntry
+	cap     int
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	p   *Plan
+	err error
+}
+
+// NewCache creates a plan cache holding at most capEntries plans (0 means
+// DefaultCacheEntries).
+func NewCache(capEntries int) *Cache {
+	if capEntries <= 0 {
+		capEntries = DefaultCacheEntries
+	}
+	return &Cache{entries: map[CacheKey]cacheEntry{}, cap: capEntries}
+}
+
+// GetOrBuild returns the cached plan for the key, building and inserting it
+// on a miss. The build runs outside the lock; concurrent misses on the same
+// key may build twice and the last insert wins — plans are immutable and
+// equivalent, so sharing either is correct.
+func (c *Cache) GetOrBuild(key CacheKey, build func() (*Plan, error)) (*Plan, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return e.p, e.err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	p, err := build()
+
+	c.mu.Lock()
+	// A miss with a newer catalog version means every entry of the same
+	// catalog at an older version is permanently unreachable (keys embed the
+	// version); drop them now instead of letting them pin the catalog's data
+	// until cap-driven eviction gets around to it.
+	for k := range c.entries {
+		if k.Catalog == key.Catalog && k.Version < key.Version {
+			delete(c.entries, k)
+		}
+	}
+	if len(c.entries) >= c.cap {
+		// Coarse eviction: drop an arbitrary entry per overflowing insert.
+		// The cache exists to absorb the repetition discipline (the same few
+		// hundred variants measured over and over), not to be an LRU.
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = cacheEntry{p: p, err: err}
+	c.mu.Unlock()
+	return p, err
+}
+
+// DropCatalog removes every entry of the given catalog, releasing the
+// catalog (and the data reachable through it) from the cache's keys. Call
+// it when retiring a database from a long-lived registry or project; a
+// dropped catalog never misses again, so the stale-version purge in
+// GetOrBuild alone would keep its last-version entries alive until cap
+// eviction.
+func (c *Cache) DropCatalog(catalog any) {
+	c.mu.Lock()
+	for k := range c.entries {
+		if k.Catalog == catalog {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns how many lookups hit and missed since the cache was created.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// FoldExpr constant-folds integer literal arithmetic inside a filter
+// predicate: `x < 10 + 5` plans as `x < 15`, so none of the engines pays the
+// addition per row. Folding is deliberately conservative — only +, - and *
+// over plain integer literals, skipped on overflow — so the folded predicate
+// evaluates to exactly the values the original would, with the engines'
+// integer-preserving arithmetic. The input tree is never modified; nodes are
+// rebuilt only on the path to a folded constant. Sub-query statements keep
+// their identity, so plan lookups by statement pointer are unaffected.
+func FoldExpr(e sqlparser.Expr) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *sqlparser.BinaryExpr:
+		left := FoldExpr(v.Left)
+		right := FoldExpr(v.Right)
+		if li, lok := intLit(left); lok {
+			if ri, rok := intLit(right); rok {
+				if folded, ok := foldInt(v.Op, li, ri); ok {
+					return &sqlparser.NumberLit{Value: strconv.FormatInt(folded, 10)}
+				}
+			}
+		}
+		if left != v.Left || right != v.Right {
+			cp := *v
+			cp.Left = left
+			cp.Right = right
+			return &cp
+		}
+		return v
+	case *sqlparser.ParenExpr:
+		inner := FoldExpr(v.Expr)
+		if _, ok := intLit(inner); ok {
+			// A parenthesized constant is just the constant.
+			return inner
+		}
+		if inner != v.Expr {
+			return &sqlparser.ParenExpr{Expr: inner}
+		}
+		return v
+	case *sqlparser.UnaryExpr:
+		inner := FoldExpr(v.Expr)
+		if v.Op == "-" {
+			if n, ok := intLit(inner); ok && n != math.MinInt64 {
+				return &sqlparser.NumberLit{Value: strconv.FormatInt(-n, 10)}
+			}
+		}
+		if inner != v.Expr {
+			cp := *v
+			cp.Expr = inner
+			return &cp
+		}
+		return v
+	default:
+		return e
+	}
+}
+
+// intLit reports whether the expression is a plain integer literal.
+func intLit(e sqlparser.Expr) (int64, bool) {
+	n, ok := e.(*sqlparser.NumberLit)
+	if !ok {
+		return 0, false
+	}
+	if strings.ContainsAny(n.Value, ".eE") {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(n.Value, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// foldInt evaluates an exact integer operation, refusing on overflow so the
+// runtime arithmetic (which wraps) stays authoritative for such inputs.
+func foldInt(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		s := a + b
+		if (b > 0 && s < a) || (b < 0 && s > a) {
+			return 0, false
+		}
+		return s, true
+	case "-":
+		d := a - b
+		if (b < 0 && d < a) || (b > 0 && d > a) {
+			return 0, false
+		}
+		return d, true
+	case "*":
+		if a == 0 || b == 0 {
+			return 0, true
+		}
+		p := a * b
+		if p/b != a {
+			return 0, false
+		}
+		return p, true
+	default:
+		return 0, false
+	}
+}

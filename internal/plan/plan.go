@@ -1,0 +1,196 @@
+// Package plan is the shared logical-plan layer of the execution substrate:
+// the paradigm-neutral front end that all three executor stacks (the
+// tuple-at-a-time and column-at-a-time interpreters in internal/engine and
+// the batch-vectorized kernel in internal/vexec) consume instead of
+// re-walking the raw AST on every execution.
+//
+// A Plan is built once per (schema, normalized SQL) and captures everything
+// the engines previously re-derived on each Execute call:
+//
+//   - name resolution of every FROM item against the catalog, including the
+//     output schemas of derived tables and set-operation branches,
+//   - WHERE conjunct splitting with the common-OR lift (the TPC-H Q19
+//     pattern), classified into hash-join edges, single-input pushdowns and
+//     residual filters, plus the greedy join order as explicit JoinSteps,
+//   - column pruning (the per-alias needed-column sets of the column
+//     engine),
+//   - constant folding of integer literal arithmetic in filter predicates,
+//   - sub-query classification (correlated or cacheable) for every nested
+//     SELECT reachable from the statement,
+//   - a precomputed Vectorizable verdict with the reason a statement is
+//     outside the vectorized subset, replacing the probe-and-fallback the
+//     vektor adapter used to pay at runtime.
+//
+// Plans are immutable after Build and safe for concurrent use; the Cache in
+// this package shares them between repetitions, engines and scheduler
+// workers, keyed by the same quote-aware normalized SQL (Normalize) the
+// measurement scheduler's result cache uses and invalidated by the
+// catalog's schema/data version.
+package plan
+
+import (
+	"sqalpel/internal/sqlparser"
+)
+
+// Catalog supplies the schema information name resolution runs against. The
+// engine's Database implements it; unknown tables resolve to no columns so
+// execution reports the error exactly where it used to.
+type Catalog interface {
+	// TableColumns returns the column names of a base table in declaration
+	// order, or false when the table does not exist.
+	TableColumns(name string) ([]string, bool)
+}
+
+// ColumnMeta names one column of a resolved schema: the table alias it
+// belongs to (empty for computed columns) and the column name, both lower
+// case — the same naming metadata the executors' intermediate relations and
+// batches carry.
+type ColumnMeta struct {
+	Table string
+	Name  string
+}
+
+// Class is the role a WHERE conjunct plays in the plan.
+type Class int
+
+// Conjunct classes.
+const (
+	// ClassResidual conjuncts are evaluated after the joins.
+	ClassResidual Class = iota
+	// ClassJoin conjuncts are equi-join edges consumed by a JoinStep.
+	ClassJoin
+	// ClassPushdown conjuncts resolve entirely within one FROM input (or
+	// reference no columns at all) and may be evaluated below the joins;
+	// the interpreters still treat them as residual filters, the vectorized
+	// executor pushes them into the input pipeline.
+	ClassPushdown
+)
+
+// Conjunct is one WHERE conjunct after splitting and the common-OR lift.
+type Conjunct struct {
+	Expr sqlparser.Expr
+	// Class is the conjunct's role.
+	Class Class
+	// Input is the FROM-input index a ClassPushdown conjunct belongs to.
+	Input int
+}
+
+// JoinStep is one step of the greedy join order stitching the FROM inputs
+// together: join the accumulated left side with input Right, either through
+// the extracted equi-join keys or as a cross product when no edge connects
+// the remaining inputs.
+type JoinStep struct {
+	// Right indexes Select.From.
+	Right int
+	// Cross marks a cartesian product (no equi-join edge was found).
+	Cross bool
+	// LeftKeys/RightKeys are the join key expressions, resolved on the
+	// accumulated left side and on the right input respectively.
+	LeftKeys  []sqlparser.Expr
+	RightKeys []sqlparser.Expr
+}
+
+// Input is one resolved FROM item: a base table, a derived table or an
+// explicit join tree.
+type Input struct {
+	// Table and Alias name a base table input (Alias defaults to Table).
+	Table string
+	Alias string
+	// Derived is the sub-plan of a derived table (Alias renames its output
+	// when non-empty).
+	Derived *Select
+	// Join is the root of an explicit JOIN tree.
+	Join *Join
+	// Schema is the input's resolved output schema.
+	Schema []ColumnMeta
+}
+
+// Join is one node of an explicit JOIN tree with its ON condition already
+// classified. RIGHT joins are normalized at build time: the sides are
+// swapped and the kind becomes "LEFT", mirroring the interpreter.
+type Join struct {
+	// Kind is "CROSS", "INNER" or "LEFT".
+	Kind string
+	// Left and Right are the join operands.
+	Left  *Input
+	Right *Input
+	// LeftKeys/RightKeys are the equi-join key pairs extracted from ON.
+	LeftKeys  []sqlparser.Expr
+	RightKeys []sqlparser.Expr
+	// Residual are the non-equi ON conjuncts applied after the hash join.
+	Residual []sqlparser.Expr
+	// AllConds are all ON conjuncts; INNER joins without equi keys evaluate
+	// them over the cross product (the nested-loop path), and LEFT joins
+	// without keys match on them per row pair.
+	AllConds []sqlparser.Expr
+	// Schema is the join's output schema (left columns then right columns).
+	Schema []ColumnMeta
+}
+
+// Select is the logical plan of one SELECT core (one link of a set-operation
+// chain).
+type Select struct {
+	// Stmt is the parsed statement this plan was built from; the executors
+	// still read the projection, grouping, ordering and limit clauses from
+	// it (those are positional and need no resolution pass).
+	Stmt *sqlparser.SelectStatement
+	// From are the resolved FROM items.
+	From []*Input
+	// Conjuncts are the WHERE conjuncts after splitting, the common-OR lift
+	// and constant folding, in canonical order, each classified.
+	Conjuncts []Conjunct
+	// JoinSteps is the greedy join order over From.
+	JoinSteps []JoinStep
+	// Residual are the non-join conjuncts in the interpreters' evaluation
+	// order: original order with sub-query-bearing predicates moved last.
+	Residual []sqlparser.Expr
+	// VexecPushdown are the conjuncts the vectorized executor evaluates
+	// below the joins, per FROM input.
+	VexecPushdown [][]sqlparser.Expr
+	// VexecResidual are the conjuncts the vectorized executor evaluates
+	// after the joins (non-join, non-pushdown).
+	VexecResidual []sqlparser.Expr
+	// Grouped reports whether the query groups or aggregates.
+	Grouped bool
+	// EarlyLimit is LIMIT+OFFSET when a plain scan may stop early (no
+	// grouping, DISTINCT or ORDER BY); zero otherwise. Only the row engine
+	// exploits it.
+	EarlyLimit int
+	// Needed are the per-alias column sets referenced anywhere in the
+	// statement — the column engine's pruning input.
+	Needed map[string]map[string]bool
+	// Schema is the joined FROM schema in join order.
+	Schema []ColumnMeta
+	// OutSchema is the statement's output schema (star columns expanded,
+	// computed columns with an empty table tag).
+	OutSchema []ColumnMeta
+	// SetNext chains the plan of the next set-operation branch; the
+	// operator is Stmt.SetOp.
+	SetNext *Select
+}
+
+// Plan is the shared logical plan of one query text against one catalog.
+type Plan struct {
+	// Root is the top-level SELECT plan.
+	Root *Select
+	// Vectorizable reports whether the statement is inside the vectorized
+	// subset; when false, NotVectorizableReason says why and the vektor
+	// adapter routes straight to the interpreter without probing.
+	Vectorizable          bool
+	NotVectorizableReason string
+
+	// subs maps every nested SELECT reachable through expressions
+	// (scalar/IN/EXISTS sub-queries) to its plan.
+	subs map[*sqlparser.SelectStatement]*Select
+	// correlated caches the correlation verdict per nested SELECT.
+	correlated map[*sqlparser.SelectStatement]bool
+}
+
+// Sub returns the plan of a nested SELECT reached through an expression, or
+// nil when the statement is not part of this plan.
+func (p *Plan) Sub(stmt *sqlparser.SelectStatement) *Select { return p.subs[stmt] }
+
+// Correlated reports whether the nested SELECT references columns it cannot
+// resolve from its own FROM clauses; uncorrelated sub-queries are executed
+// once and cached by the executors.
+func (p *Plan) Correlated(stmt *sqlparser.SelectStatement) bool { return p.correlated[stmt] }

@@ -19,11 +19,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
 	"sqalpel/internal/metrics"
+	"sqalpel/internal/plan"
 )
 
 // Options configure a scheduler.
@@ -209,29 +209,9 @@ func (s *Scheduler) measureCell(ctx context.Context, c Cell) Result {
 // leading/trailing whitespace and a trailing semicolon are dropped. Letter
 // case and everything inside quotes are preserved — string literals are
 // case- and space-significant, so touching them would conflate semantically
-// different queries.
+// different queries. The definition is shared with the engines' plan cache
+// (plan.Normalize), so a morph that collapses onto an already measured
+// variant shares both the measurement and the logical plan.
 func Normalize(sql string) string {
-	var sb strings.Builder
-	sb.Grow(len(sql))
-	space := false
-	inString := false
-	for _, r := range sql {
-		if r == '\'' {
-			inString = !inString
-		}
-		if !inString && (r == ' ' || r == '\t' || r == '\n' || r == '\r') {
-			space = true
-			continue
-		}
-		if space && sb.Len() > 0 {
-			sb.WriteByte(' ')
-		}
-		space = false
-		sb.WriteRune(r)
-	}
-	out := sb.String()
-	if !inString {
-		out = strings.TrimSuffix(out, ";")
-	}
-	return strings.TrimSpace(out)
+	return plan.Normalize(sql)
 }

@@ -17,12 +17,16 @@
 //     aggregate -> order/limit -> project) processing fixed-size batches
 //     (default 1024 rows) end to end, so intermediates stay cache resident.
 //
-// The package depends only on internal/sqlparser. It executes the dialect
-// subset that vectorizes well (conjunctive filters, equi hash joins, hash
-// aggregation, ordering, DISTINCT, LIMIT and the full scalar expression
-// repertoire); statements using sub-queries, outer joins, derived tables or
-// set operations return ErrUnsupported so the engine-level adapter
-// (internal/engine's vektor family) can fall back to the interpreter. The
+// The package depends only on internal/sqlparser and the shared logical
+// plan of internal/plan: ExecutePlan compiles its pipeline straight from a
+// pre-built plan's classified conjuncts and join steps (Execute plans on
+// the fly for standalone use). It executes the dialect subset that
+// vectorizes well (conjunctive filters, equi hash joins, hash aggregation,
+// ordering, DISTINCT, LIMIT and the full scalar expression repertoire);
+// statements using sub-queries, outer joins, derived tables or set
+// operations carry a negative Vectorizable verdict on their plan and
+// return ErrUnsupported, which the engine-level adapter (internal/engine's
+// vektor family) turns into interpreter execution of the same plan. The
 // conversion from the boxed []Value storage of engine.Database into typed
-// vectors happens once per table in that adapter, not here.
+// vectors happens once per table data version in that adapter, not here.
 package vexec

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"sqalpel/internal/plan"
 	"sqalpel/internal/sqlparser"
 )
 
@@ -63,24 +64,54 @@ type executor struct {
 	stats Stats
 }
 
-// Execute runs a parsed SELECT against the catalog.
+// Execute runs a parsed SELECT against the catalog, planning it on the fly.
+// The engine-level adapter uses ExecutePlan instead, handing in the shared
+// plan so no per-execution analysis happens here.
 func Execute(cat Catalog, stmt *sqlparser.SelectStatement, opts Options) (*Result, error) {
+	p, err := plan.BuildStmt(schemaCatalog{cat}, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return ExecutePlan(cat, p, opts)
+}
+
+// ExecutePlan runs a planned SELECT against the catalog. Statements outside
+// the vectorized subset were identified at plan time; the precomputed
+// verdict replaces the runtime probe.
+func ExecutePlan(cat Catalog, p *plan.Plan, opts Options) (*Result, error) {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = DefaultBatchSize
 	}
 	if opts.MaxJoinRows <= 0 {
 		opts.MaxJoinRows = defaultMaxJoinRows
 	}
-	if err := checkSupported(stmt); err != nil {
-		return nil, err
+	if !p.Vectorizable {
+		return nil, fmt.Errorf("%w: %s", ErrUnsupported, p.NotVectorizableReason)
 	}
 	ex := &executor{cat: cat, opts: opts}
-	res, err := ex.run(stmt)
+	res, err := ex.run(p.Root)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats = ex.stats
 	return res, nil
+}
+
+// schemaCatalog adapts vexec's typed catalog to the planner's schema-only
+// view; unknown tables resolve to no columns so execution reports the error.
+type schemaCatalog struct{ cat Catalog }
+
+// TableColumns implements plan.Catalog.
+func (c schemaCatalog) TableColumns(name string) ([]string, bool) {
+	t, err := c.cat.VTable(name)
+	if err != nil {
+		return nil, false
+	}
+	out := make([]string, len(t.Cols))
+	for i, col := range t.Cols {
+		out[i] = col.Name
+	}
+	return out, true
 }
 
 // checkDeadline aborts overdue queries; called once per batch.
@@ -94,287 +125,61 @@ func (ex *executor) checkDeadline() error {
 	return nil
 }
 
-// --- static support check ----------------------------------------------------
-
-// checkSupported rejects the statement shapes the vectorized subset does not
-// cover: set operations, derived tables, outer joins and sub-queries.
-func checkSupported(stmt *sqlparser.SelectStatement) error {
-	if stmt.SetNext != nil {
-		return fmt.Errorf("%w: set operations", ErrUnsupported)
-	}
-	exprs := []sqlparser.Expr{stmt.Where, stmt.Having}
-	for _, p := range stmt.Projection {
-		exprs = append(exprs, p.Expr)
-	}
-	exprs = append(exprs, stmt.GroupBy...)
-	for _, o := range stmt.OrderBy {
-		exprs = append(exprs, o.Expr)
-	}
-	for _, e := range exprs {
-		if e == nil {
-			continue
-		}
-		if len(sqlparser.Subqueries(e)) > 0 {
-			return fmt.Errorf("%w: sub-queries", ErrUnsupported)
-		}
-	}
-	var checkTE func(te sqlparser.TableExpr) error
-	checkTE = func(te sqlparser.TableExpr) error {
-		switch t := te.(type) {
-		case *sqlparser.TableName:
-			return nil
-		case *sqlparser.DerivedTable:
-			return fmt.Errorf("%w: derived tables", ErrUnsupported)
-		case *sqlparser.JoinExpr:
-			if t.Kind == "LEFT" || t.Kind == "RIGHT" || t.Kind == "FULL" {
-				return fmt.Errorf("%w: %s outer joins", ErrUnsupported, t.Kind)
-			}
-			if t.On != nil && len(sqlparser.Subqueries(t.On)) > 0 {
-				return fmt.Errorf("%w: sub-queries", ErrUnsupported)
-			}
-			if err := checkTE(t.Left); err != nil {
-				return err
-			}
-			return checkTE(t.Right)
-		default:
-			return fmt.Errorf("%w: table expression %T", ErrUnsupported, te)
-		}
-	}
-	for _, te := range stmt.From {
-		if err := checkTE(te); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func statementHasAggregates(stmt *sqlparser.SelectStatement) bool {
-	for _, p := range stmt.Projection {
-		if p.Expr != nil && sqlparser.HasAggregate(p.Expr) {
-			return true
-		}
-	}
-	return stmt.Having != nil && sqlparser.HasAggregate(stmt.Having)
-}
-
-// --- predicate helpers (mirroring the interpreter's planning) ----------------
-
-func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
-	if e == nil {
-		return nil
-	}
-	if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
-		return append(splitAnd(be.Left), splitAnd(be.Right)...)
-	}
-	return []sqlparser.Expr{e}
-}
-
-func splitOr(e sqlparser.Expr) []sqlparser.Expr {
-	if e == nil {
-		return nil
-	}
-	switch v := e.(type) {
-	case *sqlparser.BinaryExpr:
-		if v.Op == "OR" {
-			return append(splitOr(v.Left), splitOr(v.Right)...)
-		}
-	case *sqlparser.ParenExpr:
-		return splitOr(v.Expr)
-	}
-	return []sqlparser.Expr{e}
-}
-
-func unwrapParens(e sqlparser.Expr) sqlparser.Expr {
-	for {
-		p, ok := e.(*sqlparser.ParenExpr)
-		if !ok {
-			return e
-		}
-		e = p.Expr
-	}
-}
-
-// liftCommonOrConjuncts lifts predicates occurring in every arm of a
-// top-level OR to the top level (the TPC-H Q19 pattern), so join edges
-// buried in the disjunction can still drive hash joins.
-func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
-	out := append([]sqlparser.Expr(nil), conjuncts...)
-	for _, c := range conjuncts {
-		arms := splitOr(c)
-		if len(arms) < 2 {
-			continue
-		}
-		common := map[string]sqlparser.Expr{}
-		for _, p := range splitAnd(unwrapParens(arms[0])) {
-			common[p.SQL()] = p
-		}
-		for _, arm := range arms[1:] {
-			present := map[string]bool{}
-			for _, p := range splitAnd(unwrapParens(arm)) {
-				present[p.SQL()] = true
-			}
-			for k := range common {
-				if !present[k] {
-					delete(common, k)
-				}
-			}
-		}
-		for _, p := range common {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// schemaFind resolves a column reference against a schema with the same
-// ambiguity rules as Batch.findColumn.
-func schemaFind(meta []colMeta, table, name string) (int, error) {
-	table = strings.ToLower(table)
-	name = strings.ToLower(name)
-	found := -1
-	for i, m := range meta {
-		if m.name != name {
-			continue
-		}
-		if table != "" && m.table != table {
-			continue
-		}
-		if found >= 0 {
-			return -1, fmt.Errorf("ambiguous column reference %q", name)
-		}
-		found = i
-	}
-	if found < 0 {
-		return -1, errColumnNotFound
-	}
-	return found, nil
-}
-
-func resolvesInSchema(c *sqlparser.ColumnRef, meta []colMeta) bool {
-	_, err := schemaFind(meta, c.Table, c.Column)
-	return err == nil
-}
-
-func allRefsResolve(e sqlparser.Expr, meta []colMeta) bool {
-	ok := true
-	for _, c := range sqlparser.ColumnsIn(e) {
-		if !resolvesInSchema(c, meta) {
-			ok = false
-		}
-	}
-	return ok
-}
-
-// isEquiJoinBetween reports whether the conjunct is `a = b` with a resolving
-// only on the left schema and b only on the right (or vice versa).
-func isEquiJoinBetween(c sqlparser.Expr, left, right []colMeta) bool {
-	be, ok := c.(*sqlparser.BinaryExpr)
-	if !ok || be.Op != "=" {
-		return false
-	}
-	lc, lok := be.Left.(*sqlparser.ColumnRef)
-	rc, rok := be.Right.(*sqlparser.ColumnRef)
-	if !lok || !rok {
-		return false
-	}
-	lInLeft, lInRight := resolvesInSchema(lc, left), resolvesInSchema(lc, right)
-	rInLeft, rInRight := resolvesInSchema(rc, left), resolvesInSchema(rc, right)
-	return (lInLeft && !lInRight && rInRight && !rInLeft) ||
-		(rInLeft && !rInRight && lInRight && !lInLeft)
-}
-
-func equiJoinSides(c sqlparser.Expr, left []colMeta) (sqlparser.Expr, sqlparser.Expr) {
-	be := c.(*sqlparser.BinaryExpr)
-	lc := be.Left.(*sqlparser.ColumnRef)
-	if resolvesInSchema(lc, left) {
-		return be.Left, be.Right
-	}
-	return be.Right, be.Left
-}
-
 // --- planning ----------------------------------------------------------------
+//
+// The per-execution analysis that used to live here — the supported-subset
+// probe, conjunct splitting with the common-OR lift, pushdown targeting and
+// the greedy join-order search — moved to the shared logical-plan layer
+// (internal/plan); the executor now compiles its pipeline directly from the
+// plan's classified conjuncts and join steps.
 
-func (ex *executor) run(stmt *sqlparser.SelectStatement) (*Result, error) {
+func (ex *executor) run(sp *plan.Select) (*Result, error) {
+	stmt := sp.Stmt
 	if len(stmt.Projection) == 0 {
 		return nil, fmt.Errorf("query has no projection")
 	}
-	pipe, err := ex.buildFrom(stmt)
+	pipe, err := ex.buildFrom(sp)
 	if err != nil {
 		return nil, err
 	}
-	if len(stmt.GroupBy) > 0 || statementHasAggregates(stmt) {
+	if sp.Grouped {
 		return ex.runGrouped(stmt, pipe)
 	}
 	return ex.runRows(stmt, pipe)
 }
 
-// buildFrom assembles the scan/filter/join pipeline of the FROM and WHERE
-// clauses. Single-table conjuncts are pushed below the joins (a selection
-// the interpreter does not perform — the result set is provably identical);
-// equi-join conjuncts drive hash joins; the rest is applied as a residual
-// filter after the joins.
-func (ex *executor) buildFrom(stmt *sqlparser.SelectStatement) (operator, error) {
-	conjuncts := liftCommonOrConjuncts(splitAnd(stmt.Where))
-	if len(stmt.From) == 0 {
+// buildFrom assembles the scan/filter/join pipeline from the plan: pushdown
+// conjuncts filter the input pipelines below the joins (a selection the
+// interpreter does not perform — the result set is provably identical),
+// the precomputed JoinSteps stitch the materialized inputs, and the
+// residual conjuncts filter after the joins.
+func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
+	if len(sp.From) == 0 {
 		var op operator = &dualOp{}
-		if len(conjuncts) > 0 {
-			op = &filterOp{ex: ex, child: op, conjuncts: conjuncts}
+		if len(sp.VexecResidual) > 0 {
+			op = &filterOp{ex: ex, child: op, conjuncts: sp.VexecResidual}
 		}
 		return op, nil
 	}
 
-	pipes := make([]operator, len(stmt.From))
-	for i, te := range stmt.From {
-		p, err := ex.buildTableExpr(te)
+	pipes := make([]operator, len(sp.From))
+	for i, in := range sp.From {
+		p, err := ex.buildInput(in)
 		if err != nil {
 			return nil, err
 		}
+		if len(sp.VexecPushdown[i]) > 0 {
+			p = &filterOp{ex: ex, child: p, conjuncts: sp.VexecPushdown[i]}
+		}
 		pipes[i] = p
-	}
-
-	// Push single-table conjuncts below the joins. A conjunct is pushed only
-	// when its references resolve in exactly one pipeline, so references that
-	// would be ambiguous over the joined relation still fail the same way
-	// they do in the interpreter.
-	pushed := make([][]sqlparser.Expr, len(pipes))
-	for ci, c := range conjuncts {
-		if c == nil {
-			continue
-		}
-		if len(sqlparser.ColumnsIn(c)) == 0 && len(pipes) > 0 {
-			// Constant predicates apply anywhere; evaluate them once on the
-			// first pipeline.
-			pushed[0] = append(pushed[0], c)
-			conjuncts[ci] = nil
-			continue
-		}
-		target := -1
-		for pi := range pipes {
-			if allRefsResolve(c, pipes[pi].schema()) {
-				if target >= 0 {
-					target = -2 // ambiguous: leave as residual
-					break
-				}
-				target = pi
-			}
-		}
-		if target >= 0 {
-			pushed[target] = append(pushed[target], c)
-			conjuncts[ci] = nil
-		}
-	}
-	for pi := range pipes {
-		if len(pushed[pi]) > 0 {
-			pipes[pi] = &filterOp{ex: ex, child: pipes[pi], conjuncts: pushed[pi]}
-		}
 	}
 
 	var current operator
 	if len(pipes) == 1 {
 		current = pipes[0]
 	} else {
-		// Multiple FROM items: materialize and stitch with hash joins over
-		// the equi-join conjuncts, mirroring the interpreter's join order.
+		// Multiple FROM items: materialize and stitch along the plan's join
+		// order, which mirrors the interpreter's.
 		mats := make([]*Batch, len(pipes))
 		for i, p := range pipes {
 			m, err := materialize(p)
@@ -384,87 +189,50 @@ func (ex *executor) buildFrom(stmt *sqlparser.SelectStatement) (operator, error)
 			mats[i] = m
 		}
 		cur := mats[0]
-		remaining := mats[1:]
-		for len(remaining) > 0 {
-			bestIdx := -1
-			var joinConjuncts []int
-			for ri, r := range remaining {
-				var edges []int
-				for ci, c := range conjuncts {
-					if c == nil {
-						continue
-					}
-					if isEquiJoinBetween(c, cur.meta, r.meta) {
-						edges = append(edges, ci)
-					}
-				}
-				if len(edges) > 0 {
-					bestIdx = ri
-					joinConjuncts = edges
-					break
-				}
+		for _, step := range sp.JoinSteps {
+			var err error
+			if step.Cross {
+				cur, err = ex.crossJoin(cur, mats[step.Right])
+			} else {
+				cur, err = ex.hashJoin(cur, mats[step.Right], step.LeftKeys, step.RightKeys)
 			}
-			if bestIdx < 0 {
-				joined, err := ex.crossJoin(cur, remaining[0])
-				if err != nil {
-					return nil, err
-				}
-				cur = joined
-				remaining = remaining[1:]
-				continue
-			}
-			var leftKeys, rightKeys []sqlparser.Expr
-			for _, ci := range joinConjuncts {
-				l, r := equiJoinSides(conjuncts[ci], cur.meta)
-				leftKeys = append(leftKeys, l)
-				rightKeys = append(rightKeys, r)
-				conjuncts[ci] = nil
-			}
-			joined, err := ex.hashJoin(cur, remaining[bestIdx], leftKeys, rightKeys)
 			if err != nil {
 				return nil, err
 			}
-			cur = joined
-			remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		}
 		current = &matOp{ex: ex, b: cur}
 	}
 
-	var residual []sqlparser.Expr
-	for _, c := range conjuncts {
-		if c != nil {
-			residual = append(residual, c)
-		}
-	}
-	if len(residual) > 0 {
-		current = &filterOp{ex: ex, child: current, conjuncts: residual}
+	if len(sp.VexecResidual) > 0 {
+		current = &filterOp{ex: ex, child: current, conjuncts: sp.VexecResidual}
 	}
 	return current, nil
 }
 
-// buildTableExpr builds the pipeline of one FROM item.
-func (ex *executor) buildTableExpr(te sqlparser.TableExpr) (operator, error) {
-	switch t := te.(type) {
-	case *sqlparser.TableName:
-		table, err := ex.cat.VTable(t.Name)
-		if err != nil {
-			return nil, err
-		}
-		return newScanOp(ex, table, t.Alias), nil
-	case *sqlparser.JoinExpr:
-		b, err := ex.buildJoinBatch(t)
+// buildInput builds the pipeline of one planned FROM input.
+func (ex *executor) buildInput(in *plan.Input) (operator, error) {
+	switch {
+	case in.Join != nil:
+		b, err := ex.buildJoinBatch(in.Join)
 		if err != nil {
 			return nil, err
 		}
 		return &matOp{ex: ex, b: b}, nil
+	case in.Derived != nil:
+		return nil, fmt.Errorf("%w: derived tables", ErrUnsupported)
 	default:
-		return nil, fmt.Errorf("%w: table expression %T", ErrUnsupported, te)
+		table, err := ex.cat.VTable(in.Table)
+		if err != nil {
+			return nil, err
+		}
+		return newScanOp(ex, table, in.Alias), nil
 	}
 }
 
-// buildJoinBatch materializes an explicit JOIN tree.
-func (ex *executor) buildJoinBatch(j *sqlparser.JoinExpr) (*Batch, error) {
-	leftOp, err := ex.buildTableExpr(j.Left)
+// buildJoinBatch materializes an explicit JOIN tree whose ON condition the
+// plan already classified.
+func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
+	leftOp, err := ex.buildInput(j.Left)
 	if err != nil {
 		return nil, err
 	}
@@ -472,7 +240,7 @@ func (ex *executor) buildJoinBatch(j *sqlparser.JoinExpr) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	rightOp, err := ex.buildTableExpr(j.Right)
+	rightOp, err := ex.buildInput(j.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -484,19 +252,7 @@ func (ex *executor) buildJoinBatch(j *sqlparser.JoinExpr) (*Batch, error) {
 	case "CROSS":
 		return ex.crossJoin(left, right)
 	case "INNER":
-		conjuncts := splitAnd(j.On)
-		var leftKeys, rightKeys []sqlparser.Expr
-		var residual []sqlparser.Expr
-		for _, c := range conjuncts {
-			if isEquiJoinBetween(c, left.meta, right.meta) {
-				l, r := equiJoinSides(c, left.meta)
-				leftKeys = append(leftKeys, l)
-				rightKeys = append(rightKeys, r)
-			} else {
-				residual = append(residual, c)
-			}
-		}
-		if len(leftKeys) == 0 {
+		if len(j.LeftKeys) == 0 {
 			// Arbitrary join condition: cartesian product plus a filter over
 			// every conjunct.
 			ex.stats.LoopJoins++
@@ -504,14 +260,14 @@ func (ex *executor) buildJoinBatch(j *sqlparser.JoinExpr) (*Batch, error) {
 			if err != nil {
 				return nil, err
 			}
-			return ex.applyFilterBatch(joined, conjuncts)
+			return ex.applyFilterBatch(joined, j.AllConds)
 		}
-		joined, err := ex.hashJoin(left, right, leftKeys, rightKeys)
+		joined, err := ex.hashJoin(left, right, j.LeftKeys, j.RightKeys)
 		if err != nil {
 			return nil, err
 		}
-		if len(residual) > 0 {
-			return ex.applyFilterBatch(joined, residual)
+		if len(j.Residual) > 0 {
+			return ex.applyFilterBatch(joined, j.Residual)
 		}
 		return joined, nil
 	default:
