@@ -40,7 +40,9 @@ import (
 	"sqalpel/internal/plan"
 	"sqalpel/internal/pool"
 	"sqalpel/internal/server"
+	"sqalpel/internal/sqlparser"
 	"sqalpel/internal/tpcsurvey"
+	"sqalpel/internal/vexec"
 	"sqalpel/internal/workload"
 )
 
@@ -586,6 +588,140 @@ func BenchmarkParadigmsScanAggregation(b *testing.B) {
 					rows = res.NumRows()
 				}
 				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+}
+
+// --- vexec hash paths -------------------------------------------------------------
+
+// vexecBenchCatalog is a typed vexec catalog (also implementing the planner's
+// schema view) with a fact table f(ik int, sk string, v float) and a dimension
+// table d(ik int, sk string, dv int); ik/sk cycle over `dims` distinct keys.
+type vexecBenchCatalog map[string]*vexec.Table
+
+func (c vexecBenchCatalog) VTable(name string) (*vexec.Table, error) {
+	if t, ok := c[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("unknown table %q", name)
+}
+
+func (c vexecBenchCatalog) TableColumns(name string) ([]string, bool) {
+	t, ok := c[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, len(t.Cols))
+	for i, col := range t.Cols {
+		out[i] = col.Name
+	}
+	return out, true
+}
+
+func newVexecBenchCatalog(rows, dims int) vexecBenchCatalog {
+	ik := vexec.NewVector(vexec.KindInt, rows)
+	sk := vexec.NewVector(vexec.KindString, rows)
+	v := vexec.NewVector(vexec.KindFloat, rows)
+	for i := 0; i < rows; i++ {
+		ik.Ints[i] = int64(i % dims)
+		sk.Strs[i] = fmt.Sprintf("key-%d", i%dims)
+		v.Floats[i] = float64(i) / 3
+	}
+	dik := vexec.NewVector(vexec.KindInt, dims)
+	dsk := vexec.NewVector(vexec.KindString, dims)
+	dv := vexec.NewVector(vexec.KindInt, dims)
+	for i := 0; i < dims; i++ {
+		dik.Ints[i] = int64(i)
+		dsk.Strs[i] = fmt.Sprintf("key-%d", i)
+		dv.Ints[i] = int64(i * 7)
+	}
+	return vexecBenchCatalog{
+		"f": vexec.NewTable("f",
+			vexec.TableColumn{Name: "ik", Vec: ik},
+			vexec.TableColumn{Name: "sk", Vec: sk},
+			vexec.TableColumn{Name: "v", Vec: v},
+		),
+		"d": vexec.NewTable("d",
+			vexec.TableColumn{Name: "ik", Vec: dik},
+			vexec.TableColumn{Name: "sk", Vec: dsk},
+			vexec.TableColumn{Name: "dv", Vec: dv},
+		),
+	}
+}
+
+// BenchmarkVexecHashPaths isolates the hash-heavy vexec operators — hash
+// join, hash aggregation and DISTINCT — on single-int, single-string and
+// compound keys. The typed single-key paths hash unboxed vector payloads
+// directly; the compound path encodes rows into a reusable byte buffer. The
+// allocation counts are the headline numbers: none of the paths builds a
+// per-row string key. Plans are prebuilt so the loop measures pure execution.
+func BenchmarkVexecHashPaths(b *testing.B) {
+	cat := newVexecBenchCatalog(20000, 400)
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"join/typed-int", "SELECT count(*) FROM f, d WHERE f.ik = d.ik"},
+		{"join/typed-string", "SELECT count(*) FROM f, d WHERE f.sk = d.sk"},
+		{"join/compound", "SELECT count(*) FROM f, d WHERE f.ik = d.ik AND f.sk = d.sk"},
+		{"agg/typed-int", "SELECT ik, count(*), sum(v) FROM f GROUP BY ik"},
+		{"agg/typed-string", "SELECT sk, count(*) FROM f GROUP BY sk"},
+		{"agg/compound", "SELECT ik, sk, count(*) FROM f GROUP BY ik, sk"},
+		{"distinct/typed-int", "SELECT DISTINCT ik FROM f"},
+		{"distinct/compound", "SELECT DISTINCT ik, sk FROM f"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			stmt, err := sqlparser.Parse(tc.sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := plan.BuildStmt(cat, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vexec.ExecutePlan(cat, p, vexec.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVexecParallelism measures morsel-driven intra-query parallelism
+// on a scan-heavy aggregation and a fact-dimension join at 1, 2, 4 and 8
+// morsel workers. The results are bit-identical at every worker count (the
+// morsel merges replay the serial order), so the sub-benchmark wall-clocks
+// divide directly into the scaling column of EXPERIMENTS.md.
+func BenchmarkVexecParallelism(b *testing.B) {
+	cat := newVexecBenchCatalog(200000, 1000)
+	for _, tc := range []struct {
+		name string
+		sql  string
+	}{
+		{"agg", "SELECT ik, count(*), sum(v), avg(v) FROM f WHERE v > 100 GROUP BY ik"},
+		{"join", "SELECT count(*), sum(f.v) FROM f, d WHERE f.ik = d.ik AND d.dv > 70"},
+	} {
+		stmt, err := sqlparser.Parse(tc.sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := plan.BuildStmt(cat, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := vexec.ExecutePlan(cat, p, vexec.Options{Parallelism: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
 			})
 		}
 	}

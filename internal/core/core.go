@@ -46,11 +46,15 @@ type EngineTarget struct {
 	Engine  engine.Engine
 	DB      *engine.Database
 	Timeout time.Duration
+	// Parallelism is the intra-query morsel worker cap forwarded to every
+	// execution (engines without morsel support ignore it); 0 or 1 runs
+	// serially.
+	Parallelism int
 }
 
 // Run executes the query once.
 func (t *EngineTarget) Run(query string) (int, map[string]string, error) {
-	return t.run(query, engine.ExecOptions{Timeout: t.Timeout})
+	return t.run(query, engine.ExecOptions{Timeout: t.Timeout, Parallelism: t.Parallelism})
 }
 
 // RunContext executes the query once, tightening the engine timeout to the
@@ -63,7 +67,7 @@ func (t *EngineTarget) RunContext(ctx context.Context, query string) (int, map[s
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
-	opts := engine.ExecOptions{Timeout: t.Timeout}
+	opts := engine.ExecOptions{Timeout: t.Timeout, Parallelism: t.Parallelism}
 	if deadline, ok := ctx.Deadline(); ok {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -115,10 +119,19 @@ type ProjectOptions struct {
 	// SearchGrowPerRound and SearchTopK tune the guided walk.
 	SearchGrowPerRound int
 	SearchTopK         int
-	// Parallelism is the number of concurrent measurement workers fanning
-	// the pool's (query, target) cells out; 0 or 1 measures serially. The
-	// findings are identical at any worker count — only wall-clock changes.
+	// Parallelism is the total concurrency budget of the measurement
+	// plane: the scheduler measures Parallelism/QueryParallelism cells at
+	// once (floored at one — so a QueryParallelism above the budget still
+	// measures, one over-wide execution at a time). 0 or 1 measures
+	// serially. The findings are identical at any worker count — only
+	// wall-clock changes.
 	Parallelism int
+	// QueryParallelism is the intra-query morsel worker cap of every
+	// engine target the project registers (vektor's morsel-parallel
+	// pipelines; the interpreters ignore it). The measurement scheduler
+	// divides the Parallelism budget by it, so intra- and inter-query
+	// parallelism share one cap. 0 or 1 executes queries serially.
+	QueryParallelism int
 	// Timeout bounds a single query repetition during the search; zero
 	// means no limit.
 	Timeout time.Duration
@@ -222,7 +235,12 @@ func (p *Project) AddEngineTarget(name string, eng engine.Engine, db *engine.Dat
 	if pc, ok := eng.(engine.PlanCached); ok {
 		pc.SetPlanCache(p.plans)
 	}
-	p.AddTarget(name, &EngineTarget{Engine: eng, DB: db, Timeout: 30 * time.Second})
+	p.AddTarget(name, &EngineTarget{
+		Engine:      eng,
+		DB:          db,
+		Timeout:     30 * time.Second,
+		Parallelism: p.opts.QueryParallelism,
+	})
 }
 
 // AddRegistryTargets registers every built-in engine (all three execution
@@ -280,11 +298,12 @@ func (p *Project) ensureSearch() (*discriminative.Search, error) {
 		return p.search, nil
 	}
 	s, err := discriminative.New(p.pool, p.targets, discriminative.Options{
-		Runs:         p.opts.Runs,
-		GrowPerRound: p.opts.SearchGrowPerRound,
-		TopK:         p.opts.SearchTopK,
-		Parallelism:  p.opts.Parallelism,
-		Timeout:      p.opts.Timeout,
+		Runs:             p.opts.Runs,
+		GrowPerRound:     p.opts.SearchGrowPerRound,
+		TopK:             p.opts.SearchTopK,
+		Parallelism:      p.opts.Parallelism,
+		QueryParallelism: p.opts.QueryParallelism,
+		Timeout:          p.opts.Timeout,
 	})
 	if err != nil {
 		return nil, err

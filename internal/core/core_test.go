@@ -254,6 +254,53 @@ func TestParallelProjectRunMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestQueryParallelismUnderScheduler drives vektor's morsel-parallel
+// executor through the measurement scheduler: a project whose total
+// concurrency budget is split between measurement workers and intra-query
+// morsel workers must grow the same pool and measure the same row counts
+// as a fully serial project. Under -race this doubles as the concurrency
+// audit of the new hash table and morsel pool inside the sched worker
+// fan-out.
+func TestQueryParallelismUnderScheduler(t *testing.T) {
+	q1, _ := workload.TPCHQuery("Q1")
+	rowsOf := func(parallelism, queryParallelism int) map[int]float64 {
+		p, err := NewProject("q1", q1.SQL, ProjectOptions{
+			Runs:             1,
+			Parallelism:      parallelism,
+			QueryParallelism: queryParallelism,
+			Timeout:          30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.AddEngineTarget("vektor-1.0", engine.NewVektorEngine(), smallTPCH)
+		p.AddEngineTarget("columba-1.0", engine.NewColEngine(), smallTPCH)
+		if err := p.SeedPool(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.MeasureAll(); err != nil {
+			t.Fatal(err)
+		}
+		out := map[int]float64{}
+		for _, r := range p.Runs() {
+			if r.Target == "vektor-1.0" && r.Error == "" {
+				out[r.QueryID]++
+			}
+		}
+		return out
+	}
+	serial := rowsOf(1, 1)
+	shared := rowsOf(8, 4)
+	if len(serial) != len(shared) {
+		t.Fatalf("measured %d vs %d vektor outcomes", len(serial), len(shared))
+	}
+	for id := range serial {
+		if _, ok := shared[id]; !ok {
+			t.Errorf("query %d measured serially but not under the shared budget", id)
+		}
+	}
+}
+
 func TestEngineTargetRunContext(t *testing.T) {
 	target := &EngineTarget{Engine: engine.NewColEngine(), DB: smallTPCH, Timeout: 30 * time.Second}
 	rows, _, err := target.RunContext(context.Background(), "SELECT count(*) FROM nation")

@@ -67,6 +67,11 @@ type ExecOptions struct {
 	// MaxJoinRows overrides the guard on intermediate join sizes; zero keeps
 	// the default.
 	MaxJoinRows int
+	// Parallelism caps the intra-query morsel workers of engines that
+	// support them (the vektor family); 0 falls back to the engine's
+	// configured default, 1 forces serial execution. Results are identical
+	// at every setting — only wall-clock changes.
+	Parallelism int
 }
 
 // Engine is a database system under test: it accepts SQL text and executes

@@ -20,12 +20,13 @@ import (
 // Vectorizable verdict; only data-dependent value shapes (mixed-kind
 // columns, eager-evaluation type errors) still fall back at runtime.
 type vektorEngine struct {
-	name      string
-	version   string
-	dialect   string
-	batchSize int
-	fallback  *baseEngine
-	plans     *plan.Cache
+	name        string
+	version     string
+	dialect     string
+	batchSize   int
+	parallelism int
+	fallback    *baseEngine
+	plans       *plan.Cache
 
 	mu    sync.Mutex
 	cache map[*Table]*typedTableEntry
@@ -51,6 +52,10 @@ type VektorOptions struct {
 	// release quadruples it, trading per-batch overhead against cache
 	// residency the way columba 2.0 drops its guard casts.
 	BatchSize int
+	// Parallelism is the default intra-query morsel worker cap applied
+	// when ExecOptions does not set one; 0 or 1 executes serially. Results
+	// are bit-identical at every worker count.
+	Parallelism int
 }
 
 // NewVektorEngine returns the batch-vectorized engine ("vektor 1.0"):
@@ -72,13 +77,14 @@ func NewVektorEngineWithOptions(opts VektorOptions) Engine {
 		batchSize = vexec.DefaultBatchSize
 	}
 	return &vektorEngine{
-		name:      "vektor",
-		version:   version,
-		dialect:   "vektor",
-		batchSize: batchSize,
-		fallback:  &baseEngine{name: "vektor", version: version, dialect: "vektor", mode: ModeColumn},
-		plans:     plan.NewCache(0),
-		cache:     map[*Table]*typedTableEntry{},
+		name:        "vektor",
+		version:     version,
+		dialect:     "vektor",
+		batchSize:   batchSize,
+		parallelism: opts.Parallelism,
+		fallback:    &baseEngine{name: "vektor", version: version, dialect: "vektor", mode: ModeColumn},
+		plans:       plan.NewCache(0),
+		cache:       map[*Table]*typedTableEntry{},
 	}
 }
 
@@ -109,7 +115,10 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	if !p.Vectorizable {
 		return e.fallback.ExecutePlan(db, p, opts)
 	}
-	vopts := vexec.Options{BatchSize: e.batchSize, MaxJoinRows: opts.MaxJoinRows}
+	vopts := vexec.Options{BatchSize: e.batchSize, MaxJoinRows: opts.MaxJoinRows, Parallelism: e.parallelism}
+	if opts.Parallelism > 0 {
+		vopts.Parallelism = opts.Parallelism
+	}
 	if opts.Timeout > 0 {
 		vopts.Deadline = time.Now().Add(opts.Timeout)
 	}

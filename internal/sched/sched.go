@@ -28,9 +28,18 @@ import (
 
 // Options configure a scheduler.
 type Options struct {
-	// Workers is the number of concurrent measurement workers; values
-	// below 1 select runtime.GOMAXPROCS(0).
+	// Workers is the total concurrency budget of the measurement plane;
+	// values below 1 select runtime.GOMAXPROCS(0).
 	Workers int
+	// QueryParallelism is the intra-query morsel worker count each
+	// measured execution may spend (see engine.ExecOptions.Parallelism).
+	// The scheduler divides its worker budget by it — Workers/QueryParallelism
+	// measurement workers, floored at 1 — so the two levels of parallelism
+	// share one cap. With the floor in effect (QueryParallelism > Workers)
+	// a single measurement still runs at a time, and that one execution's
+	// own morsel fan-out is what exceeds the budget. 0 or 1 leaves the
+	// budget to the measurement workers alone.
+	QueryParallelism int
 	// Timeout bounds a single query repetition; zero means no limit. It is
 	// forwarded to metrics.Options.Timeout for every cell.
 	Timeout time.Duration
@@ -39,6 +48,12 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueryParallelism > 1 {
+		o.Workers = o.Workers / o.QueryParallelism
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
 	}
 	return o
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,36 @@ func (c *countingTarget) count(query string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.calls[query]
+}
+
+// TestWorkerBudgetSharedWithQueryParallelism pins the shared-cap rule:
+// the worker budget divides by the intra-query parallelism each measured
+// execution spends, so measurement fan-out times morsel fan-out never
+// exceeds the configured cap.
+func TestWorkerBudgetSharedWithQueryParallelism(t *testing.T) {
+	cases := []struct {
+		workers, queryPar, want int
+	}{
+		{8, 1, 8},  // no intra-query parallelism: full fan-out
+		{8, 4, 2},  // 2 concurrent measurements x 4 morsel workers = 8
+		{8, 8, 1},  // the whole budget goes to one query at a time
+		{4, 16, 1}, // intra-query demand above the budget still measures
+		{0, 2, 0},  // default budget (GOMAXPROCS) also divides
+	}
+	for _, tc := range cases {
+		s := New(Options{Workers: tc.workers, QueryParallelism: tc.queryPar})
+		want := tc.want
+		if want == 0 {
+			want = runtime.GOMAXPROCS(0) / tc.queryPar
+			if want < 1 {
+				want = 1
+			}
+		}
+		if got := s.Workers(); got != want {
+			t.Errorf("Workers(%d)/QueryParallelism(%d) = %d workers, want %d",
+				tc.workers, tc.queryPar, got, want)
+		}
+	}
 }
 
 func TestNormalize(t *testing.T) {

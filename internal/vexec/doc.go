@@ -16,6 +16,17 @@
 //   - A pull-based operator pipeline (scan -> filter -> hash join -> hash
 //     aggregate -> order/limit -> project) processing fixed-size batches
 //     (default 1024 rows) end to end, so intermediates stay cache resident.
+//   - Allocation-free hashing: join, group-by and DISTINCT share one
+//     open-addressing hash table (hashtable.go) with 64-bit hashes over the
+//     unboxed payloads, typed fast paths for single-int and single-string
+//     keys and a reusable []byte encoding for compound keys — group ids are
+//     dense and in insertion order, which pins output order to the
+//     interpreters'.
+//   - Morsel-driven intra-query parallelism (parallel.go, enabled by
+//     Options.Parallelism): scan->filter morsels, thread-local aggregation
+//     states and partitioned hash-join builds fan across a bounded worker
+//     pool, with every merge walking morsel order — results are
+//     bit-identical at any worker count, float summation order included.
 //
 // The package depends only on internal/sqlparser and the shared logical
 // plan of internal/plan: ExecutePlan compiles its pipeline straight from a

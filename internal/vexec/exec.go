@@ -29,6 +29,11 @@ type Options struct {
 	MaxJoinRows int
 	// Deadline aborts the query when passed; zero means no deadline.
 	Deadline time.Time
+	// Parallelism caps the morsel worker pool for intra-query parallelism
+	// (parallel scan→filter pipelines, partitioned hash-join builds,
+	// thread-local aggregation); 0 or 1 executes serially. Results are
+	// bit-identical at every worker count.
+	Parallelism int
 }
 
 // Stats are the execution counters of one run.
@@ -182,7 +187,7 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 		// order, which mirrors the interpreter's.
 		mats := make([]*Batch, len(pipes))
 		for i, p := range pipes {
-			m, err := materialize(p)
+			m, err := ex.materializeOp(p)
 			if err != nil {
 				return nil, err
 			}
@@ -236,7 +241,7 @@ func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	left, err := materialize(leftOp)
+	left, err := ex.materializeOp(leftOp)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +249,7 @@ func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	right, err := materialize(rightOp)
+	right, err := ex.materializeOp(rightOp)
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +319,7 @@ func expandProjection(stmt *sqlparser.SelectStatement, meta []colMeta) ([]projIt
 // runRows executes a non-grouped query: drain the pipeline, project, then
 // run the shared epilogue.
 func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Result, error) {
-	b, err := materialize(pipe)
+	b, err := ex.materializeOp(pipe)
 	if err != nil {
 		return nil, err
 	}
@@ -477,18 +482,13 @@ func (ex *executor) orderKeyVectors(stmt *sqlparser.SelectStatement, items []pro
 // columns and finishes the result.
 func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, cols []*Vector, sortKeys []*Vector, n int) (*Result, error) {
 	if stmt.Distinct {
-		seen := map[string]bool{}
+		// First-seen survivors through the typed hash table: a fresh group
+		// id means an unseen row.
+		ht := newHashTable(min(n, 4096))
+		kc := ht.prepare(cols)
 		var keep []int
-		var sb strings.Builder
 		for i := 0; i < n; i++ {
-			sb.Reset()
-			for _, c := range cols {
-				appendRowKey(&sb, c, i)
-				sb.WriteByte('|')
-			}
-			k := sb.String()
-			if !seen[k] {
-				seen[k] = true
+			if _, isNew := kc.getOrInsert(ht, cols, i); isNew {
 				keep = append(keep, i)
 			}
 		}
@@ -504,13 +504,23 @@ func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, co
 		for i := range idx {
 			idx[i] = i
 		}
+		// The multi-key comparator is compiled once per query: one
+		// kind-specialized closure per sort key instead of boxing two
+		// scalars per comparison.
+		cmps := make([]func(a, b int) int, len(stmt.OrderBy))
+		descs := make([]bool, len(stmt.OrderBy))
+		for i := range stmt.OrderBy {
+			cmps[i] = compiledCmp(sortKeys[i])
+			descs[i] = stmt.OrderBy[i].Desc
+		}
 		sort.SliceStable(idx, func(a, b int) bool {
-			for i := range stmt.OrderBy {
-				c := compareScalars(sortKeys[i].At(idx[a]), sortKeys[i].At(idx[b]))
+			ra, rb := idx[a], idx[b]
+			for i, cmp := range cmps {
+				c := cmp(ra, rb)
 				if c == 0 {
 					continue
 				}
-				if stmt.OrderBy[i].Desc {
+				if descs[i] {
 					return c > 0
 				}
 				return c < 0
@@ -562,4 +572,78 @@ func gatherAll(cols []*Vector, rows []int) []*Vector {
 		out[i] = c.Gather(rows)
 	}
 	return out
+}
+
+// compiledCmp builds the comparison closure of one sort key vector,
+// specialized to its kind. Every branch reproduces compareScalars over the
+// boxed At values exactly — including its float-domain comparison of
+// integer keys — so the compiled sort orders rows identically to the
+// scalar path (and to the interpreters).
+func compiledCmp(v *Vector) func(a, b int) int {
+	nulls := v.Nulls
+	switch v.Kind {
+	case KindNull:
+		// All rows NULL: every pair ties.
+		return func(a, b int) int { return 0 }
+	case KindString:
+		strs := v.Strs
+		return func(a, b int) int {
+			if c, done := nullCmp(nulls, a, b); done {
+				return c
+			}
+			return strings.Compare(strs[a], strs[b])
+		}
+	case KindFloat:
+		// Under the int/float duality mask a flagged row's float payload
+		// is the exact float64 image of its integer, which is what the
+		// scalar path compares too.
+		fl := v.Floats
+		return func(a, b int) int {
+			if c, done := nullCmp(nulls, a, b); done {
+				return c
+			}
+			return cmpFloat(fl[a], fl[b])
+		}
+	default: // KindInt, KindDate, KindBool
+		// compareScalars compares numeric scalars in the float64 domain;
+		// keep exactly that (not int64 order) so ties beyond 2^53 break
+		// identically.
+		ints := v.Ints
+		return func(a, b int) int {
+			if c, done := nullCmp(nulls, a, b); done {
+				return c
+			}
+			return cmpFloat(float64(ints[a]), float64(ints[b]))
+		}
+	}
+}
+
+// nullCmp resolves comparisons involving NULL rows: NULL sorts below
+// everything and ties with NULL. done is false when neither row is NULL.
+func nullCmp(nulls []bool, a, b int) (c int, done bool) {
+	if nulls == nil {
+		return 0, false
+	}
+	an, bn := nulls[a], nulls[b]
+	switch {
+	case !an && !bn:
+		return 0, false
+	case an && bn:
+		return 0, true
+	case an:
+		return -1, true
+	default:
+		return 1, true
+	}
+}
+
+func cmpFloat(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
 }

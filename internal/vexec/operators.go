@@ -98,41 +98,58 @@ func (f *filterOp) next() (*Batch, error) {
 		if b == nil {
 			return nil, nil
 		}
-		for _, c := range f.conjuncts {
-			f.ex.stats.FilterPasses++
-			ctx := &evalCtx{ex: f.ex, batch: b}
-			pred, err := ctx.eval(c)
-			if err != nil {
-				// Pushed-down conjuncts run over rows the interpreter's
-				// post-join filter never evaluates; runtime errors here must
-				// defer to the interpreter.
-				return nil, deferToFallback(err)
-			}
-			// The empty selection must stay non-nil: a nil selection vector
-			// means "all rows live".
-			sel := make([]int, 0, b.Len())
-			if b.sel == nil {
-				for i := 0; i < b.n; i++ {
-					if !pred.IsNull(i) && truthy(pred, i) {
-						sel = append(sel, i)
-					}
-				}
-			} else {
-				for j, ri := range b.sel {
-					if !pred.IsNull(j) && truthy(pred, j) {
-						sel = append(sel, ri)
-					}
-				}
-			}
-			b.sel = sel
-			if len(sel) == 0 {
-				break
-			}
+		if err := applyConjuncts(f.ex, b, f.conjuncts, &f.ex.stats); err != nil {
+			return nil, err
 		}
 		if b.Len() > 0 {
 			return b, nil
 		}
 	}
+}
+
+// applyConjuncts filters a batch one conjunct pass at a time, shrinking its
+// selection vector. The first pass allocates the batch's selection scratch;
+// later passes compact it in place (the write index never overtakes the
+// read index), so a k-conjunct filter costs one allocation, not k. Stats
+// are accumulated into st so morsel workers can keep thread-local counters.
+func applyConjuncts(ex *executor, b *Batch, conjuncts []sqlparser.Expr, st *Stats) error {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	ctx := &evalCtx{ex: ex, batch: b}
+	for _, c := range conjuncts {
+		st.FilterPasses++
+		pred, err := ctx.eval(c)
+		if err != nil {
+			// Pushed-down conjuncts run over rows the interpreter's
+			// post-join filter never evaluates; runtime errors here must
+			// defer to the interpreter.
+			return deferToFallback(err)
+		}
+		// The empty selection must stay non-nil: a nil selection vector
+		// means "all rows live".
+		if b.sel == nil {
+			sel := make([]int, 0, b.n)
+			for i := 0; i < b.n; i++ {
+				if !pred.IsNull(i) && truthy(pred, i) {
+					sel = append(sel, i)
+				}
+			}
+			b.sel = sel
+		} else {
+			sel := b.sel[:0]
+			for j, ri := range b.sel {
+				if !pred.IsNull(j) && truthy(pred, j) {
+					sel = append(sel, ri)
+				}
+			}
+			b.sel = sel
+		}
+		if len(b.sel) == 0 {
+			break
+		}
+	}
+	return nil
 }
 
 // --- materialization ---------------------------------------------------------
@@ -199,9 +216,9 @@ func materialize(op operator) (*Batch, error) {
 
 // --- joins -------------------------------------------------------------------
 
-// rowKeys evaluates the key expressions over a dense batch and encodes one
-// hash key per row.
-func (ex *executor) rowKeys(b *Batch, keys []sqlparser.Expr) ([]string, error) {
+// keyVectors evaluates the key expressions over a dense batch into one
+// vector per key; the hash table consumes the unboxed payloads directly.
+func (ex *executor) keyVectors(b *Batch, keys []sqlparser.Expr) ([]*Vector, error) {
 	ctx := &evalCtx{ex: ex, batch: b}
 	vecs := make([]*Vector, len(keys))
 	for i, k := range keys {
@@ -211,17 +228,7 @@ func (ex *executor) rowKeys(b *Batch, keys []sqlparser.Expr) ([]string, error) {
 		}
 		vecs[i] = v
 	}
-	out := make([]string, b.Len())
-	var sb strings.Builder
-	for i := 0; i < b.Len(); i++ {
-		sb.Reset()
-		for _, v := range vecs {
-			appendRowKey(&sb, v, i)
-			sb.WriteByte('|')
-		}
-		out[i] = sb.String()
-	}
-	return out, nil
+	return vecs, nil
 }
 
 // hashJoin joins two dense batches on the given key expression lists,
@@ -237,27 +244,22 @@ func (ex *executor) hashJoin(left, right *Batch, leftKeys, rightKeys []sqlparser
 		buildKeys, probeKeys = leftKeys, rightKeys
 		swapped = true
 	}
-	bKeys, err := ex.rowKeys(build, buildKeys)
+	bVecs, err := ex.keyVectors(build, buildKeys)
 	if err != nil {
 		return nil, err
 	}
-	ht := make(map[string][]int, len(bKeys))
-	for i, k := range bKeys {
-		ht[k] = append(ht[k], i)
-	}
-	pKeys, err := ex.rowKeys(probe, probeKeys)
+	pVecs, err := ex.keyVectors(probe, probeKeys)
 	if err != nil {
 		return nil, err
 	}
 	var probeIdx, buildIdx []int
-	for i, k := range pKeys {
-		for _, bi := range ht[k] {
-			probeIdx = append(probeIdx, i)
-			buildIdx = append(buildIdx, bi)
-			if len(probeIdx) > ex.opts.MaxJoinRows {
-				return nil, fmt.Errorf("join result exceeds %d rows", ex.opts.MaxJoinRows)
-			}
-		}
+	if ex.parallelism() > 1 && probe.Len() >= 2*ex.opts.BatchSize {
+		probeIdx, buildIdx, err = ex.parallelJoinPairs(build.Len(), probe.Len(), bVecs, pVecs)
+	} else {
+		probeIdx, buildIdx, err = ex.joinPairs(build.Len(), probe.Len(), bVecs, pVecs)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if err := ex.checkDeadline(); err != nil {
 		return nil, err
@@ -273,19 +275,74 @@ func (ex *executor) hashJoin(left, right *Batch, leftKeys, rightKeys []sqlparser
 	return out, nil
 }
 
+// joinLists are the per-key build-row chains of a join table: head/tail
+// index the first and last build row of each group, next links build rows
+// of one key in insertion order — the order the old per-key slices kept.
+type joinLists struct {
+	head, tail, next []int32
+}
+
+func newJoinLists(nBuild int) joinLists {
+	next := make([]int32, nBuild)
+	for i := range next {
+		next[i] = -1
+	}
+	return joinLists{next: next}
+}
+
+// insert appends build row i to group g (isNew reports first sight).
+func (jl *joinLists) insert(g int, i int32, isNew bool) {
+	if isNew {
+		jl.head = append(jl.head, i)
+		jl.tail = append(jl.tail, i)
+		return
+	}
+	jl.next[jl.tail[g]] = i
+	jl.tail[g] = i
+}
+
+// joinPairs builds the hash table over the build side and probes it in
+// probe-row order, emitting the matching (probe, build) row pairs.
+func (ex *executor) joinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) (probeIdx, buildIdx []int, err error) {
+	ht := newHashTable(nBuild)
+	kc := ht.prepare(bVecs, pVecs)
+	jl := newJoinLists(nBuild)
+	for i := 0; i < nBuild; i++ {
+		g, isNew := kc.getOrInsert(ht, bVecs, i)
+		jl.insert(g, int32(i), isNew)
+	}
+	for i := 0; i < nProbe; i++ {
+		g := kc.lookup(ht, pVecs, i)
+		if g < 0 {
+			continue
+		}
+		for r := jl.head[g]; r >= 0; r = jl.next[r] {
+			probeIdx = append(probeIdx, i)
+			buildIdx = append(buildIdx, int(r))
+			if len(probeIdx) > ex.opts.MaxJoinRows {
+				return nil, nil, fmt.Errorf("join result exceeds %d rows", ex.opts.MaxJoinRows)
+			}
+		}
+	}
+	return probeIdx, buildIdx, nil
+}
+
 // crossJoin builds the cartesian product of two dense batches, guarded by
 // the join-size limit.
 func (ex *executor) crossJoin(left, right *Batch) (*Batch, error) {
 	ex.stats.LoopJoins++
-	total := left.Len() * right.Len()
-	if total > ex.opts.MaxJoinRows {
+	nl, nr := left.Len(), right.Len()
+	// Divide before multiplying: nl*nr can wrap around before the guard
+	// comparison on pathological inputs.
+	if nl > 0 && nr > 0 && nl > ex.opts.MaxJoinRows/nr {
 		return nil, fmt.Errorf("cross product of %d x %d rows exceeds the %d row limit",
-			left.Len(), right.Len(), ex.opts.MaxJoinRows)
+			nl, nr, ex.opts.MaxJoinRows)
 	}
+	total := nl * nr
 	leftIdx := make([]int, 0, total)
 	rightIdx := make([]int, 0, total)
-	for i := 0; i < left.Len(); i++ {
-		for j := 0; j < right.Len(); j++ {
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
 			leftIdx = append(leftIdx, i)
 			rightIdx = append(rightIdx, j)
 		}
@@ -298,33 +355,11 @@ func (ex *executor) crossJoin(left, right *Batch) (*Batch, error) {
 }
 
 // applyFilterBatch filters a dense batch with the conjuncts (one selection
-// pass per conjunct) and compacts the result.
+// pass per conjunct over a single reused selection buffer) and compacts the
+// result.
 func (ex *executor) applyFilterBatch(b *Batch, conjuncts []sqlparser.Expr) (*Batch, error) {
-	for _, c := range conjuncts {
-		ex.stats.FilterPasses++
-		if b.Len() == 0 {
-			break
-		}
-		ctx := &evalCtx{ex: ex, batch: b}
-		pred, err := ctx.eval(c)
-		if err != nil {
-			return nil, deferToFallback(err)
-		}
-		sel := make([]int, 0, b.Len())
-		if b.sel == nil {
-			for i := 0; i < b.n; i++ {
-				if !pred.IsNull(i) && truthy(pred, i) {
-					sel = append(sel, i)
-				}
-			}
-		} else {
-			for j, ri := range b.sel {
-				if !pred.IsNull(j) && truthy(pred, j) {
-					sel = append(sel, ri)
-				}
-			}
-		}
-		b.sel = sel
+	if err := applyConjuncts(ex, b, conjuncts, &ex.stats); err != nil {
+		return nil, err
 	}
 	return b.compact(), nil
 }
@@ -339,14 +374,18 @@ type aggSpec struct {
 
 // aggAcc accumulates one aggregate for one group, mirroring the
 // interpreter's fold (distinct sets, int-preserving sums, scalar min/max).
+// The distinct set is a byte-keyed hash table with a reusable encoding
+// buffer: seen values cost no allocation at all, new ones only grow the
+// table's arena.
 type aggAcc struct {
-	count    int64
-	sumI     int64
-	sumF     float64
-	sumIsInt bool
-	minV     scalar
-	maxV     scalar
-	distinct map[string]bool
+	count       int64
+	sumI        int64
+	sumF        float64
+	sumIsInt    bool
+	minV        scalar
+	maxV        scalar
+	distinct    *hashTable
+	distinctBuf []byte
 }
 
 func (a *aggAcc) fold(val scalar, distinct bool) {
@@ -354,13 +393,10 @@ func (a *aggAcc) fold(val scalar, distinct bool) {
 		return
 	}
 	if distinct {
-		var sb strings.Builder
-		appendKey(&sb, val)
-		k := sb.String()
-		if a.distinct[k] {
+		a.distinctBuf = appendScalarKey(a.distinctBuf[:0], val)
+		if _, isNew := a.distinct.getOrInsertBytes(a.distinctBuf); !isNew {
 			return
 		}
-		a.distinct[k] = true
 	}
 	a.count++
 	if val.kind == KindInt {
@@ -514,111 +550,49 @@ func collectCarriedRefs(stmt *sqlparser.SelectStatement) []*sqlparser.ColumnRef 
 	return refs
 }
 
-// hashAggregate drains the pipeline into per-group accumulators: the
-// streaming pipeline breaker of grouped queries.
-func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatement) (*aggResult, error) {
-	specs, err := collectAggregates(stmt)
-	if err != nil {
-		return nil, err
+// newAggState allocates the accumulators of one group.
+func newAggState(specs []aggSpec, carried []*sqlparser.ColumnRef) *aggState {
+	st := &aggState{accs: make([]aggAcc, len(specs)), firsts: make([]scalar, len(carried))}
+	for i := range st.accs {
+		st.accs[i].sumIsInt = true
+		if specs[i].call.Distinct {
+			st.accs[i].distinct = newByteKeyTable(8)
+		}
 	}
-	carried := collectCarriedRefs(stmt)
+	return st
+}
 
-	groups := map[string]*aggState{}
-	var order []*aggState
-	newState := func() *aggState {
-		st := &aggState{accs: make([]aggAcc, len(specs)), firsts: make([]scalar, len(carried))}
-		for i := range st.accs {
-			st.accs[i].sumIsInt = true
-			if specs[i].call.Distinct {
-				st.accs[i].distinct = map[string]bool{}
-			}
+// aggBatchVectors evaluates the grouping keys, aggregate arguments and
+// carried references over one batch.
+func aggBatchVectors(ex *executor, b *Batch, stmt *sqlparser.SelectStatement, specs []aggSpec, carried []*sqlparser.ColumnRef) (keyVecs, argVecs, refVecs []*Vector, err error) {
+	ctx := &evalCtx{ex: ex, batch: b}
+	keyVecs = make([]*Vector, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		if keyVecs[i], err = ctx.eval(g); err != nil {
+			return nil, nil, nil, err
 		}
-		return st
 	}
-	if len(stmt.GroupBy) == 0 {
-		// Aggregates without GROUP BY form one global group even over an
-		// empty input.
-		st := newState()
-		groups["all"] = st
-		order = append(order, st)
-	}
-
-	for {
-		b, err := child.next()
-		if err != nil {
-			return nil, err
-		}
-		if b == nil {
-			break
-		}
-		if err := ex.checkDeadline(); err != nil {
-			return nil, err
-		}
-		n := b.Len()
-		if n == 0 {
+	argVecs = make([]*Vector, len(specs))
+	for i, s := range specs {
+		if s.call.Star {
 			continue
 		}
-		ctx := &evalCtx{ex: ex, batch: b}
-		keyVecs := make([]*Vector, len(stmt.GroupBy))
-		for i, g := range stmt.GroupBy {
-			if keyVecs[i], err = ctx.eval(g); err != nil {
-				return nil, err
-			}
-		}
-		argVecs := make([]*Vector, len(specs))
-		for i, s := range specs {
-			if s.call.Star {
-				continue
-			}
-			if argVecs[i], err = ctx.eval(s.call.Args[0]); err != nil {
-				return nil, err
-			}
-		}
-		refVecs := make([]*Vector, len(carried))
-		for i, r := range carried {
-			if refVecs[i], err = ctx.resolveColumn(r); err != nil {
-				return nil, err
-			}
-		}
-		var sb strings.Builder
-		for j := 0; j < n; j++ {
-			var st *aggState
-			if len(stmt.GroupBy) == 0 {
-				st = order[0]
-			} else {
-				sb.Reset()
-				for _, kv := range keyVecs {
-					appendRowKey(&sb, kv, j)
-					sb.WriteByte('|')
-				}
-				key := sb.String()
-				var ok bool
-				st, ok = groups[key]
-				if !ok {
-					st = newState()
-					groups[key] = st
-					order = append(order, st)
-					for ri, rv := range refVecs {
-						st.firsts[ri] = rv.At(j)
-					}
-				}
-			}
-			if len(stmt.GroupBy) == 0 && st.rows == 0 {
-				for ri, rv := range refVecs {
-					st.firsts[ri] = rv.At(j)
-				}
-			}
-			st.rows++
-			for ai := range specs {
-				if specs[ai].call.Star {
-					continue
-				}
-				st.accs[ai].fold(argVecs[ai].At(j), specs[ai].call.Distinct)
-			}
+		if argVecs[i], err = ctx.eval(s.call.Args[0]); err != nil {
+			return nil, nil, nil, err
 		}
 	}
-	ex.stats.Groups += int64(len(order))
+	refVecs = make([]*Vector, len(carried))
+	for i, r := range carried {
+		if refVecs[i], err = ctx.resolveColumn(r); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return keyVecs, argVecs, refVecs, nil
+}
 
+// buildAggResult finalizes the per-group accumulators into the aggregate
+// and carried-reference columns.
+func buildAggResult(specs []aggSpec, carried []*sqlparser.ColumnRef, order []*aggState) (*aggResult, error) {
 	res := &aggResult{n: len(order), aggs: map[string]*Vector{}, refs: map[string]*Vector{}}
 	for ai, s := range specs {
 		bld := newBuilder(len(order))
@@ -648,4 +622,90 @@ func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatemen
 		res.refs[refKey(r.Table, r.Column)] = vec
 	}
 	return res, nil
+}
+
+// hashAggregate drains the pipeline into per-group accumulators: the
+// streaming pipeline breaker of grouped queries. Groups live in the typed
+// hash table — dense ids in first-seen order index the order slice
+// directly — so the per-row cost is one unboxed hash probe, not a string
+// key build. With intra-query parallelism enabled and a morsel-splittable
+// pipeline below, the work fans out across the morsel pool instead.
+func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatement) (*aggResult, error) {
+	specs, err := collectAggregates(stmt)
+	if err != nil {
+		return nil, err
+	}
+	carried := collectCarriedRefs(stmt)
+
+	if ex.parallelism() > 1 {
+		// Single-morsel inputs skip the 3-phase machinery: its thread-local
+		// tables and remap passes only pay off with morsels to fan out.
+		if src, passes, ok := splitPipeline(child); ok && src.rows > ex.opts.BatchSize {
+			return ex.parallelHashAggregate(src, passes, stmt, specs, carried)
+		}
+	}
+
+	ht := newHashTable(64)
+	var order []*aggState
+	if len(stmt.GroupBy) == 0 {
+		// Aggregates without GROUP BY form one global group even over an
+		// empty input.
+		order = append(order, newAggState(specs, carried))
+	}
+
+	for {
+		b, err := child.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if err := ex.checkDeadline(); err != nil {
+			return nil, err
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		keyVecs, argVecs, refVecs, err := aggBatchVectors(ex, b, stmt, specs, carried)
+		if err != nil {
+			return nil, err
+		}
+		var kc keyCoder
+		if len(stmt.GroupBy) > 0 {
+			kc = ht.prepare(keyVecs)
+		}
+		for j := 0; j < n; j++ {
+			var st *aggState
+			if len(stmt.GroupBy) == 0 {
+				st = order[0]
+			} else {
+				g, isNew := kc.getOrInsert(ht, keyVecs, j)
+				if isNew {
+					st = newAggState(specs, carried)
+					order = append(order, st)
+					for ri, rv := range refVecs {
+						st.firsts[ri] = rv.At(j)
+					}
+				} else {
+					st = order[g]
+				}
+			}
+			if len(stmt.GroupBy) == 0 && st.rows == 0 {
+				for ri, rv := range refVecs {
+					st.firsts[ri] = rv.At(j)
+				}
+			}
+			st.rows++
+			for ai := range specs {
+				if specs[ai].call.Star {
+					continue
+				}
+				st.accs[ai].fold(argVecs[ai].At(j), specs[ai].call.Distinct)
+			}
+		}
+	}
+	ex.stats.Groups += int64(len(order))
+	return buildAggResult(specs, carried, order)
 }

@@ -1,0 +1,540 @@
+package vexec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sqalpel/internal/sqlparser"
+)
+
+// This file implements morsel-driven intra-query parallelism. The unit of
+// work is a morsel: one BatchSize window of a random-access row source (a
+// base-table scan or a materialized intermediate). Morsels fan out across
+// a bounded worker pool; every merge step walks the morsel results in
+// morsel-index order, never in completion order, so the output of each
+// parallel operator is bit-identical to its serial twin at any worker
+// count:
+//
+//   - scan→filter pipelines window the source per morsel, filter with
+//     thread-local counters and concatenate the surviving batches in
+//     morsel order — exactly the batch sequence the serial pipeline emits;
+//   - hash aggregation discovers groups per morsel in thread-local typed
+//     hash tables, merges them into the global table in morsel order
+//     (reproducing the serial first-seen group order), then folds every
+//     group's rows in global row order — so even the float sums, whose
+//     addition order is observable, match the serial fold bit for bit;
+//   - hash joins partition the build side by key hash, build the partition
+//     tables concurrently (each partition preserves build-row insertion
+//     order), and probe morsel-wise, concatenating the match pairs in
+//     morsel order — the serial probe order.
+//
+// Workers never touch the executor's shared stats; they accumulate local
+// Stats that the coordinating goroutine sums in morsel order afterwards.
+
+// parallelism returns the morsel worker cap of this execution; 1 means
+// every operator runs its serial twin.
+func (ex *executor) parallelism() int {
+	if ex.opts.Parallelism > 1 {
+		return ex.opts.Parallelism
+	}
+	return 1
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on at most p goroutines
+// pulling indices from a shared counter; it returns when all n calls are
+// done. fn must confine its writes to per-index state.
+func parallelFor(p, n int, fn func(int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// add accumulates another stats record, the merge step of thread-local
+// morsel counters.
+func (s *Stats) add(o Stats) {
+	s.RowsScanned += o.RowsScanned
+	s.Batches += o.Batches
+	s.FilterPasses += o.FilterPasses
+	s.HashJoins += o.HashJoins
+	s.LoopJoins += o.LoopJoins
+	s.Groups += o.Groups
+	s.RowsReturned += o.RowsReturned
+}
+
+// --- morsel sources -----------------------------------------------------------
+
+// morselSource is a random-access row source the morsel driver windows:
+// either a base-table scan or the re-emission of a dense materialized
+// batch. Windows are zero-copy vector slices, like the serial operators'.
+type morselSource struct {
+	cols []*Vector
+	meta []colMeta
+	rows int
+	scan bool // base-table scan: windows count into RowsScanned
+}
+
+func (s *scanOp) morselSource() morselSource {
+	cols := make([]*Vector, len(s.table.Cols))
+	for i, c := range s.table.Cols {
+		cols[i] = c.Vec
+	}
+	return morselSource{cols: cols, meta: s.meta, rows: s.table.NumRows(), scan: true}
+}
+
+func (m *matOp) morselSource() morselSource {
+	return morselSource{cols: m.b.cols, meta: m.b.meta, rows: m.b.n}
+}
+
+// window builds the zero-copy batch of rows [lo, hi).
+func (src *morselSource) window(lo, hi int) *Batch {
+	b := &Batch{n: hi - lo, meta: src.meta}
+	b.cols = make([]*Vector, len(src.cols))
+	for i, c := range src.cols {
+		b.cols[i] = c.Slice(lo, hi)
+	}
+	return b
+}
+
+// numMorsels returns how many BatchSize windows cover the source.
+func (src *morselSource) numMorsels(bs int) int {
+	return (src.rows + bs - 1) / bs
+}
+
+// morselBounds returns the row range of morsel m.
+func (src *morselSource) morselBounds(m, bs int) (lo, hi int) {
+	lo = m * bs
+	hi = lo + bs
+	if hi > src.rows {
+		hi = src.rows
+	}
+	return lo, hi
+}
+
+// splitPipeline decomposes a scan→filter pipeline into its morsel source
+// and the flattened conjunct passes applied above it, in application
+// order. ok is false for pipelines the morsel driver cannot fan out
+// (FROM-less inputs, partially consumed operators, non-dense rewinds).
+func splitPipeline(op operator) (morselSource, []sqlparser.Expr, bool) {
+	var passes []sqlparser.Expr
+	for {
+		switch o := op.(type) {
+		case *filterOp:
+			// This filter runs after everything below it: what is already
+			// collected came from operators above, so prepend.
+			passes = append(append([]sqlparser.Expr{}, o.conjuncts...), passes...)
+			op = o.child
+		case *scanOp:
+			if o.pos != 0 {
+				return morselSource{}, nil, false
+			}
+			return o.morselSource(), passes, true
+		case *matOp:
+			if o.pos != 0 || o.b.sel != nil {
+				return morselSource{}, nil, false
+			}
+			return o.morselSource(), passes, true
+		default:
+			return morselSource{}, nil, false
+		}
+	}
+}
+
+// --- parallel scan→filter materialization -------------------------------------
+
+// materializeOp drains a pipeline into one dense batch like materialize,
+// but fans morsel-splittable pipelines across the worker pool first.
+func (ex *executor) materializeOp(op operator) (*Batch, error) {
+	p := ex.parallelism()
+	bs := ex.opts.BatchSize
+	if p <= 1 {
+		return materialize(op)
+	}
+	src, passes, ok := splitPipeline(op)
+	if !ok || src.rows <= bs {
+		return materialize(op)
+	}
+	nm := src.numMorsels(bs)
+	outs := make([]*Batch, nm)
+	errs := make([]error, nm)
+	stats := make([]Stats, nm)
+	parallelFor(p, nm, func(m int) {
+		lo, hi := src.morselBounds(m, bs)
+		if err := ex.checkDeadline(); err != nil {
+			errs[m] = err
+			return
+		}
+		b := src.window(lo, hi)
+		st := &stats[m]
+		if src.scan {
+			st.RowsScanned += int64(hi - lo)
+		}
+		st.Batches++
+		if err := applyConjuncts(ex, b, passes, st); err != nil {
+			errs[m] = err
+			return
+		}
+		if b.Len() > 0 {
+			outs[m] = b
+		}
+	})
+	for _, st := range stats {
+		ex.stats.add(st)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var batches []*Batch
+	for _, b := range outs {
+		if b != nil {
+			batches = append(batches, b)
+		}
+	}
+	if len(batches) == 0 {
+		out := &Batch{n: 0, meta: src.meta}
+		out.cols = make([]*Vector, len(src.meta))
+		for i := range out.cols {
+			out.cols[i] = NewNullVector(0)
+		}
+		return out, nil
+	}
+	if len(batches) == 1 {
+		return batches[0].compact(), nil
+	}
+	return concatBatches(batches), nil
+}
+
+// --- parallel hash aggregation ------------------------------------------------
+
+// aggMorsel is the thread-local state of one aggregation morsel: the
+// evaluated key/argument/reference vectors over the surviving rows plus
+// the local group table.
+type aggMorsel struct {
+	n         int
+	keyVecs   []*Vector
+	argVecs   []*Vector
+	refVecs   []*Vector
+	table     *hashTable
+	rowGroups []int32
+	firstRows []int32 // local group -> first surviving row
+	stats     Stats
+	err       error
+}
+
+// parallelHashAggregate is the morsel-parallel twin of the serial
+// hashAggregate loop, in three phases. Phase 1 (parallel): every morsel
+// filters its window, evaluates the key/arg/ref expressions and assigns
+// thread-local group ids. Phase 2 (serial, morsel order): the local tables
+// merge into one global table — visiting local groups in local insertion
+// order reproduces the serial first-seen group order exactly — and every
+// row is bucketed under its global group in global row order. Phase 3
+// (parallel over groups): each group folds its rows in that order, which
+// is the serial fold order, so order-sensitive accumulations (float sums)
+// come out bit-identical to the serial path at any worker count.
+func (ex *executor) parallelHashAggregate(src morselSource, passes []sqlparser.Expr, stmt *sqlparser.SelectStatement, specs []aggSpec, carried []*sqlparser.ColumnRef) (*aggResult, error) {
+	p := ex.parallelism()
+	bs := ex.opts.BatchSize
+	grouped := len(stmt.GroupBy) > 0
+	nm := src.numMorsels(bs)
+	morsels := make([]aggMorsel, nm)
+	parallelFor(p, nm, func(m int) {
+		mo := &morsels[m]
+		lo, hi := src.morselBounds(m, bs)
+		if err := ex.checkDeadline(); err != nil {
+			mo.err = err
+			return
+		}
+		b := src.window(lo, hi)
+		if src.scan {
+			mo.stats.RowsScanned += int64(hi - lo)
+		}
+		mo.stats.Batches++
+		if err := applyConjuncts(ex, b, passes, &mo.stats); err != nil {
+			mo.err = err
+			return
+		}
+		n := b.Len()
+		if n == 0 {
+			return
+		}
+		mo.n = n
+		var err error
+		mo.keyVecs, mo.argVecs, mo.refVecs, err = aggBatchVectors(ex, b, stmt, specs, carried)
+		if err != nil {
+			mo.err = err
+			return
+		}
+		if grouped {
+			mo.table = newHashTable(64)
+			kc := mo.table.prepare(mo.keyVecs)
+			mo.rowGroups = make([]int32, n)
+			for j := 0; j < n; j++ {
+				g, isNew := kc.getOrInsert(mo.table, mo.keyVecs, j)
+				mo.rowGroups[j] = int32(g)
+				if isNew {
+					mo.firstRows = append(mo.firstRows, int32(j))
+				}
+			}
+		}
+	})
+	for m := range morsels {
+		ex.stats.add(morsels[m].stats)
+	}
+	for m := range morsels {
+		if morsels[m].err != nil {
+			return nil, morsels[m].err
+		}
+	}
+
+	// Phase 2: merge the thread-local tables in morsel order.
+	var order []*aggState
+	var rowsOf [][]int64 // per global group: rows packed as morsel<<32|row
+	if grouped {
+		global := newHashTable(64)
+		var buf []byte
+		remaps := make([][]int32, len(morsels))
+		for m := range morsels {
+			mo := &morsels[m]
+			if mo.n == 0 {
+				continue
+			}
+			remap := make([]int32, mo.table.numGroups())
+			remaps[m] = remap
+			for lg := 0; lg < mo.table.numGroups(); lg++ {
+				var g int
+				var isNew bool
+				g, isNew, buf = global.getOrInsertKeyOf(mo.table, lg, buf)
+				remap[lg] = int32(g)
+				if isNew {
+					st := newAggState(specs, carried)
+					j := int(mo.firstRows[lg])
+					for ri, rv := range mo.refVecs {
+						st.firsts[ri] = rv.At(j)
+					}
+					order = append(order, st)
+				}
+			}
+		}
+		// Bucket every row under its global group in global row order,
+		// sized exactly up front so the fill pass never reallocates.
+		counts := make([]int, len(order))
+		for m := range morsels {
+			for _, lg := range morsels[m].rowGroups {
+				counts[remaps[m][lg]]++
+			}
+		}
+		rowsOf = make([][]int64, len(order))
+		for g, c := range counts {
+			rowsOf[g] = make([]int64, 0, c)
+		}
+		for m := range morsels {
+			for j, lg := range morsels[m].rowGroups {
+				g := remaps[m][lg]
+				rowsOf[g] = append(rowsOf[g], int64(m)<<32|int64(j))
+			}
+		}
+	} else {
+		// Aggregates without GROUP BY form one global group even over an
+		// empty input; its carried references resolve against the first
+		// surviving row overall.
+		st := newAggState(specs, carried)
+		order = []*aggState{st}
+		total := 0
+		for m := range morsels {
+			total += morsels[m].n
+		}
+		rowsOf = [][]int64{make([]int64, 0, total)}
+		first := true
+		for m := range morsels {
+			mo := &morsels[m]
+			for j := 0; j < mo.n; j++ {
+				if first {
+					for ri, rv := range mo.refVecs {
+						st.firsts[ri] = rv.At(j)
+					}
+					first = false
+				}
+				rowsOf[0] = append(rowsOf[0], int64(m)<<32|int64(j))
+			}
+		}
+	}
+
+	// Phase 3: fold every group's rows in global row order.
+	parallelFor(p, len(order), func(g int) {
+		st := order[g]
+		for _, packed := range rowsOf[g] {
+			mo := &morsels[packed>>32]
+			j := int(packed & 0xffffffff)
+			st.rows++
+			for ai := range specs {
+				if specs[ai].call.Star {
+					continue
+				}
+				st.accs[ai].fold(mo.argVecs[ai].At(j), specs[ai].call.Distinct)
+			}
+		}
+	})
+	ex.stats.Groups += int64(len(order))
+	return buildAggResult(specs, carried, order)
+}
+
+// --- parallel hash join -------------------------------------------------------
+
+// parallelJoinPairs is the partitioned twin of joinPairs: build rows are
+// routed to 2^k partitions by key hash, the partition tables build
+// concurrently (each preserving build-row insertion order — a key lives in
+// exactly one partition, so its match chain is the serial one), and the
+// probe side fans out morsel-wise with the pair chunks concatenated in
+// morsel order.
+func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) ([]int, []int, error) {
+	p := ex.parallelism()
+	bs := ex.opts.BatchSize
+	mode, class := jointMode(bVecs, pVecs)
+
+	nPart := 1
+	bits := uint(0)
+	for nPart < p && nPart < 64 {
+		nPart *= 2
+		bits++
+	}
+
+	// Route every build row to its key-hash partition, caching the hashes
+	// so the build workers never re-hash (byte mode still re-encodes at
+	// insertion for the arena compare, but pays the FNV pass only once).
+	hashes := make([]uint64, nBuild)
+	nbm := (nBuild + bs - 1) / bs
+	parallelFor(p, nbm, func(m int) {
+		kc := keyCoder{mode: mode}
+		lo := m * bs
+		hi := lo + bs
+		if hi > nBuild {
+			hi = nBuild
+		}
+		for i := lo; i < hi; i++ {
+			hashes[i] = kc.hash(bVecs, i)
+		}
+	})
+	// Bucket the row indices per partition (exact-sized, in row order) so
+	// each build worker walks only its own rows.
+	counts := make([]int, nPart)
+	for _, h := range hashes {
+		counts[h>>(64-bits)]++
+	}
+	buckets := make([][]int32, nPart)
+	for pt, c := range counts {
+		buckets[pt] = make([]int32, 0, c)
+	}
+	for i, h := range hashes {
+		pt := h >> (64 - bits)
+		buckets[pt] = append(buckets[pt], int32(i))
+	}
+
+	// Build the partition tables concurrently; next is shared but each row
+	// index belongs to exactly one partition worker.
+	tables := make([]*hashTable, nPart)
+	lists := make([]joinLists, nPart)
+	next := make([]int32, nBuild)
+	for i := range next {
+		next[i] = -1
+	}
+	parallelFor(p, nPart, func(pt int) {
+		rows := buckets[pt]
+		ht := newHashTable(len(rows))
+		ht.setMode(mode, class)
+		kc := keyCoder{mode: mode}
+		jl := joinLists{next: next}
+		for _, i := range rows {
+			g, isNew := kc.getOrInsertHashed(ht, bVecs, int(i), hashes[i])
+			jl.insert(g, i, isNew)
+		}
+		tables[pt] = ht
+		lists[pt] = jl
+	})
+
+	// Probe morsel-wise; chunks concatenate in morsel order, which is the
+	// serial probe order. The join-size guard is a running total shared by
+	// all probe workers (checked after every probe row's match chain), so
+	// the serial path's memory bound holds under parallelism too: an
+	// over-limit join stops allocating within one chain per worker of
+	// crossing the limit. The error condition — total matches exceed
+	// MaxJoinRows — is the serial one, so it fires identically at every
+	// worker count.
+	type pairChunk struct {
+		probe, build []int
+		err          error
+	}
+	npm := (nProbe + bs - 1) / bs
+	chunks := make([]pairChunk, npm)
+	maxRows := ex.opts.MaxJoinRows
+	var matches atomic.Int64
+	parallelFor(p, npm, func(m int) {
+		kc := keyCoder{mode: mode}
+		ch := &chunks[m]
+		if err := ex.checkDeadline(); err != nil {
+			ch.err = err
+			return
+		}
+		lo := m * bs
+		hi := lo + bs
+		if hi > nProbe {
+			hi = nProbe
+		}
+		for i := lo; i < hi; i++ {
+			h := kc.hash(pVecs, i)
+			pt := h >> (64 - bits)
+			g := kc.lookupHashed(tables[pt], pVecs, i, h)
+			if g < 0 {
+				continue
+			}
+			before := len(ch.probe)
+			for r := lists[pt].head[g]; r >= 0; r = next[r] {
+				ch.probe = append(ch.probe, i)
+				ch.build = append(ch.build, int(r))
+			}
+			if added := len(ch.probe) - before; added > 0 {
+				if matches.Add(int64(added)) > int64(maxRows) {
+					ch.err = fmt.Errorf("join result exceeds %d rows", maxRows)
+					return
+				}
+			}
+		}
+	})
+	total := 0
+	for m := range chunks {
+		if chunks[m].err != nil {
+			return nil, nil, chunks[m].err
+		}
+		total += len(chunks[m].probe)
+	}
+	probeIdx := make([]int, 0, total)
+	buildIdx := make([]int, 0, total)
+	for m := range chunks {
+		probeIdx = append(probeIdx, chunks[m].probe...)
+		buildIdx = append(buildIdx, chunks[m].build...)
+	}
+	return probeIdx, buildIdx, nil
+}

@@ -122,66 +122,10 @@ func equalScalars(a, b scalar) bool {
 	return compareScalars(a, b) == 0
 }
 
-// appendKey writes the hash-key encoding of the scalar, matching
-// engine.Value.Key: kinds stay separate so 1 and '1' never collide, but
-// int-valued floats normalize to the integer encoding so mixed numeric join
-// and group keys match.
-func appendKey(sb *strings.Builder, s scalar) {
-	switch s.kind {
-	case KindNull:
-		sb.WriteString("\x00N")
-	case KindString:
-		sb.WriteString("\x01")
-		sb.WriteString(s.s)
-	case KindDate:
-		sb.WriteString("\x02")
-		sb.WriteString(strconv.FormatInt(s.i, 10))
-	case KindFloat:
-		sb.WriteString("\x03")
-		if s.f == float64(int64(s.f)) {
-			sb.WriteString(strconv.FormatInt(int64(s.f), 10))
-		} else {
-			sb.WriteString(strconv.FormatFloat(s.f, 'g', -1, 64))
-		}
-	default:
-		sb.WriteString("\x03")
-		sb.WriteString(strconv.FormatInt(s.i, 10))
-	}
-}
-
-// appendRowKey writes the key of row i of the vector (used by the hot
-// group/join key loops without building an intermediate scalar for the
-// common single-kind cases).
-func appendRowKey(sb *strings.Builder, v *Vector, i int) {
-	if v.IsNull(i) {
-		sb.WriteString("\x00N")
-		return
-	}
-	switch v.Kind {
-	case KindString:
-		sb.WriteString("\x01")
-		sb.WriteString(v.Strs[i])
-	case KindDate:
-		sb.WriteString("\x02")
-		sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
-	case KindInt, KindBool:
-		sb.WriteString("\x03")
-		sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
-	case KindFloat:
-		if v.IsInt != nil && v.IsInt[i] {
-			sb.WriteString("\x03")
-			sb.WriteString(strconv.FormatInt(v.Ints[i], 10))
-			return
-		}
-		sb.WriteString("\x03")
-		f := v.Floats[i]
-		if f == float64(int64(f)) {
-			sb.WriteString(strconv.FormatInt(int64(f), 10))
-		} else {
-			sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
-		}
-	}
-}
+// The hash-key encoding of scalars and vector rows (matching
+// engine.Value.Key) lives in hashtable.go as appendScalarKey and
+// appendVecKey: the hash table's byte mode encodes rows into reusable
+// buffers instead of building per-row strings.
 
 // --- dates -------------------------------------------------------------------
 
