@@ -81,8 +81,9 @@ func Airtraffic(opts AirtrafficOptions) *engine.Database {
 }
 
 // NamedDatabase builds one of the bootstrap databases by name:
-// "tpch" (scale via sf), "ssb" (scale via sf) or "airtraffic" (sf is the
-// number of thousands of flights).
+// "tpch" (scale via sf), "ssb" (scale via sf), "airtraffic" (sf is the
+// number of thousands of flights) or "fuzz" (sf is the number of thousands
+// of NULL-rich fact rows).
 func NamedDatabase(name string, sf float64) (*engine.Database, error) {
 	switch name {
 	case "tpch":
@@ -91,7 +92,9 @@ func NamedDatabase(name string, sf float64) (*engine.Database, error) {
 		return SSB(SSBOptions{ScaleFactor: sf}), nil
 	case "airtraffic":
 		return Airtraffic(AirtrafficOptions{Flights: int(sf * 1000)}), nil
+	case "fuzz":
+		return Fuzz(FuzzOptions{Rows: int(sf * 1000)}), nil
 	default:
-		return nil, fmt.Errorf("unknown data set %q (want tpch, ssb or airtraffic)", name)
+		return nil, fmt.Errorf("unknown data set %q (want tpch, ssb, airtraffic or fuzz)", name)
 	}
 }

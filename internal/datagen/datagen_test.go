@@ -181,8 +181,72 @@ func TestAirtrafficSchema(t *testing.T) {
 	}
 }
 
+func TestFuzzSchema(t *testing.T) {
+	db := Fuzz(FuzzOptions{Rows: 500})
+	ft := db.Table("t")
+	if ft == nil || ft.NumRows() != 500 {
+		t.Fatalf("fuzz fact table missing or wrong size")
+	}
+	dim := db.Table("dim")
+	if dim == nil || dim.NumRows() != 8 {
+		t.Fatalf("fuzz dim table missing or wrong size")
+	}
+	// Key columns must be NULL-free; every nullable column must carry a
+	// meaningful mix of NULLs and values — that mix is the whole point of
+	// the data set.
+	for _, keyCol := range []string{"id", "k"} {
+		ci := ft.ColumnIndex(keyCol)
+		for i := 0; i < ft.NumRows(); i++ {
+			if ft.Value(i, ci).IsNull() {
+				t.Fatalf("key column %s has a NULL at row %d", keyCol, i)
+			}
+		}
+	}
+	for _, nullCol := range []string{"a", "b", "f", "s", "d", "g"} {
+		ci := ft.ColumnIndex(nullCol)
+		nulls := 0
+		for i := 0; i < ft.NumRows(); i++ {
+			if ft.Value(i, ci).IsNull() {
+				nulls++
+			}
+		}
+		frac := float64(nulls) / float64(ft.NumRows())
+		if frac < 0.1 || frac > 0.6 {
+			t.Errorf("column %s NULL fraction %.2f outside [0.1, 0.6]", nullCol, frac)
+		}
+	}
+}
+
+func TestFuzzDeterminism(t *testing.T) {
+	a := Fuzz(FuzzOptions{Rows: 200, Seed: 7})
+	b := Fuzz(FuzzOptions{Rows: 200, Seed: 7})
+	ta, tb := a.Table("t"), b.Table("t")
+	for i := 0; i < ta.NumRows(); i++ {
+		for c := 0; c < ta.NumColumns(); c++ {
+			va, vb := ta.Value(i, c), tb.Value(i, c)
+			if va != vb {
+				t.Fatalf("row %d col %d differs between identical seeds: %v vs %v", i, c, va, vb)
+			}
+		}
+	}
+	other := Fuzz(FuzzOptions{Rows: 200, Seed: 8})
+	diff := false
+	to := other.Table("t")
+	for i := 0; i < ta.NumRows() && !diff; i++ {
+		for c := 0; c < ta.NumColumns(); c++ {
+			if ta.Value(i, c) != to.Value(i, c) {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
 func TestNamedDatabase(t *testing.T) {
-	for _, name := range []string{"tpch", "ssb", "airtraffic"} {
+	for _, name := range []string{"tpch", "ssb", "airtraffic", "fuzz"} {
 		db, err := NamedDatabase(name, 0.001)
 		if err != nil {
 			t.Errorf("NamedDatabase(%s) failed: %v", name, err)

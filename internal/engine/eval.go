@@ -5,7 +5,28 @@ import (
 	"strings"
 
 	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/sqlsem"
 )
+
+// tri lifts a runtime value into the shared ternary-logic domain: NULL is
+// UNKNOWN, everything else its two-valued truth.
+func tri(v Value) sqlsem.Tri {
+	if v.IsNull() {
+		return sqlsem.Unknown
+	}
+	return sqlsem.Of(v.Bool())
+}
+
+// triValue lowers a ternary truth value back into the value domain: UNKNOWN
+// becomes NULL. Predicate consumers (filters, HAVING, CASE arms, join
+// conditions) never see the NULL — they collapse it with Value.Bool — but a
+// predicate in projection position surfaces it.
+func triValue(t sqlsem.Tri) Value {
+	if !t.Known() {
+		return Null()
+	}
+	return NewBool(t == sqlsem.True)
+}
 
 // scope is one level of column visibility: a relation plus the current row,
 // chained to the enclosing query's scope for correlated sub-queries.
@@ -182,10 +203,7 @@ func (ev *evaluator) evalUnary(v *sqlparser.UnaryExpr) (Value, error) {
 	}
 	switch v.Op {
 	case "NOT":
-		if val.IsNull() {
-			return Null(), nil
-		}
-		return NewBool(!val.Bool()), nil
+		return triValue(sqlsem.Not(tri(val))), nil
 	case "-":
 		if val.IsNull() {
 			return Null(), nil
@@ -208,27 +226,31 @@ func (ev *evaluator) evalBinary(v *sqlparser.BinaryExpr) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		if !l.IsNull() && !l.Bool() {
+		lt := tri(l)
+		if lt == sqlsem.False {
+			// Definite FALSE short-circuits; UNKNOWN must still see the
+			// right side (UNKNOWN AND FALSE is FALSE, not UNKNOWN).
 			return NewBool(false), nil
 		}
 		r, err := ev.eval(v.Right)
 		if err != nil {
 			return Value{}, err
 		}
-		return NewBool(l.Bool() && r.Bool()), nil
+		return triValue(sqlsem.And(lt, tri(r))), nil
 	case "OR":
 		l, err := ev.eval(v.Left)
 		if err != nil {
 			return Value{}, err
 		}
-		if l.Bool() {
+		lt := tri(l)
+		if lt == sqlsem.True {
 			return NewBool(true), nil
 		}
 		r, err := ev.eval(v.Right)
 		if err != nil {
 			return Value{}, err
 		}
-		return NewBool(l.Bool() || r.Bool()), nil
+		return triValue(sqlsem.Or(lt, tri(r))), nil
 	}
 
 	// Date +/- INTERVAL handled before generic arithmetic.
@@ -271,32 +293,16 @@ func (ev *evaluator) evalBinary(v *sqlparser.BinaryExpr) (Value, error) {
 		return val, nil
 	case "=", "<>", "<", "<=", ">", ">=":
 		if l.IsNull() || r.IsNull() {
-			return NewBool(false), nil
+			return triValue(sqlsem.Unknown), nil
 		}
-		c := Compare(l, r)
-		switch v.Op {
-		case "=":
-			return NewBool(c == 0), nil
-		case "<>":
-			return NewBool(c != 0), nil
-		case "<":
-			return NewBool(c < 0), nil
-		case "<=":
-			return NewBool(c <= 0), nil
-		case ">":
-			return NewBool(c > 0), nil
-		default:
-			return NewBool(c >= 0), nil
-		}
+		return triValue(sqlsem.Compare(v.Op, Compare(l, r))), nil
 	case "LIKE", "NOT LIKE":
-		if l.IsNull() || r.IsNull() {
-			return NewBool(false), nil
+		eitherNull := l.IsNull() || r.IsNull()
+		matched := false
+		if !eitherNull {
+			matched = Like(l.String(), r.String())
 		}
-		m := Like(l.String(), r.String())
-		if v.Op == "NOT LIKE" {
-			m = !m
-		}
-		return NewBool(m), nil
+		return triValue(sqlsem.Like(eitherNull, matched, v.Op == "NOT LIKE")), nil
 	default:
 		return Value{}, fmt.Errorf("unknown binary operator %q", v.Op)
 	}
@@ -345,14 +351,19 @@ func (ev *evaluator) evalBetween(v *sqlparser.BetweenExpr) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	if val.IsNull() || lo.IsNull() || hi.IsNull() {
-		return NewBool(false), nil
+	geLo := sqlsem.CompareNullable(">=", val.IsNull() || lo.IsNull(), compareNonNull(val, lo))
+	leHi := sqlsem.CompareNullable("<=", val.IsNull() || hi.IsNull(), compareNonNull(val, hi))
+	return triValue(sqlsem.Between(geLo, leHi, v.Not)), nil
+}
+
+// compareNonNull compares two values when neither is NULL; with a NULL
+// operand the result is unused (CompareNullable short-circuits to UNKNOWN)
+// and zero is returned.
+func compareNonNull(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		return 0
 	}
-	in := Compare(val, lo) >= 0 && Compare(val, hi) <= 0
-	if v.Not {
-		in = !in
-	}
-	return NewBool(in), nil
+	return Compare(a, b)
 }
 
 func (ev *evaluator) evalIn(v *sqlparser.InExpr) (Value, error) {
@@ -360,17 +371,19 @@ func (ev *evaluator) evalIn(v *sqlparser.InExpr) (Value, error) {
 	if err != nil {
 		return Value{}, err
 	}
-	if val.IsNull() {
-		return NewBool(false), nil
-	}
-	found := false
+	var found, listHasNull, listEmpty bool
 	if v.Subquery != nil {
-		set, err := ev.ex.subquerySet(v.Subquery, ev.sc)
+		set, hasNull, err := ev.ex.subquerySet(v.Subquery, ev.sc)
 		if err != nil {
 			return Value{}, err
 		}
-		found = set[val.Key()]
+		found = !val.IsNull() && set[val.Key()]
+		listHasNull = hasNull
+		listEmpty = len(set) == 0 && !hasNull
 	} else {
+		// An explicit IN list is never empty. A found match still
+		// short-circuits (TRUE dominates any NULL in the list), preserving
+		// the interpreter's error-evaluation order.
 		for _, item := range v.List {
 			iv, err := ev.eval(item)
 			if err != nil {
@@ -380,12 +393,16 @@ func (ev *evaluator) evalIn(v *sqlparser.InExpr) (Value, error) {
 				found = true
 				break
 			}
+			if iv.IsNull() {
+				listHasNull = true
+			}
 		}
 	}
+	t := sqlsem.In(val.IsNull(), found, listHasNull, listEmpty)
 	if v.Not {
-		found = !found
+		t = sqlsem.Not(t)
 	}
-	return NewBool(found), nil
+	return triValue(t), nil
 }
 
 func (ev *evaluator) evalSubstring(v *sqlparser.SubstringExpr) (Value, error) {

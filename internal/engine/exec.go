@@ -101,7 +101,7 @@ type executor struct {
 	plan *plan.Plan
 
 	uncorrCache  map[*sqlparser.SelectStatement]*relation
-	uncorrSets   map[*sqlparser.SelectStatement]map[string]bool
+	uncorrSets   map[*sqlparser.SelectStatement]subquerySetEntry
 	deadlineTick int
 }
 
@@ -117,7 +117,7 @@ func newExecutor(db *Database, mode Mode, limits executionLimits, guardCasts boo
 		guardCasts:  guardCasts,
 		plan:        p,
 		uncorrCache: map[*sqlparser.SelectStatement]*relation{},
-		uncorrSets:  map[*sqlparser.SelectStatement]map[string]bool{},
+		uncorrSets:  map[*sqlparser.SelectStatement]subquerySetEntry{},
 	}
 }
 
@@ -160,30 +160,42 @@ func (ex *executor) executeSubquery(stmt *sqlparser.SelectStatement, outer *scop
 	return ex.executeSelect(sub, outer)
 }
 
-// subquerySet returns the set of first-column values produced by an IN
-// sub-query, cached for uncorrelated sub-queries.
-func (ex *executor) subquerySet(stmt *sqlparser.SelectStatement, outer *scope) (map[string]bool, error) {
+// subquerySetEntry caches an IN sub-query's value set together with its
+// NULL flag — the pair is inseparable: ternary IN needs to know whether a
+// probe missed a NULL-bearing set (UNKNOWN) or a clean one (FALSE).
+type subquerySetEntry struct {
+	set     map[string]bool
+	hasNull bool
+}
+
+// subquerySet returns the set of non-NULL first-column values produced by
+// an IN sub-query plus whether the column contained any NULL — ternary IN
+// needs that flag: a probe that misses a NULL-bearing set is UNKNOWN, not
+// FALSE. Cached for uncorrelated sub-queries.
+func (ex *executor) subquerySet(stmt *sqlparser.SelectStatement, outer *scope) (map[string]bool, bool, error) {
 	if !ex.plan.Correlated(stmt) {
-		if set, ok := ex.uncorrSets[stmt]; ok {
-			return set, nil
+		if entry, ok := ex.uncorrSets[stmt]; ok {
+			return entry.set, entry.hasNull, nil
 		}
 	}
 	rel, err := ex.executeSubquery(stmt, outer)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	set := map[string]bool{}
+	entry := subquerySetEntry{set: map[string]bool{}}
 	if len(rel.cols) > 0 {
 		for _, v := range rel.cols[0].vals {
-			if !v.IsNull() {
-				set[v.Key()] = true
+			if v.IsNull() {
+				entry.hasNull = true
+			} else {
+				entry.set[v.Key()] = true
 			}
 		}
 	}
 	if !ex.plan.Correlated(stmt) {
-		ex.uncorrSets[stmt] = set
+		ex.uncorrSets[stmt] = entry
 	}
-	return set, nil
+	return entry.set, entry.hasNull, nil
 }
 
 // executeSelect is the top of the interpreter: it runs one planned SELECT
@@ -446,9 +458,13 @@ func (ex *executor) hashJoin(left, right *relation, leftKeys, rightKeys []sqlpar
 			return nil, err
 		}
 		bev.sc.row = i
-		key, err := joinKey(bev, buildKeys)
+		key, hasNull, err := joinKey(bev, buildKeys)
 		if err != nil {
 			return nil, err
+		}
+		if hasNull {
+			// NULL = anything is UNKNOWN: the row cannot match.
+			continue
 		}
 		ht[key] = append(ht[key], i)
 	}
@@ -459,9 +475,12 @@ func (ex *executor) hashJoin(left, right *relation, leftKeys, rightKeys []sqlpar
 			return nil, err
 		}
 		pev.sc.row = i
-		key, err := joinKey(pev, probeKeys)
+		key, hasNull, err := joinKey(pev, probeKeys)
 		if err != nil {
 			return nil, err
+		}
+		if hasNull {
+			continue
 		}
 		for _, bi := range ht[key] {
 			probeIdx = append(probeIdx, i)
@@ -482,17 +501,25 @@ func (ex *executor) hashJoin(left, right *relation, leftKeys, rightKeys []sqlpar
 	return out, nil
 }
 
-func joinKey(ev *evaluator, keys []sqlparser.Expr) (string, error) {
+// joinKey encodes the equi-join key values of the current row. hasNull
+// reports a NULL among the key values: per the ternary contract
+// (internal/sqlsem) an equality with a NULL operand is UNKNOWN, so such
+// rows can never satisfy the join condition — callers must skip them
+// instead of letting NULL keys bucket together.
+func joinKey(ev *evaluator, keys []sqlparser.Expr) (key string, hasNull bool, err error) {
 	var sb strings.Builder
 	for _, k := range keys {
 		v, err := ev.eval(k)
 		if err != nil {
-			return "", err
+			return "", false, err
+		}
+		if v.IsNull() {
+			hasNull = true
 		}
 		sb.WriteString(v.Key())
 		sb.WriteByte('|')
 	}
-	return sb.String(), nil
+	return sb.String(), hasNull, nil
 }
 
 // crossJoin builds the cartesian product, guarded by the join-size limit.
@@ -538,11 +565,15 @@ func (ex *executor) leftOuterJoin(left, right *relation, j *plan.Join, outer *sc
 		rev.sc.row = i
 		key := ""
 		if len(rightKeys) > 0 {
-			var err error
-			key, err = joinKey(rev, rightKeys)
+			k, hasNull, err := joinKey(rev, rightKeys)
 			if err != nil {
 				return nil, err
 			}
+			if hasNull {
+				// NULL = anything is UNKNOWN: the row cannot match.
+				continue
+			}
+			key = k
 		}
 		ht[key] = append(ht[key], i)
 	}
@@ -556,15 +587,22 @@ func (ex *executor) leftOuterJoin(left, right *relation, j *plan.Join, outer *sc
 		}
 		lev.sc.row = i
 		key := ""
+		keyNull := false
 		if len(leftKeys) > 0 {
-			var err error
-			key, err = joinKey(lev, leftKeys)
+			k, hasNull, err := joinKey(lev, leftKeys)
 			if err != nil {
 				return nil, err
 			}
+			key, keyNull = k, hasNull
 		}
 		matched := false
-		for _, ri := range ht[key] {
+		candidates := ht[key]
+		if keyNull {
+			// A NULL key never matches; the left row survives
+			// null-extended below, per LEFT JOIN semantics.
+			candidates = nil
+		}
+		for _, ri := range candidates {
 			ok := true
 			if len(residual) > 0 {
 				// Evaluate residual conditions over the combined row.

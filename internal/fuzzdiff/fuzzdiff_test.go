@@ -1,0 +1,91 @@
+package fuzzdiff
+
+import (
+	"strings"
+	"testing"
+
+	"sqalpel/internal/engine"
+	"sqalpel/internal/grammar"
+)
+
+// TestDifferentialFuzz is the standing correctness oracle: at least 500
+// distinct grammar-derived queries over NULL-rich data, executed on all
+// five registry engines, must agree bit for bit. This is also the CI smoke
+// gate (fixed seed, bounded size).
+func TestDifferentialFuzz(t *testing.T) {
+	rep, err := Run(Options{Seed: 42, Queries: 520})
+	if err != nil {
+		t.Fatalf("fuzzer failed to run: %v", err)
+	}
+	t.Logf("seed=%d rows=%d derived=%d executed=%d agreed-errors=%d divergences=%d",
+		rep.Seed, rep.Rows, rep.Derived, rep.Executed, rep.AgreedErrors, len(rep.Divergences))
+	if rep.Executed < 500 {
+		t.Errorf("executed %d queries, want >= 500 (grammar space too small?)", rep.Executed)
+	}
+	for i, d := range rep.Divergences {
+		if i >= 10 {
+			t.Errorf("… and %d more divergences", len(rep.Divergences)-10)
+			break
+		}
+		t.Errorf("engines diverge:\n%s", d.Describe())
+	}
+	// The grammar is designed to produce only valid queries; every engine
+	// erroring in unison would hide coverage, so keep it visible.
+	if rep.AgreedErrors > rep.Executed/10 {
+		t.Errorf("%d/%d queries errored on every engine — grammar coverage collapsing", rep.AgreedErrors, rep.Executed)
+	}
+}
+
+// TestFuzzReproducible pins seeded determinism: the same seed must derive
+// the same queries and the same report counts.
+func TestFuzzReproducible(t *testing.T) {
+	a, err := Run(Options{Seed: 7, Queries: 60, Rows: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 7, Queries: 60, Rows: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Derived != b.Derived || a.Executed != b.Executed || a.AgreedErrors != b.AgreedErrors {
+		t.Errorf("same seed produced different runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestGrammarCoversTernaryConstructs guards the grammar against losing the
+// constructs the NULL-semantics contract is about.
+func TestGrammarCoversTernaryConstructs(t *testing.T) {
+	g, err := grammar.Parse(GrammarSource)
+	if err != nil {
+		t.Fatalf("grammar does not parse: %v", err)
+	}
+	var all string
+	for _, lit := range g.Literals() {
+		all += lit.Text + "\n"
+	}
+	for _, want := range []string{"NOT (", "LIKE", "NOT LIKE", "IN (", "NOT IN", "BETWEEN", "NOT BETWEEN", "NULL)", "CASE WHEN", "IS NULL", "IS NOT NULL"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("grammar literals lost construct %q", want)
+		}
+	}
+}
+
+// TestFingerprintExactness makes sure the fingerprint distinguishes what
+// engines must not confuse: NULL vs false, and floats by bit pattern.
+func TestFingerprintExactness(t *testing.T) {
+	mk := func(v engine.Value) string {
+		return Fingerprint(&engine.Result{Columns: []string{"c"}, Rows: [][]engine.Value{{v}}})
+	}
+	if mk(engine.Null()) == mk(engine.NewBool(false)) {
+		t.Error("fingerprint confuses NULL with false")
+	}
+	// Runtime addition (constant folding would make these equal): 0.1+0.2
+	// differs from 0.3 in the last bit, and the fingerprint must see it.
+	a, b := 0.1, 0.2
+	if mk(engine.NewFloat(a+b)) == mk(engine.NewFloat(0.3)) {
+		t.Error("fingerprint rounds floats (0.1+0.2 vs 0.3 must differ)")
+	}
+	if mk(engine.NewInt(1)) == mk(engine.NewBool(true)) {
+		t.Error("fingerprint confuses int 1 with bool true")
+	}
+}

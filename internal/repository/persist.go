@@ -26,7 +26,11 @@ type snapshot struct {
 }
 
 // Save writes the store to <dir>/sqalpel.json, creating the directory when
-// needed. The write is atomic (temp file + rename).
+// needed. The write is atomic (temp file + rename). Marshalling happens
+// under the read lock: the snapshot slices hold the live *Project/*Task/
+// *Result pointers, so encoding after unlocking would race with concurrent
+// mutators (AppendQueries, AddResult, task leasing) walking the same
+// objects. Only the filesystem writes run unlocked.
 func (s *Store) Save(dir string) error {
 	s.mu.RLock()
 	snap := snapshot{
@@ -48,14 +52,14 @@ func (s *Store) Save(dir string) error {
 	for _, t := range s.tasks {
 		snap.Tasks = append(snap.Tasks, t)
 	}
+	data, err := json.MarshalIndent(snap, "", "  ")
 	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("encoding store: %w", err)
+	}
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("creating store directory: %w", err)
-	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		return fmt.Errorf("encoding store: %w", err)
 	}
 	tmp := filepath.Join(dir, "sqalpel.json.tmp")
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {

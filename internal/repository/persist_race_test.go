@@ -1,0 +1,85 @@
+package repository
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSaveConcurrentWithMutators hammers Save against the mutators that
+// write through the shared *Project/*Task/*Result pointers the snapshot
+// holds. Before Save marshalled under the read lock, json.MarshalIndent ran
+// after RUnlock and raced with AppendQueries/AddResult/RequestTask; run
+// with -race this test pins the fix.
+func TestSaveConcurrentWithMutators(t *testing.T) {
+	s, pub, _ := fixture(t)
+	ownerKey := s.Project(pub.ID).Contributors[0].Key
+	dir := t.TempDir()
+
+	const rounds = 50
+	var wg sync.WaitGroup
+	wg.Add(4)
+
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := s.Save(dir); err != nil {
+				t.Errorf("Save: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			err := s.AppendQueries("martin", pub.ID, 1, []QueryRecord{
+				{ID: 100 + i, SQL: fmt.Sprintf("SELECT %d FROM nation", i), Strategy: "random", Components: 2},
+			})
+			if err != nil {
+				t.Errorf("AppendQueries: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := s.AddResult(ownerKey, 1, 1, "columba-1.0", "laptop", []float64{0.1}, "", map[string]string{"i": fmt.Sprint(i)}); err != nil {
+				t.Errorf("AddResult: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			// Task leasing mutates *Task fields (status, lease deadline)
+			// reachable from the snapshot too.
+			task, err := s.RequestTask(ownerKey, 1, "columba-1.0", "laptop")
+			if err != nil {
+				t.Errorf("RequestTask: %v", err)
+				return
+			}
+			if task == nil {
+				continue
+			}
+			if _, err := s.CompleteTask(task.ID, ownerKey, []float64{0.2}, "", nil); err != nil && err != ErrLeaseLost {
+				t.Errorf("CompleteTask: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The store must still round-trip cleanly after the stampede.
+	if err := s.Save(dir); err != nil {
+		t.Fatalf("final Save: %v", err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after concurrent saves: %v", err)
+	}
+	if loaded.Project(pub.ID) == nil {
+		t.Error("loaded store lost the project")
+	}
+}

@@ -463,10 +463,11 @@ func (ex *executor) orderKeyVectors(stmt *sqlparser.SelectStatement, items []pro
 			}
 		}
 		if num, ok := ob.Expr.(*sqlparser.NumberLit); ok {
-			idx := int(parseNumberScalar(num.Value).intVal()) - 1
-			if idx >= 0 && idx < len(cols) {
-				keys[oi] = cols[idx]
-				continue
+			if ns, err := parseNumberScalar(num.Value); err == nil {
+				if idx := int(ns.intVal()) - 1; idx >= 0 && idx < len(cols) {
+					keys[oi] = cols[idx]
+					continue
+				}
 			}
 		}
 		v, err := ctx.eval(ob.Expr)

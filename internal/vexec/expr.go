@@ -3,9 +3,11 @@ package vexec
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/sqlsem"
 )
 
 // evalCtx evaluates expressions over one batch. In grouped context the
@@ -48,7 +50,11 @@ func (ctx *evalCtx) eval(e sqlparser.Expr) (*Vector, error) {
 	n := ctx.batch.Len()
 	switch v := e.(type) {
 	case *sqlparser.NumberLit:
-		return constVec(parseNumberScalar(v.Value), n), nil
+		s, err := parseNumberScalar(v.Value)
+		if err != nil {
+			return nil, err
+		}
+		return constVec(s, n), nil
 	case *sqlparser.StringLit:
 		return constVec(scalar{kind: KindString, s: v.Value}, n), nil
 	case *sqlparser.BoolLit:
@@ -68,7 +74,11 @@ func (ctx *evalCtx) eval(e sqlparser.Expr) (*Vector, error) {
 	case *sqlparser.IntervalLit:
 		// Bare intervals evaluate to their numeric count; date arithmetic
 		// with a unit is handled in the BinaryExpr case.
-		return constVec(parseNumberScalar(v.Value), n), nil
+		s, err := parseNumberScalar(v.Value)
+		if err != nil {
+			return nil, err
+		}
+		return constVec(s, n), nil
 	case *sqlparser.ColumnRef:
 		return ctx.resolveColumn(v)
 	case *sqlparser.ParenExpr:
@@ -155,8 +165,11 @@ func constVec(s scalar, n int) *Vector {
 }
 
 // parseNumberScalar mirrors the interpreter's numeric literal parsing:
-// integers stay exact, everything else becomes a float.
-func parseNumberScalar(s string) scalar {
+// integers stay exact, everything else becomes a float. Literals vexec
+// cannot parse cleanly are NOT silently coerced (the interpreter's atof
+// collapses garbage to 0); they defer the statement to the interpreter via
+// ErrUnsupported so the engines cannot disagree on such input.
+func parseNumberScalar(s string) (scalar, error) {
 	if !strings.ContainsAny(s, ".eE") {
 		var n int64
 		neg := false
@@ -167,27 +180,36 @@ func parseNumberScalar(s string) scalar {
 				continue
 			}
 			if c < '0' || c > '9' {
-				return scalar{kind: KindFloat, f: atof(s)}
+				f, err := atof(s)
+				return scalar{kind: KindFloat, f: f}, err
 			}
 			n = n*10 + int64(c-'0')
 		}
 		if neg {
 			n = -n
 		}
-		return scalar{kind: KindInt, i: n}
+		return scalar{kind: KindInt, i: n}, nil
 	}
-	return scalar{kind: KindFloat, f: atof(s)}
+	f, err := atof(s)
+	return scalar{kind: KindFloat, f: f}, err
 }
 
-func atof(s string) float64 {
-	var f float64
-	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
-		return 0
+// atof parses a float literal strictly (the whole string must parse, no
+// trailing garbage). Unlike the interpreter's variant it reports failure
+// instead of silently coercing: the caller defers the statement back to
+// the interpreter, which owns the semantics of malformed numerics.
+func atof(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: unparsable numeric literal %q", ErrUnsupported, s)
 	}
-	return f
+	return f, nil
 }
 
-// truthy is the two-valued truth of row i: NULL is false.
+// truthy is the two-valued truth of row i: NULL is false. It implements
+// the predicate-consumer collapse (sqlsem.Tri.Accept) for filters, HAVING
+// and CASE WHEN arms; expression-internal logic must use triAt instead so
+// UNKNOWN propagates.
 func truthy(v *Vector, i int) bool {
 	if v.IsNull(i) {
 		return false
@@ -202,6 +224,26 @@ func truthy(v *Vector, i int) bool {
 	}
 }
 
+// triAt lifts row i into the shared ternary-logic domain: NULL is UNKNOWN.
+func triAt(v *Vector, i int) sqlsem.Tri {
+	if v.IsNull(i) {
+		return sqlsem.Unknown
+	}
+	return sqlsem.Of(truthy(v, i))
+}
+
+// setTri lowers a ternary truth value into row i of a boolean vector:
+// UNKNOWN becomes NULL, so null bitmaps flow through boolean vectors
+// exactly like the interpreters' NULL values flow through predicates.
+func setTri(out *Vector, i int, t sqlsem.Tri) {
+	switch t {
+	case sqlsem.True:
+		out.Ints[i] = 1
+	case sqlsem.Unknown:
+		out.SetNull(i)
+	}
+}
+
 func (ctx *evalCtx) evalUnary(v *sqlparser.UnaryExpr) (*Vector, error) {
 	val, err := ctx.eval(v.Expr)
 	if err != nil {
@@ -212,13 +254,7 @@ func (ctx *evalCtx) evalUnary(v *sqlparser.UnaryExpr) (*Vector, error) {
 	case "NOT":
 		out := NewVector(KindBool, n)
 		for i := 0; i < n; i++ {
-			if val.IsNull(i) {
-				out.SetNull(i)
-				continue
-			}
-			if !truthy(val, i) {
-				out.Ints[i] = 1
-			}
+			setTri(out, i, sqlsem.Not(triAt(val, i)))
 		}
 		return out, nil
 	case "-":
@@ -283,15 +319,11 @@ func (ctx *evalCtx) evalBinary(v *sqlparser.BinaryExpr) (*Vector, error) {
 		out := NewVector(KindBool, n)
 		if v.Op == "AND" {
 			for i := 0; i < n; i++ {
-				if truthy(l, i) && truthy(r, i) {
-					out.Ints[i] = 1
-				}
+				setTri(out, i, sqlsem.And(triAt(l, i), triAt(r, i)))
 			}
 		} else {
 			for i := 0; i < n; i++ {
-				if truthy(l, i) || truthy(r, i) {
-					out.Ints[i] = 1
-				}
+				setTri(out, i, sqlsem.Or(triAt(l, i), triAt(r, i)))
 			}
 		}
 		return out, nil
@@ -303,7 +335,11 @@ func (ctx *evalCtx) evalBinary(v *sqlparser.BinaryExpr) (*Vector, error) {
 		if err != nil {
 			return nil, err
 		}
-		nv := parseNumberScalar(iv.Value).intVal()
+		ns, err := parseNumberScalar(iv.Value)
+		if err != nil {
+			return nil, err
+		}
+		nv := ns.intVal()
 		if v.Op == "-" {
 			nv = -nv
 		}
@@ -497,27 +533,15 @@ func arithVec(op string, l, r *Vector) (*Vector, error) {
 	return bld.finalize()
 }
 
-// cmpVec applies a comparison operator; any NULL operand compares false.
+// cmpVec applies a comparison operator with ternary NULL semantics: any
+// NULL operand marks the output row NULL (UNKNOWN), matching the
+// interpreters and sqlsem.CompareNullable. The typed fast paths only skip
+// the boxing, never the null bitmap.
 func cmpVec(op string, l, r *Vector) *Vector {
 	n := l.Len()
 	out := NewVector(KindBool, n)
 	set := func(i, c int) {
-		var ok bool
-		switch op {
-		case "=":
-			ok = c == 0
-		case "<>":
-			ok = c != 0
-		case "<":
-			ok = c < 0
-		case "<=":
-			ok = c <= 0
-		case ">":
-			ok = c > 0
-		default:
-			ok = c >= 0
-		}
-		if ok {
+		if sqlsem.Compare(op, c) == sqlsem.True {
 			out.Ints[i] = 1
 		}
 	}
@@ -528,6 +552,7 @@ func cmpVec(op string, l, r *Vector) *Vector {
 	case intKinds(l) && intKinds(r):
 		for i := 0; i < n; i++ {
 			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
 				continue
 			}
 			a, b := l.Ints[i], r.Ints[i]
@@ -542,6 +567,7 @@ func cmpVec(op string, l, r *Vector) *Vector {
 	case l.Kind == KindFloat && l.IsInt == nil && r.Kind == KindFloat && r.IsInt == nil:
 		for i := 0; i < n; i++ {
 			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
 				continue
 			}
 			a, b := l.Floats[i], r.Floats[i]
@@ -556,6 +582,7 @@ func cmpVec(op string, l, r *Vector) *Vector {
 	case l.Kind == KindString && r.Kind == KindString:
 		for i := 0; i < n; i++ {
 			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
 				continue
 			}
 			set(i, strings.Compare(l.Strs[i], r.Strs[i]))
@@ -564,6 +591,7 @@ func cmpVec(op string, l, r *Vector) *Vector {
 		for i := 0; i < n; i++ {
 			a, b := l.At(i), r.At(i)
 			if a.isNull() || b.isNull() {
+				out.SetNull(i)
 				continue
 			}
 			set(i, compareScalars(a, b))
@@ -572,22 +600,20 @@ func cmpVec(op string, l, r *Vector) *Vector {
 	return out
 }
 
-// likeVec applies LIKE / NOT LIKE; NULL operands yield false.
+// likeVec applies LIKE / NOT LIKE with ternary NULL semantics: a NULL
+// string or pattern yields NULL, negation included (NOT UNKNOWN stays
+// UNKNOWN).
 func likeVec(l, r *Vector, negate bool) *Vector {
 	n := l.Len()
 	out := NewVector(KindBool, n)
 	for i := 0; i < n; i++ {
 		a, b := l.At(i), r.At(i)
-		if a.isNull() || b.isNull() {
-			continue
+		eitherNull := a.isNull() || b.isNull()
+		matched := false
+		if !eitherNull {
+			matched = likeMatch(a.render(), b.render())
 		}
-		m := likeMatch(a.render(), b.render())
-		if negate {
-			m = !m
-		}
-		if m {
-			out.Ints[i] = 1
-		}
+		setTri(out, i, sqlsem.Like(eitherNull, matched, negate))
 	}
 	return out
 }
@@ -662,18 +688,21 @@ func (ctx *evalCtx) evalBetween(v *sqlparser.BetweenExpr) (*Vector, error) {
 	out := NewVector(KindBool, n)
 	for i := 0; i < n; i++ {
 		a, l, h := val.At(i), lo.At(i), hi.At(i)
-		if a.isNull() || l.isNull() || h.isNull() {
-			continue
-		}
-		in := compareScalars(a, l) >= 0 && compareScalars(a, h) <= 0
-		if v.Not {
-			in = !in
-		}
-		if in {
-			out.Ints[i] = 1
-		}
+		geLo := sqlsem.CompareNullable(">=", a.isNull() || l.isNull(), compareScalarsNonNull(a, l))
+		leHi := sqlsem.CompareNullable("<=", a.isNull() || h.isNull(), compareScalarsNonNull(a, h))
+		setTri(out, i, sqlsem.Between(geLo, leHi, v.Not))
 	}
 	return out, nil
+}
+
+// compareScalarsNonNull compares two scalars when neither is NULL; with a
+// NULL operand the result is unused (CompareNullable short-circuits to
+// UNKNOWN) and zero is returned.
+func compareScalarsNonNull(a, b scalar) int {
+	if a.isNull() || b.isNull() {
+		return 0
+	}
+	return compareScalars(a, b)
 }
 
 func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
@@ -694,25 +723,22 @@ func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
 	out := NewVector(KindBool, n)
 	for i := 0; i < n; i++ {
 		a := val.At(i)
-		found := false
-		if !a.isNull() {
-			for _, item := range items {
-				if equalScalars(a, item.At(i)) {
-					found = true
-					break
-				}
+		var found, listHasNull bool
+		for _, item := range items {
+			s := item.At(i)
+			if equalScalars(a, s) {
+				found = true
+				break
+			}
+			if s.isNull() {
+				listHasNull = true
 			}
 		}
-		if a.isNull() {
-			// NULL IN (...) is false, NULL NOT IN (...) is false too.
-			continue
-		}
+		t := sqlsem.In(a.isNull(), found, listHasNull, false)
 		if v.Not {
-			found = !found
+			t = sqlsem.Not(t)
 		}
-		if found {
-			out.Ints[i] = 1
-		}
+		setTri(out, i, t)
 	}
 	return out, nil
 }

@@ -301,6 +301,21 @@ func (jl *joinLists) insert(g int, i int32, isNew bool) {
 	jl.tail[g] = i
 }
 
+// nullKeyRow reports a NULL among the join-key slots of row i. Equality
+// with a NULL operand is UNKNOWN under the ternary contract
+// (internal/sqlsem), so such rows can never satisfy an equi-join — they
+// must be skipped on both sides, never bucketed together. Grouping and
+// DISTINCT deliberately keep the opposite behaviour (NULLs collapse into
+// one group); only joins use this guard.
+func nullKeyRow(vecs []*Vector, i int) bool {
+	for _, v := range vecs {
+		if v.IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
 // joinPairs builds the hash table over the build side and probes it in
 // probe-row order, emitting the matching (probe, build) row pairs.
 func (ex *executor) joinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) (probeIdx, buildIdx []int, err error) {
@@ -308,10 +323,16 @@ func (ex *executor) joinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) (probe
 	kc := ht.prepare(bVecs, pVecs)
 	jl := newJoinLists(nBuild)
 	for i := 0; i < nBuild; i++ {
+		if nullKeyRow(bVecs, i) {
+			continue
+		}
 		g, isNew := kc.getOrInsert(ht, bVecs, i)
 		jl.insert(g, int32(i), isNew)
 	}
 	for i := 0; i < nProbe; i++ {
+		if nullKeyRow(pVecs, i) {
+			continue
+		}
 		g := kc.lookup(ht, pVecs, i)
 		if g < 0 {
 			continue

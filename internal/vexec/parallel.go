@@ -468,6 +468,11 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 		kc := keyCoder{mode: mode}
 		jl := joinLists{next: next}
 		for _, i := range rows {
+			if nullKeyRow(bVecs, int(i)) {
+				// NULL join keys never match (see nullKeyRow); the serial
+				// joinPairs skips them identically.
+				continue
+			}
 			g, isNew := kc.getOrInsertHashed(ht, bVecs, int(i), hashes[i])
 			jl.insert(g, i, isNew)
 		}
@@ -504,6 +509,9 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 			hi = nProbe
 		}
 		for i := lo; i < hi; i++ {
+			if nullKeyRow(pVecs, i) {
+				continue
+			}
 			h := kc.hash(pVecs, i)
 			pt := h >> (64 - bits)
 			g := kc.lookupHashed(tables[pt], pVecs, i, h)

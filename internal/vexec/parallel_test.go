@@ -96,6 +96,17 @@ func TestParallelMatchesSerial(t *testing.T) {
 		"SELECT nk, count(*), sum(y) FROM f GROUP BY nk",
 		"SELECT f.x, dim.name, f.y FROM f, dim WHERE f.x = dim.k AND f.y > 1",
 		"SELECT count(*), sum(f.y) FROM f, dim WHERE f.x = dim.k",
+		// Nullable join keys: NULL nk rows must be skipped identically by
+		// the serial and the partitioned morsel-parallel join (probe-side
+		// NULLs here: dim is the smaller build side).
+		"SELECT count(*), sum(f.y) FROM f, dim WHERE f.nk = dim.k",
+		"SELECT dim.name, count(*) FROM f, dim WHERE f.nk = dim.k GROUP BY dim.name ORDER BY 2 DESC, 1 LIMIT 5",
+		// Build-side NULL keys: the self-join builds on b (nk nullable).
+		"SELECT count(*), sum(a.y) FROM f a, f b WHERE a.x = b.nk",
+		// NULL keys on BOTH sides — the case where dropping either
+		// nullKeyRow guard would make NULL = NULL match and inflate the
+		// count (a is filtered small, so it becomes the build side).
+		"SELECT count(*), sum(b.y) FROM f a, f b WHERE a.y > 13 AND a.nk = b.nk",
 		"SELECT dim.name, sum(f.y) FROM f, dim WHERE f.x = dim.k GROUP BY dim.name ORDER BY 2 DESC LIMIT 7",
 		"SELECT DISTINCT s FROM f ORDER BY s",
 		"SELECT DISTINCT x, s FROM f WHERE x < 40 ORDER BY x DESC, s LIMIT 25",
