@@ -42,6 +42,7 @@ import (
 	"sqalpel/internal/server"
 	"sqalpel/internal/sqlparser"
 	"sqalpel/internal/tpcsurvey"
+	"sqalpel/internal/trace"
 	"sqalpel/internal/vexec"
 	"sqalpel/internal/workload"
 )
@@ -472,6 +473,51 @@ func BenchmarkEnginesTPCH(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTraceOverhead quantifies the per-operator tracing seam. The
+// "seam-disabled" sub-benchmark drives the exact operations an operator
+// performs when no tracer is installed — nil-tracer span lookup, Timer
+// start/stop, delta merge — and must report 0 B/op and 0 allocs/op: that is
+// the zero-cost contract the engines rely on to leave tracing compiled in.
+// The query sub-benchmarks measure a full vektor Q6 with tracing off and on;
+// their difference is the price of -trace, recorded in EXPERIMENTS.md.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("seam-disabled", func(b *testing.B) {
+		var tr *trace.Tracer
+		opID := trace.ScanID("", 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Span(opID, trace.KindScan)
+			tm := sp.Start()
+			tm.Done(1024)
+			sp.Merge(trace.SpanDelta{WallNS: 5, Rows: 1024, Batches: 1})
+		}
+	})
+
+	db := smallTPCH()
+	q6, _ := workload.TPCHQuery("Q6")
+	eng := engine.NewVektorEngine()
+	b.Run("query-disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(db, q6.SQL, engine.ExecOptions{Timeout: time.Minute}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query-enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := trace.NewTracer()
+			if _, err := eng.Execute(db, q6.SQL, engine.ExecOptions{Timeout: time.Minute, Tracer: tr}); err != nil {
+				b.Fatal(err)
+			}
+			if qt := tr.Trace("vektor-1.0"); len(qt.Spans) == 0 {
+				b.Fatal("traced execution produced no spans")
+			}
+		}
+	})
 }
 
 // BenchmarkEnginesQ1 isolates the paper's flagship query on both engines and

@@ -21,12 +21,20 @@
 // With workers > 1 (from the configuration file or the -workers flag) the
 // driver leases tasks in batches and measures them concurrently, so several
 // drivers can crowd-source one experiment without double-measuring.
+//
+// The explain subcommand renders the EXPLAIN plan-JSON of a query — the
+// stable, engine-independent physical plan document whose operator ids the
+// execution traces key their spans by — and with -run executes the query on
+// every built-in engine with tracing enabled and prints the span tables:
+//
+//	sqalpel explain -dataset tpch -sf 0.01 -run "SELECT count(*) FROM lineitem"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -34,9 +42,14 @@ import (
 	"sqalpel/internal/datagen"
 	"sqalpel/internal/driver"
 	"sqalpel/internal/engine"
+	"sqalpel/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 	configPath := flag.String("config", "sqalpel.conf", "driver configuration file")
 	dataset := flag.String("dataset", "tpch", "local data set to run against: tpch, ssb or airtraffic")
 	sf := flag.Float64("sf", 0.01, "scale factor of the local data set")
@@ -78,6 +91,60 @@ func main() {
 		log.Fatalf("after %d tasks: %v", n, err)
 	}
 	fmt.Printf("processed %d tasks in %s\n", n, time.Since(start).Round(time.Millisecond))
+}
+
+// runExplain implements the explain subcommand: print the query's EXPLAIN
+// plan-JSON, and with -run execute it on the selected engines with tracing
+// enabled and print the per-operator span tables keyed to the plan ids.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dataset := fs.String("dataset", "tpch", "local data set to plan against: tpch, ssb or airtraffic")
+	sf := fs.Float64("sf", 0.01, "scale factor of the local data set")
+	run := fs.Bool("run", false, "also execute the query on the selected engines with tracing enabled")
+	engines := fs.String("engines", "", "comma-separated engine keys for -run (default: all built-in engines)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: sqalpel explain [flags] <sql>")
+	}
+	sql := fs.Arg(0)
+
+	db, err := datagen.NamedDatabase(*dataset, *sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := engine.NewRegistry()
+	doc, err := reg.ExplainJSON(db, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(doc))
+
+	if !*run {
+		return
+	}
+	keys := reg.Keys()
+	if *engines != "" {
+		keys = strings.Split(*engines, ",")
+	}
+	for _, key := range keys {
+		eng := reg.Get(strings.TrimSpace(key))
+		if eng == nil {
+			log.Fatalf("unknown engine %q; available: %s", key, strings.Join(reg.Keys(), ", "))
+		}
+		tr := trace.NewTracer()
+		res, err := eng.Execute(db, sql, engine.ExecOptions{Tracer: tr})
+		if err != nil {
+			fmt.Printf("\n%s: error: %v\n", key, err)
+			continue
+		}
+		qt := tr.Trace(engine.EngineKey(eng.Name(), eng.Version()))
+		fmt.Printf("\n%s: %d rows\n", key, res.NumRows())
+		fmt.Printf("%-28s %-12s %12s %10s %8s\n", "operator", "kind", "wall (ms)", "rows", "batches")
+		for _, sp := range qt.Spans {
+			fmt.Printf("%-28s %-12s %12.3f %10d %8d\n",
+				sp.OpID, sp.Kind, float64(sp.WallNS)/1e6, sp.Rows, sp.Batches)
+		}
+	}
 }
 
 // engineForKey maps a DBMS catalog key to a built-in engine.

@@ -24,6 +24,12 @@
 //     batch-vectorized executor built on internal/vexec) — plus
 //     deterministic TPC-H / SSB / airtraffic data generators and the
 //     corresponding query workloads.
+//   - internal/trace is the observability plane: the EXPLAIN plan-JSON
+//     document and the plan-derived operator-id scheme every engine keys its
+//     execution spans by, so traces from different paradigms compare
+//     operator by operator (sqalpel explain -run prints them; the webui
+//     renders them side by side; tracing is opt-in and allocation-free when
+//     off).
 //   - internal/server, internal/webui, internal/repository, internal/catalog
 //     and internal/driver form the sharing platform (projects, access
 //     control, the task queue with batch leasing and lease-expiry re-queue,

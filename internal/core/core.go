@@ -33,6 +33,7 @@ import (
 	"sqalpel/internal/plan"
 	"sqalpel/internal/pool"
 	"sqalpel/internal/repository"
+	"sqalpel/internal/trace"
 )
 
 // EngineTarget adapts an Engine plus a Database to the metrics.Target
@@ -50,7 +51,15 @@ type EngineTarget struct {
 	// execution (engines without morsel support ignore it); 0 or 1 runs
 	// serially.
 	Parallelism int
+	// Trace enables per-operator span collection (internal/trace): every
+	// execution carries its serialized QueryTrace back through the reserved
+	// measurement extra, where it surfaces as Measurement.Trace.
+	Trace bool
 }
+
+// SetTrace toggles per-operator tracing; the experiment driver uses it when
+// its configuration asks for traces.
+func (t *EngineTarget) SetTrace(on bool) { t.Trace = on }
 
 // Run executes the query once.
 func (t *EngineTarget) Run(query string) (int, map[string]string, error) {
@@ -97,6 +106,11 @@ func (t *EngineTarget) RunContext(ctx context.Context, query string) (int, map[s
 }
 
 func (t *EngineTarget) run(query string, opts engine.ExecOptions) (int, map[string]string, error) {
+	var tr *trace.Tracer
+	if t.Trace {
+		tr = trace.NewTracer()
+		opts.Tracer = tr
+	}
 	res, err := t.Engine.Execute(t.DB, query, opts)
 	if err != nil {
 		return 0, nil, err
@@ -104,6 +118,12 @@ func (t *EngineTarget) run(query string, opts engine.ExecOptions) (int, map[stri
 	extra := map[string]string{}
 	for k, v := range res.Stats.Map() {
 		extra[k] = fmt.Sprintf("%d", v)
+	}
+	if tr != nil {
+		key := engine.EngineKey(t.Engine.Name(), t.Engine.Version())
+		if data, jerr := tr.Trace(key).JSON(); jerr == nil {
+			extra[trace.MeasurementExtraKey] = string(data)
+		}
 	}
 	return res.NumRows(), extra, nil
 }
@@ -135,6 +155,10 @@ type ProjectOptions struct {
 	// Timeout bounds a single query repetition during the search; zero
 	// means no limit.
 	Timeout time.Duration
+	// Trace enables per-operator tracing on every engine target the project
+	// registers; traces surface as Measurement.Trace and feed the
+	// operator-level discriminative attribution.
+	Trace bool
 }
 
 func (o ProjectOptions) withDefaults() ProjectOptions {
@@ -240,6 +264,7 @@ func (p *Project) AddEngineTarget(name string, eng engine.Engine, db *engine.Dat
 		DB:          db,
 		Timeout:     30 * time.Second,
 		Parallelism: p.opts.QueryParallelism,
+		Trace:       p.opts.Trace,
 	})
 }
 

@@ -23,6 +23,7 @@ import (
 	"sqalpel/internal/metrics"
 	"sqalpel/internal/pool"
 	"sqalpel/internal/sched"
+	"sqalpel/internal/trace"
 )
 
 // Outcome is the measurement of one pool entry on every target.
@@ -342,6 +343,151 @@ func (s *Search) Matrix() []MatrixCell {
 			}
 			out = append(out, cell)
 		}
+	}
+	return out
+}
+
+// OperatorRatio is one row of the operator-level attribution table: the
+// wall-clock time two targets spent in one class of plan operator, summed
+// over every outcome where both targets reported a trace. It pushes the
+// paper's query-level performance ratio one level down — instead of "query
+// Q is 3x faster on B", it says which operator the difference lives in.
+type OperatorRatio struct {
+	// Kind is the operator kind (trace.KindScan, trace.KindHashJoin, ...).
+	Kind string
+	// SecondsA and SecondsB are the total wall-clock seconds targets a and b
+	// spent in operators of this kind.
+	SecondsA float64
+	SecondsB float64
+	// Ratio is SecondsA/SecondsB; NaN when either side is zero.
+	Ratio float64
+	// Spans is the number of span pairs aggregated into the row.
+	Spans int
+	// Outcomes is the number of traced outcomes contributing to the row.
+	Outcomes int
+}
+
+// OperatorRatios aggregates operator span wall-time by kind across every
+// measured outcome where both targets carry a trace, and ranks the rows by
+// how lopsided the ratio is (max(r, 1/r), descending; ties break on the
+// kind name so the table is deterministic). Outcomes where either target
+// failed, was untraced, or measured without tracing enabled contribute
+// nothing.
+func (s *Search) OperatorRatios(a, b string) []OperatorRatio {
+	type acc struct {
+		nsA, nsB int64
+		spans    int
+		outcomes int
+	}
+	byKind := map[string]*acc{}
+	for _, o := range s.Outcomes() {
+		if o.Failed() {
+			continue
+		}
+		ma, mb := o.ByTarget[a], o.ByTarget[b]
+		if ma == nil || mb == nil || ma.Trace == nil || mb.Trace == nil {
+			continue
+		}
+		touched := map[string]bool{}
+		for _, row := range trace.Compare([]*trace.QueryTrace{ma.Trace, mb.Trace}) {
+			sa, sb := row.Spans[0], row.Spans[1]
+			kind := row.Kind
+			c := byKind[kind]
+			if c == nil {
+				c = &acc{}
+				byKind[kind] = c
+			}
+			if sa != nil {
+				c.nsA += sa.WallNS
+			}
+			if sb != nil {
+				c.nsB += sb.WallNS
+			}
+			c.spans++
+			if !touched[kind] {
+				touched[kind] = true
+				c.outcomes++
+			}
+		}
+	}
+	out := make([]OperatorRatio, 0, len(byKind))
+	for kind, c := range byKind {
+		r := OperatorRatio{
+			Kind:     kind,
+			SecondsA: float64(c.nsA) / 1e9,
+			SecondsB: float64(c.nsB) / 1e9,
+			Ratio:    math.NaN(),
+			Spans:    c.spans,
+			Outcomes: c.outcomes,
+		}
+		if c.nsA > 0 && c.nsB > 0 {
+			r.Ratio = float64(c.nsA) / float64(c.nsB)
+		}
+		out = append(out, r)
+	}
+	lopsided := func(r float64) float64 {
+		if math.IsNaN(r) {
+			return 0 // unratioable rows sink to the bottom
+		}
+		return math.Max(r, 1/r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := lopsided(out[i].Ratio), lopsided(out[j].Ratio)
+		if li != lj {
+			return li > lj
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// OperatorBreakdown is one row of a single outcome's per-operator
+// comparison: the same plan operator (by id) seen through two targets'
+// traces.
+type OperatorBreakdown struct {
+	// OpID is the shared plan operator id the spans key on.
+	OpID string
+	// Kind is the operator kind.
+	Kind string
+	// NanosA/NanosB are the wall-clock nanoseconds each target spent in the
+	// operator; -1 when the target reported no span for the id (its
+	// execution strategy has no corresponding operator, e.g. interpreters
+	// fold pushdown filters into the residual filter).
+	NanosA int64
+	NanosB int64
+	// RowsA/RowsB are the operator's row counts under each target; -1 when
+	// the span is absent.
+	RowsA int64
+	RowsB int64
+	// Ratio is NanosA/NanosB; NaN when either span is absent or zero.
+	Ratio float64
+}
+
+// Breakdown compares one outcome's traces operator by operator, in the
+// plan's operator-id order. Nil when either target lacks a trace.
+func Breakdown(o *Outcome, a, b string) []OperatorBreakdown {
+	ma, mb := o.ByTarget[a], o.ByTarget[b]
+	if ma == nil || mb == nil || ma.Trace == nil || mb.Trace == nil {
+		return nil
+	}
+	rows := trace.Compare([]*trace.QueryTrace{ma.Trace, mb.Trace})
+	out := make([]OperatorBreakdown, 0, len(rows))
+	for _, row := range rows {
+		d := OperatorBreakdown{
+			OpID: row.OpID, Kind: row.Kind,
+			NanosA: -1, NanosB: -1, RowsA: -1, RowsB: -1,
+			Ratio: math.NaN(),
+		}
+		if sa := row.Spans[0]; sa != nil {
+			d.NanosA, d.RowsA = sa.WallNS, sa.Rows
+		}
+		if sb := row.Spans[1]; sb != nil {
+			d.NanosB, d.RowsB = sb.WallNS, sb.Rows
+		}
+		if d.NanosA > 0 && d.NanosB > 0 {
+			d.Ratio = float64(d.NanosA) / float64(d.NanosB)
+		}
+		out = append(out, d)
 	}
 	return out
 }

@@ -53,6 +53,10 @@ type Config struct {
 	// Batch is how many tasks to lease per request; zero defaults to the
 	// worker count so a full batch keeps every worker busy.
 	Batch int
+	// Trace asks the target for per-operator traces (targets that support
+	// toggling expose SetTrace, e.g. the built-in engine targets) and
+	// forwards them to the server with each result.
+	Trace bool
 }
 
 // ParseConfig parses the driver configuration format: one `key = value` pair
@@ -110,6 +114,12 @@ func ParseConfig(text string) (Config, error) {
 				return cfg, fmt.Errorf("line %d: batch must be a positive number", lineNo+1)
 			}
 			cfg.Batch = n
+		case "trace":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return cfg, fmt.Errorf("line %d: trace must be a boolean", lineNo+1)
+			}
+			cfg.Trace = b
 		default:
 			return cfg, fmt.Errorf("line %d: unknown configuration key %q", lineNo+1, key)
 		}
@@ -254,7 +264,21 @@ func (c *Client) report(taskID int, m *metrics.Measurement) (int, error) {
 		"error":   m.Err,
 		"extra":   m.Extra,
 	}
+	if m.Trace != nil {
+		req["trace"] = m.Trace
+	}
 	return c.post("/api/task/complete", req, nil)
+}
+
+// enableTrace switches per-operator tracing on for targets that support
+// toggling it; targets without the hook are measured untraced.
+func (c *Client) enableTrace(target metrics.Target) {
+	if !c.cfg.Trace {
+		return
+	}
+	if t, ok := target.(interface{ SetTrace(bool) }); ok {
+		t.SetTrace(true)
+	}
 }
 
 // measure runs one task's query on the target with the configured
@@ -269,6 +293,7 @@ func (c *Client) measure(target metrics.Target, task *repository.Task) *metrics.
 // another driver) is not an error: the result is dropped and the loop
 // carries on — that is the designed recovery path, not a driver failure.
 func (c *Client) RunOnce(target metrics.Target) (bool, error) {
+	c.enableTrace(target)
 	task, err := c.RequestTask()
 	if err != nil {
 		return false, err
@@ -307,6 +332,7 @@ func (c *Client) RunAll(target metrics.Target, maxTasks int) (int, error) {
 
 // runAllParallel is the batch-leasing worker-pool loop behind RunAll.
 func (c *Client) runAllParallel(target metrics.Target, maxTasks int) (int, error) {
+	c.enableTrace(target)
 	batch := c.cfg.Batch
 	if batch <= 0 {
 		batch = c.cfg.Workers

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sqalpel/internal/plan"
+	"sqalpel/internal/trace"
 )
 
 // Result is the outcome of executing a query.
@@ -72,6 +73,9 @@ type ExecOptions struct {
 	// configured default, 1 forces serial execution. Results are identical
 	// at every setting — only wall-clock changes.
 	Parallelism int
+	// Tracer collects per-operator spans keyed by the plan's operator ids
+	// (internal/trace); nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // Engine is a database system under test: it accepts SQL text and executes
@@ -156,7 +160,11 @@ func (e *baseEngine) ExecutePlan(db *Database, p *plan.Plan, opts ExecOptions) (
 		limits.deadline = time.Now().Add(opts.Timeout)
 	}
 	ex := newExecutor(db, e.mode, limits, e.guardCasts, p)
-	rel, err := ex.executeSelect(p.Root, nil)
+	if opts.Tracer != nil {
+		ex.tracer = opts.Tracer
+		ex.subPrefix = trace.SubqueryPrefixes(p.Root.Stmt, "")
+	}
+	rel, err := ex.executeSelect(p.Root, nil, "")
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.name, err)
 	}
@@ -252,6 +260,28 @@ func (r *Registry) Register(e Engine) {
 
 // PlanCache returns the registry's shared plan cache.
 func (r *Registry) PlanCache() *plan.Cache { return r.plans }
+
+// Explain resolves the query's logical plan through the registry's shared
+// plan cache and renders the EXPLAIN plan-JSON document. The document is a
+// pure function of the plan, so it holds for every registered engine; its
+// operator ids are the ones execution traces key their spans by.
+func (r *Registry) Explain(db *Database, sql string) (*trace.PlanDoc, error) {
+	p, err := planFor(r.plans, db, sql)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Explain(p, sql), nil
+}
+
+// ExplainJSON renders the EXPLAIN plan-JSON document as indented JSON, the
+// form the explain subcommand prints and the golden files pin.
+func (r *Registry) ExplainJSON(db *Database, sql string) ([]byte, error) {
+	doc, err := r.Explain(db, sql)
+	if err != nil {
+		return nil, err
+	}
+	return doc.JSON()
+}
 
 // EngineKey builds the canonical registry key of an engine.
 func EngineKey(name, version string) string {

@@ -8,6 +8,7 @@ import (
 
 	"sqalpel/internal/plan"
 	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
 )
 
 // Mode selects the execution strategy of the executor.
@@ -34,10 +35,17 @@ type Stats struct {
 	GuardCasts                int64
 	FilterPasses              int64
 	HashJoins                 int64
-	LoopJoins                 int64
-	SubqueryExecutions        int64
-	Groups                    int64
-	RowsReturned              int64
+	// JoinBuildRows and JoinProbeRows count the non-NULL-key rows inserted
+	// into and probed against hash-join tables (NULL keys can never match
+	// and are skipped on both sides).
+	JoinBuildRows      int64
+	JoinProbeRows      int64
+	LoopJoins          int64
+	SubqueryExecutions int64
+	Groups             int64
+	// AggRows counts the rows folded into aggregation groups.
+	AggRows      int64
+	RowsReturned int64
 	// Batches counts the fixed-size batches processed by the vectorized
 	// engine; the interpreters always report zero.
 	Batches int64
@@ -51,9 +59,12 @@ func (s *Stats) Add(other Stats) {
 	s.GuardCasts += other.GuardCasts
 	s.FilterPasses += other.FilterPasses
 	s.HashJoins += other.HashJoins
+	s.JoinBuildRows += other.JoinBuildRows
+	s.JoinProbeRows += other.JoinProbeRows
 	s.LoopJoins += other.LoopJoins
 	s.SubqueryExecutions += other.SubqueryExecutions
 	s.Groups += other.Groups
+	s.AggRows += other.AggRows
 	s.RowsReturned += other.RowsReturned
 	s.Batches += other.Batches
 }
@@ -67,9 +78,12 @@ func (s Stats) Map() map[string]int64 {
 		"guard_casts":                s.GuardCasts,
 		"filter_passes":              s.FilterPasses,
 		"hash_joins":                 s.HashJoins,
+		"join_build_rows":            s.JoinBuildRows,
+		"join_probe_rows":            s.JoinProbeRows,
 		"loop_joins":                 s.LoopJoins,
 		"subquery_executions":        s.SubqueryExecutions,
 		"groups":                     s.Groups,
+		"agg_rows":                   s.AggRows,
 		"rows_returned":              s.RowsReturned,
 		"batches":                    s.Batches,
 	}
@@ -99,10 +113,27 @@ type executor struct {
 	guardCasts bool
 	// plan is the shared logical plan of the statement being executed.
 	plan *plan.Plan
+	// tracer collects per-operator spans keyed by the plan's operator ids;
+	// nil when tracing is off. subPrefix maps nested sub-query statements to
+	// their operator-id prefixes (see trace.SubqueryPrefixes) and is only
+	// populated when tracing.
+	tracer    *trace.Tracer
+	subPrefix map[*sqlparser.SelectStatement]string
 
 	uncorrCache  map[*sqlparser.SelectStatement]*relation
 	uncorrSets   map[*sqlparser.SelectStatement]subquerySetEntry
 	deadlineTick int
+}
+
+// untracedPrefix marks execution contexts without an operator id — the
+// operands of explicit JOIN trees (traced as one input operator) and nested
+// statements the prefix walk does not enumerate. Span emission is skipped
+// under it.
+const untracedPrefix = "\x00"
+
+// traced reports whether spans should be emitted for the given prefix.
+func (ex *executor) traced(prefix string) bool {
+	return ex.tracer != nil && prefix != untracedPrefix
 }
 
 func newExecutor(db *Database, mode Mode, limits executionLimits, guardCasts bool, p *plan.Plan) *executor {
@@ -146,18 +177,40 @@ func (ex *executor) executeSubquery(stmt *sqlparser.SelectStatement, outer *scop
 	if sub == nil {
 		return nil, fmt.Errorf("internal: sub-query has no plan")
 	}
+	// The prefix walk assigns this statement its operator id; statements it
+	// does not enumerate (inside explicit JOIN trees) run untraced.
+	prefix := untracedPrefix
+	var sp *trace.Span
+	if ex.tracer != nil {
+		if p, ok := ex.subPrefix[stmt]; ok {
+			prefix = p
+			sp = ex.tracer.Span(trace.SubOpID(p), trace.KindSubquery)
+		}
+	}
 	if !ex.plan.Correlated(stmt) {
 		if rel, ok := ex.uncorrCache[stmt]; ok {
+			if sp != nil {
+				// A cache hit costs no re-execution; only the call counts.
+				sp.Calls++
+			}
 			return rel, nil
 		}
-		rel, err := ex.executeSelect(sub, nil)
+		tm := sp.Start()
+		rel, err := ex.executeSelect(sub, nil, prefix)
 		if err != nil {
 			return nil, err
 		}
+		tm.Done(int64(rel.numRows()))
 		ex.uncorrCache[stmt] = rel
 		return rel, nil
 	}
-	return ex.executeSelect(sub, outer)
+	tm := sp.Start()
+	rel, err := ex.executeSelect(sub, outer, prefix)
+	if err != nil {
+		return nil, err
+	}
+	tm.Done(int64(rel.numRows()))
+	return rel, nil
 }
 
 // subquerySetEntry caches an IN sub-query's value set together with its
@@ -199,22 +252,34 @@ func (ex *executor) subquerySet(stmt *sqlparser.SelectStatement, outer *scope) (
 }
 
 // executeSelect is the top of the interpreter: it runs one planned SELECT
-// and folds its set-operation continuations in.
-func (ex *executor) executeSelect(sp *plan.Select, outer *scope) (*relation, error) {
-	rel, err := ex.executeSelectCore(sp, outer)
+// and folds its set-operation continuations in. prefix keys the statement's
+// operator spans (empty at the root, untracedPrefix to disable).
+func (ex *executor) executeSelect(sp *plan.Select, outer *scope, prefix string) (*relation, error) {
+	rel, err := ex.executeSelectCore(sp, outer, prefix)
 	if err != nil {
 		return nil, err
 	}
 	// Set operations chain on the plan, mirroring the statement chain.
+	j := 1
 	for cur := sp; cur.SetNext != nil; cur = cur.SetNext {
-		right, err := ex.executeSelectCore(cur.SetNext, outer)
+		branchPrefix := untracedPrefix
+		if prefix != untracedPrefix {
+			branchPrefix = trace.SetPrefix(prefix, j)
+		}
+		right, err := ex.executeSelectCore(cur.SetNext, outer, branchPrefix)
 		if err != nil {
 			return nil, err
+		}
+		var tm trace.Timer
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.SetID(prefix, j), trace.KindSet).Start()
 		}
 		rel, err = applySetOp(cur.Stmt.SetOp, rel, right)
 		if err != nil {
 			return nil, err
 		}
+		tm.Done(int64(rel.numRows()))
+		j++
 	}
 	return rel, nil
 }
@@ -295,14 +360,14 @@ func allRows(n int) []int {
 	return out
 }
 
-func (ex *executor) executeSelectCore(sp *plan.Select, outer *scope) (*relation, error) {
+func (ex *executor) executeSelectCore(sp *plan.Select, outer *scope, prefix string) (*relation, error) {
 	stmt := sp.Stmt
 	if len(stmt.Projection) == 0 {
 		return nil, fmt.Errorf("query has no projection")
 	}
 
 	// FROM inputs + precomputed join order.
-	input, err := ex.buildFrom(sp, outer)
+	input, err := ex.buildFrom(sp, outer, prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -314,31 +379,60 @@ func (ex *executor) executeSelectCore(sp *plan.Select, outer *scope) (*relation,
 		earlyLimit = sp.EarlyLimit
 	}
 
+	var tm trace.Timer
+	if ex.traced(prefix) && len(sp.Residual) > 0 {
+		tm = ex.tracer.Span(trace.FilterID(prefix), trace.KindFilter).Start()
+	}
 	filtered, err := ex.applyFilter(input, sp.Residual, outer, earlyLimit)
 	if err != nil {
 		return nil, err
 	}
+	tm.Done(int64(filtered.numRows()))
 
 	var out *relation
 	var sortKeys [][]Value
 	if sp.Grouped {
-		out, sortKeys, err = ex.projectGrouped(stmt, filtered, outer)
+		out, sortKeys, err = ex.projectGrouped(stmt, filtered, outer, prefix)
 	} else {
+		tm = trace.Timer{}
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.ProjectID(prefix), trace.KindProject).Start()
+		}
 		out, sortKeys, err = ex.projectRows(stmt, filtered, outer)
+		if err == nil {
+			tm.Done(int64(out.numRows()))
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 
 	if stmt.Distinct {
+		tm = trace.Timer{}
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.DistinctID(prefix), trace.KindDistinct).Start()
+		}
 		out, sortKeys = distinctRows(out, sortKeys)
+		tm.Done(int64(out.numRows()))
 	}
 
 	if len(stmt.OrderBy) > 0 {
+		tm = trace.Timer{}
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.SortID(prefix), trace.KindSort).Start()
+		}
 		out = sortRelation(out, sortKeys, stmt.OrderBy)
+		tm.Done(int64(out.numRows()))
 	}
 
-	out = applyLimit(out, stmt.Limit, stmt.Offset)
+	if stmt.Limit != nil || stmt.Offset != nil {
+		tm = trace.Timer{}
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.LimitID(prefix), trace.KindLimit).Start()
+		}
+		out = applyLimit(out, stmt.Limit, stmt.Offset)
+		tm.Done(int64(out.numRows()))
+	}
 	ex.stats.RowsReturned += int64(out.numRows())
 	return out, nil
 }
@@ -346,7 +440,7 @@ func (ex *executor) executeSelectCore(sp *plan.Select, outer *scope) (*relation,
 // buildFrom materialises the planned FROM inputs and stitches them together
 // following the plan's precomputed join order: hash joins over the extracted
 // equi-join keys, cross products where no edge connects the inputs.
-func (ex *executor) buildFrom(sp *plan.Select, outer *scope) (*relation, error) {
+func (ex *executor) buildFrom(sp *plan.Select, outer *scope, prefix string) (*relation, error) {
 	if len(sp.From) == 0 {
 		// SELECT without FROM: a single empty row so expressions evaluate once.
 		rel := newRelation()
@@ -356,7 +450,7 @@ func (ex *executor) buildFrom(sp *plan.Select, outer *scope) (*relation, error) 
 
 	rels := make([]*relation, len(sp.From))
 	for i, in := range sp.From {
-		r, err := ex.buildInput(in, sp.Needed, outer)
+		r, err := ex.buildInput(in, sp.Needed, outer, prefix, i)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +458,15 @@ func (ex *executor) buildFrom(sp *plan.Select, outer *scope) (*relation, error) 
 	}
 
 	current := rels[0]
-	for _, step := range sp.JoinSteps {
+	for k, step := range sp.JoinSteps {
+		var tm trace.Timer
+		if ex.traced(prefix) {
+			kind := trace.KindHashJoin
+			if step.Cross {
+				kind = trace.KindCross
+			}
+			tm = ex.tracer.Span(trace.JoinID(prefix, k), kind).Start()
+		}
 		var err error
 		if step.Cross {
 			current, err = ex.crossJoin(current, rels[step.Right])
@@ -374,46 +476,71 @@ func (ex *executor) buildFrom(sp *plan.Select, outer *scope) (*relation, error) 
 		if err != nil {
 			return nil, err
 		}
+		tm.Done(int64(current.numRows()))
 	}
 	return current, nil
 }
 
-// buildInput materialises one planned FROM input.
-func (ex *executor) buildInput(in *plan.Input, needed map[string]map[string]bool, outer *scope) (*relation, error) {
+// buildInput materialises one planned FROM input. idx is the input's FROM
+// position, keying its trace span; the operands of explicit JOIN trees run
+// untraced (the whole tree is traced as one input operator).
+func (ex *executor) buildInput(in *plan.Input, needed map[string]map[string]bool, outer *scope, prefix string, idx int) (*relation, error) {
 	switch {
 	case in.Join != nil:
-		return ex.buildJoin(in.Join, needed, outer)
+		var tm trace.Timer
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindJoinTree).Start()
+		}
+		rel, err := ex.buildJoin(in.Join, needed, outer)
+		if err != nil {
+			return nil, err
+		}
+		tm.Done(int64(rel.numRows()))
+		return rel, nil
 	case in.Derived != nil:
-		rel, err := ex.executeSelect(in.Derived, nil)
+		derivedPrefix := untracedPrefix
+		var tm trace.Timer
+		if ex.traced(prefix) {
+			derivedPrefix = trace.DerivedPrefix(prefix, idx)
+			tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
+		}
+		rel, err := ex.executeSelect(in.Derived, nil, derivedPrefix)
 		if err != nil {
 			return nil, err
 		}
 		if in.Alias != "" {
 			rel.renameTables(in.Alias)
 		}
+		tm.Done(int64(rel.numRows()))
 		return rel, nil
 	default:
 		table := ex.db.Table(in.Table)
 		if table == nil {
 			return nil, fmt.Errorf("unknown table %q", in.Table)
 		}
+		var tm trace.Timer
+		if ex.traced(prefix) {
+			tm = ex.tracer.Span(trace.ScanID(prefix, idx), trace.KindScan).Start()
+		}
 		var neededCols map[string]bool
 		if ex.mode == ModeColumn {
 			neededCols = needed[strings.ToLower(in.Alias)]
 		}
 		copyCols := ex.mode == ModeRow
-		return tableRelation(table, in.Alias, neededCols, copyCols, ex.stats), nil
+		rel := tableRelation(table, in.Alias, neededCols, copyCols, ex.stats)
+		tm.Done(int64(rel.numRows()))
+		return rel, nil
 	}
 }
 
 // buildJoin executes an explicit JOIN tree node whose ON condition the plan
 // already classified into equi-join keys and residual predicates.
 func (ex *executor) buildJoin(j *plan.Join, needed map[string]map[string]bool, outer *scope) (*relation, error) {
-	left, err := ex.buildInput(j.Left, needed, outer)
+	left, err := ex.buildInput(j.Left, needed, outer, untracedPrefix, -1)
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.buildInput(j.Right, needed, outer)
+	right, err := ex.buildInput(j.Right, needed, outer, untracedPrefix, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -466,6 +593,7 @@ func (ex *executor) hashJoin(left, right *relation, leftKeys, rightKeys []sqlpar
 			// NULL = anything is UNKNOWN: the row cannot match.
 			continue
 		}
+		ex.stats.JoinBuildRows++
 		ht[key] = append(ht[key], i)
 	}
 	var probeIdx, buildIdx []int
@@ -482,6 +610,7 @@ func (ex *executor) hashJoin(left, right *relation, leftKeys, rightKeys []sqlpar
 		if hasNull {
 			continue
 		}
+		ex.stats.JoinProbeRows++
 		for _, bi := range ht[key] {
 			probeIdx = append(probeIdx, i)
 			buildIdx = append(buildIdx, bi)
@@ -575,6 +704,7 @@ func (ex *executor) leftOuterJoin(left, right *relation, j *plan.Join, outer *sc
 			}
 			key = k
 		}
+		ex.stats.JoinBuildRows++
 		ht[key] = append(ht[key], i)
 	}
 	ex.stats.HashJoins++
@@ -585,6 +715,7 @@ func (ex *executor) leftOuterJoin(left, right *relation, j *plan.Join, outer *sc
 		if err := ex.checkDeadline(); err != nil {
 			return nil, err
 		}
+		ex.stats.JoinProbeRows++
 		lev.sc.row = i
 		key := ""
 		keyNull := false
@@ -778,8 +909,13 @@ func (ex *executor) projectRows(stmt *sqlparser.SelectStatement, rel *relation, 
 
 // projectGrouped computes grouping, aggregation, HAVING and the projection
 // of a grouped query.
-func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relation, outer *scope) (*relation, [][]Value, error) {
+func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relation, outer *scope, prefix string) (*relation, [][]Value, error) {
 	// Build groups.
+	var atm trace.Timer
+	if ex.traced(prefix) {
+		atm = ex.tracer.Span(trace.AggID(prefix), trace.KindAgg).Start()
+	}
+	ex.stats.AggRows += int64(rel.numRows())
 	type groupEntry struct {
 		rows []int
 	}
@@ -816,6 +952,9 @@ func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relatio
 		}
 	}
 	ex.stats.Groups += int64(len(order))
+	// The aggregate span covers group building; its row count is the groups
+	// formed, pre-HAVING — the same accounting as the vectorized engine's.
+	atm.Done(int64(len(order)))
 
 	items, _ := expandProjection(stmt, rel)
 	for _, it := range items {
@@ -828,6 +967,10 @@ func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relatio
 		out.cols = append(out.cols, &relColumn{table: "", name: it.name, vals: nil})
 	}
 
+	var ptm trace.Timer
+	if ex.traced(prefix) {
+		ptm = ex.tracer.Span(trace.ProjectID(prefix), trace.KindProject).Start()
+	}
 	var sortKeys [][]Value
 	for _, key := range order {
 		entry := groups[key]
@@ -861,6 +1004,7 @@ func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relatio
 			sortKeys = append(sortKeys, keys)
 		}
 	}
+	ptm.Done(int64(out.numRows()))
 	return out, sortKeys, nil
 }
 

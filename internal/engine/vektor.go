@@ -115,7 +115,7 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	if !p.Vectorizable {
 		return e.fallback.ExecutePlan(db, p, opts)
 	}
-	vopts := vexec.Options{BatchSize: e.batchSize, MaxJoinRows: opts.MaxJoinRows, Parallelism: e.parallelism}
+	vopts := vexec.Options{BatchSize: e.batchSize, MaxJoinRows: opts.MaxJoinRows, Parallelism: e.parallelism, Tracer: opts.Tracer}
 	if opts.Parallelism > 0 {
 		vopts.Parallelism = opts.Parallelism
 	}
@@ -126,7 +126,10 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	if err != nil {
 		if errors.Is(err, vexec.ErrUnsupported) {
 			// Runtime value shapes outside the typed subset defer to the
-			// interpreter, re-using the plan.
+			// interpreter, re-using the plan. An aborted vectorized attempt
+			// may have recorded partial spans; drop them so the trace
+			// reflects the run that actually produced the result.
+			opts.Tracer.Reset()
 			return e.fallback.ExecutePlan(db, p, opts)
 		}
 		return nil, fmt.Errorf("%s: %w", e.name, err)
@@ -135,13 +138,16 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	out := &Result{
 		Columns: res.Columns,
 		Stats: Stats{
-			RowsScanned:  res.Stats.RowsScanned,
-			Batches:      res.Stats.Batches,
-			FilterPasses: res.Stats.FilterPasses,
-			HashJoins:    res.Stats.HashJoins,
-			LoopJoins:    res.Stats.LoopJoins,
-			Groups:       res.Stats.Groups,
-			RowsReturned: res.Stats.RowsReturned,
+			RowsScanned:   res.Stats.RowsScanned,
+			Batches:       res.Stats.Batches,
+			FilterPasses:  res.Stats.FilterPasses,
+			HashJoins:     res.Stats.HashJoins,
+			JoinBuildRows: res.Stats.JoinBuildRows,
+			JoinProbeRows: res.Stats.JoinProbeRows,
+			LoopJoins:     res.Stats.LoopJoins,
+			Groups:        res.Stats.Groups,
+			AggRows:       res.Stats.AggRows,
+			RowsReturned:  res.Stats.RowsReturned,
 		},
 	}
 	n := res.NumRows()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"sqalpel/internal/sysload"
+	"sqalpel/internal/trace"
 )
 
 // DefaultRuns is the default number of repetitions per experiment.
@@ -48,6 +49,14 @@ type Measurement struct {
 	LoadAfter  sysload.Load
 	// Extra is the open-ended key/value list of system specific indicators.
 	Extra map[string]string
+	// Trace is the per-operator span tree of the last repetition, decoded
+	// from the target's trace.MeasurementExtraKey extra; nil when the target
+	// does not trace.
+	Trace *trace.QueryTrace
+	// FromCache marks a measurement replayed from the scheduler's
+	// result cache rather than measured fresh; its timings and trace
+	// describe the original execution.
+	FromCache bool
 }
 
 // Failed reports whether the measurement captured an error.
@@ -223,6 +232,15 @@ func MeasureContext(ctx context.Context, target Target, query string, opts Optio
 			// here (instead of deleting it from the target's map) keeps
 			// shared extra maps safe under concurrent measurement.
 			if k == SimulatedDurationKey {
+				continue
+			}
+			// Operator traces ride the same reserved-key channel: decoded
+			// into Measurement.Trace (last repetition wins), never recorded
+			// as a plain extra.
+			if k == trace.MeasurementExtraKey {
+				if qt, perr := trace.ParseTrace([]byte(v)); perr == nil {
+					m.Trace = qt
+				}
 				continue
 			}
 			m.Extra[k] = v

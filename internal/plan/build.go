@@ -486,9 +486,10 @@ func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
 		if len(arms) < 2 {
 			continue
 		}
-		common := map[string]sqlparser.Expr{}
-		for _, p := range splitAnd(unwrapParens(arms[0])) {
-			common[p.SQL()] = p
+		firstArm := splitAnd(unwrapParens(arms[0]))
+		common := map[string]bool{}
+		for _, p := range firstArm {
+			common[p.SQL()] = true
 		}
 		for _, arm := range arms[1:] {
 			present := map[string]bool{}
@@ -501,8 +502,13 @@ func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
 				}
 			}
 		}
-		for _, p := range common {
-			out = append(out, p)
+		// Emit in the first arm's syntactic order (a map range here would
+		// make the plan — and the EXPLAIN plan-JSON — nondeterministic).
+		for _, p := range firstArm {
+			if key := p.SQL(); common[key] {
+				delete(common, key)
+				out = append(out, p)
+			}
 		}
 	}
 	return out

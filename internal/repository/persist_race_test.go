@@ -2,9 +2,26 @@ package repository
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
+
+	"sqalpel/internal/trace"
 )
+
+// sampleTrace builds a small but representative QueryTrace for persistence
+// tests.
+func sampleTrace(i int) *trace.QueryTrace {
+	return &trace.QueryTrace{
+		SchemaVersion: trace.SchemaVersion,
+		Engine:        "vektor-1.0",
+		Spans: []trace.Span{
+			{OpID: "scan.0", Kind: trace.KindScan, WallNS: int64(1000 + i), Rows: 59986, Batches: 59},
+			{OpID: "filter.0", Kind: trace.KindFilter, WallNS: int64(500 + i), Rows: 114, Batches: 59},
+			{OpID: "aggregate", Kind: trace.KindAgg, WallNS: 200, Rows: 4, Calls: 1, AllocBytes: 2048},
+		},
+	}
+}
 
 // TestSaveConcurrentWithMutators hammers Save against the mutators that
 // write through the shared *Project/*Task/*Result pointers the snapshot
@@ -18,7 +35,7 @@ func TestSaveConcurrentWithMutators(t *testing.T) {
 
 	const rounds = 50
 	var wg sync.WaitGroup
-	wg.Add(4)
+	wg.Add(5)
 
 	go func() {
 		defer wg.Done()
@@ -46,6 +63,18 @@ func TestSaveConcurrentWithMutators(t *testing.T) {
 		for i := 0; i < rounds; i++ {
 			if _, err := s.AddResult(ownerKey, 1, 1, "columba-1.0", "laptop", []float64{0.1}, "", map[string]string{"i": fmt.Sprint(i)}); err != nil {
 				t.Errorf("AddResult: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// Trace-bearing submissions walk the same shared *Result pointers the
+		// snapshot marshals; appending them during Save exercises the
+		// trace field under -race too.
+		for i := 0; i < rounds; i++ {
+			if _, err := s.AddResultTraced(ownerKey, 1, 1, "vektor-1.0", "laptop", []float64{0.05}, "", nil, sampleTrace(i)); err != nil {
+				t.Errorf("AddResultTraced: %v", err)
 				return
 			}
 		}
@@ -81,5 +110,52 @@ func TestSaveConcurrentWithMutators(t *testing.T) {
 	}
 	if loaded.Project(pub.ID) == nil {
 		t.Error("loaded store lost the project")
+	}
+}
+
+// TestTraceSurvivesSaveLoad pins the persistence of operator traces: a
+// trace-bearing result must come back span for span after a Save/Load round
+// trip, and untraced results must stay untraced.
+func TestTraceSurvivesSaveLoad(t *testing.T) {
+	s, pub, _ := fixture(t)
+	ownerKey := s.Project(pub.ID).Contributors[0].Key
+	dir := t.TempDir()
+
+	want := sampleTrace(7)
+	traced, err := s.AddResultTraced(ownerKey, 1, 1, "vektor-1.0", "laptop", []float64{0.05, 0.04}, "", nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untraced, err := s.AddResult(ownerKey, 1, 1, "columba-1.0", "laptop", []float64{0.2}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTraced, gotUntraced *Result
+	for _, r := range loaded.Results("martin", pub.ID) {
+		switch r.ID {
+		case traced.ID:
+			gotTraced = r
+		case untraced.ID:
+			gotUntraced = r
+		}
+	}
+	if gotTraced == nil || gotUntraced == nil {
+		t.Fatal("results lost in the round trip")
+	}
+	if gotTraced.Trace == nil {
+		t.Fatal("trace lost in the round trip")
+	}
+	if !reflect.DeepEqual(gotTraced.Trace, want) {
+		t.Errorf("trace changed in the round trip:\n got %+v\nwant %+v", gotTraced.Trace, want)
+	}
+	if gotUntraced.Trace != nil {
+		t.Errorf("untraced result grew a trace: %+v", gotUntraced.Trace)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"sqalpel/internal/trace"
 )
 
 // ErrLeaseLost marks completions that arrive after the task's lease is no
@@ -132,6 +134,12 @@ func (s *Store) RequestTasks(contributorKey string, experimentID int, dbmsKey, p
 // cannot sneak a stale result in), killed, or already completed — are
 // rejected with an error wrapping ErrLeaseLost.
 func (s *Store) CompleteTask(taskID int, contributorKey string, seconds []float64, errMsg string, extra map[string]string) (*Result, error) {
+	return s.CompleteTaskTraced(taskID, contributorKey, seconds, errMsg, extra, nil)
+}
+
+// CompleteTaskTraced is CompleteTask with an optional per-operator trace
+// attached to the recorded result; nil records an untraced result.
+func (s *Store) CompleteTaskTraced(taskID int, contributorKey string, seconds []float64, errMsg string, extra map[string]string, qt *trace.QueryTrace) (*Result, error) {
 	s.mu.Lock()
 	s.expireTasksLocked()
 	task := s.tasks[taskID]
@@ -156,7 +164,7 @@ func (s *Store) CompleteTask(taskID int, contributorKey string, seconds []float6
 	expID, qID, dbms, platform := task.ExperimentID, task.QueryID, task.DBMSKey, task.PlatformKey
 	s.mu.Unlock()
 
-	return s.AddResult(contributorKey, expID, qID, dbms, platform, seconds, errMsg, extra)
+	return s.AddResultTraced(contributorKey, expID, qID, dbms, platform, seconds, errMsg, extra, qt)
 }
 
 // KillTask marks a running task as killed so the query can be handed out

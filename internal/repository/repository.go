@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sqalpel/internal/trace"
 )
 
 // Role is the relationship of a user to a project.
@@ -142,6 +144,10 @@ type Result struct {
 	Seconds []float64         `json:"seconds,omitempty"`
 	Error   string            `json:"error,omitempty"`
 	Extra   map[string]string `json:"extra,omitempty"`
+	// Trace is the per-operator span tree the driver captured alongside the
+	// timings; nil when the submission was measured without tracing. It
+	// persists through Save/Load with the rest of the result row.
+	Trace *trace.QueryTrace `json:"trace,omitempty"`
 	// Hidden results are only visible to the owner and contributors; the
 	// owner uses this to keep dubious measurements private until clarified.
 	Hidden  bool      `json:"hidden"`
@@ -511,6 +517,12 @@ func (s *Store) AppendQueries(requester string, projectID, experimentID int, que
 
 // AddResult records a measurement submitted with a contributor key.
 func (s *Store) AddResult(contributorKey string, experimentID, queryID int, dbmsKey, platformKey string, seconds []float64, errMsg string, extra map[string]string) (*Result, error) {
+	return s.AddResultTraced(contributorKey, experimentID, queryID, dbmsKey, platformKey, seconds, errMsg, extra, nil)
+}
+
+// AddResultTraced is AddResult with an optional per-operator trace attached
+// to the result row; nil records an untraced result.
+func (s *Store) AddResultTraced(contributorKey string, experimentID, queryID int, dbmsKey, platformKey string, seconds []float64, errMsg string, extra map[string]string, qt *trace.QueryTrace) (*Result, error) {
 	p, _, err := s.FindContributor(contributorKey)
 	if err != nil {
 		return nil, err
@@ -535,6 +547,7 @@ func (s *Store) AddResult(contributorKey string, experimentID, queryID int, dbms
 		Seconds:        append([]float64(nil), seconds...),
 		Error:          errMsg,
 		Extra:          extra,
+		Trace:          qt,
 		Created:        s.now(),
 	}
 	s.nextResultID++

@@ -213,7 +213,12 @@ func (s *Scheduler) measureCell(ctx context.Context, c Cell) Result {
 		if cur, still := s.cache[key]; still && cur == e {
 			s.hits++
 			s.mu.Unlock()
-			return Result{Cell: c, Measurement: e.m, Cached: true}
+			// Tag the replay on a shallow copy — the cached measurement is
+			// shared read-only with other waiters — so its timings and trace
+			// are never mistaken for a fresh execution.
+			cp := *e.m
+			cp.FromCache = true
+			return Result{Cell: c, Measurement: &cp, Cached: true}
 		}
 		s.mu.Unlock()
 	}

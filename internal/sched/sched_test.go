@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -127,8 +128,18 @@ func TestResultCacheDeduplicatesByTargetAndNormalizedSQL(t *testing.T) {
 	if got := target.count("SELECT 1") + target.count("  SELECT  1 ;"); got != 4 {
 		t.Errorf("the duplicate cell should be served from cache; %d executions, want 4 (2 runs x 2 targets)", got)
 	}
-	if results[0].Measurement != results[1].Measurement {
-		t.Error("duplicate cells should share one measurement")
+	// The replay is a tagged shallow copy of the shared cache entry, so a
+	// cached timing (or trace) is never mistaken for a fresh execution.
+	if results[0].Measurement.FromCache {
+		t.Error("the measuring cell must not be marked FromCache")
+	}
+	if !results[1].Measurement.FromCache {
+		t.Error("the duplicate cell's measurement should be marked FromCache")
+	}
+	fresh, replay := *results[0].Measurement, *results[1].Measurement
+	replay.FromCache = false
+	if !reflect.DeepEqual(fresh, replay) {
+		t.Errorf("replay should match the cached measurement apart from the tag:\n fresh  %+v\n replay %+v", fresh, replay)
 	}
 	if results[0].Measurement == results[2].Measurement {
 		t.Error("different targets must not share measurements")

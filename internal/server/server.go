@@ -25,6 +25,7 @@ import (
 	"sqalpel/internal/grammar"
 	"sqalpel/internal/pool"
 	"sqalpel/internal/repository"
+	"sqalpel/internal/trace"
 )
 
 // Server is the sqalpel platform server.
@@ -740,12 +741,24 @@ func (s *Server) handleTaskComplete(w http.ResponseWriter, r *http.Request) {
 		Seconds []float64         `json:"seconds"`
 		Error   string            `json:"error"`
 		Extra   map[string]string `json:"extra"`
+		// Trace optionally carries the driver's per-operator span tree as a
+		// trace.QueryTrace document; it is stored on the result row.
+		Trace json.RawMessage `json:"trace"`
 	}
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.store.CompleteTask(req.TaskID, req.Key, req.Seconds, req.Error, req.Extra)
+	var qt *trace.QueryTrace
+	if len(req.Trace) > 0 && string(req.Trace) != "null" {
+		parsed, err := trace.ParseTrace(req.Trace)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid trace: %w", err))
+			return
+		}
+		qt = parsed
+	}
+	res, err := s.store.CompleteTaskTraced(req.TaskID, req.Key, req.Seconds, req.Error, req.Extra, qt)
 	if err != nil {
 		// A lost lease (expired and re-queued, or killed) is a normal race
 		// in the multi-driver scenario, not an authorization failure; 409

@@ -513,3 +513,85 @@ func TestLostLeaseCompletionAnswers409(t *testing.T) {
 		t.Errorf("wrong-key completion = %d, want 403", status)
 	}
 }
+
+// TestTracePageSideBySide drives the observability acceptance path over the
+// wire: two targets complete the same query with operator traces, and the
+// project's trace page renders their span trees side by side, keyed by the
+// shared plan operator ids, with the operator-level ratio table.
+func TestTracePageSideBySide(t *testing.T) {
+	c, _ := newTestClient(t)
+	c.token = c.register("martin", "martin@example.org")
+	pid, eid, key := createProjectWithExperiment(t, c)
+
+	traceFor := func(engine string, scale int64) map[string]any {
+		return map[string]any{
+			"schema_version": 1,
+			"engine":         engine,
+			"spans": []map[string]any{
+				{"op": "scan.0", "kind": "scan", "wall_ns": 100000 * scale, "rows": 25},
+				{"op": "filter", "kind": "filter", "wall_ns": 40000 * scale, "rows": 5},
+				{"op": "project", "kind": "project", "wall_ns": 10000 * scale, "rows": 5},
+			},
+		}
+	}
+	var queryID int
+	for i, target := range []struct {
+		dbms  string
+		scale int64
+	}{{"columba-1.0", 7}, {"vektor-1.0", 1}} {
+		status, resp := c.do("POST", "/api/task/request", map[string]any{
+			"key": key, "experiment_id": eid, "dbms": target.dbms, "platform": "laptop",
+		})
+		if status != http.StatusOK {
+			t.Fatalf("task request (%s) = %d", target.dbms, status)
+		}
+		qid := int(resp["query_id"].(float64))
+		if i == 0 {
+			queryID = qid
+		} else if qid != queryID {
+			t.Fatalf("targets leased different queries: %d vs %d", queryID, qid)
+		}
+		status, resp = c.do("POST", "/api/task/complete", map[string]any{
+			"key": key, "task_id": int(resp["id"].(float64)), "seconds": []float64{0.05},
+			"error": "", "trace": traceFor(target.dbms, target.scale),
+		})
+		if status != http.StatusCreated {
+			t.Fatalf("task complete (%s) = %d %v", target.dbms, status, resp)
+		}
+	}
+
+	// The project page links to the trace.
+	status, resp := c.do("GET", fmt.Sprintf("/projects/%d", pid), nil)
+	if status != http.StatusOK || !strings.Contains(resp["_raw"].(string), fmt.Sprintf("/trace?query=%d", queryID)) {
+		t.Fatalf("project page missing trace link: %d", status)
+	}
+
+	status, resp = c.do("GET", fmt.Sprintf("/projects/%d/trace?query=%d", pid, queryID), nil)
+	if status != http.StatusOK {
+		t.Fatalf("trace page = %d", status)
+	}
+	page := resp["_raw"].(string)
+	for _, want := range []string{
+		"columba-1.0@laptop", "vektor-1.0@laptop", // both targets side by side
+		"scan.0", "filter", "project", // spans keyed by plan operator ids
+		"Operator-level ratio", "7.00x", // the attribution table with the 7x kind ratio
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("trace page missing %q", want)
+		}
+	}
+
+	// A malformed trace payload is rejected, not silently dropped.
+	status, resp = c.do("POST", "/api/task/request", map[string]any{
+		"key": key, "experiment_id": eid, "dbms": "columba-1.0", "platform": "laptop",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("task request = %d", status)
+	}
+	if status, _ = c.do("POST", "/api/task/complete", map[string]any{
+		"key": key, "task_id": int(resp["id"].(float64)), "seconds": []float64{0.05},
+		"error": "", "trace": "not-a-trace",
+	}); status != http.StatusBadRequest {
+		t.Errorf("malformed trace completion = %d, want 400", status)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sqalpel/internal/analytics"
+	"sqalpel/internal/trace"
 	"sqalpel/internal/webui"
 )
 
@@ -112,6 +113,51 @@ func (s *Server) registerWebUI() {
 			Points:  analytics.History(runs, target),
 		}
 		renderHTML(w, renderer.History(w, data))
+	})
+
+	s.mux.HandleFunc("GET /projects/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		p, viewer, ok := s.loadProject(w, r)
+		if !ok {
+			return
+		}
+		var qid int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("query"), "%d", &qid); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query parameter query must be a query id"))
+			return
+		}
+		// Latest traced result per target label; iteration order is insertion
+		// order, so later submissions win.
+		byLabel := map[string]*trace.QueryTrace{}
+		sqlText := ""
+		for _, res := range s.store.Results(viewer, p.ID) {
+			if res.QueryID != qid || res.Trace == nil {
+				continue
+			}
+			byLabel[res.DBMSKey+"@"+res.PlatformKey] = res.Trace
+			if exp := p.Experiment(res.ExperimentID); exp != nil {
+				if q := exp.Query(res.QueryID); q != nil {
+					sqlText = q.SQL
+				}
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		traces := make([]*trace.QueryTrace, len(labels))
+		for i, l := range labels {
+			traces[i] = byLabel[l]
+		}
+		data := webui.TraceData{
+			Project: p,
+			QueryID: qid,
+			SQL:     sqlText,
+			Targets: labels,
+			Rows:    trace.Compare(traces),
+		}
+		data.TargetA, data.TargetB, data.Ratios = webui.TraceRatios(labels, data.Rows)
+		renderHTML(w, renderer.Trace(w, data))
 	})
 
 	s.mux.HandleFunc("GET /projects/{id}/diff", func(w http.ResponseWriter, r *http.Request) {

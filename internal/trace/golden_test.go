@@ -1,0 +1,56 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sqalpel/internal/datagen"
+	"sqalpel/internal/engine"
+	"sqalpel/internal/workload"
+)
+
+// Regenerate the golden EXPLAIN files after an intentional plan-JSON change:
+//
+//	go test ./internal/trace/ -run TestExplainGoldenTPCH -update
+var update = flag.Bool("update", false, "rewrite the golden EXPLAIN files")
+
+// TestExplainGoldenTPCH pins the EXPLAIN plan-JSON of all 22 TPC-H queries.
+// The document is a pure function of the logical plan — independent of scale
+// factor, engine and execution — so any diff here is a real change to the
+// operator-id scheme or the plan rendering, which also invalidates archived
+// traces keyed by those ids. Bump trace.SchemaVersion for incompatible
+// changes and regenerate with -update.
+func TestExplainGoldenTPCH(t *testing.T) {
+	db := datagen.TPCH(datagen.TPCHOptions{ScaleFactor: 0.001, Seed: 11})
+	reg := engine.NewRegistry()
+	for _, q := range workload.TPCH() {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			doc, err := reg.ExplainJSON(db, q.SQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc = append(doc, '\n')
+			path := filepath.Join("testdata", "explain", q.ID+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, doc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate: go test ./internal/trace/ -run TestExplainGoldenTPCH -update): %v", err)
+			}
+			if !bytes.Equal(want, doc) {
+				t.Errorf("EXPLAIN plan-JSON drifted from %s;\nif intentional, regenerate with -update\ngot:\n%s\nwant:\n%s", path, doc, want)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"sqalpel/internal/plan"
 	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
 )
 
 // ErrUnsupported marks statements (or runtime value shapes) outside the
@@ -34,6 +35,12 @@ type Options struct {
 	// thread-local aggregation); 0 or 1 executes serially. Results are
 	// bit-identical at every worker count.
 	Parallelism int
+	// Tracer collects per-operator spans keyed by the plan's operator ids;
+	// nil disables tracing at zero cost (every operator's span pointer is
+	// nil and the hot paths reduce to one pointer comparison). Traces are
+	// bit-identical at every worker count: morsel workers accumulate
+	// thread-local span deltas that merge in morsel order.
+	Tracer *trace.Tracer
 }
 
 // Stats are the execution counters of one run.
@@ -45,6 +52,13 @@ type Stats struct {
 	LoopJoins    int64
 	Groups       int64
 	RowsReturned int64
+	// JoinBuildRows/JoinProbeRows count the non-NULL-key rows inserted into
+	// and probed against hash-join tables; identical at every worker count
+	// (NULL-key rows are skipped on both paths).
+	JoinBuildRows int64
+	JoinProbeRows int64
+	// AggRows counts the rows folded into groups by hash aggregation.
+	AggRows int64
 }
 
 // Result is a finished query: named, typed output columns.
@@ -67,6 +81,11 @@ type executor struct {
 	cat   Catalog
 	opts  Options
 	stats Stats
+	// tracer is the per-operator span collector; nil when tracing is off.
+	// vexec never executes nested plans (derived tables and sub-queries are
+	// outside the vectorized subset), so all operator ids use the root
+	// prefix.
+	tracer *trace.Tracer
 }
 
 // Execute runs a parsed SELECT against the catalog, planning it on the fly.
@@ -93,7 +112,7 @@ func ExecutePlan(cat Catalog, p *plan.Plan, opts Options) (*Result, error) {
 	if !p.Vectorizable {
 		return nil, fmt.Errorf("%w: %s", ErrUnsupported, p.NotVectorizableReason)
 	}
-	ex := &executor{cat: cat, opts: opts}
+	ex := &executor{cat: cat, opts: opts, tracer: opts.Tracer}
 	res, err := ex.run(p.Root)
 	if err != nil {
 		return nil, err
@@ -162,19 +181,27 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 	if len(sp.From) == 0 {
 		var op operator = &dualOp{}
 		if len(sp.VexecResidual) > 0 {
-			op = &filterOp{ex: ex, child: op, conjuncts: sp.VexecResidual}
+			f := &filterOp{ex: ex, child: op, conjuncts: sp.VexecResidual}
+			if ex.tracer != nil {
+				f.span = ex.tracer.Span(trace.FilterID(""), trace.KindFilter)
+			}
+			op = f
 		}
 		return op, nil
 	}
 
 	pipes := make([]operator, len(sp.From))
 	for i, in := range sp.From {
-		p, err := ex.buildInput(in)
+		p, err := ex.buildInput(in, i)
 		if err != nil {
 			return nil, err
 		}
 		if len(sp.VexecPushdown[i]) > 0 {
-			p = &filterOp{ex: ex, child: p, conjuncts: sp.VexecPushdown[i]}
+			f := &filterOp{ex: ex, child: p, conjuncts: sp.VexecPushdown[i]}
+			if ex.tracer != nil {
+				f.span = ex.tracer.Span(trace.PushFilterID("", i), trace.KindFilter)
+			}
+			p = f
 		}
 		pipes[i] = p
 	}
@@ -194,7 +221,15 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 			mats[i] = m
 		}
 		cur := mats[0]
-		for _, step := range sp.JoinSteps {
+		for k, step := range sp.JoinSteps {
+			var tm trace.Timer
+			if ex.tracer != nil {
+				kind := trace.KindHashJoin
+				if step.Cross {
+					kind = trace.KindCross
+				}
+				tm = ex.tracer.Span(trace.JoinID("", k), kind).Start()
+			}
 			var err error
 			if step.Cross {
 				cur, err = ex.crossJoin(cur, mats[step.Right])
@@ -204,24 +239,36 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 			if err != nil {
 				return nil, err
 			}
+			tm.Done(int64(cur.Len()))
 		}
 		current = &matOp{ex: ex, b: cur}
 	}
 
 	if len(sp.VexecResidual) > 0 {
-		current = &filterOp{ex: ex, child: current, conjuncts: sp.VexecResidual}
+		f := &filterOp{ex: ex, child: current, conjuncts: sp.VexecResidual}
+		if ex.tracer != nil {
+			f.span = ex.tracer.Span(trace.FilterID(""), trace.KindFilter)
+		}
+		current = f
 	}
 	return current, nil
 }
 
-// buildInput builds the pipeline of one planned FROM input.
-func (ex *executor) buildInput(in *plan.Input) (operator, error) {
+// buildInput builds the pipeline of one planned FROM input. idx is the
+// input's FROM position, keying its trace span; the operands of explicit
+// JOIN trees pass -1 (the whole tree is traced as one input operator).
+func (ex *executor) buildInput(in *plan.Input, idx int) (operator, error) {
 	switch {
 	case in.Join != nil:
+		var tm trace.Timer
+		if ex.tracer != nil && idx >= 0 {
+			tm = ex.tracer.Span(trace.InputID("", idx), trace.KindJoinTree).Start()
+		}
 		b, err := ex.buildJoinBatch(in.Join)
 		if err != nil {
 			return nil, err
 		}
+		tm.Done(int64(b.Len()))
 		return &matOp{ex: ex, b: b}, nil
 	case in.Derived != nil:
 		return nil, fmt.Errorf("%w: derived tables", ErrUnsupported)
@@ -230,14 +277,18 @@ func (ex *executor) buildInput(in *plan.Input) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newScanOp(ex, table, in.Alias), nil
+		op := newScanOp(ex, table, in.Alias)
+		if ex.tracer != nil && idx >= 0 {
+			op.span = ex.tracer.Span(trace.ScanID("", idx), trace.KindScan)
+		}
+		return op, nil
 	}
 }
 
 // buildJoinBatch materializes an explicit JOIN tree whose ON condition the
 // plan already classified.
 func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
-	leftOp, err := ex.buildInput(j.Left)
+	leftOp, err := ex.buildInput(j.Left, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +296,7 @@ func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	rightOp, err := ex.buildInput(j.Right)
+	rightOp, err := ex.buildInput(j.Right, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +377,10 @@ func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Re
 	items, starCols := expandProjection(stmt, b.meta)
 	ctx := &evalCtx{ex: ex, batch: b}
 
+	var tm trace.Timer
+	if ex.tracer != nil {
+		tm = ex.tracer.Span(trace.ProjectID(""), trace.KindProject).Start()
+	}
 	var cols []*Vector
 	var names []string
 	for _, ci := range starCols {
@@ -343,6 +398,7 @@ func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Re
 		cols = append(cols, v)
 		names = append(names, it.name)
 	}
+	tm.Done(int64(b.Len()))
 	sortKeys, err := ex.orderKeyVectors(stmt, items, cols, ctx)
 	if err != nil {
 		return nil, err
@@ -353,10 +409,15 @@ func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Re
 // runGrouped executes a grouped query: hash-aggregate the pipeline, apply
 // HAVING, project the groups, then run the shared epilogue.
 func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (*Result, error) {
+	var atm trace.Timer
+	if ex.tracer != nil {
+		atm = ex.tracer.Span(trace.AggID(""), trace.KindAgg).Start()
+	}
 	agg, err := ex.hashAggregate(pipe, stmt)
 	if err != nil {
 		return nil, err
 	}
+	atm.Done(int64(agg.n))
 	n := agg.n
 	ctx := &evalCtx{ex: ex, batch: &Batch{n: n}, aggs: agg.aggs, refs: agg.refs}
 
@@ -389,6 +450,10 @@ func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (
 			return nil, fmt.Errorf("SELECT * is not supported with GROUP BY or aggregates")
 		}
 	}
+	var tm trace.Timer
+	if ex.tracer != nil {
+		tm = ex.tracer.Span(trace.ProjectID(""), trace.KindProject).Start()
+	}
 	var cols []*Vector
 	var names []string
 	for _, it := range items {
@@ -399,6 +464,7 @@ func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (
 		cols = append(cols, v)
 		names = append(names, it.name)
 	}
+	tm.Done(int64(n))
 	sortKeys, err := ex.orderKeyVectors(stmt, items, cols, ctx)
 	if err != nil {
 		return nil, err
@@ -483,6 +549,10 @@ func (ex *executor) orderKeyVectors(stmt *sqlparser.SelectStatement, items []pro
 // columns and finishes the result.
 func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, cols []*Vector, sortKeys []*Vector, n int) (*Result, error) {
 	if stmt.Distinct {
+		var tm trace.Timer
+		if ex.tracer != nil {
+			tm = ex.tracer.Span(trace.DistinctID(""), trace.KindDistinct).Start()
+		}
 		// First-seen survivors through the typed hash table: a fresh group
 		// id means an unseen row.
 		ht := newHashTable(min(n, 4096))
@@ -498,9 +568,14 @@ func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, co
 			sortKeys = gatherAll(sortKeys, keep)
 			n = len(keep)
 		}
+		tm.Done(int64(n))
 	}
 
 	if len(stmt.OrderBy) > 0 {
+		var tm trace.Timer
+		if ex.tracer != nil {
+			tm = ex.tracer.Span(trace.SortID(""), trace.KindSort).Start()
+		}
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = i
@@ -538,9 +613,14 @@ func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, co
 		if sorted {
 			cols = gatherAll(cols, idx)
 		}
+		tm.Done(int64(n))
 	}
 
 	if stmt.Limit != nil || stmt.Offset != nil {
+		var tm trace.Timer
+		if ex.tracer != nil {
+			tm = ex.tracer.Span(trace.LimitID(""), trace.KindLimit).Start()
+		}
 		start := 0
 		if stmt.Offset != nil {
 			start = int(*stmt.Offset)
@@ -558,6 +638,7 @@ func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, co
 		}
 		cols = gatherAll(cols, keep)
 		n = len(keep)
+		tm.Done(int64(n))
 	}
 
 	ex.stats.RowsReturned += int64(n)

@@ -3,8 +3,10 @@ package vexec
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
 )
 
 // operator is a pull-based batch producer: next returns nil at end of
@@ -24,6 +26,7 @@ type scanOp struct {
 	table *Table
 	meta  []colMeta
 	pos   int
+	span  *trace.Span // nil when tracing is off
 }
 
 func newScanOp(ex *executor, t *Table, alias string) *scanOp {
@@ -46,6 +49,10 @@ func (s *scanOp) next() (*Batch, error) {
 	if err := s.ex.checkDeadline(); err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if s.span != nil {
+		t0 = time.Now()
+	}
 	hi := s.pos + s.ex.opts.BatchSize
 	if hi > s.table.NumRows() {
 		hi = s.table.NumRows()
@@ -57,6 +64,11 @@ func (s *scanOp) next() (*Batch, error) {
 	}
 	s.ex.stats.RowsScanned += int64(hi - s.pos)
 	s.ex.stats.Batches++
+	if s.span != nil {
+		s.span.WallNS += time.Since(t0).Nanoseconds()
+		s.span.Rows += int64(hi - s.pos)
+		s.span.Batches++
+	}
 	s.pos = hi
 	return b, nil
 }
@@ -85,6 +97,7 @@ type filterOp struct {
 	ex        *executor
 	child     operator
 	conjuncts []sqlparser.Expr
+	span      *trace.Span // nil when tracing is off
 }
 
 func (f *filterOp) schema() []colMeta { return f.child.schema() }
@@ -98,8 +111,20 @@ func (f *filterOp) next() (*Batch, error) {
 		if b == nil {
 			return nil, nil
 		}
+		var t0 time.Time
+		if f.span != nil {
+			t0 = time.Now()
+		}
 		if err := applyConjuncts(f.ex, b, f.conjuncts, &f.ex.stats); err != nil {
 			return nil, err
+		}
+		if f.span != nil {
+			// Every batch that enters the filter is recorded, surviving rows
+			// only — the same accounting the morsel-parallel path's span
+			// deltas reproduce, so traces match at every worker count.
+			f.span.WallNS += time.Since(t0).Nanoseconds()
+			f.span.Rows += int64(b.Len())
+			f.span.Batches++
 		}
 		if b.Len() > 0 {
 			return b, nil
@@ -322,10 +347,12 @@ func (ex *executor) joinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) (probe
 	ht := newHashTable(nBuild)
 	kc := ht.prepare(bVecs, pVecs)
 	jl := newJoinLists(nBuild)
+	var buildRows, probeRows int64
 	for i := 0; i < nBuild; i++ {
 		if nullKeyRow(bVecs, i) {
 			continue
 		}
+		buildRows++
 		g, isNew := kc.getOrInsert(ht, bVecs, i)
 		jl.insert(g, int32(i), isNew)
 	}
@@ -333,6 +360,7 @@ func (ex *executor) joinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) (probe
 		if nullKeyRow(pVecs, i) {
 			continue
 		}
+		probeRows++
 		g := kc.lookup(ht, pVecs, i)
 		if g < 0 {
 			continue
@@ -345,6 +373,8 @@ func (ex *executor) joinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) (probe
 			}
 		}
 	}
+	ex.stats.JoinBuildRows += buildRows
+	ex.stats.JoinProbeRows += probeRows
 	return probeIdx, buildIdx, nil
 }
 
@@ -661,8 +691,8 @@ func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatemen
 	if ex.parallelism() > 1 {
 		// Single-morsel inputs skip the 3-phase machinery: its thread-local
 		// tables and remap passes only pay off with morsels to fan out.
-		if src, passes, ok := splitPipeline(child); ok && src.rows > ex.opts.BatchSize {
-			return ex.parallelHashAggregate(src, passes, stmt, specs, carried)
+		if src, layers, ok := splitPipeline(child); ok && src.rows > ex.opts.BatchSize {
+			return ex.parallelHashAggregate(src, layers, stmt, specs, carried)
 		}
 	}
 
@@ -689,6 +719,7 @@ func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatemen
 		if n == 0 {
 			continue
 		}
+		ex.stats.AggRows += int64(n)
 		keyVecs, argVecs, refVecs, err := aggBatchVectors(ex, b, stmt, specs, carried)
 		if err != nil {
 			return nil, err

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
 )
 
 // This file implements morsel-driven intra-query parallelism. The unit of
@@ -79,8 +81,11 @@ func (s *Stats) add(o Stats) {
 	s.Batches += o.Batches
 	s.FilterPasses += o.FilterPasses
 	s.HashJoins += o.HashJoins
+	s.JoinBuildRows += o.JoinBuildRows
+	s.JoinProbeRows += o.JoinProbeRows
 	s.LoopJoins += o.LoopJoins
 	s.Groups += o.Groups
+	s.AggRows += o.AggRows
 	s.RowsReturned += o.RowsReturned
 }
 
@@ -93,7 +98,8 @@ type morselSource struct {
 	cols []*Vector
 	meta []colMeta
 	rows int
-	scan bool // base-table scan: windows count into RowsScanned
+	scan bool        // base-table scan: windows count into RowsScanned
+	span *trace.Span // the scan's span; nil when tracing is off
 }
 
 func (s *scanOp) morselSource() morselSource {
@@ -101,7 +107,7 @@ func (s *scanOp) morselSource() morselSource {
 	for i, c := range s.table.Cols {
 		cols[i] = c.Vec
 	}
-	return morselSource{cols: cols, meta: s.meta, rows: s.table.NumRows(), scan: true}
+	return morselSource{cols: cols, meta: s.meta, rows: s.table.NumRows(), scan: true, span: s.span}
 }
 
 func (m *matOp) morselSource() morselSource {
@@ -133,29 +139,79 @@ func (src *morselSource) morselBounds(m, bs int) (lo, hi int) {
 	return lo, hi
 }
 
+// filterLayer is one filterOp of a decomposed pipeline: its conjuncts plus
+// its trace span, kept separate per layer so pushed-down and residual
+// filters stay attributable to their own operator ids under parallelism.
+type filterLayer struct {
+	conjuncts []sqlparser.Expr
+	span      *trace.Span
+}
+
+// filterMorsel applies the filter layers to one morsel window in
+// application order; like the serial filter stack, a layer that empties
+// the batch stops the remaining layers from running. When d is non-nil it
+// receives the per-layer span deltas at d[1:] (d[0] is the source window's
+// delta, filled by the caller): a layer's delta is recorded exactly when
+// the layer runs, which is the serial filterOp's per-entering-batch
+// accounting, so merged traces match the serial ones bit for bit.
+func filterMorsel(ex *executor, b *Batch, layers []filterLayer, st *Stats, d []trace.SpanDelta) error {
+	var t0 time.Time
+	if d != nil {
+		t0 = time.Now()
+	}
+	for li := range layers {
+		if err := applyConjuncts(ex, b, layers[li].conjuncts, st); err != nil {
+			return err
+		}
+		if d != nil {
+			now := time.Now()
+			d[li+1] = trace.SpanDelta{WallNS: now.Sub(t0).Nanoseconds(), Rows: int64(b.Len()), Batches: 1}
+			t0 = now
+		}
+		if b.Len() == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// mergeMorselDeltas folds the morsel-local span deltas into the source and
+// layer spans, in morsel order; deltas is nil when tracing is off.
+func mergeMorselDeltas(src *morselSource, layers []filterLayer, deltas [][]trace.SpanDelta) {
+	for _, d := range deltas {
+		if d == nil {
+			continue
+		}
+		src.span.Merge(d[0])
+		for li := range layers {
+			layers[li].span.Merge(d[li+1])
+		}
+	}
+}
+
 // splitPipeline decomposes a scan→filter pipeline into its morsel source
-// and the flattened conjunct passes applied above it, in application
-// order. ok is false for pipelines the morsel driver cannot fan out
-// (FROM-less inputs, partially consumed operators, non-dense rewinds).
-func splitPipeline(op operator) (morselSource, []sqlparser.Expr, bool) {
-	var passes []sqlparser.Expr
+// and the filter layers applied above it, in application order. ok is
+// false for pipelines the morsel driver cannot fan out (FROM-less inputs,
+// partially consumed operators, non-dense rewinds).
+func splitPipeline(op operator) (morselSource, []filterLayer, bool) {
+	var layers []filterLayer
 	for {
 		switch o := op.(type) {
 		case *filterOp:
 			// This filter runs after everything below it: what is already
 			// collected came from operators above, so prepend.
-			passes = append(append([]sqlparser.Expr{}, o.conjuncts...), passes...)
+			layers = append([]filterLayer{{conjuncts: o.conjuncts, span: o.span}}, layers...)
 			op = o.child
 		case *scanOp:
 			if o.pos != 0 {
 				return morselSource{}, nil, false
 			}
-			return o.morselSource(), passes, true
+			return o.morselSource(), layers, true
 		case *matOp:
 			if o.pos != 0 || o.b.sel != nil {
 				return morselSource{}, nil, false
 			}
-			return o.morselSource(), passes, true
+			return o.morselSource(), layers, true
 		default:
 			return morselSource{}, nil, false
 		}
@@ -172,7 +228,7 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 	if p <= 1 {
 		return materialize(op)
 	}
-	src, passes, ok := splitPipeline(op)
+	src, layers, ok := splitPipeline(op)
 	if !ok || src.rows <= bs {
 		return materialize(op)
 	}
@@ -180,11 +236,22 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 	outs := make([]*Batch, nm)
 	errs := make([]error, nm)
 	stats := make([]Stats, nm)
+	var deltas [][]trace.SpanDelta
+	if ex.tracer != nil {
+		deltas = make([][]trace.SpanDelta, nm)
+	}
 	parallelFor(p, nm, func(m int) {
 		lo, hi := src.morselBounds(m, bs)
 		if err := ex.checkDeadline(); err != nil {
 			errs[m] = err
 			return
+		}
+		var d []trace.SpanDelta
+		var t0 time.Time
+		if deltas != nil {
+			d = make([]trace.SpanDelta, len(layers)+1)
+			deltas[m] = d
+			t0 = time.Now()
 		}
 		b := src.window(lo, hi)
 		st := &stats[m]
@@ -192,7 +259,10 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 			st.RowsScanned += int64(hi - lo)
 		}
 		st.Batches++
-		if err := applyConjuncts(ex, b, passes, st); err != nil {
+		if d != nil {
+			d[0] = trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(hi - lo), Batches: 1}
+		}
+		if err := filterMorsel(ex, b, layers, st, d); err != nil {
 			errs[m] = err
 			return
 		}
@@ -203,6 +273,7 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 	for _, st := range stats {
 		ex.stats.add(st)
 	}
+	mergeMorselDeltas(&src, layers, deltas)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -242,6 +313,7 @@ type aggMorsel struct {
 	rowGroups []int32
 	firstRows []int32 // local group -> first surviving row
 	stats     Stats
+	deltas    []trace.SpanDelta // per-layer span deltas; nil when tracing is off
 	err       error
 }
 
@@ -255,7 +327,7 @@ type aggMorsel struct {
 // (parallel over groups): each group folds its rows in that order, which
 // is the serial fold order, so order-sensitive accumulations (float sums)
 // come out bit-identical to the serial path at any worker count.
-func (ex *executor) parallelHashAggregate(src morselSource, passes []sqlparser.Expr, stmt *sqlparser.SelectStatement, specs []aggSpec, carried []*sqlparser.ColumnRef) (*aggResult, error) {
+func (ex *executor) parallelHashAggregate(src morselSource, layers []filterLayer, stmt *sqlparser.SelectStatement, specs []aggSpec, carried []*sqlparser.ColumnRef) (*aggResult, error) {
 	p := ex.parallelism()
 	bs := ex.opts.BatchSize
 	grouped := len(stmt.GroupBy) > 0
@@ -268,12 +340,20 @@ func (ex *executor) parallelHashAggregate(src morselSource, passes []sqlparser.E
 			mo.err = err
 			return
 		}
+		var t0 time.Time
+		if ex.tracer != nil {
+			mo.deltas = make([]trace.SpanDelta, len(layers)+1)
+			t0 = time.Now()
+		}
 		b := src.window(lo, hi)
 		if src.scan {
 			mo.stats.RowsScanned += int64(hi - lo)
 		}
 		mo.stats.Batches++
-		if err := applyConjuncts(ex, b, passes, &mo.stats); err != nil {
+		if mo.deltas != nil {
+			mo.deltas[0] = trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(hi - lo), Batches: 1}
+		}
+		if err := filterMorsel(ex, b, layers, &mo.stats, mo.deltas); err != nil {
 			mo.err = err
 			return
 		}
@@ -282,6 +362,7 @@ func (ex *executor) parallelHashAggregate(src morselSource, passes []sqlparser.E
 			return
 		}
 		mo.n = n
+		mo.stats.AggRows += int64(n)
 		var err error
 		mo.keyVecs, mo.argVecs, mo.refVecs, err = aggBatchVectors(ex, b, stmt, specs, carried)
 		if err != nil {
@@ -303,6 +384,12 @@ func (ex *executor) parallelHashAggregate(src morselSource, passes []sqlparser.E
 	})
 	for m := range morsels {
 		ex.stats.add(morsels[m].stats)
+		if morsels[m].deltas != nil {
+			src.span.Merge(morsels[m].deltas[0])
+			for li := range layers {
+				layers[li].span.Merge(morsels[m].deltas[li+1])
+			}
+		}
 	}
 	for m := range morsels {
 		if morsels[m].err != nil {
@@ -457,6 +544,7 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 	// index belongs to exactly one partition worker.
 	tables := make([]*hashTable, nPart)
 	lists := make([]joinLists, nPart)
+	buildRows := make([]int64, nPart)
 	next := make([]int32, nBuild)
 	for i := range next {
 		next[i] = -1
@@ -467,18 +555,24 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 		ht.setMode(mode, class)
 		kc := keyCoder{mode: mode}
 		jl := joinLists{next: next}
+		var inserted int64
 		for _, i := range rows {
 			if nullKeyRow(bVecs, int(i)) {
 				// NULL join keys never match (see nullKeyRow); the serial
 				// joinPairs skips them identically.
 				continue
 			}
+			inserted++
 			g, isNew := kc.getOrInsertHashed(ht, bVecs, int(i), hashes[i])
 			jl.insert(g, i, isNew)
 		}
 		tables[pt] = ht
 		lists[pt] = jl
+		buildRows[pt] = inserted
 	})
+	for _, n := range buildRows {
+		ex.stats.JoinBuildRows += n
+	}
 
 	// Probe morsel-wise; chunks concatenate in morsel order, which is the
 	// serial probe order. The join-size guard is a running total shared by
@@ -490,6 +584,7 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 	// worker count.
 	type pairChunk struct {
 		probe, build []int
+		probed       int64 // non-NULL-key probe rows, for JoinProbeRows
 		err          error
 	}
 	npm := (nProbe + bs - 1) / bs
@@ -512,6 +607,7 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 			if nullKeyRow(pVecs, i) {
 				continue
 			}
+			ch.probed++
 			h := kc.hash(pVecs, i)
 			pt := h >> (64 - bits)
 			g := kc.lookupHashed(tables[pt], pVecs, i, h)
@@ -536,6 +632,7 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 		if chunks[m].err != nil {
 			return nil, nil, chunks[m].err
 		}
+		ex.stats.JoinProbeRows += chunks[m].probed
 		total += len(chunks[m].probe)
 	}
 	probeIdx := make([]int, 0, total)

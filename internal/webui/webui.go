@@ -2,19 +2,23 @@
 // the project index, the project page with its synopsis and experiments, the
 // grammar page (the demo's "query sqalpel" screen), the query-pool page with
 // its steering controls, the experiment-history page with morph annotations,
-// and the query-differential page. Pages are generated on the server, as in
-// the paper's prototype; no JavaScript framework is required to inspect a
-// project.
+// the query-differential page, and the operator-trace page that lays the
+// span trees of every traced target side by side, keyed to the shared plan
+// operator ids. Pages are generated on the server, as in the paper's
+// prototype; no JavaScript framework is required to inspect a project.
 package webui
 
 import (
 	"fmt"
 	"html/template"
 	"io"
+	"math"
+	"sort"
 
 	"sqalpel/internal/analytics"
 	"sqalpel/internal/catalog"
 	"sqalpel/internal/repository"
+	"sqalpel/internal/trace"
 )
 
 // Renderer renders the HTML pages from pre-parsed templates.
@@ -26,6 +30,13 @@ type Renderer struct {
 func New() (*Renderer, error) {
 	t := template.New("sqalpel").Funcs(template.FuncMap{
 		"seconds": func(v float64) string { return fmt.Sprintf("%.4f", v) },
+		"millis":  func(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) },
+		"ratio": func(v float64) string {
+			if math.IsNaN(v) {
+				return "—"
+			}
+			return fmt.Sprintf("%.2fx", v)
+		},
 	})
 	var err error
 	for name, text := range pages {
@@ -82,6 +93,77 @@ type DiffData struct {
 	SQLB    string
 }
 
+// TraceData feeds the operator-trace page: one query's per-operator span
+// trees on every traced target, laid side by side keyed to the shared plan
+// operator ids, plus the operator-level ratio table between the first two
+// targets.
+type TraceData struct {
+	Project *repository.Project
+	QueryID int
+	SQL     string
+	// Targets are the traced target labels; Rows[i].Spans is parallel to it.
+	Targets []string
+	Rows    []trace.CompareRow
+	// TargetA/TargetB name the pair the ratio table compares; empty when
+	// fewer than two targets carry traces.
+	TargetA string
+	TargetB string
+	Ratios  []TraceRatio
+}
+
+// TraceRatio is one row of the operator-level ratio table: the wall-clock
+// time two targets spent in one operator kind.
+type TraceRatio struct {
+	Kind    string
+	NanosA  int64
+	NanosB  int64
+	RatioAB float64
+}
+
+// TraceRatios aggregates the comparison rows per operator kind for the first
+// two targets and ranks the kinds by how lopsided the time ratio is, the
+// per-query sibling of the search's operator attribution table.
+func TraceRatios(targets []string, rows []trace.CompareRow) (a, b string, out []TraceRatio) {
+	if len(targets) < 2 {
+		return "", "", nil
+	}
+	a, b = targets[0], targets[1]
+	byKind := map[string]*TraceRatio{}
+	for _, row := range rows {
+		r := byKind[row.Kind]
+		if r == nil {
+			r = &TraceRatio{Kind: row.Kind, RatioAB: math.NaN()}
+			byKind[row.Kind] = r
+		}
+		if sa := row.Spans[0]; sa != nil {
+			r.NanosA += sa.WallNS
+		}
+		if sb := row.Spans[1]; sb != nil {
+			r.NanosB += sb.WallNS
+		}
+	}
+	for _, r := range byKind {
+		if r.NanosA > 0 && r.NanosB > 0 {
+			r.RatioAB = float64(r.NanosA) / float64(r.NanosB)
+		}
+		out = append(out, *r)
+	}
+	lopsided := func(v float64) float64 {
+		if math.IsNaN(v) {
+			return 0
+		}
+		return math.Max(v, 1/v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := lopsided(out[i].RatioAB), lopsided(out[j].RatioAB)
+		if li != lj {
+			return li > lj
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return a, b, out
+}
+
 // Index renders the landing page.
 func (r *Renderer) Index(w io.Writer, data IndexData) error {
 	return r.tmpl.ExecuteTemplate(w, "index", data)
@@ -110,6 +192,11 @@ func (r *Renderer) History(w io.Writer, data HistoryData) error {
 // Diff renders the query differential page.
 func (r *Renderer) Diff(w io.Writer, data DiffData) error {
 	return r.tmpl.ExecuteTemplate(w, "diff", data)
+}
+
+// Trace renders the operator-trace page.
+func (r *Renderer) Trace(w io.Writer, data TraceData) error {
+	return r.tmpl.ExecuteTemplate(w, "trace", data)
 }
 
 // pages holds the HTML templates, keyed by name.
@@ -166,9 +253,10 @@ nav a { margin-right: 1em; }
 <a href="/projects/{{$pid}}/history">history</a></td></tr>{{end}}
 </table>
 <h2>Results ({{len .Results}})</h2>
-<table><tr><th>id</th><th>experiment</th><th>query</th><th>dbms</th><th>platform</th><th>best time (s)</th><th>error</th></tr>
+<table><tr><th>id</th><th>experiment</th><th>query</th><th>dbms</th><th>platform</th><th>best time (s)</th><th>trace</th><th>error</th></tr>
 {{range .Results}}<tr><td>{{.ID}}</td><td>{{.ExperimentID}}</td><td>{{.QueryID}}</td><td>{{.DBMSKey}}</td><td>{{.PlatformKey}}</td>
-<td>{{if .Failed}}<span class="error">—</span>{{else}}{{seconds .MinSeconds}}{{end}}</td><td>{{.Error}}</td></tr>{{end}}
+<td>{{if .Failed}}<span class="error">—</span>{{else}}{{seconds .MinSeconds}}{{end}}</td>
+<td>{{if .Trace}}<a href="/projects/{{$pid}}/trace?query={{.QueryID}}">trace</a>{{end}}</td><td>{{.Error}}</td></tr>{{end}}
 </table>
 <h2>Execution queue</h2>
 <table><tr><th>task</th><th>query</th><th>dbms</th><th>platform</th><th>status</th></tr>
@@ -217,5 +305,25 @@ nav a { margin-right: 1em; }
 <table><tr><th>target</th><th>query {{.Diff.QueryA}} (s)</th><th>query {{.Diff.QueryB}} (s)</th></tr>
 {{range $target, $pair := .Diff.Times}}<tr><td>{{$target}}</td><td>{{seconds (index $pair 0)}}</td><td>{{seconds (index $pair 1)}}</td></tr>{{end}}
 </table>
+{{template "layout_foot" .}}`,
+
+	"trace": `{{template "layout_head" .}}
+<h1>Operator trace — {{.Project.Name}} / query {{.QueryID}}</h1>
+{{if .SQL}}<pre>{{.SQL}}</pre>{{end}}
+{{if not .Targets}}<p>No traced results for this query yet; run the driver with tracing enabled.</p>{{else}}
+<p>Per-operator spans of every traced target, keyed to the shared plan operator ids
+(see the EXPLAIN plan-JSON of the query). A dash means the target's execution
+strategy has no such operator.</p>
+<table><tr><th>operator</th><th>kind</th>{{range .Targets}}<th>{{.}} (ms / rows)</th>{{end}}</tr>
+{{range .Rows}}<tr><td><code>{{.OpID}}</code></td><td>{{.Kind}}</td>
+{{range .Spans}}<td>{{if .}}{{millis .WallNS}} / {{.Rows}}{{else}}—{{end}}</td>{{end}}</tr>{{end}}
+</table>
+{{if .Ratios}}
+<h2>Operator-level ratio: {{.TargetA}} vs {{.TargetB}}</h2>
+<table><tr><th>kind</th><th>{{.TargetA}} (ms)</th><th>{{.TargetB}} (ms)</th><th>ratio</th></tr>
+{{range .Ratios}}<tr><td>{{.Kind}}</td><td>{{millis .NanosA}}</td><td>{{millis .NanosB}}</td><td>{{ratio .RatioAB}}</td></tr>{{end}}
+</table>
+{{end}}
+{{end}}
 {{template "layout_foot" .}}`,
 }
