@@ -1,11 +1,15 @@
 // Command sqalpeld runs the sqalpel platform server: the web application
 // that manages users, catalogs, performance projects, query pools, the task
-// queue and the result analytics. State is persisted as JSON in the data
-// directory and reloaded on restart.
+// queue and the result analytics. State lives in a sharded, write-ahead-
+// logged store in the data directory: every mutation is fsynced to its
+// shard's log before the request returns, so a crash — even kill -9 — loses
+// no acknowledged measurement, and restart recovers from snapshot plus log
+// replay. A data directory written by an older, single-JSON-file version is
+// migrated transparently on first start.
 //
 // Usage:
 //
-//	sqalpeld -addr :8080 -data ./sqalpel-data
+//	sqalpeld -addr :8080 -data ./sqalpel-data -shards 8
 package main
 
 import (
@@ -24,24 +28,27 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dataDir := flag.String("data", "sqalpel-data", "directory for the JSON persistence")
+	dataDir := flag.String("data", "sqalpel-data", "data directory (write-ahead logs + snapshots)")
+	shards := flag.Int("shards", repository.DefaultShards, "store shard count; changing it between runs is safe")
 	taskTimeout := flag.Duration("task-timeout", 10*time.Minute, "requeue tasks whose results were not delivered within this interval")
-	saveEvery := flag.Duration("save-every", time.Minute, "interval between automatic snapshots")
+	checkpointEvery := flag.Duration("checkpoint-every", time.Minute, "interval between checkpoints (snapshot + log compaction)")
 	flag.Parse()
 
-	store, err := repository.Load(*dataDir)
+	store, err := repository.Open(*dataDir, *shards)
 	if err != nil {
-		log.Fatalf("loading store from %s: %v", *dataDir, err)
+		log.Fatalf("opening store in %s: %v", *dataDir, err)
 	}
 	store.TaskTimeout = *taskTimeout
 	srv := server.New(server.Options{Store: store})
 
 	httpServer := &http.Server{Addr: *addr, Handler: srv}
 
-	// Periodic maintenance: expire stuck tasks and snapshot the store.
+	// Periodic maintenance: expire stuck tasks and checkpoint the store.
+	// Durability does not depend on the checkpoint — the logs already hold
+	// every acknowledged mutation — it only bounds recovery replay time.
 	stop := make(chan struct{})
 	go func() {
-		ticker := time.NewTicker(*saveEvery)
+		ticker := time.NewTicker(*checkpointEvery)
 		defer ticker.Stop()
 		for {
 			select {
@@ -49,8 +56,8 @@ func main() {
 				if n := store.ExpireTasks(); n > 0 {
 					log.Printf("requeued %d stuck tasks", n)
 				}
-				if err := store.Save(*dataDir); err != nil {
-					log.Printf("snapshot failed: %v", err)
+				if err := store.Checkpoint(); err != nil {
+					log.Printf("checkpoint failed: %v", err)
 				}
 			case <-stop:
 				return
@@ -64,13 +71,16 @@ func main() {
 		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 		<-sigs
 		close(stop)
-		if err := store.Save(*dataDir); err != nil {
-			log.Printf("final snapshot failed: %v", err)
+		if err := store.Checkpoint(); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("closing store: %v", err)
 		}
 		_ = httpServer.Close()
 	}()
 
-	fmt.Printf("sqalpel platform listening on %s (data in %s)\n", *addr, *dataDir)
+	fmt.Printf("sqalpel platform listening on %s (data in %s, %d shards)\n", *addr, *dataDir, *shards)
 	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -35,7 +35,12 @@
 //     control, the task queue with batch leasing and lease-expiry re-queue,
 //     results, analytics pages) and its experiment driver, which pulls task
 //     batches and measures them on its own worker pool so many drivers can
-//     crowd-source one experiment without double-measuring.
+//     crowd-source one experiment without double-measuring. The repository
+//     is a sharded, write-ahead-logged store: mutations are fsynced to
+//     their project shard's log before they return, restart recovers from
+//     snapshot plus log replay, and a crash-point fault-injection harness
+//     proves that kill -9 at any record boundary loses no acknowledged
+//     measurement and double-leases no task.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the scheduler scaling table; EXPERIMENTS.md records the

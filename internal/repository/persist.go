@@ -5,109 +5,407 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
-// snapshot is the on-disk JSON representation of a store.
+// On-disk layout. A data directory holds a CURRENT pointer file naming the
+// active generation directory; each generation contains one snapshot set
+// and one write-ahead log per partition ("meta" for the user table,
+// "sNNN" for each project shard):
+//
+//	<dir>/CURRENT                 -> "gen-000003"
+//	<dir>/gen-000003/meta.wal
+//	<dir>/gen-000003/meta.snap.<lsn>.json
+//	<dir>/gen-000003/s000.wal
+//	<dir>/gen-000003/s000.snap.<lsn>.json
+//	...
+//
+// Snapshot files are written atomically (temp file + rename) and named by
+// the log sequence number they cover, so replay skips records a snapshot
+// already contains. Checkpoints keep the two newest snapshots per
+// partition and rewrite the log down to the records the older one still
+// needs — a corrupt newest snapshot therefore falls back to the previous
+// one plus a longer replay. Generations make shard-count changes and
+// legacy migration crash-safe: a new layout is written completely before
+// CURRENT flips to it, and stale generations are pruned afterwards.
+// A pre-WAL store (a single <dir>/sqalpel.json) is detected when no
+// CURRENT exists and migrated transparently.
+
+// snapshot is the on-disk JSON representation of one partition (and, for
+// legacy stores, of the whole store in a single document).
 type snapshot struct {
-	Users    []*User    `json:"users"`
-	Projects []*Project `json:"projects"`
-	Results  []*Result  `json:"results"`
-	Comments []*Comment `json:"comments"`
-	Tasks    []*Task    `json:"tasks"`
+	Users    []*User    `json:"users,omitempty"`
+	Projects []*Project `json:"projects,omitempty"`
+	Results  []*Result  `json:"results,omitempty"`
+	Comments []*Comment `json:"comments,omitempty"`
+	Tasks    []*Task    `json:"tasks,omitempty"`
 
-	NextProjectID int `json:"next_project_id"`
-	NextResultID  int `json:"next_result_id"`
-	NextCommentID int `json:"next_comment_id"`
-	NextTaskID    int `json:"next_task_id"`
+	NextProjectID int `json:"next_project_id,omitempty"`
+	NextResultID  int `json:"next_result_id,omitempty"`
+	NextCommentID int `json:"next_comment_id,omitempty"`
+	NextTaskID    int `json:"next_task_id,omitempty"`
 
-	TaskTimeoutSeconds int       `json:"task_timeout_seconds"`
+	TaskTimeoutSeconds int       `json:"task_timeout_seconds,omitempty"`
 	SavedAt            time.Time `json:"saved_at"`
+
+	// WALLSN is the log sequence number this snapshot covers: replay skips
+	// records with lsn <= WALLSN. Zero for legacy stores and fresh
+	// generations.
+	WALLSN uint64 `json:"wal_lsn,omitempty"`
 }
 
-// Save writes the store to <dir>/sqalpel.json, creating the directory when
-// needed. The write is atomic (temp file + rename). Marshalling happens
-// under the read lock: the snapshot slices hold the live *Project/*Task/
-// *Result pointers, so encoding after unlocking would race with concurrent
-// mutators (AppendQueries, AddResult, task leasing) walking the same
-// objects. Only the filesystem writes run unlocked.
-func (s *Store) Save(dir string) error {
-	s.mu.RLock()
+const (
+	currentFile  = "CURRENT"
+	legacyFile   = "sqalpel.json"
+	migratedFile = "sqalpel.json.migrated"
+	partMeta     = "meta"
+	// keepSnapshots is how many snapshot generations a checkpoint retains
+	// per partition; the log keeps every record the oldest retained
+	// snapshot still needs, so recovery can fall back across one corrupt
+	// snapshot.
+	keepSnapshots = 2
+)
+
+func shardPartName(i int) string { return fmt.Sprintf("s%03d", i) }
+
+func walPath(genDir, part string) string { return filepath.Join(genDir, part+".wal") }
+
+func snapPath(genDir, part string, lsn uint64) string {
+	return filepath.Join(genDir, fmt.Sprintf("%s.snap.%d.json", part, lsn))
+}
+
+// partSnapshots lists the partition's snapshot files, newest (highest lsn)
+// first.
+func partSnapshots(genDir, part string) []uint64 {
+	entries, err := os.ReadDir(genDir)
+	if err != nil {
+		return nil
+	}
+	var lsns []uint64
+	prefix := part + ".snap."
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	return lsns
+}
+
+// partitionNames lists the partitions present in a generation directory,
+// meta first, shards in ascending order.
+func partitionNames(genDir string) []string {
+	entries, err := os.ReadDir(genDir)
+	if err != nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		base := name
+		if strings.HasSuffix(name, ".wal") {
+			base = strings.TrimSuffix(name, ".wal")
+		} else if i := strings.Index(name, ".snap."); i >= 0 {
+			base = name[:i]
+		} else {
+			continue
+		}
+		seen[base] = true
+	}
+	var parts []string
+	for p := range seen {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	// "meta" sorts after "s..." alphabetically only when shards are
+	// lowercase s — it does not; sort puts "meta" before "s000" already.
+	return parts
+}
+
+// writeFileAtomic writes data via a temp file + rename and fsyncs both the
+// file and (best effort) the containing directory.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so renames inside it are durable; best
+// effort, some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// metaSnapshotLocked builds the meta partition's image; metaMu held. The
+// global id counters ride in the meta snapshot.
+func (s *Store) metaSnapshotLocked() snapshot {
 	snap := snapshot{
-		Results:            s.results,
-		Comments:           s.comments,
 		NextProjectID:      s.nextProjectID,
-		NextResultID:       s.nextResultID,
-		NextCommentID:      s.nextCommentID,
-		NextTaskID:         s.nextTaskID,
+		NextResultID:       int(s.nextResultID.Load()) + 1,
+		NextCommentID:      int(s.nextCommentID.Load()) + 1,
+		NextTaskID:         int(s.nextTaskID.Load()) + 1,
 		TaskTimeoutSeconds: int(s.TaskTimeout.Seconds()),
 		SavedAt:            s.now(),
+	}
+	if s.metaWAL != nil {
+		snap.WALLSN = s.metaWAL.lsn
 	}
 	for _, u := range s.users {
 		snap.Users = append(snap.Users, u)
 	}
-	for _, p := range s.projects {
-		snap.Projects = append(snap.Projects, p)
-	}
-	for _, t := range s.tasks {
-		snap.Tasks = append(snap.Tasks, t)
-	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	s.mu.RUnlock()
-	if err != nil {
-		return fmt.Errorf("encoding store: %w", err)
-	}
-
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("creating store directory: %w", err)
-	}
-	tmp := filepath.Join(dir, "sqalpel.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("writing store: %w", err)
-	}
-	return os.Rename(tmp, filepath.Join(dir, "sqalpel.json"))
+	return snap
 }
 
-// Load reads a store previously written by Save. A missing file yields an
-// empty store rather than an error, so a fresh deployment just works.
-func Load(dir string) (*Store, error) {
-	s := NewStore()
-	data, err := os.ReadFile(filepath.Join(dir, "sqalpel.json"))
+// metaLogApply mirrors shard.logApply for the meta partition; metaMu held.
+func (s *Store) metaLogApply(op string, payload any) error {
+	data, err := json.Marshal(payload)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return s, nil
+		return fmt.Errorf("encoding %s record: %w", op, err)
+	}
+	rec := walRecord{Op: op, Data: data}
+	if s.metaWAL != nil {
+		rec.LSN = s.metaWAL.lsn + 1
+		if err := s.metaWAL.append(rec); err != nil {
+			return err
 		}
-		return nil, fmt.Errorf("reading store: %w", err)
 	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("decoding store: %w", err)
+	return s.applyMeta(rec)
+}
+
+// applyMeta mutates the meta partition from one decoded record; metaMu
+// held (or single-threaded recovery).
+func (s *Store) applyMeta(rec walRecord) error {
+	switch rec.Op {
+	case opUser:
+		var u User
+		if err := json.Unmarshal(rec.Data, &u); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		s.users[u.Nickname] = &u
+	default:
+		return fmt.Errorf("unknown meta wal op %q", rec.Op)
 	}
-	for _, u := range snap.Users {
-		s.users[u.Nickname] = u
+	return nil
+}
+
+// Save persists the store to dir. On the store's own data directory (a
+// store opened with Open) it runs a checkpoint: every partition snapshots
+// its state under its own lock and compacts its log — there is no
+// stop-the-world pass over the whole store. On any other directory (or an
+// in-memory store) it exports a complete new generation of snapshots.
+func (s *Store) Save(dir string) error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.dir != "" && filepath.Clean(dir) == filepath.Clean(s.dir) {
+		return s.checkpointLocked()
 	}
-	for _, p := range snap.Projects {
-		s.projects[p.ID] = p
+	_, err := s.writeGeneration(dir, nil)
+	return err
+}
+
+// Checkpoint snapshots every partition and compacts the write-ahead logs
+// of a durable store; it is what the daemon runs periodically.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return fmt.Errorf("checkpoint requires a store opened with Open")
 	}
-	s.results = snap.Results
-	s.comments = snap.Comments
-	for _, t := range snap.Tasks {
-		s.tasks[t.ID] = t
+	return s.Save(s.dir)
+}
+
+// checkpointLocked snapshots and compacts each partition in place, one
+// partition lock at a time; persistMu held.
+func (s *Store) checkpointLocked() error {
+	// Meta partition.
+	s.metaMu.Lock()
+	err := checkpointPartition(s.gen, partMeta, s.metaSnapshotLocked(), s.metaWAL, s.sinks, s.logf)
+	s.metaMu.Unlock()
+	if err != nil {
+		return err
 	}
-	if snap.NextProjectID > 0 {
-		s.nextProjectID = snap.NextProjectID
+	// Shards.
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		err := checkpointPartition(s.gen, shardPartName(i), sh.snapshotLocked(), sh.wal, s.sinks, s.logf)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
-	if snap.NextResultID > 0 {
-		s.nextResultID = snap.NextResultID
+	return nil
+}
+
+// checkpointPartition writes a snapshot of one partition at its current
+// LSN, prunes old snapshots down to keepSnapshots, and rewrites the log to
+// the records the oldest retained snapshot still needs. The partition lock
+// is held throughout, so no append can interleave with the log rewrite;
+// other partitions stay fully available. Marshalling happens under the
+// lock too — the snapshot slices alias the live objects.
+func checkpointPartition(genDir, part string, snap snapshot, wal *walWriter, sinks walSinkFactory, logf func(string, ...any)) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s snapshot: %w", part, err)
 	}
-	if snap.NextCommentID > 0 {
-		s.nextCommentID = snap.NextCommentID
+	if err := writeFileAtomic(snapPath(genDir, part, snap.WALLSN), data); err != nil {
+		return fmt.Errorf("writing %s snapshot: %w", part, err)
 	}
-	if snap.NextTaskID > 0 {
-		s.nextTaskID = snap.NextTaskID
+	// Prune snapshots beyond the retention window.
+	lsns := partSnapshots(genDir, part)
+	for i, lsn := range lsns {
+		if i >= keepSnapshots {
+			_ = os.Remove(snapPath(genDir, part, lsn))
+		}
 	}
-	if snap.TaskTimeoutSeconds > 0 {
-		s.TaskTimeout = time.Duration(snap.TaskTimeoutSeconds) * time.Second
+	// Compact the log: keep every record the oldest retained snapshot may
+	// still need for replay.
+	var keepAfter uint64
+	if n := len(lsns); n > 0 {
+		if n > keepSnapshots {
+			n = keepSnapshots
+		}
+		keepAfter = lsns[n-1]
 	}
-	return s, nil
+	path := walPath(genDir, part)
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("reading %s wal for compaction: %w", part, err)
+	}
+	var kept []byte
+	for _, rec := range decodeWAL(raw, part+".wal", logf) {
+		if rec.LSN <= keepAfter {
+			continue
+		}
+		frame, err := frameRecord(rec)
+		if err != nil {
+			return err
+		}
+		kept = append(kept, frame...)
+	}
+	if len(kept) == len(raw) && (wal == nil || wal.broken == nil) {
+		return nil // nothing to drop; keep the append handle as is
+	}
+	if wal != nil && wal.sink != nil {
+		if err := wal.sink.Close(); err != nil {
+			return fmt.Errorf("closing %s wal: %w", part, err)
+		}
+	}
+	if err := writeFileAtomic(path, kept); err != nil {
+		return fmt.Errorf("rewriting %s wal: %w", part, err)
+	}
+	if wal != nil {
+		sink, err := sinks(path)
+		if err != nil {
+			return fmt.Errorf("reopening %s wal: %w", part, err)
+		}
+		wal.sink = sink
+		// The rewrite kept exactly the records that were provably intact, so
+		// a partition disabled by a failed append is healthy again.
+		wal.broken = nil
+	}
+	return nil
+}
+
+// writeGeneration exports the full store as a brand-new generation in dir
+// and flips CURRENT to it; persistMu held. When attach is non-nil it is
+// called per partition with the new log path so Open can wire up the
+// write-ahead sinks of the generation it just created. Old generations
+// and a migrated legacy file are pruned afterwards — only once the new
+// generation is complete and CURRENT points at it, so a crash at any
+// earlier instant leaves the previous state authoritative.
+func (s *Store) writeGeneration(dir string, attach func(part, walFile string) error) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("creating store directory: %w", err)
+	}
+	seq := 1
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if n, err := strconv.Atoi(strings.TrimPrefix(e.Name(), "gen-")); err == nil && n >= seq {
+				seq = n + 1
+			}
+		}
+	}
+	genName := fmt.Sprintf("gen-%06d", seq)
+	genDir := filepath.Join(dir, genName)
+	if err := os.MkdirAll(genDir, 0o755); err != nil {
+		return "", fmt.Errorf("creating generation directory: %w", err)
+	}
+
+	write := func(part string, snap snapshot) error {
+		snap.WALLSN = 0
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding %s snapshot: %w", part, err)
+		}
+		if err := writeFileAtomic(snapPath(genDir, part, 0), data); err != nil {
+			return fmt.Errorf("writing %s snapshot: %w", part, err)
+		}
+		if attach != nil {
+			if err := attach(part, walPath(genDir, part)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	s.metaMu.RLock()
+	metaSnap := s.metaSnapshotLocked()
+	err := write(partMeta, metaSnap)
+	s.metaMu.RUnlock()
+	if err != nil {
+		return "", err
+	}
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		snap := sh.snapshotLocked()
+		err := write(shardPartName(i), snap)
+		sh.mu.RUnlock()
+		if err != nil {
+			return "", err
+		}
+	}
+
+	if err := writeFileAtomic(filepath.Join(dir, currentFile), []byte(genName+"\n")); err != nil {
+		return "", fmt.Errorf("writing CURRENT: %w", err)
+	}
+	// The new generation is authoritative; prune everything stale.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "gen-") && e.Name() != genName {
+				_ = os.RemoveAll(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyFile)); err == nil {
+		_ = os.Rename(filepath.Join(dir, legacyFile), filepath.Join(dir, migratedFile))
+	}
+	return genDir, nil
 }

@@ -30,7 +30,11 @@ const (
 // Task is one entry of the execution queue: a query handed to a contributor
 // for a specific DBMS + platform combination. The queue lets the owner kill
 // stuck queries and automatically requeues tasks whose results were not
-// delivered within the timeout interval.
+// delivered within the timeout interval. Tasks live on the shard of their
+// project, and a batch lease is made durable as a single WAL record before
+// any task of the batch is handed out — so a recovered store either knows
+// the whole lease or never granted it, and a query slot can never be
+// double-leased across a crash.
 type Task struct {
 	ID             int        `json:"id"`
 	ProjectID      int        `json:"project_id"`
@@ -66,9 +70,10 @@ func (s *Store) RequestTask(contributorKey string, experimentID int, dbmsKey, pl
 // the batch protocol concurrent drivers use to keep their worker pools fed.
 // Every leased task carries a deadline; leases that are not completed in
 // time expire and their queries are handed out again (see ExpireTasks).
-// Leasing holds the store lock for the whole batch, so two concurrent
-// drivers draining the same experiment never receive the same query. An
-// empty slice (and no error) means nothing is left to do.
+// Leasing holds the project's shard lock for the whole batch, so two
+// concurrent drivers draining the same experiment never receive the same
+// query — while drivers on other shards proceed unblocked. An empty slice
+// (and no error) means nothing is left to do.
 func (s *Store) RequestTasks(contributorKey string, experimentID int, dbmsKey, platformKey string, max int) ([]*Task, error) {
 	if max < 1 {
 		max = 1
@@ -77,9 +82,10 @@ func (s *Store) RequestTasks(contributorKey string, experimentID int, dbmsKey, p
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expireTasksLocked()
+	sh := s.shardFor(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.expireTasksLocked()
 	e := p.Experiment(experimentID)
 	if e == nil {
 		return nil, fmt.Errorf("unknown experiment %d in project %q", experimentID, p.Name)
@@ -87,26 +93,26 @@ func (s *Store) RequestTasks(contributorKey string, experimentID int, dbmsKey, p
 	// Collect query ids already covered for this DBMS+platform combination:
 	// either a delivered result or an active task.
 	covered := map[int]bool{}
-	for _, r := range s.results {
+	for _, r := range sh.results {
 		if r.ProjectID == p.ID && r.ExperimentID == experimentID && r.DBMSKey == dbmsKey && r.PlatformKey == platformKey {
 			covered[r.QueryID] = true
 		}
 	}
-	for _, t := range s.tasks {
+	for _, t := range sh.tasks {
 		if t.ProjectID == p.ID && t.ExperimentID == experimentID && t.DBMSKey == dbmsKey && t.PlatformKey == platformKey && t.Active() {
 			covered[t.QueryID] = true
 		}
 	}
-	var leased []*Task
+	var batch []*Task
 	for _, q := range e.Queries {
-		if len(leased) >= max {
+		if len(batch) >= max {
 			break
 		}
 		if covered[q.ID] {
 			continue
 		}
-		task := &Task{
-			ID:             s.nextTaskID,
+		batch = append(batch, &Task{
+			ID:             int(s.nextTaskID.Add(1)),
 			ProjectID:      p.ID,
 			ExperimentID:   experimentID,
 			QueryID:        q.ID,
@@ -117,13 +123,24 @@ func (s *Store) RequestTasks(contributorKey string, experimentID int, dbmsKey, p
 			Status:         TaskRunning,
 			Assigned:       s.now(),
 			Deadline:       s.now().Add(s.TaskTimeout),
-		}
-		s.nextTaskID++
-		s.tasks[task.ID] = task
-		// Hand out a copy: the stored task keeps mutating under the store
-		// lock (completion, expiry) while the caller serialises its lease.
-		clone := *task
-		leased = append(leased, &clone)
+		})
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	// One WAL record per batch: the lease is durable before any task is
+	// handed out, so a crash either forgets the whole batch (the driver
+	// never saw it either — the request did not return) or remembers every
+	// lease in it.
+	if err := sh.logApply(opTaskLease, batch); err != nil {
+		return nil, err
+	}
+	// Hand out copies: the stored tasks keep mutating under the shard lock
+	// (completion, expiry) while the caller serialises its lease.
+	leased := make([]*Task, len(batch))
+	for i, t := range batch {
+		clone := *sh.tasks[t.ID]
+		leased[i] = &clone
 	}
 	return leased, nil
 }
@@ -138,67 +155,103 @@ func (s *Store) CompleteTask(taskID int, contributorKey string, seconds []float6
 }
 
 // CompleteTaskTraced is CompleteTask with an optional per-operator trace
-// attached to the recorded result; nil records an untraced result.
+// attached to the recorded result; nil records an untraced result. The
+// status flip and the result row are one atomic WAL record: recovery can
+// never observe a completed lease without its measurement, which is what
+// makes "a crash loses no acknowledged result" provable.
 func (s *Store) CompleteTaskTraced(taskID int, contributorKey string, seconds []float64, errMsg string, extra map[string]string, qt *trace.QueryTrace) (*Result, error) {
-	s.mu.Lock()
-	s.expireTasksLocked()
-	task := s.tasks[taskID]
+	sh := s.shardWithTask(taskID)
+	if sh == nil {
+		return nil, fmt.Errorf("unknown task %d", taskID)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.expireTasksLocked()
+	task := sh.tasks[taskID]
 	if task == nil {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("unknown task %d", taskID)
 	}
 	if task.ContributorKey != contributorKey {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("task %d belongs to a different contributor", taskID)
 	}
 	if task.Status != TaskRunning {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("task %d is %s, not running: %w", taskID, task.Status, ErrLeaseLost)
 	}
-	if errMsg == "" {
-		task.Status = TaskDone
-	} else {
-		task.Status = TaskFailed
+	p := sh.projects[task.ProjectID]
+	if p == nil {
+		return nil, fmt.Errorf("unknown project %d", task.ProjectID)
 	}
-	task.Finished = s.now()
-	expID, qID, dbms, platform := task.ExperimentID, task.QueryID, task.DBMSKey, task.PlatformKey
-	s.mu.Unlock()
+	r, err := s.buildResultLocked(sh, p, contributorKey, task.ExperimentID, task.QueryID, task.DBMSKey, task.PlatformKey, seconds, errMsg, extra, qt)
+	if err != nil {
+		return nil, err
+	}
+	status := TaskDone
+	if errMsg != "" {
+		status = TaskFailed
+	}
+	rec := walTaskComplete{TaskID: taskID, Status: status, Finished: s.now(), Result: r}
+	if err := sh.logApply(opTaskComplete, rec); err != nil {
+		return nil, err
+	}
+	return sh.results[len(sh.results)-1], nil
+}
 
-	return s.AddResultTraced(contributorKey, expID, qID, dbms, platform, seconds, errMsg, extra, qt)
+// shardWithTask returns the shard holding the task, or nil. Task ids are
+// globally unique, so at most one shard matches.
+func (s *Store) shardWithTask(taskID int) *shard {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		_, ok := sh.tasks[taskID]
+		sh.mu.RUnlock()
+		if ok {
+			return sh
+		}
+	}
+	return nil
 }
 
 // KillTask marks a running task as killed so the query can be handed out
 // again; only the project owner may kill tasks.
 func (s *Store) KillTask(requester string, taskID int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	task := s.tasks[taskID]
+	sh := s.shardWithTask(taskID)
+	if sh == nil {
+		return fmt.Errorf("unknown task %d", taskID)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	task := sh.tasks[taskID]
 	if task == nil {
 		return fmt.Errorf("unknown task %d", taskID)
 	}
-	if s.roleOfLocked(requester, task.ProjectID) != RoleOwner {
+	if sh.roleOfLocked(requester, task.ProjectID) != RoleOwner {
 		return fmt.Errorf("only the project owner can kill tasks")
 	}
 	if task.Status != TaskRunning {
 		return fmt.Errorf("task %d is not running", taskID)
 	}
-	task.Status = TaskKilled
-	task.Finished = s.now()
-	return nil
+	return sh.logApply(opTaskKill, walTaskKill{TaskID: taskID, Finished: s.now()})
 }
 
 // ExpireTasks requeues every running task whose deadline passed; it returns
 // the number of tasks expired.
 func (s *Store) ExpireTasks() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.expireTasksLocked()
+	expired := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		expired += sh.expireTasksLocked()
+		sh.mu.Unlock()
+	}
+	return expired
 }
 
-func (s *Store) expireTasksLocked() int {
-	now := s.now()
+// expireTasksLocked requeues the shard's overdue running tasks; the caller
+// holds the shard lock. Expiry is derived state — deadlines are persisted
+// with the lease, so a recovered store re-expires overdue leases on the
+// next request without needing expiry records in the log.
+func (sh *shard) expireTasksLocked() int {
+	now := sh.store.now()
 	expired := 0
-	for _, t := range s.tasks {
+	for _, t := range sh.tasks {
 		if t.Status == TaskRunning && now.After(t.Deadline) {
 			t.Status = TaskTimeout
 			t.Finished = now
@@ -210,13 +263,14 @@ func (s *Store) expireTasksLocked() int {
 
 // Tasks returns the tasks of a project visible to the viewer, sorted by id.
 func (s *Store) Tasks(viewer string, projectID int) []*Task {
-	if !s.CanView(viewer, projectID) {
+	sh := s.shardFor(projectID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.roleOfLocked(viewer, projectID) == RoleNone {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*Task
-	for _, t := range s.tasks {
+	for _, t := range sh.tasks {
 		if t.ProjectID == projectID {
 			clone := *t
 			out = append(out, &clone)

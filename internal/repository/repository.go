@@ -7,15 +7,31 @@
 // results without disclosing the contributor's identity, experiments with
 // their grammar and query pool, the task queue, the raw results table with
 // owner moderation (hide / remove suspicious results), and project
-// comments. Persistence is a single JSON document per store.
+// comments.
+//
+// The store is sharded by project id: every project — with its experiments,
+// results, comments and tasks — lives on one of N shards with its own lock
+// and its own write-ahead log, while a small meta partition holds the
+// global user table. Task leasing, result appends and persistence on
+// different shards never contend on a shared lock.
+//
+// Durability is write-ahead: a store opened with Open appends a
+// CRC-checksummed record of every mutation to the owning partition's log
+// and syncs it to disk before the mutation returns, so a crash — at any
+// instant — loses at most mutations that were never acknowledged. Open
+// recovers by loading the newest valid snapshot of each partition,
+// replaying the log tail, dropping a torn or corrupt trailing record
+// instead of refusing to boot, and migrating a legacy single-file
+// sqalpel.json store transparently. Save snapshots and compacts the logs;
+// NewStore builds a purely in-memory store with the same API.
 //
 // The task queue (queue.go) is the distributed half of the concurrent
 // measurement plane: tasks are leased — singly or in batches — with a
 // deadline per lease, expired leases re-queue their query automatically,
 // and late completions into an expired lease are rejected. One query /
 // DBMS / platform slot therefore yields exactly one result no matter how
-// many concurrent drivers drain the experiment. The Store is safe for
-// concurrent use.
+// many concurrent drivers drain the experiment, or how often the platform
+// crashes and recovers in between. The Store is safe for concurrent use.
 package repository
 
 import (
@@ -25,6 +41,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqalpel/internal/trace"
@@ -146,7 +163,8 @@ type Result struct {
 	Extra   map[string]string `json:"extra,omitempty"`
 	// Trace is the per-operator span tree the driver captured alongside the
 	// timings; nil when the submission was measured without tracing. It
-	// persists through Save/Load with the rest of the result row.
+	// persists through the WAL and snapshots with the rest of the result
+	// row.
 	Trace *trace.QueryTrace `json:"trace,omitempty"`
 	// Hidden results are only visible to the owner and contributors; the
 	// owner uses this to keep dubious measurements private until clarified.
@@ -180,21 +198,39 @@ type Comment struct {
 	Created   time.Time `json:"created"`
 }
 
-// Store is the in-memory repository with JSON persistence; it is safe for
-// concurrent use.
+// DefaultShards is the shard count used by NewStore and by Open when the
+// caller does not request a specific one.
+const DefaultShards = 8
+
+// Store is the sharded repository; it is safe for concurrent use. Projects
+// are distributed over shards by id, the user table lives on a meta
+// partition, and result / comment / task ids come from global atomic
+// counters so ids stay unique across shards without a shared lock.
 type Store struct {
-	mu sync.RWMutex
-
-	users    map[string]*User
-	projects map[int]*Project
-	results  []*Result
-	comments []*Comment
-	tasks    map[int]*Task
-
+	// meta partition: the global user table and project-id allocation
+	// (project creation is serialised on metaMu so project names stay
+	// unique across the whole platform).
+	metaMu        sync.RWMutex
+	users         map[string]*User
 	nextProjectID int
-	nextResultID  int
-	nextCommentID int
-	nextTaskID    int
+	metaWAL       *walWriter
+
+	shards []*shard
+
+	nextResultID  atomic.Int64 // last assigned result id
+	nextCommentID atomic.Int64 // last assigned comment id
+	nextTaskID    atomic.Int64 // last assigned task id
+
+	// persistMu serialises Save/export/checkpoint runs against each other;
+	// individual partitions stay writable while the others persist.
+	persistMu sync.Mutex
+	// dir is the data directory of a durable store ("" for in-memory).
+	dir string
+	// gen is the current generation directory of a durable store.
+	gen string
+	// sinks opens the WAL sink for a partition log file; tests inject
+	// crash-simulating sinks here.
+	sinks walSinkFactory
 
 	// TaskTimeout is the interval after which an assigned task that has not
 	// reported back is considered stuck and requeued.
@@ -202,22 +238,37 @@ type Store struct {
 
 	// now allows tests to control time.
 	now func() time.Time
+
+	// logf reports recovery warnings (torn records, corrupt snapshots).
+	logf func(format string, args ...any)
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
+// NewStore returns an empty in-memory store with DefaultShards shards and
+// no durability; use Open for a WAL-backed store.
+func NewStore() *Store { return NewStoreShards(DefaultShards) }
+
+// NewStoreShards returns an empty in-memory store with the given shard
+// count (minimum 1).
+func NewStoreShards(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{
 		users:         map[string]*User{},
-		projects:      map[int]*Project{},
-		tasks:         map[int]*Task{},
 		nextProjectID: 1,
-		nextResultID:  1,
-		nextCommentID: 1,
-		nextTaskID:    1,
 		TaskTimeout:   10 * time.Minute,
 		now:           time.Now,
+		logf:          defaultLogf,
+		sinks:         openFileSink,
 	}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, newShard(s, i))
+	}
+	return s
 }
+
+// Shards returns the shard count of the store.
+func (s *Store) Shards() int { return len(s.shards) }
 
 // --- users ---------------------------------------------------------------
 
@@ -231,14 +282,16 @@ func (s *Store) RegisterUser(nickname, email string) (*User, error) {
 	if !validEmail(email) {
 		return nil, fmt.Errorf("invalid email address %q", email)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	if _, exists := s.users[nickname]; exists {
 		return nil, fmt.Errorf("nickname %q is already taken", nickname)
 	}
 	u := &User{Nickname: nickname, Email: email, Created: s.now()}
-	s.users[nickname] = u
-	return u, nil
+	if err := s.metaLogApply(opUser, u); err != nil {
+		return nil, err
+	}
+	return s.users[nickname], nil
 }
 
 func validEmail(email string) bool {
@@ -252,15 +305,15 @@ func validEmail(email string) bool {
 
 // User returns the user with the given nickname, or nil.
 func (s *Store) User(nickname string) *User {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	return s.users[nickname]
 }
 
 // Users returns all users sorted by nickname.
 func (s *Store) Users() []*User {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	out := make([]*User, 0, len(s.users))
 	for _, u := range s.users {
 		out = append(out, u)
@@ -271,18 +324,25 @@ func (s *Store) Users() []*User {
 
 // --- projects and access control ------------------------------------------
 
-// CreateProject creates a project owned by the given user.
+// CreateProject creates a project owned by the given user. Creation is
+// serialised on the meta partition so the platform-wide name-uniqueness
+// check and the project-id allocation stay race-free across shards.
 func (s *Store) CreateProject(owner, name, synopsis string, public bool) (*Project, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.users[owner] == nil {
-		return nil, fmt.Errorf("unknown user %q", owner)
-	}
 	if strings.TrimSpace(name) == "" {
 		return nil, fmt.Errorf("project name must not be empty")
 	}
-	for _, p := range s.projects {
-		if strings.EqualFold(p.Name, name) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if s.users[owner] == nil {
+		return nil, fmt.Errorf("unknown user %q", owner)
+	}
+	// Lock order is always meta before shard, so scanning the shards while
+	// holding metaMu cannot deadlock.
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		dup := sh.projectByNameLocked(name)
+		sh.mu.RUnlock()
+		if dup != nil {
 			return nil, fmt.Errorf("project name %q is already taken", name)
 		}
 	}
@@ -296,9 +356,14 @@ func (s *Store) CreateProject(owner, name, synopsis string, public bool) (*Proje
 	}
 	// The owner is implicitly also a contributor with a key.
 	p.Contributors = append(p.Contributors, &Contributor{Nickname: owner, Key: newKey(), Invited: s.now()})
-	s.projects[p.ID] = p
+	sh := s.shardFor(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.logApply(opProject, p); err != nil {
+		return nil, err
+	}
 	s.nextProjectID++
-	return p, nil
+	return sh.projects[p.ID], nil
 }
 
 // newKey generates a contributor key.
@@ -313,17 +378,19 @@ func newKey() string {
 
 // Project returns the project with the given id, or nil.
 func (s *Store) Project(id int) *Project {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.projects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.projects[id]
 }
 
 // ProjectByName returns the project with the given name, or nil.
 func (s *Store) ProjectByName(name string) *Project {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, p := range s.projects {
-		if strings.EqualFold(p.Name, name) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		p := sh.projectByNameLocked(name)
+		sh.mu.RUnlock()
+		if p != nil {
 			return p
 		}
 	}
@@ -333,26 +400,10 @@ func (s *Store) ProjectByName(name string) *Project {
 // RoleOf returns the viewer's role for a project. Unregistered or unrelated
 // users get RoleReader on public projects and RoleNone on private ones.
 func (s *Store) RoleOf(nickname string, projectID int) Role {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.roleOfLocked(nickname, projectID)
-}
-
-func (s *Store) roleOfLocked(nickname string, projectID int) Role {
-	p := s.projects[projectID]
-	if p == nil {
-		return RoleNone
-	}
-	if nickname != "" && p.Owner == nickname {
-		return RoleOwner
-	}
-	if nickname != "" && p.contributor(nickname) != nil {
-		return RoleContributor
-	}
-	if p.Public {
-		return RoleReader
-	}
-	return RoleNone
+	sh := s.shardFor(projectID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.roleOfLocked(nickname, projectID)
 }
 
 // CanView reports whether the viewer may read the project description and
@@ -374,13 +425,15 @@ func (s *Store) IsOwner(nickname string, projectID int) bool {
 
 // Projects returns the projects visible to the viewer, sorted by id.
 func (s *Store) Projects(viewer string) []*Project {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*Project
-	for id, p := range s.projects {
-		if s.roleOfLocked(viewer, id) != RoleNone {
-			out = append(out, p)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, p := range sh.projects {
+			if sh.roleOfLocked(viewer, id) != RoleNone {
+				out = append(out, p)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -389,72 +442,78 @@ func (s *Store) Projects(viewer string) []*Project {
 // SetVisibility switches a project between public and private; only the
 // owner may do this.
 func (s *Store) SetVisibility(requester string, projectID int, public bool) error {
-	if !s.IsOwner(requester, projectID) {
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(requester, projectID) != RoleOwner {
 		return fmt.Errorf("only the project owner can change visibility")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.projects[projectID].Public = public
-	return nil
+	return sh.logApply(opVisibility, walVisibility{ProjectID: projectID, Public: public})
 }
 
 // UpdateSynopsis updates the project synopsis and attribution; owner only.
 func (s *Store) UpdateSynopsis(requester string, projectID int, synopsis, attribution string) error {
-	if !s.IsOwner(requester, projectID) {
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(requester, projectID) != RoleOwner {
 		return fmt.Errorf("only the project owner can edit the synopsis")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.projects[projectID]
-	p.Synopsis = synopsis
-	p.Attribution = attribution
-	return nil
+	return sh.logApply(opSynopsis, walSynopsis{ProjectID: projectID, Synopsis: synopsis, Attribution: attribution})
 }
 
 // ReferenceCatalogs records which DBMS and platform catalog entries the
 // project uses; owner only.
 func (s *Store) ReferenceCatalogs(requester string, projectID int, dbmsKeys, platformKeys []string) error {
-	if !s.IsOwner(requester, projectID) {
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(requester, projectID) != RoleOwner {
 		return fmt.Errorf("only the project owner can edit catalog references")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.projects[projectID]
-	p.DBMSKeys = append([]string(nil), dbmsKeys...)
-	p.PlatformKeys = append([]string(nil), platformKeys...)
-	return nil
+	return sh.logApply(opCatalogs, walCatalogs{
+		ProjectID:    projectID,
+		DBMSKeys:     append([]string(nil), dbmsKeys...),
+		PlatformKeys: append([]string(nil), platformKeys...),
+	})
 }
 
 // Invite adds a registered user as contributor and returns the contributor
 // key to hand to them. There is no limit on the number of contributors.
 func (s *Store) Invite(requester string, projectID int, nickname string) (string, error) {
-	if !s.IsOwner(requester, projectID) {
-		return "", fmt.Errorf("only the project owner can invite contributors")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.users[nickname] == nil {
+	if s.User(nickname) == nil {
 		return "", fmt.Errorf("unknown user %q", nickname)
 	}
-	p := s.projects[projectID]
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(requester, projectID) != RoleOwner {
+		return "", fmt.Errorf("only the project owner can invite contributors")
+	}
+	p := sh.projects[projectID]
 	if c := p.contributor(nickname); c != nil {
 		return c.Key, nil
 	}
 	c := &Contributor{Nickname: nickname, Key: newKey(), Invited: s.now()}
-	p.Contributors = append(p.Contributors, c)
+	if err := sh.logApply(opInvite, walInvite{ProjectID: projectID, Contributor: c}); err != nil {
+		return "", err
+	}
 	return c.Key, nil
 }
 
 // FindContributor resolves a contributor key to its project and nickname.
 func (s *Store) FindContributor(key string) (*Project, string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, p := range s.projects {
-		for _, c := range p.Contributors {
-			if c.Key == key {
-				return p, c.Nickname, nil
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, p := range sh.projects {
+			for _, c := range p.Contributors {
+				if c.Key == key {
+					sh.mu.RUnlock()
+					return p, c.Nickname, nil
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	return nil, "", fmt.Errorf("unknown contributor key")
 }
@@ -463,12 +522,13 @@ func (s *Store) FindContributor(key string) (*Project, string, error) {
 
 // AddExperiment adds an experiment to a project; owner only.
 func (s *Store) AddExperiment(requester string, projectID int, title, baselineSQL, grammarText string) (*Experiment, error) {
-	if !s.IsOwner(requester, projectID) {
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(requester, projectID) != RoleOwner {
 		return nil, fmt.Errorf("only the project owner can add experiments")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.projects[projectID]
+	p := sh.projects[projectID]
 	e := &Experiment{
 		ID:          len(p.Experiments) + 1,
 		Title:       title,
@@ -476,41 +536,34 @@ func (s *Store) AddExperiment(requester string, projectID int, title, baselineSQ
 		GrammarText: grammarText,
 		Created:     s.now(),
 	}
-	p.Experiments = append(p.Experiments, e)
-	return e, nil
+	if err := sh.logApply(opExperiment, walExperiment{ProjectID: projectID, Experiment: e}); err != nil {
+		return nil, err
+	}
+	return p.Experiment(e.ID), nil
 }
 
 // ReplaceQueries replaces the query pool snapshot of an experiment; owner
 // only (the owner moderates pool growth).
 func (s *Store) ReplaceQueries(requester string, projectID, experimentID int, queries []QueryRecord) error {
-	if !s.IsOwner(requester, projectID) {
-		return fmt.Errorf("only the project owner can manage the query pool")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.projects[projectID]
-	e := p.Experiment(experimentID)
-	if e == nil {
-		return fmt.Errorf("unknown experiment %d", experimentID)
-	}
-	e.Queries = append([]QueryRecord(nil), queries...)
-	return nil
+	return s.updateQueries(opQueriesReplace, requester, projectID, experimentID, queries)
 }
 
 // AppendQueries appends new queries to the pool snapshot; owner only.
 func (s *Store) AppendQueries(requester string, projectID, experimentID int, queries []QueryRecord) error {
-	if !s.IsOwner(requester, projectID) {
+	return s.updateQueries(opQueriesAppend, requester, projectID, experimentID, queries)
+}
+
+func (s *Store) updateQueries(op string, requester string, projectID, experimentID int, queries []QueryRecord) error {
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(requester, projectID) != RoleOwner {
 		return fmt.Errorf("only the project owner can manage the query pool")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.projects[projectID]
-	e := p.Experiment(experimentID)
-	if e == nil {
+	if sh.projects[projectID].Experiment(experimentID) == nil {
 		return fmt.Errorf("unknown experiment %d", experimentID)
 	}
-	e.Queries = append(e.Queries, queries...)
-	return nil
+	return sh.logApply(op, walQueries{ProjectID: projectID, ExperimentID: experimentID, Queries: queries})
 }
 
 // --- results ----------------------------------------------------------------
@@ -527,8 +580,32 @@ func (s *Store) AddResultTraced(contributorKey string, experimentID, queryID int
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(p.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.addResultLocked(sh, p.ID, contributorKey, experimentID, queryID, dbmsKey, platformKey, seconds, errMsg, extra, qt)
+}
+
+// addResultLocked validates and records a result on a shard whose lock the
+// caller holds.
+func (s *Store) addResultLocked(sh *shard, projectID int, contributorKey string, experimentID, queryID int, dbmsKey, platformKey string, seconds []float64, errMsg string, extra map[string]string, qt *trace.QueryTrace) (*Result, error) {
+	p := sh.projects[projectID]
+	if p == nil {
+		return nil, fmt.Errorf("unknown project %d", projectID)
+	}
+	r, err := s.buildResultLocked(sh, p, contributorKey, experimentID, queryID, dbmsKey, platformKey, seconds, errMsg, extra, qt)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.logApply(opResult, r); err != nil {
+		return nil, err
+	}
+	return sh.results[len(sh.results)-1], nil
+}
+
+// buildResultLocked validates the submission against the project and
+// allocates the result row without recording it; shard lock held.
+func (s *Store) buildResultLocked(sh *shard, p *Project, contributorKey string, experimentID, queryID int, dbmsKey, platformKey string, seconds []float64, errMsg string, extra map[string]string, qt *trace.QueryTrace) (*Result, error) {
 	e := p.Experiment(experimentID)
 	if e == nil {
 		return nil, fmt.Errorf("unknown experiment %d in project %q", experimentID, p.Name)
@@ -536,8 +613,8 @@ func (s *Store) AddResultTraced(contributorKey string, experimentID, queryID int
 	if e.Query(queryID) == nil {
 		return nil, fmt.Errorf("unknown query %d in experiment %d", queryID, experimentID)
 	}
-	r := &Result{
-		ID:             s.nextResultID,
+	return &Result{
+		ID:             int(s.nextResultID.Add(1)),
 		ProjectID:      p.ID,
 		ExperimentID:   experimentID,
 		QueryID:        queryID,
@@ -549,23 +626,21 @@ func (s *Store) AddResultTraced(contributorKey string, experimentID, queryID int
 		Extra:          extra,
 		Trace:          qt,
 		Created:        s.now(),
-	}
-	s.nextResultID++
-	s.results = append(s.results, r)
-	return r, nil
+	}, nil
 }
 
 // Results returns the results of a project visible to the viewer: hidden
 // results are only shown to the owner and contributors.
 func (s *Store) Results(viewer string, projectID int) []*Result {
-	role := s.RoleOf(viewer, projectID)
+	sh := s.shardFor(projectID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	role := sh.roleOfLocked(viewer, projectID)
 	if role == RoleNone {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*Result
-	for _, r := range s.results {
+	for _, r := range sh.results {
 		if r.ProjectID != projectID {
 			continue
 		}
@@ -579,32 +654,40 @@ func (s *Store) Results(viewer string, projectID int) []*Result {
 
 // HideResult toggles the hidden flag of a result; owner only.
 func (s *Store) HideResult(requester string, resultID int, hidden bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, r := range s.results {
-		if r.ID == resultID {
-			if s.roleOfLocked(requester, r.ProjectID) != RoleOwner {
-				return fmt.Errorf("only the project owner can moderate results")
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, r := range sh.results {
+			if r.ID == resultID {
+				if sh.roleOfLocked(requester, r.ProjectID) != RoleOwner {
+					sh.mu.Unlock()
+					return fmt.Errorf("only the project owner can moderate results")
+				}
+				err := sh.logApply(opResultHide, walResultMod{ResultID: resultID, Hidden: hidden})
+				sh.mu.Unlock()
+				return err
 			}
-			r.Hidden = hidden
-			return nil
 		}
+		sh.mu.Unlock()
 	}
 	return fmt.Errorf("unknown result %d", resultID)
 }
 
 // DeleteResult removes a result, e.g. when a re-run is required; owner only.
 func (s *Store) DeleteResult(requester string, resultID int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, r := range s.results {
-		if r.ID == resultID {
-			if s.roleOfLocked(requester, r.ProjectID) != RoleOwner {
-				return fmt.Errorf("only the project owner can moderate results")
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, r := range sh.results {
+			if r.ID == resultID {
+				if sh.roleOfLocked(requester, r.ProjectID) != RoleOwner {
+					sh.mu.Unlock()
+					return fmt.Errorf("only the project owner can moderate results")
+				}
+				err := sh.logApply(opResultDelete, walResultMod{ResultID: resultID})
+				sh.mu.Unlock()
+				return err
 			}
-			s.results = append(s.results[:i], s.results[i+1:]...)
-			return nil
 		}
+		sh.mu.Unlock()
 	}
 	return fmt.Errorf("unknown result %d", resultID)
 }
@@ -617,29 +700,32 @@ func (s *Store) AddComment(author string, projectID int, text string) (*Comment,
 	if s.User(author) == nil {
 		return nil, fmt.Errorf("unknown user %q", author)
 	}
-	if !s.CanView(author, projectID) {
-		return nil, fmt.Errorf("user %q cannot view project %d", author, projectID)
-	}
 	if strings.TrimSpace(text) == "" {
 		return nil, fmt.Errorf("empty comment")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := &Comment{ID: s.nextCommentID, ProjectID: projectID, Author: author, Text: text, Created: s.now()}
-	s.nextCommentID++
-	s.comments = append(s.comments, c)
-	return c, nil
+	sh := s.shardFor(projectID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.roleOfLocked(author, projectID) == RoleNone {
+		return nil, fmt.Errorf("user %q cannot view project %d", author, projectID)
+	}
+	c := &Comment{ID: int(s.nextCommentID.Add(1)), ProjectID: projectID, Author: author, Text: text, Created: s.now()}
+	if err := sh.logApply(opComment, c); err != nil {
+		return nil, err
+	}
+	return sh.comments[len(sh.comments)-1], nil
 }
 
 // Comments returns the comments of a project visible to the viewer.
 func (s *Store) Comments(viewer string, projectID int) []*Comment {
-	if !s.CanView(viewer, projectID) {
+	sh := s.shardFor(projectID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.roleOfLocked(viewer, projectID) == RoleNone {
 		return nil
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []*Comment
-	for _, c := range s.comments {
+	for _, c := range sh.comments {
 		if c.ProjectID == projectID {
 			out = append(out, c)
 		}

@@ -1,0 +1,257 @@
+package repository
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// shard is one partition of the store: every project whose id hashes to the
+// shard lives here together with all of its experiments, results, comments
+// and tasks, guarded by the shard's own lock and logged to the shard's own
+// write-ahead log. Task leasing, result appends and persistence of
+// different shards therefore never contend on a shared lock.
+type shard struct {
+	store *Store
+	idx   int
+
+	mu       sync.RWMutex
+	projects map[int]*Project
+	results  []*Result
+	comments []*Comment
+	tasks    map[int]*Task
+
+	// wal is nil for purely in-memory stores (NewStore); durable stores
+	// (Open) append+fsync every mutation record here before applying it.
+	wal *walWriter
+}
+
+func newShard(s *Store, idx int) *shard {
+	return &shard{
+		store:    s,
+		idx:      idx,
+		projects: map[int]*Project{},
+		tasks:    map[int]*Task{},
+	}
+}
+
+// shardFor routes a project id to its shard.
+func (s *Store) shardFor(projectID int) *shard {
+	idx := projectID % len(s.shards)
+	if idx < 0 {
+		idx += len(s.shards)
+	}
+	return s.shards[idx]
+}
+
+// logApply is the write path contract: marshal the logical record, make it
+// durable (when a WAL is attached), then apply it to memory via the same
+// switch recovery uses. Callers hold the shard lock and have fully
+// validated the mutation, so apply cannot fail for semantic reasons; a
+// failed append leaves memory untouched and surfaces the error.
+func (sh *shard) logApply(op string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("encoding %s record: %w", op, err)
+	}
+	rec := walRecord{Op: op, Data: data}
+	if sh.wal != nil {
+		rec.LSN = sh.wal.lsn + 1
+		if err := sh.wal.append(rec); err != nil {
+			return err
+		}
+	}
+	return sh.apply(rec)
+}
+
+// apply mutates the shard from one decoded record. It runs with the shard
+// lock held (or single-threaded during recovery) and performs no
+// validation: records describe state changes that already happened.
+func (sh *shard) apply(rec walRecord) error {
+	switch rec.Op {
+	case opProject:
+		var p Project
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		sh.projects[p.ID] = &p
+	case opVisibility:
+		var v walVisibility
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if p := sh.projects[v.ProjectID]; p != nil {
+			p.Public = v.Public
+		}
+	case opSynopsis:
+		var v walSynopsis
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if p := sh.projects[v.ProjectID]; p != nil {
+			p.Synopsis = v.Synopsis
+			p.Attribution = v.Attribution
+		}
+	case opCatalogs:
+		var v walCatalogs
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if p := sh.projects[v.ProjectID]; p != nil {
+			p.DBMSKeys = v.DBMSKeys
+			p.PlatformKeys = v.PlatformKeys
+		}
+	case opInvite:
+		var v walInvite
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if p := sh.projects[v.ProjectID]; p != nil && p.contributor(v.Contributor.Nickname) == nil {
+			p.Contributors = append(p.Contributors, v.Contributor)
+		}
+	case opExperiment:
+		var v walExperiment
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if p := sh.projects[v.ProjectID]; p != nil {
+			p.Experiments = append(p.Experiments, v.Experiment)
+		}
+	case opQueriesReplace, opQueriesAppend:
+		var v walQueries
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		p := sh.projects[v.ProjectID]
+		if p == nil {
+			return nil
+		}
+		e := p.Experiment(v.ExperimentID)
+		if e == nil {
+			return nil
+		}
+		if rec.Op == opQueriesReplace {
+			e.Queries = append([]QueryRecord(nil), v.Queries...)
+		} else {
+			e.Queries = append(e.Queries, v.Queries...)
+		}
+	case opResult:
+		var r Result
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		sh.results = append(sh.results, &r)
+	case opResultHide:
+		var v walResultMod
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		for _, r := range sh.results {
+			if r.ID == v.ResultID {
+				r.Hidden = v.Hidden
+				break
+			}
+		}
+	case opResultDelete:
+		var v walResultMod
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		for i, r := range sh.results {
+			if r.ID == v.ResultID {
+				sh.results = append(sh.results[:i], sh.results[i+1:]...)
+				break
+			}
+		}
+	case opComment:
+		var c Comment
+		if err := json.Unmarshal(rec.Data, &c); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		sh.comments = append(sh.comments, &c)
+	case opTaskLease:
+		var ts []*Task
+		if err := json.Unmarshal(rec.Data, &ts); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		for _, t := range ts {
+			sh.tasks[t.ID] = t
+		}
+	case opTaskComplete:
+		var v walTaskComplete
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if t := sh.tasks[v.TaskID]; t != nil {
+			t.Status = v.Status
+			t.Finished = v.Finished
+		}
+		if v.Result != nil {
+			sh.results = append(sh.results, v.Result)
+		}
+	case opTaskKill:
+		var v walTaskKill
+		if err := json.Unmarshal(rec.Data, &v); err != nil {
+			return fmt.Errorf("decoding %s record: %w", rec.Op, err)
+		}
+		if t := sh.tasks[v.TaskID]; t != nil {
+			t.Status = TaskKilled
+			t.Finished = v.Finished
+		}
+	default:
+		return fmt.Errorf("unknown wal op %q", rec.Op)
+	}
+	return nil
+}
+
+// roleOfLocked computes the viewer's role for a project of this shard; the
+// caller holds the shard lock.
+func (sh *shard) roleOfLocked(nickname string, projectID int) Role {
+	p := sh.projects[projectID]
+	if p == nil {
+		return RoleNone
+	}
+	if nickname != "" && p.Owner == nickname {
+		return RoleOwner
+	}
+	if nickname != "" && p.contributor(nickname) != nil {
+		return RoleContributor
+	}
+	if p.Public {
+		return RoleReader
+	}
+	return RoleNone
+}
+
+// projectByNameLocked returns the shard's project with the given name, or
+// nil; the caller holds the shard lock.
+func (sh *shard) projectByNameLocked(name string) *Project {
+	for _, p := range sh.projects {
+		if strings.EqualFold(p.Name, name) {
+			return p
+		}
+	}
+	return nil
+}
+
+// snapshotLocked builds the shard's persistent image; the caller holds the
+// shard lock. The slices alias the live objects, so marshalling must also
+// happen under the lock (see persist.go).
+func (sh *shard) snapshotLocked() snapshot {
+	snap := snapshot{
+		Results:  sh.results,
+		Comments: sh.comments,
+		SavedAt:  sh.store.now(),
+	}
+	if sh.wal != nil {
+		snap.WALLSN = sh.wal.lsn
+	}
+	for _, p := range sh.projects {
+		snap.Projects = append(snap.Projects, p)
+	}
+	for _, t := range sh.tasks {
+		snap.Tasks = append(snap.Tasks, t)
+	}
+	return snap
+}

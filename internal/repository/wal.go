@@ -1,0 +1,241 @@
+package repository
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// The write-ahead log makes every repository mutation durable before it is
+// applied in memory: the mutator validates its inputs, encodes one logical
+// record describing the state change (ids pre-assigned, so replay never
+// re-runs allocation logic), appends the record to the owning partition's
+// log, syncs it to stable storage, and only then applies it — through the
+// very same apply switch recovery replays with, so the live path and the
+// recovery path cannot drift apart.
+//
+// On disk a record is framed as
+//
+//	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
+//
+// with the payload a JSON-encoded walRecord. The CRC and the length prefix
+// make torn tail writes (a crash mid-append) and bit corruption detectable:
+// recovery drops everything from the first invalid record on and boots from
+// what provably hit the disk.
+
+// WAL operation codes. Meta-partition records cover the global user table;
+// every other record belongs to the shard of its project.
+const (
+	opUser           = "user"            // meta: User
+	opProject        = "project"         // Project (created fully formed)
+	opVisibility     = "visibility"      // walVisibility
+	opSynopsis       = "synopsis"        // walSynopsis
+	opCatalogs       = "catalogs"        // walCatalogs
+	opInvite         = "invite"          // walInvite
+	opExperiment     = "experiment"      // walExperiment
+	opQueriesReplace = "queries-replace" // walQueries
+	opQueriesAppend  = "queries-append"  // walQueries
+	opResult         = "result"          // Result
+	opResultHide     = "result-hide"     // walResultMod
+	opResultDelete   = "result-delete"   // walResultMod
+	opComment        = "comment"         // Comment
+	opTaskLease      = "task-lease"      // []*Task (one record per leased batch)
+	opTaskComplete   = "task-complete"   // walTaskComplete (status flip + result, atomically)
+	opTaskKill       = "task-kill"       // walTaskKill
+)
+
+// walRecord is the JSON payload of one framed log entry. LSNs are
+// per-partition, strictly consecutive, and recorded in snapshots so replay
+// can skip records a snapshot already covers — compaction that crashes
+// between the snapshot rename and the log rewrite therefore never
+// double-applies.
+type walRecord struct {
+	LSN  uint64          `json:"lsn"`
+	Op   string          `json:"op"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Small record payloads (the larger ops marshal the model structs directly).
+type walVisibility struct {
+	ProjectID int  `json:"project_id"`
+	Public    bool `json:"public"`
+}
+
+type walSynopsis struct {
+	ProjectID   int    `json:"project_id"`
+	Synopsis    string `json:"synopsis"`
+	Attribution string `json:"attribution"`
+}
+
+type walCatalogs struct {
+	ProjectID    int      `json:"project_id"`
+	DBMSKeys     []string `json:"dbms_keys"`
+	PlatformKeys []string `json:"platform_keys"`
+}
+
+type walInvite struct {
+	ProjectID   int          `json:"project_id"`
+	Contributor *Contributor `json:"contributor"`
+}
+
+type walExperiment struct {
+	ProjectID  int         `json:"project_id"`
+	Experiment *Experiment `json:"experiment"`
+}
+
+type walQueries struct {
+	ProjectID    int           `json:"project_id"`
+	ExperimentID int           `json:"experiment_id"`
+	Queries      []QueryRecord `json:"queries"`
+}
+
+type walResultMod struct {
+	ResultID int  `json:"result_id"`
+	Hidden   bool `json:"hidden,omitempty"`
+}
+
+type walTaskComplete struct {
+	TaskID   int        `json:"task_id"`
+	Status   TaskStatus `json:"status"`
+	Finished time.Time  `json:"finished"`
+	Result   *Result    `json:"result"`
+}
+
+type walTaskKill struct {
+	TaskID   int       `json:"task_id"`
+	Finished time.Time `json:"finished"`
+}
+
+// walSink is the durability seam of the log: when Write+Sync return, the
+// bytes must survive a crash. Production sinks are append-only files;
+// tests inject recording, failing and torn-write sinks through it to
+// simulate kill -9 at arbitrary byte positions.
+type walSink interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// walSinkFactory opens the sink for a partition's log file. The default
+// appends to a real file; tests substitute in-memory sinks.
+type walSinkFactory func(path string) (walSink, error)
+
+// fileSink is the production walSink: an append-only file fsynced per
+// record.
+type fileSink struct{ f *os.File }
+
+func openFileSink(path string) (walSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return fileSink{f: f}, nil
+}
+
+func (fs fileSink) Write(p []byte) (int, error) { return fs.f.Write(p) }
+func (fs fileSink) Sync() error                 { return fs.f.Sync() }
+func (fs fileSink) Close() error                { return fs.f.Close() }
+
+// walWriter appends framed records to a sink. It is guarded by the owning
+// partition's mutex: appends happen under the same lock as the in-memory
+// apply, so log order always equals apply order.
+type walWriter struct {
+	sink walSink
+	lsn  uint64 // last appended LSN
+
+	// broken latches the first write/sync failure: the file may now end in
+	// partial garbage, so appending more records after it would put them
+	// beyond recovery's reach (replay stops at the first bad frame). The
+	// partition rejects further mutations until a checkpoint rewrites the
+	// log from the records that are provably intact.
+	broken error
+}
+
+// frameRecord encodes a record with its length + CRC header.
+func frameRecord(rec walRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("encoding wal record: %w", err)
+	}
+	frame := make([]byte, walHeaderSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[walHeaderSize:], body)
+	return frame, nil
+}
+
+const walHeaderSize = 8
+
+// maxWALRecord bounds the decoded length prefix so a corrupt header cannot
+// trigger a gigantic allocation during recovery.
+const maxWALRecord = 64 << 20
+
+// append frames the record, writes it in a single call and syncs the sink.
+// The record only counts as appended — and the caller may only apply it —
+// when append returns nil.
+func (w *walWriter) append(rec walRecord) error {
+	if w.broken != nil {
+		return fmt.Errorf("wal unavailable after earlier write failure: %w", w.broken)
+	}
+	frame, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.sink.Write(frame); err != nil {
+		w.broken = err
+		return fmt.Errorf("appending wal record: %w", err)
+	}
+	if err := w.sink.Sync(); err != nil {
+		w.broken = err
+		return fmt.Errorf("syncing wal: %w", err)
+	}
+	w.lsn = rec.LSN
+	return nil
+}
+
+// decodeWAL decodes the framed records of one log image. It stops at the
+// first torn or corrupt record — short header, short payload, length out of
+// range, CRC mismatch, undecodable JSON, or an LSN break — logging a
+// warning and returning everything before it, so a crash mid-append or a
+// flipped bit costs at most the unacknowledged tail, never the boot.
+func decodeWAL(data []byte, name string, logf func(string, ...any)) []walRecord {
+	var recs []walRecord
+	off := 0
+	for off < len(data) {
+		if len(data)-off < walHeaderSize {
+			logf("repository: %s: dropping torn wal tail (%d trailing bytes)", name, len(data)-off)
+			break
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length <= 0 || length > maxWALRecord {
+			logf("repository: %s: dropping corrupt wal tail at offset %d (implausible record length %d)", name, off, length)
+			break
+		}
+		if len(data)-off-walHeaderSize < length {
+			logf("repository: %s: dropping torn wal record at offset %d (%d of %d payload bytes)", name, off, len(data)-off-walHeaderSize, length)
+			break
+		}
+		body := data[off+walHeaderSize : off+walHeaderSize+length]
+		if crc32.ChecksumIEEE(body) != sum {
+			logf("repository: %s: dropping corrupt wal tail at offset %d (checksum mismatch)", name, off)
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			logf("repository: %s: dropping corrupt wal tail at offset %d (%v)", name, off, err)
+			break
+		}
+		if n := len(recs); n > 0 && rec.LSN != recs[n-1].LSN+1 {
+			logf("repository: %s: dropping wal tail at offset %d (lsn %d after %d)", name, off, rec.LSN, recs[n-1].LSN)
+			break
+		}
+		recs = append(recs, rec)
+		off += walHeaderSize + length
+	}
+	return recs
+}
