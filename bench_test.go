@@ -459,6 +459,7 @@ func BenchmarkEnginesTPCH(b *testing.B) {
 		engine.NewColEngineWithOptions(engine.ColEngineOptions{Version: "2.0", DisableGuardCasts: true}),
 		engine.NewVektorEngine(),
 		engine.NewVektorEngineWithOptions(engine.VektorOptions{Version: "2.0", BatchSize: 4096}),
+		engine.NewFusilEngine(),
 	}
 	for _, eng := range engines {
 		eng := eng
@@ -586,13 +587,14 @@ func BenchmarkPlanCache(b *testing.B) {
 	})
 }
 
-// BenchmarkParadigmsScanAggregation compares the three execution paradigms
+// BenchmarkParadigmsScanAggregation compares the four execution paradigms
 // head to head on the scan-heavy aggregation queries the vectorized engine
 // is built for (TPC-H Q1 and Q6 plus SSB Q1.1): tuple-at-a-time
 // interpretation, column-at-a-time interpretation with materialised boxed
-// intermediates, and batch-vectorized execution over typed vectors with
-// selection vectors. The per-paradigm speedup over columba is the headline
-// number of the vektor subsystem.
+// intermediates, batch-vectorized execution over typed vectors with
+// selection vectors, and compiled execution through fused closure
+// pipelines. The per-paradigm speedup over columba is the headline number
+// of the vektor subsystem.
 func BenchmarkParadigmsScanAggregation(b *testing.B) {
 	tpch := smallTPCH()
 	ssb := datagen.SSB(datagen.SSBOptions{ScaleFactor: 0.002})
@@ -620,6 +622,7 @@ func BenchmarkParadigmsScanAggregation(b *testing.B) {
 		{"tuple-at-a-time", engine.NewRowEngine()},
 		{"column-at-a-time", engine.NewColEngine()},
 		{"batch-vectorized", engine.NewVektorEngine()},
+		{"compiled", engine.NewFusilEngine()},
 	}
 	for _, tc := range cases {
 		for _, p := range paradigms {

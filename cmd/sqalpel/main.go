@@ -24,8 +24,11 @@
 //
 // The explain subcommand renders the EXPLAIN plan-JSON of a query — the
 // stable, engine-independent physical plan document whose operator ids the
-// execution traces key their spans by — and with -run executes the query on
-// every built-in engine with tracing enabled and prints the span tables:
+// execution traces key their spans by — followed by the per-engine
+// execution routes (which paradigm actually runs the statement, and why
+// the vectorized/compiled engines fall back to the interpreter when they
+// do), and with -run executes the query on every built-in engine with
+// tracing enabled and prints the span tables:
 //
 //	sqalpel explain -dataset tpch -sf 0.01 -run "SELECT count(*) FROM lineitem"
 package main
@@ -118,6 +121,22 @@ func runExplain(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Println(string(doc))
+
+	// The per-engine verdict: which paradigm actually runs the statement.
+	// The interpreters always run natively; the vectorized and compiled
+	// engines route on the plan's verdict and report why they fall back.
+	routes, err := reg.Routes(db, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexecution routes:")
+	for _, rt := range routes {
+		if rt.Fallback {
+			fmt.Printf("  %-16s %s: %s\n", rt.Engine, rt.Paradigm, rt.Reason)
+			continue
+		}
+		fmt.Printf("  %-16s %s\n", rt.Engine, rt.Paradigm)
+	}
 
 	if !*run {
 		return

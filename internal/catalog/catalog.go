@@ -97,6 +97,11 @@ func Bootstrap() *Catalog {
 		Description: "Batch-vectorized engine, new release with quadrupled 4096-row batches.",
 		Knobs:       map[string]string{"execution_model": "batch-at-a-time", "batch_size": "4096"},
 	})
+	c.AddDBMS(DBMS{
+		Name: "fusil", Version: "1.0", Vendor: "sqalpel", Dialect: "fusil",
+		Description: "Data-centric compiled engine: per-query closure chains, fused scan+filter pipelines, no batch handoffs.",
+		Knobs:       map[string]string{"execution_model": "data-centric compiled", "pipelines": "fused"},
+	})
 	c.AddPlatform(Platform{Name: "raspberry-pi-4", CPU: "ARM Cortex-A72", Cores: 4, MemoryGB: 4,
 		Description: "Small single-board computer used for the low end of the spectrum."})
 	c.AddPlatform(Platform{Name: "xeon-e5-4657l", CPU: "Intel Xeon E5-4657L", Cores: 48, MemoryGB: 1024,

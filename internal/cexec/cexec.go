@@ -1,0 +1,194 @@
+// Package cexec is the fourth execution paradigm next to the row
+// interpreter, the column interpreter and the batch-vectorized executor:
+// a data-centric compiled engine ("fusil"). Instead of interpreting an
+// expression tree per row (tuplestore), per column (columba) or per batch
+// (vektor), it compiles each plan pipeline once into a chain of Go
+// closures — scan, pushed-down filters and residual filters fused into a
+// single push loop with no pull-based batch handoffs — and then runs the
+// query by calling those closures row by row. Pipeline breakers (joins,
+// aggregation, DISTINCT, sort) materialize, exactly where a query-
+// compiling system would end one pipeline and start the next.
+//
+// The engine shares the vectorized kernel's scalar algebra through
+// vexec's exported scalar surface (arithmetic, comparison, LIKE, key
+// encoding, aggregate accumulation), so the two executors agree on every
+// value operation by construction. Everything above the scalars —
+// expression compilation, filter placement, join discipline, aggregation
+// order, the epilogue — mirrors the vectorized executor operation for
+// operation, including where runtime errors defer the statement to the
+// interpreters (ErrUnsupported) and where they surface as query errors.
+// The differential suites hold all engines to bit-identical answers.
+package cexec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sqalpel/internal/plan"
+	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
+	"sqalpel/internal/vexec"
+)
+
+// Scalar is the boxed SQL value rows are made of, shared with the
+// vectorized kernel so both engines use one value algebra.
+type Scalar = vexec.Scalar
+
+// Catalog is the typed-table provider, shared with vexec: the engine
+// adapter decodes boxed storage once and serves both executors from the
+// same cache.
+type Catalog = vexec.Catalog
+
+// ErrUnsupported marks statements (or runtime value shapes) outside the
+// compiled subset; the engine-level adapter falls back to the interpreter
+// when it sees this error. It is vexec's sentinel: the compiled engine
+// supports exactly the vectorizable subset, and sharing the sentinel lets
+// the shared scalar kernels (numeric literal parsing) defer through both
+// engines identically.
+var ErrUnsupported = vexec.ErrUnsupported
+
+const defaultMaxJoinRows = 4_000_000
+
+// Options configure one execution.
+type Options struct {
+	// MaxJoinRows guards intermediate join sizes (default 4,000,000).
+	MaxJoinRows int
+	// Deadline aborts the query when passed; zero means no deadline.
+	Deadline time.Time
+	// Tracer collects per-operator spans keyed by the plan's operator ids;
+	// nil disables tracing. The compiled engine attributes a fused
+	// pipeline's wall time to its source operator and row counts to every
+	// operator the rows passed through, on the same ids the other engines
+	// use.
+	Tracer *trace.Tracer
+}
+
+// Stats are the execution counters of one run. The join, aggregation and
+// sub-query counters are defined identically to the interpreters' and the
+// vectorized executor's; the compiled paradigm has no batches, so its
+// signature is ClosuresCompiled/PipelinesFused instead of a batch count.
+type Stats struct {
+	RowsScanned  int64
+	HashJoins    int64
+	LoopJoins    int64
+	Groups       int64
+	RowsReturned int64
+	// JoinBuildRows/JoinProbeRows count the non-NULL-key rows inserted
+	// into and probed against hash-join tables.
+	JoinBuildRows int64
+	JoinProbeRows int64
+	// AggRows counts the rows folded into groups by hash aggregation.
+	AggRows int64
+	// SubqueryExecutions counts the sub-query plans materialized: once
+	// per uncorrelated sub-query and once per decorrelated correlated
+	// sub-query.
+	SubqueryExecutions int64
+	// ClosuresCompiled counts the expression nodes compiled into closures.
+	ClosuresCompiled int64
+	// PipelinesFused counts the fused push loops executed (one per
+	// pipeline between breakers, including nested statements).
+	PipelinesFused int64
+}
+
+// Result is a finished query: named output columns of boxed scalars.
+type Result struct {
+	Columns []string
+	Cols    [][]Scalar
+	Stats   Stats
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return len(r.Cols[0])
+}
+
+// colMeta names one column of a compiled pipeline's row layout: the table
+// alias it came from (empty for computed columns) and the column name,
+// both lower case — the same resolution metadata the vectorized batches
+// carry.
+type colMeta struct {
+	table string
+	name  string
+}
+
+// rel is a materialized intermediate: the row set at a pipeline breaker.
+type rel struct {
+	meta []colMeta
+	rows [][]Scalar
+}
+
+// rowFn is one compiled expression: evaluate over a pipeline row.
+type rowFn func(row []Scalar) (Scalar, error)
+
+// scope is the compile-time resolution context of one pipeline: the row
+// layout, plus — in grouped context, where rows are groups — the slots of
+// the precomputed aggregates and carried first-row references.
+type scope struct {
+	meta []colMeta
+	aggs map[string]int // canonical aggregate SQL -> group-row slot
+	refs map[string]int // column reference key -> group-row slot
+}
+
+// executor runs one statement.
+type executor struct {
+	cat   Catalog
+	opts  Options
+	stats Stats
+	p     *plan.Plan
+	// subs holds the per-execution sub-query states, keyed by the nested
+	// statement; built before the enclosing pipeline's closures run and
+	// read-only afterwards.
+	subs   map[*sqlparser.SelectStatement]*subState
+	tracer *trace.Tracer
+}
+
+// noTracePrefix marks execution contexts without an operator id — the
+// operands of explicit JOIN trees and nested statements the prefix walk
+// does not enumerate — mirroring the other engines' untraced prefix.
+const noTracePrefix = "\x00"
+
+// traceOn reports whether spans should be emitted for the given prefix.
+func (ex *executor) traceOn(prefix string) bool {
+	return ex.tracer != nil && !strings.HasPrefix(prefix, noTracePrefix)
+}
+
+// ExecutePlan compiles and runs a planned SELECT against the catalog. The
+// compiled subset is exactly the vectorizable subset: the plan's verdict
+// was computed once and routes both engines.
+func ExecutePlan(cat Catalog, p *plan.Plan, opts Options) (*Result, error) {
+	if opts.MaxJoinRows <= 0 {
+		opts.MaxJoinRows = defaultMaxJoinRows
+	}
+	if !p.Vectorizable {
+		return nil, fmt.Errorf("%w: %s", ErrUnsupported, p.NotVectorizableReason)
+	}
+	ex := &executor{
+		cat:    cat,
+		opts:   opts,
+		p:      p,
+		subs:   map[*sqlparser.SelectStatement]*subState{},
+		tracer: opts.Tracer,
+	}
+	res, err := ex.run(p.Root, "")
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ex.stats
+	return res, nil
+}
+
+// checkDeadline aborts overdue queries; called periodically from the
+// compiled loops.
+func (ex *executor) checkDeadline() error {
+	if ex.opts.Deadline.IsZero() {
+		return nil
+	}
+	if time.Now().After(ex.opts.Deadline) {
+		return fmt.Errorf("query exceeded its time budget")
+	}
+	return nil
+}

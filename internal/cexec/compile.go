@@ -1,0 +1,741 @@
+package cexec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/sqlsem"
+	"sqalpel/internal/vexec"
+)
+
+// This file is the expression compiler: it turns an AST expression into a
+// single Go closure over one pipeline row. Compilation mirrors the
+// vectorized executor's evaluator case for case — the same resolution
+// rules, the same NULL semantics (through the shared sqlsem kernels), the
+// same error texts, and the same split between errors that are statement
+// properties (unknown columns, malformed literals — raised at compile
+// time, which is where vexec raises them even over empty inputs) and
+// errors that are data properties (type mismatches — raised from inside
+// the closure, only when a row actually exhibits them).
+//
+// One structural rule keeps the engines' observable behaviour aligned:
+// vexec evaluates every sub-expression eagerly over the whole batch, so
+// the compiled closures also evaluate all children before applying the
+// operator — no short-circuiting in AND/OR/CASE/IN — and the contexts
+// vexec wraps with deferToFallback (AND/OR arms, CASE arms, IN list
+// items) defer here too, at compile time and at run time alike.
+
+func refKey(table, col string) string {
+	return strings.ToLower(table) + "." + strings.ToLower(col)
+}
+
+// errEval wraps evaluation failures with the failing expression.
+func errEval(e sqlparser.Expr, err error) error {
+	return fmt.Errorf("evaluating %q: %w", e.SQL(), err)
+}
+
+// deferToFallback marks errors raised in conditionally-evaluated contexts
+// as ErrUnsupported: compiled evaluation (like vectorized evaluation) is
+// eager, so it can raise errors the interpreters' short-circuiting never
+// reaches — those statements fall back to the interpreter, which owns the
+// decision whether the query errors.
+func deferToFallback(err error) error {
+	if err == nil || errors.Is(err, ErrUnsupported) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrUnsupported, err)
+}
+
+// constFn lifts a constant into a rowFn.
+func constFn(s Scalar) rowFn {
+	return func([]Scalar) (Scalar, error) { return s, nil }
+}
+
+// compile builds the closure for one expression against a scope.
+func (ex *executor) compile(e sqlparser.Expr, sc *scope) (rowFn, error) {
+	ex.stats.ClosuresCompiled++
+	switch v := e.(type) {
+	case *sqlparser.NumberLit:
+		s, err := vexec.ParseNumber(v.Value)
+		if err != nil {
+			return nil, err
+		}
+		return constFn(s), nil
+	case *sqlparser.StringLit:
+		return constFn(vexec.StringScalar(v.Value)), nil
+	case *sqlparser.BoolLit:
+		return constFn(vexec.BoolScalar(v.Value)), nil
+	case *sqlparser.NullLit:
+		return constFn(vexec.NullScalar()), nil
+	case *sqlparser.DateLit:
+		d, err := vexec.ParseDateDays(v.Value)
+		if err != nil {
+			return nil, errEval(e, fmt.Errorf("invalid date %q: %w", v.Value, err))
+		}
+		return constFn(vexec.DateScalar(d)), nil
+	case *sqlparser.IntervalLit:
+		// Bare intervals evaluate to their numeric count; date arithmetic
+		// with a unit is handled in the BinaryExpr case.
+		s, err := vexec.ParseNumber(v.Value)
+		if err != nil {
+			return nil, err
+		}
+		return constFn(s), nil
+	case *sqlparser.ColumnRef:
+		return ex.compileColumn(v, sc)
+	case *sqlparser.ParenExpr:
+		return ex.compile(v.Expr, sc)
+	case *sqlparser.UnaryExpr:
+		return ex.compileUnary(v, sc)
+	case *sqlparser.BinaryExpr:
+		return ex.compileBinary(v, sc)
+	case *sqlparser.FuncCall:
+		return ex.compileFunc(v, sc)
+	case *sqlparser.CaseExpr:
+		return ex.compileCase(v, sc)
+	case *sqlparser.BetweenExpr:
+		return ex.compileBetween(v, sc)
+	case *sqlparser.InExpr:
+		return ex.compileIn(v, sc)
+	case *sqlparser.IsNullExpr:
+		val, err := ex.compile(v.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		not := v.Not
+		return func(row []Scalar) (Scalar, error) {
+			s, err := val(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			return vexec.BoolScalar(s.IsNull() != not), nil
+		}, nil
+	case *sqlparser.ExistsExpr:
+		return ex.compileExists(v, sc)
+	case *sqlparser.SubqueryExpr:
+		return ex.compileScalarSub(v, sc)
+	case *sqlparser.ExtractExpr:
+		return ex.compileExtract(v, sc)
+	case *sqlparser.SubstringExpr:
+		return ex.compileSubstring(v, sc)
+	case *sqlparser.CastExpr:
+		return ex.compileCast(v, sc)
+	case *sqlparser.ParamRef:
+		return nil, fmt.Errorf("unresolved template parameter ${%s}", v.Name)
+	default:
+		return nil, fmt.Errorf("%w: expression %T", ErrUnsupported, e)
+	}
+}
+
+// compileColumn resolves a possibly qualified reference against the scope
+// with the interpreters' rules: grouped carried references first, then the
+// row layout, where unqualified lookups over same-named columns of
+// different tables are ambiguous.
+func (ex *executor) compileColumn(v *sqlparser.ColumnRef, sc *scope) (rowFn, error) {
+	if sc.refs != nil {
+		if slot, ok := sc.refs[refKey(v.Table, v.Column)]; ok {
+			return func(row []Scalar) (Scalar, error) { return row[slot], nil }, nil
+		}
+	}
+	idx, err := findColumn(sc.meta, v.Table, v.Column)
+	if err == errColumnNotFound {
+		if v.Table != "" {
+			return nil, fmt.Errorf("unknown column %s.%s", v.Table, v.Column)
+		}
+		return nil, fmt.Errorf("unknown column %s", v.Column)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return func(row []Scalar) (Scalar, error) { return row[idx], nil }, nil
+}
+
+// errColumnNotFound distinguishes "not in this scope" from ambiguity.
+var errColumnNotFound = fmt.Errorf("column not found")
+
+func findColumn(meta []colMeta, table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i, m := range meta {
+		if m.name != name {
+			continue
+		}
+		if table != "" && m.table != table {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, errColumnNotFound
+	}
+	return found, nil
+}
+
+func (ex *executor) compileUnary(v *sqlparser.UnaryExpr, sc *scope) (rowFn, error) {
+	val, err := ex.compile(v.Expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case "NOT":
+		return func(row []Scalar) (Scalar, error) {
+			s, err := val(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			return vexec.TriScalar(sqlsem.Not(s.Tri())), nil
+		}, nil
+	case "-":
+		return func(row []Scalar) (Scalar, error) {
+			s, err := val(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			switch {
+			case s.IsNull():
+				return vexec.NullScalar(), nil
+			case s.ScalarKind() == vexec.KindInt:
+				return vexec.IntScalar(-s.Int()), nil
+			default:
+				return vexec.FloatScalar(-s.Float()), nil
+			}
+		}, nil
+	case "+":
+		return val, nil
+	default:
+		return nil, fmt.Errorf("unknown unary operator %q", v.Op)
+	}
+}
+
+func (ex *executor) compileBinary(v *sqlparser.BinaryExpr, sc *scope) (rowFn, error) {
+	switch v.Op {
+	case "AND", "OR":
+		l, err := ex.compile(v.Left, sc)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		r, err := ex.compile(v.Right, sc)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		and := v.Op == "AND"
+		return func(row []Scalar) (Scalar, error) {
+			// Both arms evaluate eagerly, like the vectorized executor's
+			// whole-batch arms; arm errors defer the statement.
+			ls, err := l(row)
+			if err != nil {
+				return Scalar{}, deferToFallback(err)
+			}
+			rs, err := r(row)
+			if err != nil {
+				return Scalar{}, deferToFallback(err)
+			}
+			if and {
+				return vexec.TriScalar(sqlsem.And(ls.Tri(), rs.Tri())), nil
+			}
+			return vexec.TriScalar(sqlsem.Or(ls.Tri(), rs.Tri())), nil
+		}, nil
+	}
+
+	// Date +/- INTERVAL with a calendar unit.
+	if iv, ok := v.Right.(*sqlparser.IntervalLit); ok && (v.Op == "+" || v.Op == "-") {
+		l, err := ex.compile(v.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := vexec.ParseNumber(iv.Value)
+		if err != nil {
+			return nil, err
+		}
+		nv := ns.Int()
+		if v.Op == "-" {
+			nv = -nv
+		}
+		unit := iv.Unit
+		return func(row []Scalar) (Scalar, error) {
+			s, err := l(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			if s.IsNull() {
+				return vexec.NullScalar(), nil
+			}
+			if s.ScalarKind() != vexec.KindDate {
+				return Scalar{}, fmt.Errorf("interval arithmetic requires a date, got %s", s.ScalarKind())
+			}
+			_, days, _, _ := s.Payload()
+			d, ok := vexec.AddInterval(days, nv, unit)
+			if !ok {
+				return Scalar{}, fmt.Errorf("unknown interval unit %q", unit)
+			}
+			return vexec.DateScalar(d), nil
+		}, nil
+	}
+
+	l, err := ex.compile(v.Left, sc)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.compile(v.Right, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch op := v.Op; op {
+	case "+", "-", "*", "/", "%", "||":
+		return func(row []Scalar) (Scalar, error) {
+			ls, err := l(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			rs, err := r(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			out, err := vexec.ArithScalar(op, ls, rs)
+			if err != nil {
+				return Scalar{}, errEval(v, err)
+			}
+			return out, nil
+		}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return func(row []Scalar) (Scalar, error) {
+			ls, err := l(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			rs, err := r(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			if ls.IsNull() || rs.IsNull() {
+				return vexec.NullScalar(), nil
+			}
+			return vexec.BoolScalar(sqlsem.Compare(op, vexec.CompareScalars(ls, rs)) == sqlsem.True), nil
+		}, nil
+	case "LIKE", "NOT LIKE":
+		negate := op == "NOT LIKE"
+		return func(row []Scalar) (Scalar, error) {
+			ls, err := l(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			rs, err := r(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			eitherNull := ls.IsNull() || rs.IsNull()
+			matched := false
+			if !eitherNull {
+				matched = vexec.LikeMatch(ls.Render(), rs.Render())
+			}
+			return vexec.TriScalar(sqlsem.Like(eitherNull, matched, negate)), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown binary operator %q", v.Op)
+	}
+}
+
+func (ex *executor) compileCase(v *sqlparser.CaseExpr, sc *scope) (rowFn, error) {
+	var operand rowFn
+	var err error
+	if v.Operand != nil {
+		if operand, err = ex.compile(v.Operand, sc); err != nil {
+			return nil, err
+		}
+	}
+	conds := make([]rowFn, len(v.Whens))
+	thens := make([]rowFn, len(v.Whens))
+	for wi, w := range v.Whens {
+		if conds[wi], err = ex.compile(w.When, sc); err != nil {
+			return nil, deferToFallback(err)
+		}
+		if thens[wi], err = ex.compile(w.Then, sc); err != nil {
+			return nil, deferToFallback(err)
+		}
+	}
+	var elseFn rowFn
+	if v.Else != nil {
+		if elseFn, err = ex.compile(v.Else, sc); err != nil {
+			return nil, deferToFallback(err)
+		}
+	}
+	return func(row []Scalar) (Scalar, error) {
+		// All arms evaluate eagerly (the vectorized executor computes every
+		// arm over the whole batch); arm errors defer the statement.
+		var opVal Scalar
+		if operand != nil {
+			var err error
+			if opVal, err = operand(row); err != nil {
+				return Scalar{}, err
+			}
+		}
+		condVals := make([]Scalar, len(conds))
+		thenVals := make([]Scalar, len(thens))
+		for wi := range conds {
+			var err error
+			if condVals[wi], err = conds[wi](row); err != nil {
+				return Scalar{}, deferToFallback(err)
+			}
+			if thenVals[wi], err = thens[wi](row); err != nil {
+				return Scalar{}, deferToFallback(err)
+			}
+		}
+		elseVal := vexec.NullScalar()
+		if elseFn != nil {
+			var err error
+			if elseVal, err = elseFn(row); err != nil {
+				return Scalar{}, deferToFallback(err)
+			}
+		}
+		for wi := range condVals {
+			var hit bool
+			if operand != nil {
+				hit = vexec.EqualScalars(opVal, condVals[wi])
+			} else {
+				hit = condVals[wi].Truthy()
+			}
+			if hit {
+				return thenVals[wi], nil
+			}
+		}
+		return elseVal, nil
+	}, nil
+}
+
+func (ex *executor) compileBetween(v *sqlparser.BetweenExpr, sc *scope) (rowFn, error) {
+	val, err := ex.compile(v.Expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := ex.compile(v.Lo, sc)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := ex.compile(v.Hi, sc)
+	if err != nil {
+		return nil, err
+	}
+	not := v.Not
+	return func(row []Scalar) (Scalar, error) {
+		a, err := val(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		l, err := lo(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		h, err := hi(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		geLo := sqlsem.CompareNullable(">=", a.IsNull() || l.IsNull(), compareScalarsNonNull(a, l))
+		leHi := sqlsem.CompareNullable("<=", a.IsNull() || h.IsNull(), compareScalarsNonNull(a, h))
+		return vexec.TriScalar(sqlsem.Between(geLo, leHi, not)), nil
+	}, nil
+}
+
+// compareScalarsNonNull compares two scalars when neither is NULL; with a
+// NULL operand the result is unused (CompareNullable short-circuits to
+// UNKNOWN) and zero is returned.
+func compareScalarsNonNull(a, b Scalar) int {
+	if a.IsNull() || b.IsNull() {
+		return 0
+	}
+	return vexec.CompareScalars(a, b)
+}
+
+func (ex *executor) compileIn(v *sqlparser.InExpr, sc *scope) (rowFn, error) {
+	if v.Subquery != nil {
+		return ex.compileInSub(v, sc)
+	}
+	val, err := ex.compile(v.Expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]rowFn, len(v.List))
+	for ii, item := range v.List {
+		if items[ii], err = ex.compile(item, sc); err != nil {
+			return nil, deferToFallback(err)
+		}
+	}
+	not := v.Not
+	return func(row []Scalar) (Scalar, error) {
+		a, err := val(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		// The list items evaluate eagerly before the membership scan, like
+		// the vectorized executor's item vectors; item errors defer.
+		vals := make([]Scalar, len(items))
+		for ii := range items {
+			if vals[ii], err = items[ii](row); err != nil {
+				return Scalar{}, deferToFallback(err)
+			}
+		}
+		var found, listHasNull bool
+		for _, s := range vals {
+			if vexec.EqualScalars(a, s) {
+				found = true
+				break
+			}
+			if s.IsNull() {
+				listHasNull = true
+			}
+		}
+		t := sqlsem.In(a.IsNull(), found, listHasNull, false)
+		if not {
+			t = sqlsem.Not(t)
+		}
+		return vexec.TriScalar(t), nil
+	}, nil
+}
+
+func (ex *executor) compileExtract(v *sqlparser.ExtractExpr, sc *scope) (rowFn, error) {
+	val, err := ex.compile(v.From, sc)
+	if err != nil {
+		return nil, err
+	}
+	unit := v.Unit
+	return func(row []Scalar) (Scalar, error) {
+		s, err := val(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		if s.IsNull() {
+			return vexec.NullScalar(), nil
+		}
+		if s.ScalarKind() != vexec.KindDate {
+			return Scalar{}, errEval(v, fmt.Errorf("EXTRACT requires a date, got %s", s.ScalarKind()))
+		}
+		_, days, _, _ := s.Payload()
+		y, m, d := vexec.DateParts(days)
+		switch unit {
+		case "YEAR":
+			return vexec.IntScalar(int64(y)), nil
+		case "MONTH":
+			return vexec.IntScalar(int64(m)), nil
+		default:
+			return vexec.IntScalar(int64(d)), nil
+		}
+	}, nil
+}
+
+func (ex *executor) compileSubstring(v *sqlparser.SubstringExpr, sc *scope) (rowFn, error) {
+	val, err := ex.compile(v.Expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	start, err := ex.compile(v.Start, sc)
+	if err != nil {
+		return nil, err
+	}
+	var length rowFn
+	if v.Length != nil {
+		if length, err = ex.compile(v.Length, sc); err != nil {
+			return nil, err
+		}
+	}
+	return func(row []Scalar) (Scalar, error) {
+		s, err := val(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		st, err := start(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		var lv Scalar
+		if length != nil {
+			if lv, err = length(row); err != nil {
+				return Scalar{}, err
+			}
+		}
+		if s.IsNull() {
+			return vexec.NullScalar(), nil
+		}
+		str := s.Render()
+		from := int(st.Int()) - 1
+		if from < 0 {
+			from = 0
+		}
+		if from > len(str) {
+			from = len(str)
+		}
+		to := len(str)
+		if length != nil {
+			to = from + int(lv.Int())
+			if to > len(str) {
+				to = len(str)
+			}
+			if to < from {
+				to = from
+			}
+		}
+		return vexec.StringScalar(str[from:to]), nil
+	}, nil
+}
+
+func (ex *executor) compileCast(v *sqlparser.CastExpr, sc *scope) (rowFn, error) {
+	val, err := ex.compile(v.Expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	// The target check is a data-shape property in the vectorized executor:
+	// it fires per row after the NULL check, so an unknown target over an
+	// all-NULL (or empty) input does not error. The closure mirrors that.
+	target := strings.ToLower(v.Type)
+	typeName := v.Type
+	return func(row []Scalar) (Scalar, error) {
+		s, err := val(row)
+		if err != nil {
+			return Scalar{}, err
+		}
+		if s.IsNull() {
+			return vexec.NullScalar(), nil
+		}
+		switch target {
+		case "integer", "int", "bigint", "smallint":
+			return vexec.IntScalar(s.Int()), nil
+		case "double", "float", "real", "decimal", "numeric":
+			return vexec.FloatScalar(s.Float()), nil
+		case "varchar", "char", "text", "string":
+			return vexec.StringScalar(s.Render()), nil
+		case "date":
+			if s.ScalarKind() == vexec.KindDate {
+				return s, nil
+			}
+			d, err := vexec.ParseDateDays(s.Render())
+			if err != nil {
+				return Scalar{}, fmt.Errorf("invalid date %q: %w", s.Render(), err)
+			}
+			return vexec.DateScalar(d), nil
+		default:
+			return Scalar{}, fmt.Errorf("unsupported cast target %q", typeName)
+		}
+	}, nil
+}
+
+func (ex *executor) compileFunc(v *sqlparser.FuncCall, sc *scope) (rowFn, error) {
+	if v.IsAggregate() {
+		if sc.aggs == nil {
+			return nil, fmt.Errorf("aggregate %s used outside GROUP BY context", v.Name)
+		}
+		slot, ok := sc.aggs[v.SQL()]
+		if !ok {
+			return nil, fmt.Errorf("internal: aggregate %s was not precomputed", v.SQL())
+		}
+		return func(row []Scalar) (Scalar, error) { return row[slot], nil }, nil
+	}
+	args := make([]rowFn, len(v.Args))
+	for ai, a := range v.Args {
+		var err error
+		if args[ai], err = ex.compile(a, sc); err != nil {
+			return nil, err
+		}
+	}
+	evalArgs := func(row []Scalar) ([]Scalar, error) {
+		vals := make([]Scalar, len(args))
+		for ai := range args {
+			var err error
+			if vals[ai], err = args[ai](row); err != nil {
+				return nil, err
+			}
+		}
+		return vals, nil
+	}
+	switch v.Name {
+	case "abs":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("abs expects 1 argument")
+		}
+		return func(row []Scalar) (Scalar, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			s := vals[0]
+			if s.IsNull() {
+				return vexec.NullScalar(), nil
+			}
+			f := s.Float()
+			if f < 0 {
+				f = -f
+			}
+			if s.ScalarKind() == vexec.KindInt {
+				return vexec.IntScalar(int64(f)), nil
+			}
+			return vexec.FloatScalar(f), nil
+		}, nil
+	case "length", "char_length":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%s expects 1 argument", v.Name)
+		}
+		// No NULL check: the interpreters (and vexec) measure the rendered
+		// value, and NULL renders as the 4-character string "NULL".
+		return func(row []Scalar) (Scalar, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			return vexec.IntScalar(int64(len(vals[0].Render()))), nil
+		}, nil
+	case "upper", "lower":
+		upper := v.Name == "upper"
+		return func(row []Scalar) (Scalar, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			if upper {
+				return vexec.StringScalar(strings.ToUpper(vals[0].Render())), nil
+			}
+			return vexec.StringScalar(strings.ToLower(vals[0].Render())), nil
+		}, nil
+	case "coalesce":
+		return func(row []Scalar) (Scalar, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			for _, s := range vals {
+				if !s.IsNull() {
+					return s, nil
+				}
+			}
+			return vexec.NullScalar(), nil
+		}, nil
+	case "round":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("round expects at least 1 argument")
+		}
+		return func(row []Scalar) (Scalar, error) {
+			vals, err := evalArgs(row)
+			if err != nil {
+				return Scalar{}, err
+			}
+			f := vals[0].Float()
+			scale := 0
+			if len(vals) > 1 {
+				scale = int(vals[1].Int())
+			}
+			mult := 1.0
+			for j := 0; j < scale; j++ {
+				mult *= 10
+			}
+			half := 0.5
+			if f < 0 {
+				half = -0.5
+			}
+			return vexec.FloatScalar(float64(int64(f*mult+half)) / mult), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown function %q", v.Name)
+	}
+}

@@ -1,0 +1,767 @@
+package cexec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sqalpel/internal/plan"
+	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
+	"sqalpel/internal/vexec"
+)
+
+// This file builds and runs the compiled pipelines: the fused
+// scan→filter→consume push loops, the materializing inputs (derived
+// tables, explicit JOIN trees) and the join breakers. The operator
+// topology — which conjuncts run below the joins, the join order, where
+// intermediates materialize — is the vectorized executor's, read from the
+// same plan; only the execution style differs (one compiled loop per
+// pipeline instead of a pull-based operator chain).
+
+// cond is one compiled filter conjunct. Compile errors are carried, not
+// raised: the vectorized executor only evaluates filter conjuncts when
+// rows actually flow through them, so a conjunct over a column that does
+// not exist must not fail a query whose pipeline is empty. The error
+// surfaces (deferred to the interpreter) at the first row instead.
+type cond struct {
+	fn  rowFn
+	err error
+}
+
+func (ex *executor) compileConds(exprs []sqlparser.Expr, sc *scope) []cond {
+	out := make([]cond, len(exprs))
+	for i, e := range exprs {
+		out[i].fn, out[i].err = ex.compile(e, sc)
+	}
+	return out
+}
+
+// passConds applies compiled conjuncts to one row with two-valued truth
+// (NULL fails). Conjunct errors — compile-time and runtime alike — defer
+// the statement to the interpreter; later conjuncts are not evaluated for
+// rows an earlier conjunct already rejected, matching the vectorized
+// executor's shrinking selection.
+func passConds(conds []cond, row []Scalar) (bool, error) {
+	for i := range conds {
+		if conds[i].err != nil {
+			return false, deferToFallback(conds[i].err)
+		}
+		v, err := conds[i].fn(row)
+		if err != nil {
+			return false, deferToFallback(err)
+		}
+		if v.IsNull() || !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// pipeline is one compiled push loop: run drives every source row through
+// the fused filters into consume.
+type pipeline struct {
+	meta []colMeta
+	run  func(consume func(row []Scalar) error) error
+}
+
+// run executes one SELECT core under the given trace prefix.
+func (ex *executor) run(sp *plan.Select, prefix string) (*Result, error) {
+	stmt := sp.Stmt
+	if len(stmt.Projection) == 0 {
+		return nil, fmt.Errorf("query has no projection")
+	}
+	// Materialize the statement's sub-query states before its pipeline is
+	// compiled: the use-site closures bind them read-only.
+	if err := ex.prepareSubqueries(stmt, prefix); err != nil {
+		return nil, err
+	}
+	pipe, err := ex.buildPipeline(sp, prefix)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Grouped {
+		return ex.runGrouped(stmt, pipe, prefix)
+	}
+	return ex.runRows(stmt, pipe, prefix)
+}
+
+// runRel executes a nested SELECT core and re-frames its projected output
+// as a materialized relation carrying the given schema — the shape derived
+// tables and sub-query materialization consume.
+func (ex *executor) runRel(sp *plan.Select, schema []plan.ColumnMeta, prefix string) (*rel, error) {
+	res, err := ex.run(sp, prefix)
+	if err != nil {
+		return nil, err
+	}
+	n := res.NumRows()
+	meta := make([]colMeta, len(res.Cols))
+	for i := range res.Cols {
+		if i < len(schema) {
+			meta[i] = colMeta{table: schema[i].Table, name: schema[i].Name}
+		} else if i < len(res.Columns) {
+			meta[i] = colMeta{name: strings.ToLower(res.Columns[i])}
+		}
+	}
+	rows := make([][]Scalar, n)
+	for r := 0; r < n; r++ {
+		row := make([]Scalar, len(res.Cols))
+		for c := range res.Cols {
+			row[c] = res.Cols[c][r]
+		}
+		rows[r] = row
+	}
+	return &rel{meta: meta, rows: rows}, nil
+}
+
+// buildPipeline compiles the FROM/WHERE part of one SELECT core into a
+// push loop. A single plain-table input becomes the fully fused hot path:
+// scan, pushed-down conjuncts and residual conjuncts in one loop with no
+// intermediate. Derived tables, JOIN trees and multi-input FROMs
+// materialize their inputs (the same pipeline breakers the vectorized
+// executor has), and only the final residual pass stays fused.
+func (ex *executor) buildPipeline(sp *plan.Select, prefix string) (*pipeline, error) {
+	if len(sp.From) == 0 {
+		residual := ex.compileConds(sp.VexecResidual, &scope{})
+		var span *trace.Span
+		if len(sp.VexecResidual) > 0 && ex.traceOn(prefix) {
+			span = ex.tracer.Span(trace.FilterID(prefix), trace.KindFilter)
+		}
+		return &pipeline{run: func(consume func([]Scalar) error) error {
+			ex.stats.PipelinesFused++
+			t0 := time.Now()
+			ok, err := passConds(residual, []Scalar{})
+			if err != nil {
+				return err
+			}
+			if span != nil {
+				d := trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds()}
+				if ok {
+					d.Rows = 1
+				}
+				span.Merge(d)
+			}
+			if !ok {
+				return nil
+			}
+			return consume([]Scalar{})
+		}}, nil
+	}
+
+	if len(sp.From) == 1 && sp.From[0].Join == nil && sp.From[0].Derived == nil {
+		return ex.fusedScanPipeline(sp, prefix)
+	}
+
+	// General shape: build every input first (derived sub-plans run here,
+	// in FROM order, like the vectorized executor's buildInput pass), then
+	// apply the pushed-down conjuncts per input, then stitch the join steps.
+	raw := make([]*rel, len(sp.From))
+	for i, in := range sp.From {
+		r, err := ex.inputRel(in, i, prefix)
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = r
+	}
+	rels := make([]*rel, len(raw))
+	for i, r := range raw {
+		f, err := ex.pushdownRel(r, sp.VexecPushdown[i], i, prefix)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = f
+	}
+	cur := rels[0]
+	for k, step := range sp.JoinSteps {
+		var tm trace.Timer
+		if ex.traceOn(prefix) {
+			kind := trace.KindHashJoin
+			if step.Cross {
+				kind = trace.KindCross
+			}
+			tm = ex.tracer.Span(trace.JoinID(prefix, k), kind).Start()
+		}
+		var err error
+		if step.Cross {
+			cur, err = ex.crossJoinRel(cur, rels[step.Right])
+		} else {
+			cur, err = ex.hashJoinRel(cur, rels[step.Right], step.LeftKeys, step.RightKeys)
+		}
+		if err != nil {
+			return nil, err
+		}
+		tm.Done(int64(len(cur.rows)))
+	}
+
+	residual := ex.compileConds(sp.VexecResidual, &scope{meta: cur.meta})
+	var resSpan *trace.Span
+	if len(sp.VexecResidual) > 0 && ex.traceOn(prefix) {
+		resSpan = ex.tracer.Span(trace.FilterID(prefix), trace.KindFilter)
+	}
+	src := cur
+	return &pipeline{meta: cur.meta, run: func(consume func([]Scalar) error) error {
+		ex.stats.PipelinesFused++
+		t0 := time.Now()
+		var out int64
+		for i, row := range src.rows {
+			if i&1023 == 0 {
+				if err := ex.checkDeadline(); err != nil {
+					return err
+				}
+			}
+			ok, err := passConds(residual, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			out++
+			if err := consume(row); err != nil {
+				return err
+			}
+		}
+		if resSpan != nil {
+			resSpan.Merge(trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: out})
+		}
+		return nil
+	}}, nil
+}
+
+// fusedScanPipeline is the compiled engine's signature shape: one table,
+// its pushed-down conjuncts and the residual conjuncts fused into a single
+// loop — no batches, no handoffs, no intermediate materialization.
+func (ex *executor) fusedScanPipeline(sp *plan.Select, prefix string) (*pipeline, error) {
+	in := sp.From[0]
+	table, err := ex.cat.VTable(in.Table)
+	if err != nil {
+		return nil, err
+	}
+	meta := scanMeta(table, in.Alias)
+	sc := &scope{meta: meta}
+	pushdown := ex.compileConds(sp.VexecPushdown[0], sc)
+	residual := ex.compileConds(sp.VexecResidual, sc)
+
+	var scanSpan, pushSpan, resSpan *trace.Span
+	if ex.traceOn(prefix) {
+		scanSpan = ex.tracer.Span(trace.ScanID(prefix, 0), trace.KindScan)
+		if len(sp.VexecPushdown[0]) > 0 {
+			pushSpan = ex.tracer.Span(trace.PushFilterID(prefix, 0), trace.KindFilter)
+		}
+		if len(sp.VexecResidual) > 0 {
+			resSpan = ex.tracer.Span(trace.FilterID(prefix), trace.KindFilter)
+		}
+	}
+
+	return &pipeline{meta: meta, run: func(consume func([]Scalar) error) error {
+		ex.stats.PipelinesFused++
+		nr := table.NumRows()
+		nc := len(table.Cols)
+		t0 := time.Now()
+		var pushed, out int64
+		for i := 0; i < nr; i++ {
+			if i&1023 == 0 {
+				if err := ex.checkDeadline(); err != nil {
+					return err
+				}
+			}
+			row := make([]Scalar, nc)
+			for c := 0; c < nc; c++ {
+				row[c] = table.Cols[c].Vec.At(i)
+			}
+			ex.stats.RowsScanned++
+			ok, err := passConds(pushdown, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			pushed++
+			ok, err = passConds(residual, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			out++
+			if err := consume(row); err != nil {
+				return err
+			}
+		}
+		if scanSpan != nil {
+			scanSpan.Merge(trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(nr)})
+		}
+		if pushSpan != nil {
+			pushSpan.Merge(trace.SpanDelta{Rows: pushed})
+		}
+		if resSpan != nil {
+			resSpan.Merge(trace.SpanDelta{Rows: out})
+		}
+		return nil
+	}}, nil
+}
+
+func scanMeta(t *vexec.Table, alias string) []colMeta {
+	if alias == "" {
+		alias = t.Name
+	}
+	meta := make([]colMeta, len(t.Cols))
+	for i, c := range t.Cols {
+		meta[i] = colMeta{table: strings.ToLower(alias), name: strings.ToLower(c.Name)}
+	}
+	return meta
+}
+
+// inputRel materializes one planned FROM input. idx is the input's FROM
+// position, keying its trace span; the operands of explicit JOIN trees
+// pass -1 (the whole tree is traced as one input operator).
+func (ex *executor) inputRel(in *plan.Input, idx int, prefix string) (*rel, error) {
+	switch {
+	case in.Join != nil:
+		var tm trace.Timer
+		if ex.traceOn(prefix) && idx >= 0 {
+			tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindJoinTree).Start()
+		}
+		r, err := ex.buildJoinRel(in.Join)
+		if err != nil {
+			return nil, err
+		}
+		tm.Done(int64(len(r.rows)))
+		return r, nil
+	case in.Derived != nil:
+		// A derived table runs its sub-plan to completion and feeds the
+		// result in as a materialized input, renamed to the derived alias.
+		// Only top-level FROM positions have an operator id; operands of
+		// explicit JOIN trees run untraced, like the interpreters.
+		childPrefix := noTracePrefix
+		var tm trace.Timer
+		if idx >= 0 {
+			childPrefix = trace.DerivedPrefix(prefix, idx)
+			if ex.traceOn(prefix) {
+				tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
+			}
+		}
+		r, err := ex.runRel(in.Derived, in.Schema, childPrefix)
+		if err != nil {
+			return nil, err
+		}
+		tm.Done(int64(len(r.rows)))
+		return r, nil
+	default:
+		table, err := ex.cat.VTable(in.Table)
+		if err != nil {
+			return nil, err
+		}
+		meta := scanMeta(table, in.Alias)
+		var span *trace.Span
+		if ex.traceOn(prefix) && idx >= 0 {
+			span = ex.tracer.Span(trace.ScanID(prefix, idx), trace.KindScan)
+		}
+		nr := table.NumRows()
+		nc := len(table.Cols)
+		t0 := time.Now()
+		rows := make([][]Scalar, nr)
+		for i := 0; i < nr; i++ {
+			if i&1023 == 0 {
+				if err := ex.checkDeadline(); err != nil {
+					return nil, err
+				}
+			}
+			row := make([]Scalar, nc)
+			for c := 0; c < nc; c++ {
+				row[c] = table.Cols[c].Vec.At(i)
+			}
+			rows[i] = row
+		}
+		ex.stats.RowsScanned += int64(nr)
+		if span != nil {
+			span.Merge(trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(nr)})
+		}
+		return &rel{meta: meta, rows: rows}, nil
+	}
+}
+
+// pushdownRel applies one input's pushed-down conjuncts. Conjunct errors
+// defer (passConds); the span records surviving rows, like the vectorized
+// executor's pushdown filter.
+func (ex *executor) pushdownRel(r *rel, conjuncts []sqlparser.Expr, idx int, prefix string) (*rel, error) {
+	if len(conjuncts) == 0 {
+		return r, nil
+	}
+	conds := ex.compileConds(conjuncts, &scope{meta: r.meta})
+	var span *trace.Span
+	if ex.traceOn(prefix) {
+		span = ex.tracer.Span(trace.PushFilterID(prefix, idx), trace.KindFilter)
+	}
+	t0 := time.Now()
+	keep := make([][]Scalar, 0, len(r.rows))
+	for _, row := range r.rows {
+		ok, err := passConds(conds, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			keep = append(keep, row)
+		}
+	}
+	if span != nil {
+		span.Merge(trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(len(keep))})
+	}
+	return &rel{meta: r.meta, rows: keep}, nil
+}
+
+// buildJoinRel materializes an explicit JOIN tree whose ON condition the
+// plan already classified. The operands carry no operator ids of their own
+// (idx -1): the whole tree is traced as one input operator.
+func (ex *executor) buildJoinRel(j *plan.Join) (*rel, error) {
+	left, err := ex.inputRel(j.Left, -1, noTracePrefix)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.inputRel(j.Right, -1, noTracePrefix)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case "CROSS":
+		return ex.crossJoinRel(left, right)
+	case "INNER":
+		if len(j.LeftKeys) == 0 {
+			// Arbitrary join condition: cartesian product plus a filter over
+			// every conjunct.
+			ex.stats.LoopJoins++
+			joined, err := ex.crossJoinRel(left, right)
+			if err != nil {
+				return nil, err
+			}
+			return ex.applyFilterRel(joined, j.AllConds)
+		}
+		joined, err := ex.hashJoinRel(left, right, j.LeftKeys, j.RightKeys)
+		if err != nil {
+			return nil, err
+		}
+		if len(j.Residual) > 0 {
+			return ex.applyFilterRel(joined, j.Residual)
+		}
+		return joined, nil
+	case "LEFT":
+		return ex.leftJoinRel(left, right, j.LeftKeys, j.RightKeys, j.Residual)
+	default:
+		return nil, fmt.Errorf("%w: %s join", ErrUnsupported, j.Kind)
+	}
+}
+
+// applyFilterRel filters a materialized relation conjunct by conjunct with
+// two-valued truth. Unlike the streamed passConds path, the conjuncts here
+// ARE evaluated over empty relations (the vectorized executor's
+// materialized filters behave the same), so compile errors surface —
+// deferred — regardless of row count; conjuncts after one that empties the
+// relation are not reached.
+func (ex *executor) applyFilterRel(r *rel, conjuncts []sqlparser.Expr) (*rel, error) {
+	rows := r.rows
+	sc := &scope{meta: r.meta}
+	for _, e := range conjuncts {
+		fn, err := ex.compile(e, sc)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		keep := make([][]Scalar, 0, len(rows))
+		for _, row := range rows {
+			v, err := fn(row)
+			if err != nil {
+				return nil, deferToFallback(err)
+			}
+			if !v.IsNull() && v.Truthy() {
+				keep = append(keep, row)
+			}
+		}
+		rows = keep
+		if len(rows) == 0 {
+			break
+		}
+	}
+	return &rel{meta: r.meta, rows: rows}, nil
+}
+
+// evalKeyCols evaluates join-key expressions column at a time over a
+// relation. Key errors are plain: the vectorized executor evaluates its
+// key vectors outside any deferring context.
+func (ex *executor) evalKeyCols(r *rel, keys []sqlparser.Expr) ([][]Scalar, error) {
+	sc := &scope{meta: r.meta}
+	out := make([][]Scalar, len(keys))
+	for ki, k := range keys {
+		fn, err := ex.compile(k, sc)
+		if err != nil {
+			return nil, err
+		}
+		col := make([]Scalar, len(r.rows))
+		for i, row := range r.rows {
+			if col[i], err = fn(row); err != nil {
+				return nil, err
+			}
+		}
+		out[ki] = col
+	}
+	return out, nil
+}
+
+// nullKeyAt reports whether any key column is NULL at row i.
+func nullKeyAt(cols [][]Scalar, i int) bool {
+	for _, c := range cols {
+		if c[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeKeyAt appends row i's composite key: one scalar encoding per
+// column, each '|'-terminated — byte-identical to the vectorized
+// executor's row-key encoding, so grouping and join bucketing agree.
+func encodeKeyAt(buf []byte, cols [][]Scalar, i int) []byte {
+	for _, c := range cols {
+		buf = vexec.AppendScalarKey(buf, c[i])
+		buf = append(buf, '|')
+	}
+	return buf
+}
+
+// joinLists is a bucketed linked-list index: head/tail per group id, next
+// per row, preserving insertion order within each group.
+type joinLists struct {
+	head []int32
+	tail []int32
+	next []int32
+}
+
+func newJoinLists(nRows int) joinLists {
+	return joinLists{next: make([]int32, nRows)}
+}
+
+// insert appends row i to group g, growing the group arrays as needed.
+func (jl *joinLists) insert(g int, i int32) {
+	for g >= len(jl.head) {
+		jl.head = append(jl.head, -1)
+		jl.tail = append(jl.tail, -1)
+	}
+	if jl.head[g] < 0 {
+		jl.head[g] = i
+	} else {
+		jl.next[jl.tail[g]] = i
+	}
+	jl.tail[g] = i
+	jl.next[i] = -1
+}
+
+// hashJoinRel is the inner equi-join breaker: build on the smaller side,
+// probe in the larger side's order, NULL keys match nothing on either
+// side. Matches per probe row come in build insertion order — the same
+// order the vectorized executor and the interpreters emit.
+func (ex *executor) hashJoinRel(left, right *rel, leftKeys, rightKeys []sqlparser.Expr) (*rel, error) {
+	ex.stats.HashJoins++
+	build, probe := right, left
+	bk, pk := rightKeys, leftKeys
+	swapped := false
+	if len(left.rows) < len(right.rows) {
+		build, probe = left, right
+		bk, pk = leftKeys, rightKeys
+		swapped = true
+	}
+	bCols, err := ex.evalKeyCols(build, bk)
+	if err != nil {
+		return nil, err
+	}
+	pCols, err := ex.evalKeyCols(probe, pk)
+	if err != nil {
+		return nil, err
+	}
+
+	groups := map[string]int32{}
+	jl := newJoinLists(len(build.rows))
+	var buildRows int64
+	var buf []byte
+	for i := range build.rows {
+		if nullKeyAt(bCols, i) {
+			continue
+		}
+		buildRows++
+		buf = encodeKeyAt(buf[:0], bCols, i)
+		g, ok := groups[string(buf)]
+		if !ok {
+			g = int32(len(groups))
+			groups[string(buf)] = g
+		}
+		jl.insert(int(g), int32(i))
+	}
+
+	var probeIdx, buildIdx []int32
+	var probeRows int64
+	for i := range probe.rows {
+		if nullKeyAt(pCols, i) {
+			continue
+		}
+		probeRows++
+		buf = encodeKeyAt(buf[:0], pCols, i)
+		g, ok := groups[string(buf)]
+		if !ok {
+			continue
+		}
+		for r := jl.head[g]; r >= 0; r = jl.next[r] {
+			probeIdx = append(probeIdx, int32(i))
+			buildIdx = append(buildIdx, r)
+			if len(probeIdx) > ex.opts.MaxJoinRows {
+				return nil, fmt.Errorf("join result exceeds %d rows", ex.opts.MaxJoinRows)
+			}
+		}
+	}
+	ex.stats.JoinBuildRows += buildRows
+	ex.stats.JoinProbeRows += probeRows
+	if err := ex.checkDeadline(); err != nil {
+		return nil, err
+	}
+
+	leftIdx, rightIdx := probeIdx, buildIdx
+	if swapped {
+		leftIdx, rightIdx = buildIdx, probeIdx
+	}
+	out := &rel{meta: concatMeta(left.meta, right.meta), rows: make([][]Scalar, len(leftIdx))}
+	for k := range leftIdx {
+		out.rows[k] = concatRow(left.rows[leftIdx[k]], right.rows[rightIdx[k]])
+	}
+	return out, nil
+}
+
+// crossJoinRel is the cartesian breaker, guarded against blowups.
+func (ex *executor) crossJoinRel(left, right *rel) (*rel, error) {
+	ex.stats.LoopJoins++
+	nl, nr := len(left.rows), len(right.rows)
+	if nl > 0 && nr > 0 && nl > ex.opts.MaxJoinRows/nr {
+		return nil, fmt.Errorf("cross product of %d x %d rows exceeds the %d row limit", nl, nr, ex.opts.MaxJoinRows)
+	}
+	rows := make([][]Scalar, 0, nl*nr)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			rows = append(rows, concatRow(left.rows[i], right.rows[j]))
+		}
+	}
+	return &rel{meta: concatMeta(left.meta, right.meta), rows: rows}, nil
+}
+
+// leftJoinRel preserves every left row: matched rows pair with their
+// candidates (bucket insertion order), unmatched rows null-extend the right
+// side. Residual ON conjuncts filter candidate pairs with two-valued
+// truth, their errors deferring — the vectorized executor evaluates them
+// over a conditional pair batch the interpreters' row loop may never
+// build.
+func (ex *executor) leftJoinRel(left, right *rel, leftKeys, rightKeys []sqlparser.Expr, residual []sqlparser.Expr) (*rel, error) {
+	nl, nr := len(left.rows), len(right.rows)
+	var rCols, lCols [][]Scalar
+	var err error
+	if len(rightKeys) > 0 {
+		if rCols, err = ex.evalKeyCols(right, rightKeys); err != nil {
+			return nil, err
+		}
+		if lCols, err = ex.evalKeyCols(left, leftKeys); err != nil {
+			return nil, err
+		}
+	}
+
+	// Build buckets over the right side; keyless LEFT JOIN uses one bucket.
+	buckets := map[string][]int32{}
+	var buildRows int64
+	var buf []byte
+	for i := 0; i < nr; i++ {
+		key := ""
+		if rCols != nil {
+			if nullKeyAt(rCols, i) {
+				continue
+			}
+			buf = encodeKeyAt(buf[:0], rCols, i)
+			key = string(buf)
+		}
+		buildRows++
+		buckets[key] = append(buckets[key], int32(i))
+	}
+	ex.stats.HashJoins++
+	ex.stats.JoinBuildRows += buildRows
+	ex.stats.JoinProbeRows += int64(nl)
+
+	// Collect every left row's candidate pairs.
+	var candL, candR []int32
+	off := make([]int32, nl+1)
+	for i := 0; i < nl; i++ {
+		keyNull := false
+		key := ""
+		if lCols != nil {
+			if nullKeyAt(lCols, i) {
+				keyNull = true
+			} else {
+				buf = encodeKeyAt(buf[:0], lCols, i)
+				key = string(buf)
+			}
+		}
+		if !keyNull {
+			for _, ri := range buckets[key] {
+				candL = append(candL, int32(i))
+				candR = append(candR, ri)
+			}
+		}
+		off[i+1] = int32(len(candL))
+	}
+
+	pass := make([]bool, len(candL))
+	for i := range pass {
+		pass[i] = true
+	}
+	if len(residual) > 0 && len(candL) > 0 {
+		sc := &scope{meta: concatMeta(left.meta, right.meta)}
+		for _, e := range residual {
+			fn, err := ex.compile(e, sc)
+			if err != nil {
+				return nil, deferToFallback(err)
+			}
+			// Every conjunct evaluates over every candidate pair (the
+			// vectorized executor computes whole pair vectors), not just the
+			// still-passing ones.
+			for k := range pass {
+				v, err := fn(concatRow(left.rows[candL[k]], right.rows[candR[k]]))
+				if err != nil {
+					return nil, deferToFallback(err)
+				}
+				if pass[k] && (v.IsNull() || !v.Truthy()) {
+					pass[k] = false
+				}
+			}
+		}
+	}
+
+	out := &rel{meta: concatMeta(left.meta, right.meta)}
+	nullRight := make([]Scalar, len(right.meta))
+	for i := 0; i < nl; i++ {
+		matched := false
+		for k := off[i]; k < off[i+1]; k++ {
+			if pass[k] {
+				out.rows = append(out.rows, concatRow(left.rows[i], right.rows[candR[k]]))
+				matched = true
+			}
+		}
+		if !matched {
+			out.rows = append(out.rows, concatRow(left.rows[i], nullRight))
+		}
+	}
+	return out, nil
+}
+
+func concatMeta(a, b []colMeta) []colMeta {
+	out := make([]colMeta, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func concatRow(a, b []Scalar) []Scalar {
+	out := make([]Scalar, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

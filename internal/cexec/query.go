@@ -1,0 +1,614 @@
+package cexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
+	"sqalpel/internal/vexec"
+)
+
+// This file finishes a pipeline: projection, hash aggregation (folded
+// directly inside the push loop's consumer — the aggregation IS the
+// pipeline's terminal closure), HAVING, and the shared DISTINCT / ORDER BY
+// / LIMIT epilogue. Resolution rules, evaluation order and error
+// surfacing mirror the vectorized executor's.
+
+// projItem is one resolved projection element.
+type projItem struct {
+	name string
+	expr sqlparser.Expr
+	star bool
+}
+
+// expandProjection resolves the projection list against the input schema.
+func expandProjection(stmt *sqlparser.SelectStatement, meta []colMeta) ([]projItem, []int) {
+	var items []projItem
+	var starCols []int
+	for _, p := range stmt.Projection {
+		if p.Star {
+			items = append(items, projItem{star: true})
+			for ci, m := range meta {
+				if p.Qualifier == "" || strings.EqualFold(p.Qualifier, m.table) {
+					starCols = append(starCols, ci)
+				}
+			}
+			continue
+		}
+		name := p.Alias
+		if name == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = strings.ToLower(p.Expr.SQL())
+			}
+		}
+		items = append(items, projItem{name: strings.ToLower(name), expr: p.Expr})
+	}
+	return items, starCols
+}
+
+// runRows executes a non-grouped query: drain the pipeline into rows,
+// project column at a time, then run the shared epilogue. The pipeline is
+// drained BEFORE the projection closures run — filter errors (which defer
+// to the interpreter) must surface before projection errors (which are the
+// query's own), exactly as in the vectorized executor, where the streaming
+// filters run during materialization.
+func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe *pipeline, prefix string) (*Result, error) {
+	var src [][]Scalar
+	if err := pipe.run(func(row []Scalar) error {
+		src = append(src, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	n := len(src)
+	items, starCols := expandProjection(stmt, pipe.meta)
+	sc := &scope{meta: pipe.meta}
+
+	var tm trace.Timer
+	if ex.traceOn(prefix) {
+		tm = ex.tracer.Span(trace.ProjectID(prefix), trace.KindProject).Start()
+	}
+	var cols [][]Scalar
+	var names []string
+	for _, ci := range starCols {
+		col := make([]Scalar, n)
+		for r := 0; r < n; r++ {
+			col[r] = src[r][ci]
+		}
+		cols = append(cols, col)
+		names = append(names, pipe.meta[ci].name)
+	}
+	for _, it := range items {
+		if it.star {
+			continue
+		}
+		col, err := ex.projectCol(it.expr, sc, src)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		names = append(names, it.name)
+	}
+	tm.Done(int64(n))
+	sortKeys, err := ex.orderKeys(stmt, items, cols, sc, src)
+	if err != nil {
+		return nil, err
+	}
+	return ex.epilogue(stmt, names, cols, sortKeys, n, prefix)
+}
+
+// projectCol compiles one expression and evaluates it over all rows.
+// Errors are plain: projection is an unconditional context.
+func (ex *executor) projectCol(e sqlparser.Expr, sc *scope, src [][]Scalar) ([]Scalar, error) {
+	fn, err := ex.compile(e, sc)
+	if err != nil {
+		return nil, err
+	}
+	col := make([]Scalar, len(src))
+	for r, row := range src {
+		if col[r], err = fn(row); err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}
+
+// aggSpec is one distinct aggregate call of the statement.
+type aggSpec struct {
+	call *sqlparser.FuncCall
+	key  string
+}
+
+// collectAggregates gathers the distinct aggregate calls of the statement's
+// projection, HAVING and ORDER BY.
+func collectAggregates(stmt *sqlparser.SelectStatement) ([]aggSpec, error) {
+	var specs []aggSpec
+	seen := map[string]bool{}
+	walk := func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncCall); ok && f.IsAggregate() {
+				key := f.SQL()
+				if !seen[key] {
+					seen[key] = true
+					specs = append(specs, aggSpec{call: f, key: key})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, p := range stmt.Projection {
+		walk(p.Expr)
+	}
+	walk(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		walk(o.Expr)
+	}
+	for _, s := range specs {
+		name := strings.ToLower(s.call.Name)
+		if s.call.Star && name != "count" {
+			return nil, fmt.Errorf("%s(*) is not valid", name)
+		}
+		if !s.call.Star && len(s.call.Args) != 1 {
+			return nil, fmt.Errorf("aggregate %s expects exactly 1 argument", name)
+		}
+	}
+	return specs, nil
+}
+
+// collectCarriedRefs gathers the column references of projection, HAVING and
+// ORDER BY that sit outside aggregate arguments; their first-row values per
+// group reproduce the interpreter's "plain columns resolve against the first
+// row of the group" behaviour. ORDER BY items that resolve as projection
+// aliases sort by the output column instead and are not carried.
+func collectCarriedRefs(stmt *sqlparser.SelectStatement) []*sqlparser.ColumnRef {
+	var refs []*sqlparser.ColumnRef
+	seen := map[string]bool{}
+	walk := func(e sqlparser.Expr) {
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncCall); ok && f.IsAggregate() {
+				return false
+			}
+			if c, ok := x.(*sqlparser.ColumnRef); ok {
+				key := refKey(c.Table, c.Column)
+				if !seen[key] {
+					seen[key] = true
+					refs = append(refs, c)
+				}
+			}
+			return true
+		})
+	}
+	itemNames := map[string]bool{}
+	for _, p := range stmt.Projection {
+		if p.Star {
+			continue
+		}
+		name := p.Alias
+		if name == "" {
+			if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = p.Expr.SQL()
+			}
+		}
+		itemNames[strings.ToLower(name)] = true
+	}
+	for _, p := range stmt.Projection {
+		walk(p.Expr)
+	}
+	walk(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" && itemNames[strings.ToLower(cr.Column)] {
+			continue
+		}
+		walk(o.Expr)
+	}
+	return refs
+}
+
+// groupState is the running state of one group.
+type groupState struct {
+	rows   int64
+	accs   []*vexec.AggAccum
+	firsts []Scalar
+}
+
+func newGroupState(specs []aggSpec, carried []*sqlparser.ColumnRef) *groupState {
+	st := &groupState{accs: make([]*vexec.AggAccum, len(specs)), firsts: make([]Scalar, len(carried))}
+	for i := range st.accs {
+		st.accs[i] = vexec.NewAggAccum(specs[i].call.Distinct)
+	}
+	return st
+}
+
+// runGrouped executes a grouped query: the pipeline's consumer folds every
+// row straight into its group's accumulators (no materialized input), then
+// HAVING filters the groups, the groups project, and the shared epilogue
+// finishes. Group rows are laid out [aggregates..., carried firsts...]
+// with the scope mapping canonical aggregate SQL and reference keys to
+// slots.
+func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe *pipeline, prefix string) (*Result, error) {
+	var atm trace.Timer
+	if ex.traceOn(prefix) {
+		atm = ex.tracer.Span(trace.AggID(prefix), trace.KindAgg).Start()
+	}
+	specs, err := collectAggregates(stmt)
+	if err != nil {
+		return nil, err
+	}
+	carried := collectCarriedRefs(stmt)
+
+	// The grouping keys, aggregate arguments and carried references compile
+	// against the pipeline's row scope; their compile errors are plain but
+	// LAZY — the vectorized executor only evaluates these expressions over
+	// non-empty batches, so an empty pipeline must not surface them.
+	rowSc := &scope{meta: pipe.meta}
+	keyFns := make([]rowFn, len(stmt.GroupBy))
+	var inErr error
+	for i, g := range stmt.GroupBy {
+		if keyFns[i], inErr = ex.compile(g, rowSc); inErr != nil {
+			break
+		}
+	}
+	argFns := make([]rowFn, len(specs))
+	if inErr == nil {
+		for i, s := range specs {
+			if s.call.Star {
+				continue
+			}
+			if argFns[i], inErr = ex.compile(s.call.Args[0], rowSc); inErr != nil {
+				break
+			}
+		}
+	}
+	refFns := make([]rowFn, len(carried))
+	if inErr == nil {
+		for i, r := range carried {
+			if refFns[i], inErr = ex.compileColumn(r, rowSc); inErr != nil {
+				break
+			}
+		}
+	}
+
+	groups := map[string]int32{}
+	var order []*groupState
+	if len(stmt.GroupBy) == 0 {
+		// Aggregates without GROUP BY form one global group even over an
+		// empty input.
+		order = append(order, newGroupState(specs, carried))
+	}
+	var buf []byte
+	keyVals := make([]Scalar, len(keyFns))
+	refVals := make([]Scalar, len(refFns))
+	err = pipe.run(func(row []Scalar) error {
+		if inErr != nil {
+			return inErr
+		}
+		ex.stats.AggRows++
+		for i, fn := range keyFns {
+			var err error
+			if keyVals[i], err = fn(row); err != nil {
+				return err
+			}
+		}
+		argVals := make([]Scalar, len(argFns))
+		for i, fn := range argFns {
+			if fn == nil {
+				continue
+			}
+			var err error
+			if argVals[i], err = fn(row); err != nil {
+				return err
+			}
+		}
+		for i, fn := range refFns {
+			var err error
+			if refVals[i], err = fn(row); err != nil {
+				return err
+			}
+		}
+		var st *groupState
+		if len(stmt.GroupBy) == 0 {
+			st = order[0]
+		} else {
+			buf = buf[:0]
+			for _, kv := range keyVals {
+				buf = vexec.AppendScalarKey(buf, kv)
+				buf = append(buf, '|')
+			}
+			g, ok := groups[string(buf)]
+			if !ok {
+				g = int32(len(order))
+				groups[string(buf)] = g
+				st = newGroupState(specs, carried)
+				copy(st.firsts, refVals)
+				order = append(order, st)
+			} else {
+				st = order[g]
+			}
+		}
+		if len(stmt.GroupBy) == 0 && st.rows == 0 {
+			copy(st.firsts, refVals)
+		}
+		st.rows++
+		for ai := range specs {
+			if specs[ai].call.Star {
+				continue
+			}
+			st.accs[ai].Fold(argVals[ai], specs[ai].call.Distinct)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex.stats.Groups += int64(len(order))
+
+	gRows, gsc, err := buildAggRows(specs, carried, order)
+	if err != nil {
+		return nil, err
+	}
+	atm.Done(int64(len(gRows)))
+	n := len(gRows)
+
+	if stmt.Having != nil {
+		fn, err := ex.compile(stmt.Having, gsc)
+		if err != nil {
+			return nil, err
+		}
+		keep := make([][]Scalar, 0, n)
+		for _, gr := range gRows {
+			v, err := fn(gr)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && v.Truthy() {
+				keep = append(keep, gr)
+			}
+		}
+		gRows = keep
+		n = len(keep)
+	}
+
+	items, _ := expandProjection(stmt, nil)
+	for _, it := range items {
+		if it.star {
+			return nil, fmt.Errorf("SELECT * is not supported with GROUP BY or aggregates")
+		}
+	}
+	var tm trace.Timer
+	if ex.traceOn(prefix) {
+		tm = ex.tracer.Span(trace.ProjectID(prefix), trace.KindProject).Start()
+	}
+	var cols [][]Scalar
+	var names []string
+	for _, it := range items {
+		col, err := ex.projectCol(it.expr, gsc, gRows)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		names = append(names, it.name)
+	}
+	tm.Done(int64(n))
+	sortKeys, err := ex.orderKeys(stmt, items, cols, gsc, gRows)
+	if err != nil {
+		return nil, err
+	}
+	return ex.epilogue(stmt, names, cols, sortKeys, n, prefix)
+}
+
+// buildAggRows finalizes the groups into rows of [aggregates..., carried
+// firsts...] plus the scope that resolves against that layout.
+func buildAggRows(specs []aggSpec, carried []*sqlparser.ColumnRef, order []*groupState) ([][]Scalar, *scope, error) {
+	rows := make([][]Scalar, len(order))
+	for gi, st := range order {
+		row := make([]Scalar, len(specs)+len(carried))
+		for ai, s := range specs {
+			val, err := st.accs[ai].Finalize(strings.ToLower(s.call.Name), s.call.Star, st.rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[ai] = val
+		}
+		copy(row[len(specs):], st.firsts)
+		rows[gi] = row
+	}
+	sc := &scope{aggs: map[string]int{}, refs: map[string]int{}}
+	for ai, s := range specs {
+		sc.aggs[s.key] = ai
+	}
+	for ri, r := range carried {
+		sc.refs[refKey(r.Table, r.Column)] = len(specs) + ri
+	}
+	return rows, sc, nil
+}
+
+// orderKeys evaluates the ORDER BY expressions: a bare reference naming a
+// projection alias sorts by that output column, a numeric literal in range
+// sorts by ordinal, everything else is evaluated in the current context.
+func (ex *executor) orderKeys(stmt *sqlparser.SelectStatement, items []projItem, cols [][]Scalar, sc *scope, src [][]Scalar) ([][]Scalar, error) {
+	if len(stmt.OrderBy) == 0 {
+		return nil, nil
+	}
+	// Map projection item index to output column index (stars expand ahead
+	// of the computed columns).
+	itemCol := make([]int, len(items))
+	base := 0
+	for _, it := range items {
+		if it.star {
+			base = -1 // star present: computed columns start after the star block
+		}
+	}
+	if base == 0 {
+		for i := range items {
+			itemCol[i] = i
+		}
+	} else {
+		starWidth := len(cols)
+		nonStar := 0
+		for _, it := range items {
+			if !it.star {
+				nonStar++
+			}
+		}
+		starWidth -= nonStar
+		next := starWidth
+		for i, it := range items {
+			if it.star {
+				itemCol[i] = -1
+				continue
+			}
+			itemCol[i] = next
+			next++
+		}
+	}
+
+	keys := make([][]Scalar, len(stmt.OrderBy))
+	for oi, ob := range stmt.OrderBy {
+		if cr, ok := ob.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			matched := false
+			for ii, it := range items {
+				if !it.star && it.name == strings.ToLower(cr.Column) {
+					keys[oi] = cols[itemCol[ii]]
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+		}
+		if num, ok := ob.Expr.(*sqlparser.NumberLit); ok {
+			if ns, err := vexec.ParseNumber(num.Value); err == nil {
+				if idx := int(ns.Int()) - 1; idx >= 0 && idx < len(cols) {
+					keys[oi] = cols[idx]
+					continue
+				}
+			}
+		}
+		col, err := ex.projectCol(ob.Expr, sc, src)
+		if err != nil {
+			return nil, err
+		}
+		keys[oi] = col
+	}
+	return keys, nil
+}
+
+// epilogue applies DISTINCT, ORDER BY and LIMIT/OFFSET to the projected
+// columns and finishes the result.
+func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, cols [][]Scalar, sortKeys [][]Scalar, n int, prefix string) (*Result, error) {
+	if stmt.Distinct {
+		var tm trace.Timer
+		if ex.traceOn(prefix) {
+			tm = ex.tracer.Span(trace.DistinctID(prefix), trace.KindDistinct).Start()
+		}
+		seen := make(map[string]struct{}, min(n, 4096))
+		var keep []int
+		var buf []byte
+		for i := 0; i < n; i++ {
+			buf = encodeKeyAt(buf[:0], cols, i)
+			if _, dup := seen[string(buf)]; !dup {
+				seen[string(buf)] = struct{}{}
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) < n {
+			cols = gatherCols(cols, keep)
+			sortKeys = gatherCols(sortKeys, keep)
+			n = len(keep)
+		}
+		tm.Done(int64(n))
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		var tm trace.Timer
+		if ex.traceOn(prefix) {
+			tm = ex.tracer.Span(trace.SortID(prefix), trace.KindSort).Start()
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		descs := make([]bool, len(stmt.OrderBy))
+		for i := range stmt.OrderBy {
+			descs[i] = stmt.OrderBy[i].Desc
+		}
+		// CompareScalars places NULL below everything and compares numerics
+		// in the float domain — the interpreters' sort order.
+		sort.SliceStable(idx, func(a, b int) bool {
+			ra, rb := idx[a], idx[b]
+			for i, key := range sortKeys {
+				c := vexec.CompareScalars(key[ra], key[rb])
+				if c == 0 {
+					continue
+				}
+				if descs[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := false
+		for i := range idx {
+			if idx[i] != i {
+				sorted = true
+				break
+			}
+		}
+		if sorted {
+			cols = gatherCols(cols, idx)
+		}
+		tm.Done(int64(n))
+	}
+
+	if stmt.Limit != nil || stmt.Offset != nil {
+		var tm trace.Timer
+		if ex.traceOn(prefix) {
+			tm = ex.tracer.Span(trace.LimitID(prefix), trace.KindLimit).Start()
+		}
+		start := 0
+		if stmt.Offset != nil {
+			start = int(*stmt.Offset)
+		}
+		end := n
+		if stmt.Limit != nil && start+int(*stmt.Limit) < end {
+			end = start + int(*stmt.Limit)
+		}
+		if start > n {
+			start = n
+		}
+		keep := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			keep = append(keep, i)
+		}
+		cols = gatherCols(cols, keep)
+		n = len(keep)
+		tm.Done(int64(n))
+	}
+
+	ex.stats.RowsReturned += int64(n)
+	return &Result{Columns: names, Cols: cols}, nil
+}
+
+func gatherCols(cols [][]Scalar, rows []int) [][]Scalar {
+	if cols == nil {
+		return nil
+	}
+	out := make([][]Scalar, len(cols))
+	for ci, col := range cols {
+		g := make([]Scalar, len(rows))
+		for i, r := range rows {
+			g[i] = col[r]
+		}
+		out[ci] = g
+	}
+	return out
+}

@@ -11,7 +11,7 @@ import (
 
 // TestPlanCacheUnderSchedulerParallelism drives the shared plan cache the
 // way production does: a sched.Scheduler worker pool fanning measurement
-// cells — the same queries across all five registry engines — out
+// cells — the same queries across all six registry engines — out
 // concurrently. Run under -race in CI, it is the scheduler-level half of
 // the plan-cache concurrency satellite. Every cell must measure cleanly and
 // the shared cache must have been exercised.
@@ -21,8 +21,8 @@ func TestPlanCacheUnderSchedulerParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	keys := p.AddRegistryTargets(smallTPCH)
-	if len(keys) != 5 {
-		t.Fatalf("registry targets = %d, want 5", len(keys))
+	if len(keys) != 6 {
+		t.Fatalf("registry targets = %d, want 6", len(keys))
 	}
 
 	queries := []string{}
@@ -57,7 +57,7 @@ func TestPlanCacheUnderSchedulerParallelism(t *testing.T) {
 	if misses == 0 {
 		t.Error("plan cache reported zero misses for a cold start")
 	}
-	// 4 queries × 5 engines × (2 runs + plan lookups) — everything past the
+	// 4 queries × 6 engines × (2 runs + plan lookups) — everything past the
 	// first lookup per query must hit the shared cache.
 	if hits == 0 {
 		t.Error("scheduler parallelism never hit the shared plan cache")

@@ -224,7 +224,7 @@ func NewColEngineWithOptions(opts ColEngineOptions) Engine {
 // Registry maps engine keys ("name-version") to constructed engines, the way
 // the platform's DBMS catalog refers to them. All engines registered in one
 // registry share one plan cache: a measurement cell that runs the same query
-// on five engines pays the front-end analysis once.
+// on six engines pays the front-end analysis once.
 type Registry struct {
 	engines map[string]Engine
 	order   []string
@@ -232,9 +232,9 @@ type Registry struct {
 }
 
 // NewRegistry returns a registry pre-populated with the built-in engines:
-// the three execution paradigms (tuple-at-a-time, column-at-a-time,
-// batch-vectorized), the latter two in two releases each, all sharing one
-// plan cache.
+// the four execution paradigms (tuple-at-a-time, column-at-a-time,
+// batch-vectorized, data-centric compiled), the middle two in two releases
+// each, all sharing one plan cache.
 func NewRegistry() *Registry {
 	r := &Registry{engines: map[string]Engine{}, plans: plan.NewCache(0)}
 	r.Register(NewRowEngine())
@@ -242,6 +242,7 @@ func NewRegistry() *Registry {
 	r.Register(NewColEngineWithOptions(ColEngineOptions{Version: "2.0", DisableGuardCasts: true}))
 	r.Register(NewVektorEngine())
 	r.Register(NewVektorEngineWithOptions(VektorOptions{Version: "2.0", BatchSize: 4096}))
+	r.Register(NewFusilEngine())
 	return r
 }
 
@@ -281,6 +282,60 @@ func (r *Registry) ExplainJSON(db *Database, sql string) ([]byte, error) {
 		return nil, err
 	}
 	return doc.JSON()
+}
+
+// EngineRoute is one engine's execution route for a statement: the
+// paradigm that will actually run it and, for the verdict-routed engines
+// (vectorized, compiled) that fall back, the plan's reason.
+type EngineRoute struct {
+	Engine   string // registry key
+	Paradigm string // the paradigm that will execute the statement
+	Fallback bool   // a verdict-routed engine routes to its interpreter
+	Reason   string // the plan's NotVectorizableReason when Fallback
+}
+
+// Routes reports, without executing, how each registered engine would run
+// the statement — from the shared plan's precomputed verdict, the same
+// bit Execute routes on. The interpreters always run natively; the
+// vectorized and compiled engines support exactly the vectorizable subset
+// and fall back to the column interpreter outside it.
+func (r *Registry) Routes(db *Database, sql string) ([]EngineRoute, error) {
+	p, err := planFor(r.plans, db, sql)
+	if err != nil {
+		return nil, err
+	}
+	routes := make([]EngineRoute, 0, len(r.order))
+	for _, key := range r.order {
+		rt := EngineRoute{Engine: key}
+		switch e := r.engines[key].(type) {
+		case *vektorEngine:
+			if p.Vectorizable {
+				rt.Paradigm = "batch-vectorized"
+			} else {
+				rt.Paradigm = "column-at-a-time interpreter (fallback)"
+				rt.Fallback = true
+				rt.Reason = p.NotVectorizableReason
+			}
+		case *fusilEngine:
+			if p.Vectorizable {
+				rt.Paradigm = "data-centric compiled"
+			} else {
+				rt.Paradigm = "column-at-a-time interpreter (fallback)"
+				rt.Fallback = true
+				rt.Reason = p.NotVectorizableReason
+			}
+		case *baseEngine:
+			if e.mode == ModeRow {
+				rt.Paradigm = "tuple-at-a-time interpreter"
+			} else {
+				rt.Paradigm = "column-at-a-time interpreter"
+			}
+		default:
+			rt.Paradigm = "unknown"
+		}
+		routes = append(routes, rt)
+	}
+	return routes, nil
 }
 
 // EngineKey builds the canonical registry key of an engine.

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sqalpel/internal/cexec"
+	"sqalpel/internal/plan"
+	"sqalpel/internal/vexec"
+)
+
+// fusilEngine is the fourth execution paradigm: the data-centric compiled
+// engine of internal/cexec ("fusil"), which fuses each plan pipeline into
+// a chain of Go closures and pushes rows through them with no pull-based
+// batch handoffs. It shares the typed-table import shim with the
+// vectorized adapter (one decode per table data version, served from a
+// per-engine cache) and routes on the same precomputed plan verdict: the
+// compilable subset is exactly the vectorizable subset, so one analysis
+// pass steers both engines. Runtime value shapes outside the typed subset
+// defer to the column interpreter, re-using the plan.
+type fusilEngine struct {
+	name     string
+	version  string
+	dialect  string
+	fallback *baseEngine
+	plans    *plan.Cache
+	typed    *typedCache
+}
+
+// NewFusilEngine returns the compiled engine ("fusil 1.0"): per-query
+// closure compilation, fused scan-filter push loops, materializing only at
+// pipeline breakers.
+func NewFusilEngine() Engine {
+	return &fusilEngine{
+		name:     "fusil",
+		version:  "1.0",
+		dialect:  "fusil",
+		fallback: &baseEngine{name: "fusil", version: "1.0", dialect: "fusil", mode: ModeColumn},
+		plans:    plan.NewCache(0),
+		typed:    newTypedCache(),
+	}
+}
+
+func (e *fusilEngine) Name() string    { return e.name }
+func (e *fusilEngine) Version() string { return e.version }
+func (e *fusilEngine) Dialect() string { return e.dialect }
+
+// SetPlanCache implements PlanCached.
+func (e *fusilEngine) SetPlanCache(c *plan.Cache) { e.plans = c }
+
+// PlanCacheStats implements PlanCached.
+func (e *fusilEngine) PlanCacheStats() (hits, misses uint64) {
+	if e.plans == nil {
+		return 0, 0
+	}
+	return e.plans.Stats()
+}
+
+// Execute resolves the shared logical plan and routes on its verdict:
+// supported statements compile into closure pipelines, everything else
+// goes straight to the column interpreter on the same plan.
+func (e *fusilEngine) Execute(db *Database, sql string, opts ExecOptions) (*Result, error) {
+	p, err := planFor(e.plans, db, sql)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.name, err)
+	}
+	if !p.Vectorizable {
+		return e.fallback.ExecutePlan(db, p, opts)
+	}
+	copts := cexec.Options{MaxJoinRows: opts.MaxJoinRows, Tracer: opts.Tracer}
+	if opts.Timeout > 0 {
+		copts.Deadline = time.Now().Add(opts.Timeout)
+	}
+	res, err := cexec.ExecutePlan(&typedCatalog{cache: e.typed, db: db}, p, copts)
+	if err != nil {
+		if errors.Is(err, cexec.ErrUnsupported) {
+			// Runtime value shapes outside the typed subset defer to the
+			// interpreter, re-using the plan. An aborted compiled attempt may
+			// have recorded partial spans; drop them so the trace reflects
+			// the run that actually produced the result.
+			opts.Tracer.Reset()
+			return e.fallback.ExecutePlan(db, p, opts)
+		}
+		return nil, fmt.Errorf("%s: %w", e.name, err)
+	}
+
+	out := &Result{
+		Columns: res.Columns,
+		Stats: Stats{
+			// No Batches and no FilterPasses: the compiled paradigm has no
+			// batch handoffs and fuses filters into its push loops — the
+			// distinguishing cost signature of the paradigm.
+			RowsScanned:        res.Stats.RowsScanned,
+			HashJoins:          res.Stats.HashJoins,
+			JoinBuildRows:      res.Stats.JoinBuildRows,
+			JoinProbeRows:      res.Stats.JoinProbeRows,
+			LoopJoins:          res.Stats.LoopJoins,
+			Groups:             res.Stats.Groups,
+			AggRows:            res.Stats.AggRows,
+			RowsReturned:       res.Stats.RowsReturned,
+			SubqueryExecutions: res.Stats.SubqueryExecutions,
+		},
+	}
+	n := res.NumRows()
+	out.Rows = make([][]Value, n)
+	for i := 0; i < n; i++ {
+		row := make([]Value, len(res.Cols))
+		for c, col := range res.Cols {
+			kind, iv, fv, sv := col[i].Payload()
+			switch kind {
+			case vexec.KindNull:
+				row[c] = Null()
+			case vexec.KindBool:
+				row[c] = Value{Kind: KindBool, I: iv}
+			case vexec.KindInt:
+				row[c] = NewInt(iv)
+			case vexec.KindFloat:
+				row[c] = NewFloat(fv)
+			case vexec.KindString:
+				row[c] = NewString(sv)
+			case vexec.KindDate:
+				row[c] = NewDate(iv)
+			}
+		}
+		out.Rows[i] = row
+	}
+	return out, nil
+}

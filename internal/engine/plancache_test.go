@@ -91,7 +91,7 @@ func TestPlanCacheEliminatesFrontendWork(t *testing.T) {
 	if misses != 1 {
 		t.Errorf("plan built %d times for one query, want 1", misses)
 	}
-	// 5 engines x 4 repetitions share one plan; all but the first lookup hit.
+	// 6 engines x 4 repetitions share one plan; all but the first lookup hit.
 	if want := uint64(len(reg.Keys())*reps - 1); hits != want {
 		t.Errorf("plan cache hits = %d, want %d", hits, want)
 	}
@@ -175,7 +175,7 @@ func TestPlanCacheInvalidationOnMutation(t *testing.T) {
 }
 
 // TestPlanCacheConcurrentExecutions hammers one shared plan cache from many
-// goroutines across all five engines and a mix of queries; run under
+// goroutines across all six engines and a mix of queries; run under
 // -race in CI, it is the in-process half of the concurrency satellite (the
 // scheduler-level half lives in internal/core).
 func TestPlanCacheConcurrentExecutions(t *testing.T) {

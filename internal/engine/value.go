@@ -2,7 +2,7 @@
 // runs experiments against. It provides a relational storage layer
 // (Database/Table with column-major storage), a query executor covering the
 // SQL dialect of internal/sqlparser (joins, sub-queries, grouping,
-// aggregation, ordering), and three execution back-ends with genuinely
+// aggregation, ordering), and four execution back-ends with genuinely
 // different performance profiles:
 //
 //   - RowEngine: a tuple-at-a-time interpreter that carries full rows,
@@ -16,6 +16,10 @@
 //     on typed unboxed vectors with selection vectors and fixed-size batch
 //     pipelines — the VectorWise-style profile; statements outside its
 //     subset fall back to the column interpreter.
+//   - FusilEngine: a data-centric compiled engine (see internal/cexec) that
+//     fuses each plan pipeline into a chain of Go closures and pushes rows
+//     through with no batch handoffs — the HyPer-style profile; it covers
+//     the same subset as the vectorized engine with the same fallback.
 //
 // The engines stand in for the external DBMSs the paper drives over JDBC:
 // discriminative benchmarking needs systems that accept the same dialect

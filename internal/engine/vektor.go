@@ -27,9 +27,7 @@ type vektorEngine struct {
 	parallelism int
 	fallback    *baseEngine
 	plans       *plan.Cache
-
-	mu    sync.Mutex
-	cache map[*Table]*typedTableEntry
+	typed       *typedCache
 }
 
 // typedTableEntry pins the typed decoding of one table to the data version
@@ -84,7 +82,7 @@ func NewVektorEngineWithOptions(opts VektorOptions) Engine {
 		parallelism: opts.Parallelism,
 		fallback:    &baseEngine{name: "vektor", version: version, dialect: "vektor", mode: ModeColumn},
 		plans:       plan.NewCache(0),
-		cache:       map[*Table]*typedTableEntry{},
+		typed:       newTypedCache(),
 	}
 }
 
@@ -122,7 +120,7 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	if opts.Timeout > 0 {
 		vopts.Deadline = time.Now().Add(opts.Timeout)
 	}
-	res, err := vexec.ExecutePlan(&typedCatalog{eng: e, db: db}, p, vopts)
+	res, err := vexec.ExecutePlan(&typedCatalog{cache: e.typed, db: db}, p, vopts)
 	if err != nil {
 		if errors.Is(err, vexec.ErrUnsupported) {
 			// Runtime value shapes outside the typed subset defer to the
@@ -138,16 +136,17 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	out := &Result{
 		Columns: res.Columns,
 		Stats: Stats{
-			RowsScanned:   res.Stats.RowsScanned,
-			Batches:       res.Stats.Batches,
-			FilterPasses:  res.Stats.FilterPasses,
-			HashJoins:     res.Stats.HashJoins,
-			JoinBuildRows: res.Stats.JoinBuildRows,
-			JoinProbeRows: res.Stats.JoinProbeRows,
-			LoopJoins:     res.Stats.LoopJoins,
-			Groups:        res.Stats.Groups,
-			AggRows:       res.Stats.AggRows,
-			RowsReturned:  res.Stats.RowsReturned,
+			RowsScanned:        res.Stats.RowsScanned,
+			Batches:            res.Stats.Batches,
+			FilterPasses:       res.Stats.FilterPasses,
+			HashJoins:          res.Stats.HashJoins,
+			JoinBuildRows:      res.Stats.JoinBuildRows,
+			JoinProbeRows:      res.Stats.JoinProbeRows,
+			LoopJoins:          res.Stats.LoopJoins,
+			Groups:             res.Stats.Groups,
+			AggRows:            res.Stats.AggRows,
+			RowsReturned:       res.Stats.RowsReturned,
+			SubqueryExecutions: res.Stats.SubqueryExecutions,
 		},
 	}
 	n := res.NumRows()
@@ -176,11 +175,25 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 	return out, nil
 }
 
-// typedCatalog adapts an engine.Database to vexec's catalog, decoding boxed
-// columns into typed vectors through the engine's per-table cache.
+// typedCache holds the typed decodings of boxed tables, shared by every
+// engine consuming the typed columnar form (the vectorized and compiled
+// paradigms each own one instance).
+type typedCache struct {
+	mu    sync.Mutex
+	cache map[*Table]*typedTableEntry
+}
+
+// newTypedCache returns an empty typed-table cache.
+func newTypedCache() *typedCache {
+	return &typedCache{cache: map[*Table]*typedTableEntry{}}
+}
+
+// typedCatalog adapts an engine.Database to the typed-table catalog the
+// vectorized and compiled executors consume, decoding boxed columns into
+// typed vectors through a per-engine cache.
 type typedCatalog struct {
-	eng *vektorEngine
-	db  *Database
+	cache *typedCache
+	db    *Database
 }
 
 // VTable returns the typed form of the named table.
@@ -189,18 +202,18 @@ func (c *typedCatalog) VTable(name string) (*vexec.Table, error) {
 	if t == nil {
 		return nil, fmt.Errorf("unknown table %q", name)
 	}
-	return c.eng.typedTable(c.db, t)
+	return c.cache.typedTable(c.db, t)
 }
 
 // typedTable converts a boxed table into typed vectors, caching the result
 // keyed by the table's data version — the same invalidation hook the plan
 // cache uses — so mutating or reloading a table can never serve stale typed
 // columns.
-func (e *vektorEngine) typedTable(db *Database, t *Table) (*vexec.Table, error) {
+func (tc *typedCache) typedTable(db *Database, t *Table) (*vexec.Table, error) {
 	version := t.Version()
-	e.mu.Lock()
-	entry, ok := e.cache[t]
-	e.mu.Unlock()
+	tc.mu.Lock()
+	entry, ok := tc.cache[t]
+	tc.mu.Unlock()
 	if ok && entry.version == version {
 		return entry.vt, nil
 	}
@@ -213,24 +226,24 @@ func (e *vektorEngine) typedTable(db *Database, t *Table) (*vexec.Table, error) 
 		cols[ci] = vexec.TableColumn{Name: col.Name, Vec: vec}
 	}
 	vt := vexec.NewTable(t.Name, cols...)
-	e.mu.Lock()
+	tc.mu.Lock()
 	// Drop superseded entries so a table reloaded via Database.AddTable (a
 	// fresh *Table under the same name in the same database) cannot pin its
 	// predecessors' typed copies forever; the size cap bounds pathological
 	// churn on top.
-	for old, oe := range e.cache {
+	for old, oe := range tc.cache {
 		if old != t && oe.db == db && strings.EqualFold(old.Name, t.Name) {
-			delete(e.cache, old)
+			delete(tc.cache, old)
 		}
 	}
-	for old := range e.cache {
-		if len(e.cache) < maxTypedTables {
+	for old := range tc.cache {
+		if len(tc.cache) < maxTypedTables {
 			break
 		}
-		delete(e.cache, old)
+		delete(tc.cache, old)
 	}
-	e.cache[t] = &typedTableEntry{version: version, vt: vt, db: db}
-	e.mu.Unlock()
+	tc.cache[t] = &typedTableEntry{version: version, vt: vt, db: db}
+	tc.mu.Unlock()
 	return vt, nil
 }
 

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -8,8 +9,40 @@ import (
 
 	"sqalpel/internal/datagen"
 	"sqalpel/internal/engine"
+	"sqalpel/internal/plan"
 	"sqalpel/internal/workload"
 )
+
+// TestTPCHFullyVectorized is the acceptance gate of the sub-query work:
+// every TPC-H query must carry a vectorizable plan verdict AND run through
+// the native batch pipeline at runtime (a zero batch counter would mean the
+// adapter silently fell back to the interpreter). Failures list every
+// offending query with the plan's reason or the runtime symptom.
+func TestTPCHFullyVectorized(t *testing.T) {
+	vek := engine.NewVektorEngine()
+	opts := engine.ExecOptions{Timeout: 2 * time.Minute}
+	var offenders []string
+	for _, q := range workload.TPCH() {
+		p, err := plan.Build(tpchDB, q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if !p.Vectorizable {
+			offenders = append(offenders, fmt.Sprintf("%s: plan verdict: %s", q.ID, p.NotVectorizableReason))
+			continue
+		}
+		res, err := vek.Execute(tpchDB, q.SQL, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if res.Stats.Batches == 0 {
+			offenders = append(offenders, q.ID+": runtime fell back to the interpreter (zero batches)")
+		}
+	}
+	if len(offenders) > 0 {
+		t.Errorf("queries outside the native vectorized path:\n  %s", strings.Join(offenders, "\n  "))
+	}
+}
 
 // TestTPCHThreeParadigmsAgree is the conformance test of the third
 // execution paradigm: every TPC-H query must produce identical
@@ -99,21 +132,26 @@ func TestVektorNativeAndFallback(t *testing.T) {
 		}
 	}
 
-	// Q2 carries a correlated sub-query: outside the vectorized subset.
+	// Q2 carries a correlated scalar sub-query: decorrelated into a hash
+	// probe, it runs through the native batch pipeline and reports the
+	// sub-query build as an execution.
 	q2, _ := workload.TPCHQuery("Q2")
 	res, err := vek.Execute(tpchDB, q2.SQL, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.Batches != 0 {
-		t.Error("Q2 should fall back to the interpreter (zero batches)")
+	if res.Stats.Batches == 0 {
+		t.Error("Q2 should run through the native batch pipeline")
+	}
+	if res.Stats.SubqueryExecutions == 0 {
+		t.Error("Q2 should count its decorrelated sub-query build")
 	}
 	col, err := engine.NewColEngine().Execute(tpchDB, q2.SQL, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Fingerprint() != col.Fingerprint() {
-		t.Error("fallback result disagrees with columba")
+		t.Error("native sub-query result disagrees with columba")
 	}
 }
 
@@ -229,18 +267,18 @@ func TestVektorParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestRegistryThreeParadigms locks in the engine matrix the discriminative
-// search runs over: at least five engines spanning three paradigm families.
-func TestRegistryThreeParadigms(t *testing.T) {
+// TestRegistryParadigms locks in the engine matrix the discriminative
+// search runs over: at least six engines spanning four paradigm families.
+func TestRegistryParadigms(t *testing.T) {
 	reg := engine.NewRegistry()
-	if len(reg.Keys()) < 5 {
-		t.Fatalf("registry keys = %v, want at least 5", reg.Keys())
+	if len(reg.Keys()) < 6 {
+		t.Fatalf("registry keys = %v, want at least 6", reg.Keys())
 	}
 	families := map[string]bool{}
 	for _, e := range reg.Engines() {
 		families[e.Name()] = true
 	}
-	for _, want := range []string{"tuplestore", "columba", "vektor"} {
+	for _, want := range []string{"tuplestore", "columba", "vektor", "fusil"} {
 		if !families[want] {
 			t.Errorf("registry misses the %s family: %v", want, reg.Keys())
 		}
@@ -250,6 +288,11 @@ func TestRegistryThreeParadigms(t *testing.T) {
 	}
 	if eng := reg.Get("vektor-1.0"); eng != nil && eng.Dialect() != "vektor" {
 		t.Errorf("vektor dialect = %q", eng.Dialect())
+	}
+	if eng := reg.Get(engine.EngineKey("fusil", "1.0")); eng == nil {
+		t.Error("the compiled engine must be registered")
+	} else if eng.Dialect() != "fusil" {
+		t.Errorf("fusil dialect = %q", eng.Dialect())
 	}
 }
 

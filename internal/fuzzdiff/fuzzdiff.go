@@ -3,13 +3,17 @@
 // grammar over NULL-rich tables (datagen.Fuzz) is derived into hundreds of
 // concrete queries with the pool's morphing strategies (seeded and
 // reproducible, exactly like an experiment walk), every query is executed
-// on all registry engines — three paradigms, five engines, one shared plan
+// on all registry engines — four paradigms, six engines, one shared plan
 // layer — and the results are compared bit for bit. Any disagreement is a
 // semantics bug in one of the paradigms: the discriminative search ranks
 // performance *ratios*, so engines that silently disagree on answers would
 // poison findings. The ternary NULL logic contract (internal/sqlsem) is the
 // primary target: the grammar leans heavily on comparisons, LIKE, IN,
-// BETWEEN, CASE and the boolean connectives over nullable columns.
+// BETWEEN, CASE and the boolean connectives over nullable columns, plus
+// sub-query shapes — scalar aggregates, (NOT) EXISTS, NULL-bearing IN
+// sets, and correlated WHERE sub-queries over nullable correlation keys —
+// so the sub-query materialization and decorrelation paths of all four
+// paradigms face the same NULL-rich data.
 package fuzzdiff
 
 import (
@@ -85,6 +89,17 @@ l_pred:
 	a IN (SELECT w FROM dim)
 	g NOT IN (SELECT w FROM dim)
 	g IN (SELECT dk FROM dim WHERE w > 10)
+	a > (SELECT MIN(w) FROM dim)
+	b < (SELECT AVG(w) FROM dim)
+	f >= (SELECT MAX(w) FROM dim WHERE dk < 5)
+	EXISTS (SELECT 1 FROM dim WHERE w > 40)
+	NOT EXISTS (SELECT 1 FROM dim WHERE w > 900)
+	EXISTS (SELECT 1 FROM dim WHERE dk = k)
+	NOT EXISTS (SELECT 1 FROM dim WHERE dk = a)
+	EXISTS (SELECT 1 FROM dim WHERE dk = k AND w > 20)
+	a = (SELECT MAX(w) FROM dim WHERE dk = k)
+	b > (SELECT SUM(w) FROM dim WHERE dk = a)
+	g IN (SELECT w FROM dim WHERE dk = k)
 
 l_proj:
 	NOT (a = 2)
@@ -102,6 +117,7 @@ l_proj:
 	CASE WHEN a > 5 THEN 'hi' WHEN a IS NULL THEN 'nil' ELSE 'lo' END
 	CASE WHEN s LIKE 'a%' THEN NULL ELSE s END
 	COALESCE(a, b, -1)
+	a + (SELECT MIN(w) FROM dim)
 	a + b
 	f * 2
 	b - g

@@ -10,7 +10,7 @@ import (
 
 // TestDifferentialFuzz is the standing correctness oracle: at least 500
 // distinct grammar-derived queries over NULL-rich data, executed on all
-// five registry engines, must agree bit for bit. This is also the CI smoke
+// six registry engines, must agree bit for bit. This is also the CI smoke
 // gate (fixed seed, bounded size).
 func TestDifferentialFuzz(t *testing.T) {
 	rep, err := Run(Options{Seed: 42, Queries: 520})
@@ -66,6 +66,17 @@ func TestGrammarCoversTernaryConstructs(t *testing.T) {
 	for _, want := range []string{"NOT (", "LIKE", "NOT LIKE", "IN (", "NOT IN", "BETWEEN", "NOT BETWEEN", "NULL)", "CASE WHEN", "IS NULL", "IS NOT NULL"} {
 		if !strings.Contains(all, want) {
 			t.Errorf("grammar literals lost construct %q", want)
+		}
+	}
+	// The sub-query shapes: uncorrelated IN/scalar/EXISTS plus correlated
+	// WHERE sub-queries over both non-NULL (k) and nullable (a) keys.
+	for _, want := range []string{
+		"IN (SELECT", "NOT IN (SELECT",
+		"> (SELECT MIN", "EXISTS (SELECT", "NOT EXISTS (SELECT",
+		"WHERE dk = k", "WHERE dk = a",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("grammar literals lost sub-query shape %q", want)
 		}
 	}
 }

@@ -25,6 +25,7 @@ func BuildStmt(cat Catalog, stmt *sqlparser.SelectStatement) (*Plan, error) {
 		p: &Plan{
 			subs:       map[*sqlparser.SelectStatement]*Select{},
 			correlated: map[*sqlparser.SelectStatement]bool{},
+			apply:      map[*sqlparser.SelectStatement]*Apply{},
 		},
 	}
 	root, err := b.buildChain(stmt)
@@ -32,7 +33,7 @@ func BuildStmt(cat Catalog, stmt *sqlparser.SelectStatement) (*Plan, error) {
 		return nil, err
 	}
 	b.p.Root = root
-	b.p.Vectorizable, b.p.NotVectorizableReason = vectorizable(stmt)
+	b.p.Vectorizable, b.p.NotVectorizableReason = b.verdict()
 	return b.p, nil
 }
 
@@ -228,10 +229,14 @@ func (b *builder) buildJoin(j *sqlparser.JoinExpr) (*Join, error) {
 // classifyPushdowns marks conjuncts that resolve entirely within a single
 // FROM input (the vectorized executor evaluates them below the joins; the
 // result set is provably identical). Constant predicates go to input 0.
+// Conjuncts carrying sub-queries contribute the sub-queries' free
+// (correlated) references on top of their own: the probe site must see
+// those columns, so the conjunct may only be pushed to an input that
+// provides them.
 func (b *builder) classifyPushdowns(sp *Select) {
 	for ci := range sp.Conjuncts {
 		c := &sp.Conjuncts[ci]
-		refs := sqlparser.ColumnsIn(c.Expr)
+		refs := b.effectiveRefs(c.Expr)
 		if len(refs) == 0 {
 			c.Class = ClassPushdown
 			c.Input = 0
@@ -239,7 +244,7 @@ func (b *builder) classifyPushdowns(sp *Select) {
 		}
 		target := -1
 		for ii, in := range sp.From {
-			if allRefsResolve(c.Expr, in.Schema) {
+			if refsResolve(refs, in.Schema) {
 				if target >= 0 {
 					target = -2 // resolves in several inputs: leave residual
 					break
@@ -400,6 +405,15 @@ func resolvesIn(c *sqlparser.ColumnRef, meta []ColumnMeta) bool {
 
 func allRefsResolve(e sqlparser.Expr, meta []ColumnMeta) bool {
 	for _, c := range sqlparser.ColumnsIn(e) {
+		if !resolvesIn(c, meta) {
+			return false
+		}
+	}
+	return true
+}
+
+func refsResolve(refs []*sqlparser.ColumnRef, meta []ColumnMeta) bool {
+	for _, c := range refs {
 		if !resolvesIn(c, meta) {
 			return false
 		}
@@ -799,57 +813,373 @@ func (b *builder) analyzeCorrelation(stmt *sqlparser.SelectStatement, inherited 
 	return escaped
 }
 
-// --- vectorizable verdict ----------------------------------------------------
+// effectiveRefs returns a predicate's outer-level column references plus the
+// free (correlated) references of every sub-query it carries — the set of
+// columns that must be in scope wherever the predicate is evaluated.
+func (b *builder) effectiveRefs(e sqlparser.Expr) []*sqlparser.ColumnRef {
+	refs := append([]*sqlparser.ColumnRef(nil), sqlparser.ColumnsIn(e)...)
+	for _, s := range sqlparser.Subqueries(e) {
+		b.collectFreeRefs(s, map[string]bool{}, &refs)
+	}
+	return refs
+}
 
-// vectorizable reports whether the statement is inside the vectorized
-// subset, and the reason when it is not — set operations, derived tables,
-// outer joins and sub-queries route to the interpreter.
-func vectorizable(stmt *sqlparser.SelectStatement) (bool, string) {
-	if stmt.SetNext != nil {
-		return false, "set operations"
+// collectFreeRefs appends the column references of the statement (and its
+// nested sub-queries) that do not resolve against the statement's own FROM
+// scope — the references through which a sub-query is correlated with its
+// enclosing query. The scope construction mirrors analyzeCorrelation; the
+// difference is reporting the escaping references instead of a verdict.
+func (b *builder) collectFreeRefs(stmt *sqlparser.SelectStatement, inherited map[string]bool, out *[]*sqlparser.ColumnRef) {
+	avail := map[string]bool{}
+	for k := range inherited {
+		avail[k] = true
 	}
-	exprs := []sqlparser.Expr{stmt.Where, stmt.Having}
-	for _, p := range stmt.Projection {
-		exprs = append(exprs, p.Expr)
-	}
-	exprs = append(exprs, stmt.GroupBy...)
-	for _, o := range stmt.OrderBy {
-		exprs = append(exprs, o.Expr)
-	}
-	for _, e := range exprs {
-		if e == nil {
-			continue
-		}
-		if len(sqlparser.Subqueries(e)) > 0 {
-			return false, "sub-queries"
-		}
-	}
-	var checkTE func(te sqlparser.TableExpr) string
-	checkTE = func(te sqlparser.TableExpr) string {
+	var addTable func(te sqlparser.TableExpr)
+	addTable = func(te sqlparser.TableExpr) {
 		switch t := te.(type) {
 		case *sqlparser.TableName:
-			return ""
+			alias := t.Alias
+			if alias == "" {
+				alias = t.Name
+			}
+			cols, ok := b.cat.TableColumns(t.Name)
+			if !ok {
+				return
+			}
+			for _, c := range cols {
+				avail[strings.ToLower(c)] = true
+				avail[strings.ToLower(alias)+"."+strings.ToLower(c)] = true
+			}
 		case *sqlparser.DerivedTable:
-			return "derived tables"
+			for _, p := range t.Select.Projection {
+				name := p.Alias
+				if name == "" {
+					if cr, ok := p.Expr.(*sqlparser.ColumnRef); ok {
+						name = cr.Column
+					}
+				}
+				if name != "" {
+					avail[strings.ToLower(name)] = true
+					if t.Alias != "" {
+						avail[strings.ToLower(t.Alias)+"."+strings.ToLower(name)] = true
+					}
+				}
+				if p.Star {
+					for _, te2 := range t.Select.From {
+						addTable(te2)
+					}
+				}
+			}
 		case *sqlparser.JoinExpr:
-			if t.Kind == "LEFT" || t.Kind == "RIGHT" || t.Kind == "FULL" {
-				return t.Kind + " outer joins"
-			}
-			if t.On != nil && len(sqlparser.Subqueries(t.On)) > 0 {
-				return "sub-queries"
-			}
-			if r := checkTE(t.Left); r != "" {
-				return r
-			}
-			return checkTE(t.Right)
-		default:
-			return fmt.Sprintf("table expression %T", te)
+			addTable(t.Left)
+			addTable(t.Right)
 		}
 	}
 	for _, te := range stmt.From {
-		if r := checkTE(te); r != "" {
-			return false, r
+		addTable(te)
+	}
+
+	var checkExpr func(e sqlparser.Expr)
+	checkExpr = func(e sqlparser.Expr) {
+		if e == nil {
+			return
+		}
+		sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+			switch v := x.(type) {
+			case *sqlparser.ColumnRef:
+				key := strings.ToLower(v.Column)
+				if v.Table != "" {
+					key = strings.ToLower(v.Table) + "." + strings.ToLower(v.Column)
+				}
+				if !avail[key] {
+					*out = append(*out, v)
+				}
+			case *sqlparser.SubqueryExpr:
+				b.collectFreeRefs(v.Select, avail, out)
+			case *sqlparser.InExpr:
+				if v.Subquery != nil {
+					b.collectFreeRefs(v.Subquery, avail, out)
+				}
+			case *sqlparser.ExistsExpr:
+				b.collectFreeRefs(v.Subquery, avail, out)
+			}
+			return true
+		})
+	}
+	for _, p := range stmt.Projection {
+		checkExpr(p.Expr)
+	}
+	checkExpr(stmt.Where)
+	for _, g := range stmt.GroupBy {
+		checkExpr(g)
+	}
+	checkExpr(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		checkExpr(o.Expr)
+	}
+	for _, te := range stmt.From {
+		if d, ok := te.(*sqlparser.DerivedTable); ok {
+			b.collectFreeRefs(d.Select, map[string]bool{}, out)
 		}
 	}
+	if stmt.SetNext != nil {
+		b.collectFreeRefs(stmt.SetNext, inherited, out)
+	}
+}
+
+// --- vectorizable verdict ----------------------------------------------------
+
+// verdict computes the plan-level vectorizable/compilable verdict by
+// walking the built plan tree. Unlike the AST-only probe it replaced, it
+// rules on what the vectorized executor can actually run — derived tables,
+// LEFT outer joins and sub-queries included — and records the Apply
+// decorrelation recipe for every correlated sub-query it accepts. The
+// remaining reasons name exactly the shape the decorrelator provably
+// cannot handle.
+func (b *builder) verdict() (bool, string) {
+	if r := b.checkSelect(b.p.Root); r != "" {
+		return false, r
+	}
 	return true, ""
+}
+
+// subSite is one sub-query use site with its consumption shape.
+type subSite struct {
+	stmt  *sqlparser.SelectStatement
+	shape ApplyShape
+}
+
+// subSites lists the direct sub-query use sites of an expression.
+func subSites(e sqlparser.Expr) []subSite {
+	if e == nil {
+		return nil
+	}
+	var sites []subSite
+	sqlparser.WalkExprs(e, func(x sqlparser.Expr) bool {
+		switch v := x.(type) {
+		case *sqlparser.SubqueryExpr:
+			sites = append(sites, subSite{stmt: v.Select, shape: ApplyFirst})
+		case *sqlparser.InExpr:
+			if v.Subquery != nil {
+				sites = append(sites, subSite{stmt: v.Subquery, shape: ApplyIn})
+			}
+		case *sqlparser.ExistsExpr:
+			sites = append(sites, subSite{stmt: v.Subquery, shape: ApplyExists})
+		}
+		return true
+	})
+	return sites
+}
+
+// checkSelect rules on one SELECT core of the plan tree, returning the
+// first not-vectorizable reason or "".
+func (b *builder) checkSelect(sp *Select) string {
+	if sp == nil {
+		return ""
+	}
+	if sp.SetNext != nil {
+		return "set operations"
+	}
+	for _, in := range sp.From {
+		if r := b.checkPlanInput(in); r != "" {
+			return r
+		}
+	}
+	stmt := sp.Stmt
+	// Correlated sub-queries are executable only as decorrelated probes in
+	// the WHERE pipeline, where the outer rows being filtered are in scope;
+	// in grouped or projected positions there is no outer batch to probe
+	// with. Uncorrelated sub-queries run standalone and may appear anywhere.
+	check := func(e sqlparser.Expr, inWhere bool) string {
+		for _, site := range subSites(e) {
+			subPlan := b.p.subs[site.stmt]
+			if subPlan == nil {
+				return "sub-queries"
+			}
+			if b.p.correlated[site.stmt] {
+				if !inWhere {
+					return "correlated sub-queries outside WHERE"
+				}
+				if r := b.computeApply(sp, site); r != "" {
+					return r
+				}
+			}
+			if r := b.checkSelect(subPlan); r != "" {
+				return r
+			}
+		}
+		return ""
+	}
+	for _, p := range stmt.Projection {
+		if r := check(p.Expr, false); r != "" {
+			return r
+		}
+	}
+	if r := check(stmt.Where, true); r != "" {
+		return r
+	}
+	for _, g := range stmt.GroupBy {
+		if r := check(g, false); r != "" {
+			return r
+		}
+	}
+	if r := check(stmt.Having, false); r != "" {
+		return r
+	}
+	for _, o := range stmt.OrderBy {
+		if r := check(o.Expr, false); r != "" {
+			return r
+		}
+	}
+	return ""
+}
+
+func (b *builder) checkPlanInput(in *Input) string {
+	switch {
+	case in.Derived != nil:
+		return b.checkSelect(in.Derived)
+	case in.Join != nil:
+		return b.checkPlanJoin(in.Join)
+	}
+	return ""
+}
+
+func (b *builder) checkPlanJoin(j *Join) string {
+	if j.Kind != "CROSS" && j.Kind != "INNER" && j.Kind != "LEFT" {
+		return j.Kind + " outer joins"
+	}
+	// A sub-query inside an ON condition has no probe site in the
+	// vectorized pipeline: ON conditions run inside the join operator.
+	for _, c := range j.AllConds {
+		if len(sqlparser.Subqueries(c)) > 0 {
+			return "sub-queries in JOIN conditions"
+		}
+	}
+	if r := b.checkPlanInput(j.Left); r != "" {
+		return r
+	}
+	return b.checkPlanInput(j.Right)
+}
+
+// computeApply proves one correlated WHERE sub-query decorrelatable against
+// its host SELECT and records the Apply recipe, or returns the reason it is
+// not. host is the SELECT whose WHERE directly contains the use site.
+func (b *builder) computeApply(host *Select, site subSite) string {
+	subPlan := b.p.subs[site.stmt]
+	stmt := subPlan.Stmt
+	if stmt.SetNext != nil {
+		return "set operations"
+	}
+	if len(stmt.OrderBy) > 0 || stmt.Limit != nil || stmt.Offset != nil {
+		return "correlated sub-queries with ORDER BY or LIMIT"
+	}
+	if len(subPlan.From) == 0 {
+		return "correlated FROM-less sub-queries"
+	}
+	shape := site.shape
+	if subPlan.Grouped {
+		if shape != ApplyFirst {
+			return "correlated aggregated sub-queries outside a scalar position"
+		}
+		if len(stmt.GroupBy) > 0 || stmt.Having != nil {
+			return "correlated sub-queries with GROUP BY or HAVING"
+		}
+		shape = ApplyAgg
+	}
+	// Projection constraints. Scalar and IN sites consume a single value per
+	// inner row that must be computable from the inner schema alone. EXISTS
+	// never consumes the projection, so it is restricted to items whose
+	// evaluation provably cannot fail (the interpreters do evaluate them).
+	switch shape {
+	case ApplyFirst, ApplyAgg, ApplyIn:
+		if len(stmt.Projection) != 1 || stmt.Projection[0].Star {
+			return "correlated sub-queries projecting more than one value"
+		}
+		if !allRefsResolve(stmt.Projection[0].Expr, subPlan.Schema) {
+			return "correlated sub-queries projecting enclosing-scope columns"
+		}
+	case ApplyExists:
+		for _, p := range stmt.Projection {
+			if p.Star {
+				continue
+			}
+			switch v := p.Expr.(type) {
+			case *sqlparser.ColumnRef:
+				if !resolvesIn(v, subPlan.Schema) && !resolvesIn(v, host.Schema) {
+					return "correlated EXISTS projecting unresolvable columns"
+				}
+			case *sqlparser.NumberLit, *sqlparser.StringLit, *sqlparser.NullLit, *sqlparser.BoolLit, *sqlparser.DateLit:
+			default:
+				return "correlated EXISTS with computed projections"
+			}
+		}
+	}
+	// Partition the sub-query's residual conjuncts: inner-only filters,
+	// equi-correlation key pairs, and per-pair predicates spanning both
+	// sides. Anything else defeats decorrelation.
+	ap := &Apply{Shape: shape}
+	for _, c := range subPlan.VexecResidual {
+		if refsResolve(b.effectiveRefs(c), subPlan.Schema) {
+			ap.InnerResidual = append(ap.InnerResidual, c)
+			continue
+		}
+		if inner, outer, ok := correlationKeySides(c, subPlan.Schema, host.Schema); ok {
+			ap.InnerKeys = append(ap.InnerKeys, inner)
+			ap.OuterKeys = append(ap.OuterKeys, outer)
+			continue
+		}
+		if !pairConjunctOK(c, subPlan.Schema, host.Schema) {
+			return "correlated sub-queries whose correlation is not an equi-join"
+		}
+		ap.PairConjuncts = append(ap.PairConjuncts, c)
+	}
+	if len(ap.InnerKeys) == 0 {
+		return "correlated sub-queries without an equi-join correlation predicate"
+	}
+	if shape == ApplyAgg && len(ap.PairConjuncts) > 0 {
+		return "correlated aggregated sub-queries with non-equi correlation predicates"
+	}
+	b.p.apply[site.stmt] = ap
+	return ""
+}
+
+// correlationKeySides recognizes `inner = outer` equi-correlation: one side
+// resolving in the sub-query's own schema, the other only in the enclosing
+// query's. Returns the (inner, outer) key expressions.
+func correlationKeySides(c sqlparser.Expr, inner, outer []ColumnMeta) (sqlparser.Expr, sqlparser.Expr, bool) {
+	be, ok := c.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return nil, nil, false
+	}
+	lc, lok := be.Left.(*sqlparser.ColumnRef)
+	rc, rok := be.Right.(*sqlparser.ColumnRef)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	lIn, rIn := resolvesIn(lc, inner), resolvesIn(rc, inner)
+	lOut, rOut := resolvesIn(lc, outer), resolvesIn(rc, outer)
+	if lIn && !rIn && rOut {
+		return be.Left, be.Right, true
+	}
+	if rIn && !lIn && lOut {
+		return be.Right, be.Left, true
+	}
+	return nil, nil, false
+}
+
+// pairConjunctOK reports whether every column the predicate references
+// resolves on exactly one side of the decorrelated pair — the probe
+// evaluates it over a combined (outer row, inner row) batch, where a column
+// visible on both sides would be ambiguous and one visible on neither
+// escapes the pair's scope entirely.
+func pairConjunctOK(c sqlparser.Expr, inner, outer []ColumnMeta) bool {
+	if len(sqlparser.Subqueries(c)) > 0 {
+		return false
+	}
+	for _, r := range sqlparser.ColumnsIn(c) {
+		if resolvesIn(r, inner) == resolvesIn(r, outer) {
+			return false
+		}
+	}
+	return true
 }

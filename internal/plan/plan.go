@@ -169,6 +169,51 @@ type Select struct {
 	SetNext *Select
 }
 
+// ApplyShape classifies how a decorrelated sub-query's per-group result is
+// consumed at its use site.
+type ApplyShape int
+
+// Apply shapes.
+const (
+	// ApplyExists answers EXISTS/NOT EXISTS: any matching inner row decides.
+	ApplyExists ApplyShape = iota
+	// ApplyIn answers IN/NOT IN: three-valued membership among the matching
+	// inner rows' projected values.
+	ApplyIn
+	// ApplyFirst answers a scalar sub-query without aggregation: the first
+	// matching inner row's projected value, NULL when none matches.
+	ApplyFirst
+	// ApplyAgg answers a scalar aggregated sub-query: the aggregates folded
+	// over the matching inner rows, with the empty-group value (count 0,
+	// NULL sums) when none matches.
+	ApplyAgg
+)
+
+// Apply is the decorrelation recipe of one correlated sub-query: the
+// plan-level proof that its correlation predicates form an equi-join between
+// the enclosing query (outer side) and the sub-query's own FROM pipeline
+// (inner side). Executors that do not want to re-run the sub-query per outer
+// row build the inner side once per execution, hash it by InnerKeys, and
+// probe it with OuterKeys — turning the correlated sub-query into a join.
+type Apply struct {
+	// Shape is the use-site classification.
+	Shape ApplyShape
+	// OuterKeys/InnerKeys are the equi-correlation key pairs: OuterKeys
+	// resolve in the enclosing query's joined FROM schema, InnerKeys in the
+	// sub-query's own.
+	OuterKeys []sqlparser.Expr
+	InnerKeys []sqlparser.Expr
+	// InnerResidual are the sub-query WHERE conjuncts that resolve entirely
+	// within the sub-query's own FROM schema; they filter the inner side
+	// before it is hashed (they replace the sub-plan's VexecResidual, whose
+	// correlation conjuncts the probe has consumed).
+	InnerResidual []sqlparser.Expr
+	// PairConjuncts are the remaining conjuncts referencing the outer scope
+	// in non-equi form (TPC-H Q21's l2.l_suppkey <> l1.l_suppkey); they are
+	// evaluated per candidate (outer, inner) row pair after the key probe.
+	PairConjuncts []sqlparser.Expr
+}
+
 // Plan is the shared logical plan of one query text against one catalog.
 type Plan struct {
 	// Root is the top-level SELECT plan.
@@ -184,6 +229,8 @@ type Plan struct {
 	subs map[*sqlparser.SelectStatement]*Select
 	// correlated caches the correlation verdict per nested SELECT.
 	correlated map[*sqlparser.SelectStatement]bool
+	// apply maps each decorrelatable correlated sub-query to its recipe.
+	apply map[*sqlparser.SelectStatement]*Apply
 }
 
 // Sub returns the plan of a nested SELECT reached through an expression, or
@@ -194,3 +241,8 @@ func (p *Plan) Sub(stmt *sqlparser.SelectStatement) *Select { return p.subs[stmt
 // resolve from its own FROM clauses; uncorrelated sub-queries are executed
 // once and cached by the executors.
 func (p *Plan) Correlated(stmt *sqlparser.SelectStatement) bool { return p.correlated[stmt] }
+
+// Apply returns the decorrelation recipe of a correlated sub-query, or nil
+// when the sub-query is uncorrelated or not decorrelatable (in which case
+// the plan's Vectorizable verdict is false with the reason).
+func (p *Plan) Apply(stmt *sqlparser.SelectStatement) *Apply { return p.apply[stmt] }

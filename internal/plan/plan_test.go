@@ -77,10 +77,16 @@ func TestVectorizableVerdict(t *testing.T) {
 		reason string
 	}{
 		{"SELECT sum(o_total) FROM orders", true, ""},
+		{"SELECT x FROM (SELECT o_total AS x FROM orders) d", true, ""},
+		{"SELECT c_name FROM customer LEFT JOIN orders ON c_custkey = o_custkey", true, ""},
+		{"SELECT c_name FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders)", true, ""},
+		{"SELECT c_name FROM customer WHERE EXISTS (SELECT 1 FROM orders WHERE o_custkey = c_custkey)", true, ""},
+		{"SELECT c_name FROM customer WHERE c_custkey > (SELECT sum(o_total) FROM orders WHERE o_custkey = c_custkey)", true, ""},
 		{"SELECT o_total FROM orders UNION SELECT o_total FROM orders", false, "set operations"},
-		{"SELECT x FROM (SELECT o_total AS x FROM orders) d", false, "derived tables"},
-		{"SELECT c_name FROM customer LEFT JOIN orders ON c_custkey = o_custkey", false, "LEFT outer joins"},
-		{"SELECT c_name FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders)", false, "sub-queries"},
+		{"SELECT (SELECT sum(o_total) FROM orders WHERE o_custkey = c_custkey) FROM customer", false,
+			"correlated sub-queries outside WHERE"},
+		{"SELECT c_name FROM customer WHERE EXISTS (SELECT 1 FROM orders WHERE o_custkey > c_custkey)", false,
+			"correlated sub-queries without an equi-join correlation predicate"},
 	}
 	for _, tc := range cases {
 		p := mustBuild(t, tc.sql)

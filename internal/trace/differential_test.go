@@ -10,7 +10,7 @@ import (
 	"sqalpel/internal/workload"
 )
 
-// TestSpanIDsSubsetOfPlan runs every TPC-H query on all five engines with
+// TestSpanIDsSubsetOfPlan runs every TPC-H query on all six engines with
 // tracing enabled and checks the cross-paradigm contract: every span id an
 // engine emits must be an operator id of the query's EXPLAIN plan-JSON. The
 // subset direction is deliberate — an engine may skip operators its

@@ -161,7 +161,7 @@ func emitCore(doc *PlanDoc, p *plan.Plan, sp *plan.Select, prefix string) {
 		doc.Operators = append(doc.Operators, PlanOp{ID: LimitID(prefix), Kind: KindLimit, Limit: stmt.Limit, Offset: stmt.Offset})
 	}
 	k := 0
-	for _, sub := range coreSubqueries(stmt) {
+	for _, sub := range CoreSubqueries(stmt) {
 		nested := p.Sub(sub)
 		if nested == nil {
 			continue

@@ -111,7 +111,7 @@ func addCorePrefixes(m map[*sqlparser.SelectStatement]string, stmt *sqlparser.Se
 		}
 	}
 	k := 0
-	for _, sub := range coreSubqueries(stmt) {
+	for _, sub := range CoreSubqueries(stmt) {
 		p := SubPrefix(prefix, k)
 		m[sub] = p
 		k++
@@ -119,10 +119,10 @@ func addCorePrefixes(m map[*sqlparser.SelectStatement]string, stmt *sqlparser.Se
 	}
 }
 
-// coreSubqueries enumerates the sub-query statements embedded in one core's
+// CoreSubqueries enumerates the sub-query statements embedded in one core's
 // expression clauses, in syntactic order. Explain and SubqueryPrefixes share
 // this walk, which is what keeps runtime ids and plan-JSON ids aligned.
-func coreSubqueries(stmt *sqlparser.SelectStatement) []*sqlparser.SelectStatement {
+func CoreSubqueries(stmt *sqlparser.SelectStatement) []*sqlparser.SelectStatement {
 	var subs []*sqlparser.SelectStatement
 	clause := func(e sqlparser.Expr) {
 		if e == nil {

@@ -40,6 +40,14 @@ func (b *Batch) Len() int {
 	return b.n
 }
 
+// physRow maps live row i to its physical row index.
+func (b *Batch) physRow(i int) int {
+	if b.sel != nil {
+		return b.sel[i]
+	}
+	return i
+}
+
 // errColumnNotFound distinguishes "not in this batch" from ambiguity.
 var errColumnNotFound = fmt.Errorf("column not found")
 
@@ -96,6 +104,17 @@ func (b *Batch) gatherRows(rows []int) *Batch {
 	out.cols = make([]*Vector, len(b.cols))
 	for i, c := range b.cols {
 		out.cols[i] = c.Gather(rows)
+	}
+	return out
+}
+
+// gatherRowsNullable is gatherRows with index -1 producing an all-NULL row —
+// the null-extension of outer joins.
+func (b *Batch) gatherRowsNullable(rows []int) *Batch {
+	out := &Batch{n: len(rows), meta: b.meta}
+	out.cols = make([]*Vector, len(b.cols))
+	for i, c := range b.cols {
+		out.cols[i] = c.GatherNullable(rows)
 	}
 	return out
 }

@@ -59,6 +59,11 @@ type Stats struct {
 	JoinProbeRows int64
 	// AggRows counts the rows folded into groups by hash aggregation.
 	AggRows int64
+	// SubqueryExecutions counts the sub-query plans materialized: once per
+	// uncorrelated sub-query and once per decorrelated (hash-built)
+	// correlated sub-query — probes against the built state are not
+	// executions.
+	SubqueryExecutions int64
 }
 
 // Result is a finished query: named, typed output columns.
@@ -81,11 +86,33 @@ type executor struct {
 	cat   Catalog
 	opts  Options
 	stats Stats
+	// p is the logical plan being executed; nested pipelines (derived
+	// tables, sub-queries) look their sub-plans and decorrelation recipes up
+	// here.
+	p *plan.Plan
+	// subs holds the per-execution sub-query states, keyed by the nested
+	// statement: uncorrelated sub-queries materialize once into a constant
+	// scalar / EXISTS flag / IN membership set, correlated ones into a
+	// decorrelated hash-join build over their own FROM pipeline. States are
+	// built before the enclosing pipeline runs and are read-only afterwards,
+	// so filter probes are safe under morsel parallelism.
+	subs map[*sqlparser.SelectStatement]*subState
 	// tracer is the per-operator span collector; nil when tracing is off.
-	// vexec never executes nested plans (derived tables and sub-queries are
-	// outside the vectorized subset), so all operator ids use the root
-	// prefix.
+	// Operator ids are keyed by the plan's prefix scheme: "" at the root,
+	// trace.DerivedPrefix/SubPrefix below, noTracePrefix for pipelines the
+	// prefix walk does not enumerate.
 	tracer *trace.Tracer
+}
+
+// noTracePrefix marks execution contexts without an operator id — the
+// operands of explicit JOIN trees (traced as one input operator) and nested
+// statements the prefix walk does not enumerate. Span emission is skipped
+// under it, mirroring the interpreters' untraced prefix.
+const noTracePrefix = "\x00"
+
+// traceOn reports whether spans should be emitted for the given prefix.
+func (ex *executor) traceOn(prefix string) bool {
+	return ex.tracer != nil && !strings.HasPrefix(prefix, noTracePrefix)
 }
 
 // Execute runs a parsed SELECT against the catalog, planning it on the fly.
@@ -112,8 +139,14 @@ func ExecutePlan(cat Catalog, p *plan.Plan, opts Options) (*Result, error) {
 	if !p.Vectorizable {
 		return nil, fmt.Errorf("%w: %s", ErrUnsupported, p.NotVectorizableReason)
 	}
-	ex := &executor{cat: cat, opts: opts, tracer: opts.Tracer}
-	res, err := ex.run(p.Root)
+	ex := &executor{
+		cat:    cat,
+		opts:   opts,
+		p:      p,
+		subs:   map[*sqlparser.SelectStatement]*subState{},
+		tracer: opts.Tracer,
+	}
+	res, err := ex.run(p.Root, "")
 	if err != nil {
 		return nil, err
 	}
@@ -157,19 +190,45 @@ func (ex *executor) checkDeadline() error {
 // (internal/plan); the executor now compiles its pipeline directly from the
 // plan's classified conjuncts and join steps.
 
-func (ex *executor) run(sp *plan.Select) (*Result, error) {
+// run executes one SELECT core. prefix keys the statement's operator spans:
+// "" at the root, a derived/sub prefix below, noTracePrefix to disable.
+func (ex *executor) run(sp *plan.Select, prefix string) (*Result, error) {
 	stmt := sp.Stmt
 	if len(stmt.Projection) == 0 {
 		return nil, fmt.Errorf("query has no projection")
 	}
-	pipe, err := ex.buildFrom(sp)
+	// Materialize the statement's sub-query states before its pipeline runs:
+	// filters probe them read-only.
+	if err := ex.prepareSubqueries(stmt, prefix); err != nil {
+		return nil, err
+	}
+	pipe, err := ex.buildFrom(sp, prefix)
 	if err != nil {
 		return nil, err
 	}
 	if sp.Grouped {
-		return ex.runGrouped(stmt, pipe)
+		return ex.runGrouped(stmt, pipe, prefix)
 	}
-	return ex.runRows(stmt, pipe)
+	return ex.runRows(stmt, pipe, prefix)
+}
+
+// runBatch executes a nested SELECT core and re-frames its projected output
+// as a batch carrying the given schema — the shape derived-table inputs and
+// sub-query materialization consume.
+func (ex *executor) runBatch(sp *plan.Select, schema []plan.ColumnMeta, prefix string) (*Batch, error) {
+	res, err := ex.run(sp, prefix)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{n: res.NumRows(), cols: res.Cols, meta: make([]colMeta, len(res.Cols))}
+	for i := range res.Cols {
+		if i < len(schema) {
+			b.meta[i] = colMeta{table: schema[i].Table, name: schema[i].Name}
+		} else if i < len(res.Columns) {
+			b.meta[i] = colMeta{name: strings.ToLower(res.Columns[i])}
+		}
+	}
+	return b, nil
 }
 
 // buildFrom assembles the scan/filter/join pipeline from the plan: pushdown
@@ -177,13 +236,13 @@ func (ex *executor) run(sp *plan.Select) (*Result, error) {
 // interpreter does not perform — the result set is provably identical),
 // the precomputed JoinSteps stitch the materialized inputs, and the
 // residual conjuncts filter after the joins.
-func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
+func (ex *executor) buildFrom(sp *plan.Select, prefix string) (operator, error) {
 	if len(sp.From) == 0 {
 		var op operator = &dualOp{}
 		if len(sp.VexecResidual) > 0 {
 			f := &filterOp{ex: ex, child: op, conjuncts: sp.VexecResidual}
-			if ex.tracer != nil {
-				f.span = ex.tracer.Span(trace.FilterID(""), trace.KindFilter)
+			if ex.traceOn(prefix) {
+				f.span = ex.tracer.Span(trace.FilterID(prefix), trace.KindFilter)
 			}
 			op = f
 		}
@@ -192,14 +251,14 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 
 	pipes := make([]operator, len(sp.From))
 	for i, in := range sp.From {
-		p, err := ex.buildInput(in, i)
+		p, err := ex.buildInput(in, i, prefix)
 		if err != nil {
 			return nil, err
 		}
 		if len(sp.VexecPushdown[i]) > 0 {
 			f := &filterOp{ex: ex, child: p, conjuncts: sp.VexecPushdown[i]}
-			if ex.tracer != nil {
-				f.span = ex.tracer.Span(trace.PushFilterID("", i), trace.KindFilter)
+			if ex.traceOn(prefix) {
+				f.span = ex.tracer.Span(trace.PushFilterID(prefix, i), trace.KindFilter)
 			}
 			p = f
 		}
@@ -223,12 +282,12 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 		cur := mats[0]
 		for k, step := range sp.JoinSteps {
 			var tm trace.Timer
-			if ex.tracer != nil {
+			if ex.traceOn(prefix) {
 				kind := trace.KindHashJoin
 				if step.Cross {
 					kind = trace.KindCross
 				}
-				tm = ex.tracer.Span(trace.JoinID("", k), kind).Start()
+				tm = ex.tracer.Span(trace.JoinID(prefix, k), kind).Start()
 			}
 			var err error
 			if step.Cross {
@@ -246,8 +305,8 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 
 	if len(sp.VexecResidual) > 0 {
 		f := &filterOp{ex: ex, child: current, conjuncts: sp.VexecResidual}
-		if ex.tracer != nil {
-			f.span = ex.tracer.Span(trace.FilterID(""), trace.KindFilter)
+		if ex.traceOn(prefix) {
+			f.span = ex.tracer.Span(trace.FilterID(prefix), trace.KindFilter)
 		}
 		current = f
 	}
@@ -257,12 +316,12 @@ func (ex *executor) buildFrom(sp *plan.Select) (operator, error) {
 // buildInput builds the pipeline of one planned FROM input. idx is the
 // input's FROM position, keying its trace span; the operands of explicit
 // JOIN trees pass -1 (the whole tree is traced as one input operator).
-func (ex *executor) buildInput(in *plan.Input, idx int) (operator, error) {
+func (ex *executor) buildInput(in *plan.Input, idx int, prefix string) (operator, error) {
 	switch {
 	case in.Join != nil:
 		var tm trace.Timer
-		if ex.tracer != nil && idx >= 0 {
-			tm = ex.tracer.Span(trace.InputID("", idx), trace.KindJoinTree).Start()
+		if ex.traceOn(prefix) && idx >= 0 {
+			tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindJoinTree).Start()
 		}
 		b, err := ex.buildJoinBatch(in.Join)
 		if err != nil {
@@ -271,24 +330,42 @@ func (ex *executor) buildInput(in *plan.Input, idx int) (operator, error) {
 		tm.Done(int64(b.Len()))
 		return &matOp{ex: ex, b: b}, nil
 	case in.Derived != nil:
-		return nil, fmt.Errorf("%w: derived tables", ErrUnsupported)
+		// A derived table runs its sub-plan to completion and feeds the
+		// result in as a dense input batch, renamed to the derived alias.
+		// Only top-level FROM positions have an operator id; operands of
+		// explicit JOIN trees run untraced, like the interpreters.
+		childPrefix := noTracePrefix
+		var tm trace.Timer
+		if idx >= 0 {
+			childPrefix = trace.DerivedPrefix(prefix, idx)
+			if ex.traceOn(prefix) {
+				tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
+			}
+		}
+		b, err := ex.runBatch(in.Derived, in.Schema, childPrefix)
+		if err != nil {
+			return nil, err
+		}
+		tm.Done(int64(b.Len()))
+		return &matOp{ex: ex, b: b}, nil
 	default:
 		table, err := ex.cat.VTable(in.Table)
 		if err != nil {
 			return nil, err
 		}
 		op := newScanOp(ex, table, in.Alias)
-		if ex.tracer != nil && idx >= 0 {
-			op.span = ex.tracer.Span(trace.ScanID("", idx), trace.KindScan)
+		if ex.traceOn(prefix) && idx >= 0 {
+			op.span = ex.tracer.Span(trace.ScanID(prefix, idx), trace.KindScan)
 		}
 		return op, nil
 	}
 }
 
 // buildJoinBatch materializes an explicit JOIN tree whose ON condition the
-// plan already classified.
+// plan already classified. The operands carry no operator ids of their own
+// (idx -1): the whole tree is traced as one input operator.
 func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
-	leftOp, err := ex.buildInput(j.Left, -1)
+	leftOp, err := ex.buildInput(j.Left, -1, noTracePrefix)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +373,7 @@ func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	rightOp, err := ex.buildInput(j.Right, -1)
+	rightOp, err := ex.buildInput(j.Right, -1, noTracePrefix)
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +403,8 @@ func (ex *executor) buildJoinBatch(j *plan.Join) (*Batch, error) {
 			return ex.applyFilterBatch(joined, j.Residual)
 		}
 		return joined, nil
+	case "LEFT":
+		return ex.leftJoin(left, right, j.LeftKeys, j.RightKeys, j.Residual)
 	default:
 		return nil, fmt.Errorf("%w: %s join", ErrUnsupported, j.Kind)
 	}
@@ -369,7 +448,7 @@ func expandProjection(stmt *sqlparser.SelectStatement, meta []colMeta) ([]projIt
 
 // runRows executes a non-grouped query: drain the pipeline, project, then
 // run the shared epilogue.
-func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Result, error) {
+func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator, prefix string) (*Result, error) {
 	b, err := ex.materializeOp(pipe)
 	if err != nil {
 		return nil, err
@@ -378,8 +457,8 @@ func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Re
 	ctx := &evalCtx{ex: ex, batch: b}
 
 	var tm trace.Timer
-	if ex.tracer != nil {
-		tm = ex.tracer.Span(trace.ProjectID(""), trace.KindProject).Start()
+	if ex.traceOn(prefix) {
+		tm = ex.tracer.Span(trace.ProjectID(prefix), trace.KindProject).Start()
 	}
 	var cols []*Vector
 	var names []string
@@ -403,15 +482,15 @@ func (ex *executor) runRows(stmt *sqlparser.SelectStatement, pipe operator) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return ex.epilogue(stmt, names, cols, sortKeys, b.Len())
+	return ex.epilogue(stmt, names, cols, sortKeys, b.Len(), prefix)
 }
 
 // runGrouped executes a grouped query: hash-aggregate the pipeline, apply
 // HAVING, project the groups, then run the shared epilogue.
-func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (*Result, error) {
+func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator, prefix string) (*Result, error) {
 	var atm trace.Timer
-	if ex.tracer != nil {
-		atm = ex.tracer.Span(trace.AggID(""), trace.KindAgg).Start()
+	if ex.traceOn(prefix) {
+		atm = ex.tracer.Span(trace.AggID(prefix), trace.KindAgg).Start()
 	}
 	agg, err := ex.hashAggregate(pipe, stmt)
 	if err != nil {
@@ -451,8 +530,8 @@ func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (
 		}
 	}
 	var tm trace.Timer
-	if ex.tracer != nil {
-		tm = ex.tracer.Span(trace.ProjectID(""), trace.KindProject).Start()
+	if ex.traceOn(prefix) {
+		tm = ex.tracer.Span(trace.ProjectID(prefix), trace.KindProject).Start()
 	}
 	var cols []*Vector
 	var names []string
@@ -469,7 +548,7 @@ func (ex *executor) runGrouped(stmt *sqlparser.SelectStatement, pipe operator) (
 	if err != nil {
 		return nil, err
 	}
-	return ex.epilogue(stmt, names, cols, sortKeys, n)
+	return ex.epilogue(stmt, names, cols, sortKeys, n, prefix)
 }
 
 // orderKeyVectors evaluates the ORDER BY expressions: a bare reference
@@ -547,11 +626,11 @@ func (ex *executor) orderKeyVectors(stmt *sqlparser.SelectStatement, items []pro
 
 // epilogue applies DISTINCT, ORDER BY and LIMIT/OFFSET to the projected
 // columns and finishes the result.
-func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, cols []*Vector, sortKeys []*Vector, n int) (*Result, error) {
+func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, cols []*Vector, sortKeys []*Vector, n int, prefix string) (*Result, error) {
 	if stmt.Distinct {
 		var tm trace.Timer
-		if ex.tracer != nil {
-			tm = ex.tracer.Span(trace.DistinctID(""), trace.KindDistinct).Start()
+		if ex.traceOn(prefix) {
+			tm = ex.tracer.Span(trace.DistinctID(prefix), trace.KindDistinct).Start()
 		}
 		// First-seen survivors through the typed hash table: a fresh group
 		// id means an unseen row.
@@ -573,8 +652,8 @@ func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, co
 
 	if len(stmt.OrderBy) > 0 {
 		var tm trace.Timer
-		if ex.tracer != nil {
-			tm = ex.tracer.Span(trace.SortID(""), trace.KindSort).Start()
+		if ex.traceOn(prefix) {
+			tm = ex.tracer.Span(trace.SortID(prefix), trace.KindSort).Start()
 		}
 		idx := make([]int, n)
 		for i := range idx {
@@ -618,8 +697,8 @@ func (ex *executor) epilogue(stmt *sqlparser.SelectStatement, names []string, co
 
 	if stmt.Limit != nil || stmt.Offset != nil {
 		var tm trace.Timer
-		if ex.tracer != nil {
-			tm = ex.tracer.Span(trace.LimitID(""), trace.KindLimit).Start()
+		if ex.traceOn(prefix) {
+			tm = ex.tracer.Span(trace.LimitID(prefix), trace.KindLimit).Start()
 		}
 		start := 0
 		if stmt.Offset != nil {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sqalpel/internal/plan"
 	"sqalpel/internal/sqlparser"
 	"sqalpel/internal/sqlsem"
 )
@@ -107,8 +108,10 @@ func (ctx *evalCtx) eval(e sqlparser.Expr) (*Vector, error) {
 			}
 		}
 		return out, nil
-	case *sqlparser.ExistsExpr, *sqlparser.SubqueryExpr:
-		return nil, fmt.Errorf("%w: sub-queries", ErrUnsupported)
+	case *sqlparser.ExistsExpr:
+		return ctx.evalExists(v)
+	case *sqlparser.SubqueryExpr:
+		return ctx.evalScalarSub(v)
 	case *sqlparser.ExtractExpr:
 		return ctx.evalExtract(v)
 	case *sqlparser.SubstringExpr:
@@ -707,7 +710,7 @@ func compareScalarsNonNull(a, b scalar) int {
 
 func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
 	if v.Subquery != nil {
-		return nil, fmt.Errorf("%w: IN sub-query", ErrUnsupported)
+		return ctx.evalInSub(v)
 	}
 	val, err := ctx.eval(v.Expr)
 	if err != nil {
@@ -735,6 +738,229 @@ func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
 			}
 		}
 		t := sqlsem.In(a.isNull(), found, listHasNull, false)
+		if v.Not {
+			t = sqlsem.Not(t)
+		}
+		setTri(out, i, t)
+	}
+	return out, nil
+}
+
+// subFor looks up the prepared state of a sub-query use site.
+func (ctx *evalCtx) subFor(s *sqlparser.SelectStatement) (*subState, error) {
+	if st, ok := ctx.ex.subs[s]; ok {
+		return st, nil
+	}
+	return nil, fmt.Errorf("%w: sub-query was not prepared", ErrUnsupported)
+}
+
+// applyCandidates probes a decorrelated hash build with the batch's outer
+// correlation keys: cand lists the matching inner rows of every live batch
+// row, off[i]..off[i+1] delimiting row i's range in inner-row order. Pair
+// conjuncts (the non-equi correlation predicates) filter the candidates with
+// two-valued truth — the same collapse the interpreter's sub-query WHERE
+// filter applies. Probing mutates nothing, so filters holding probes run
+// safely from morsel workers.
+func (ctx *evalCtx) applyCandidates(as *applyState) (cand []int32, off []int32, err error) {
+	b := ctx.batch
+	n := b.Len()
+	keyVecs := make([]*Vector, len(as.outerKeys))
+	for i, k := range as.outerKeys {
+		if keyVecs[i], err = ctx.eval(k); err != nil {
+			return nil, nil, deferToFallback(err)
+		}
+	}
+	off = make([]int32, n+1)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		// A NULL outer key matches nothing: equality with NULL is UNKNOWN.
+		if !nullKeyRow(keyVecs, i) {
+			buf = encodeRowKey(buf[:0], keyVecs, i)
+			if g, ok := as.groups[string(buf)]; ok {
+				for r := as.lists.head[g]; r >= 0; r = as.lists.next[r] {
+					cand = append(cand, r)
+				}
+			}
+		}
+		off[i+1] = int32(len(cand))
+	}
+	if len(as.pairConjuncts) == 0 || len(cand) == 0 {
+		return cand, off, nil
+	}
+
+	outerIdx := make([]int, len(cand))
+	innerIdx := make([]int, len(cand))
+	for i := 0; i < n; i++ {
+		for k := off[i]; k < off[i+1]; k++ {
+			outerIdx[k] = b.physRow(i)
+			innerIdx[k] = int(cand[k])
+		}
+	}
+	pctx := &evalCtx{ex: ctx.ex, batch: pairBatch(b, outerIdx, as.inner, innerIdx)}
+	pass := make([]bool, len(cand))
+	for i := range pass {
+		pass[i] = true
+	}
+	for _, c := range as.pairConjuncts {
+		v, err := pctx.eval(c)
+		if err != nil {
+			return nil, nil, deferToFallback(err)
+		}
+		for k := range pass {
+			if pass[k] && (v.IsNull(k) || !truthy(v, k)) {
+				pass[k] = false
+			}
+		}
+	}
+	// Compact the survivors in place; the write index never overtakes the
+	// read index.
+	out := cand[:0]
+	newOff := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		for k := off[i]; k < off[i+1]; k++ {
+			if pass[k] {
+				out = append(out, cand[k])
+			}
+		}
+		newOff[i+1] = int32(len(out))
+	}
+	return out, newOff, nil
+}
+
+// evalExists answers EXISTS/NOT EXISTS. Uncorrelated sites are a constant;
+// correlated sites ask whether any candidate survives the key probe and the
+// pair conjuncts. The result is always two-valued, like the interpreters'.
+func (ctx *evalCtx) evalExists(v *sqlparser.ExistsExpr) (*Vector, error) {
+	st, err := ctx.subFor(v.Subquery)
+	if err != nil {
+		return nil, err
+	}
+	n := ctx.batch.Len()
+	out := NewVector(KindBool, n)
+	if !st.correlated {
+		if st.exists != v.Not {
+			for i := range out.Ints {
+				out.Ints[i] = 1
+			}
+		}
+		return out, nil
+	}
+	_, off, err := ctx.applyCandidates(st.apply)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if (off[i+1] > off[i]) != v.Not {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// evalScalarSub answers a scalar sub-query site. Uncorrelated sites broadcast
+// the materialized first-row value; ApplyAgg sites look their aggregate group
+// up directly by outer key (falling back to the empty-group value); ApplyFirst
+// sites take the first surviving candidate's projected value, NULL when none.
+func (ctx *evalCtx) evalScalarSub(v *sqlparser.SubqueryExpr) (*Vector, error) {
+	st, err := ctx.subFor(v.Select)
+	if err != nil {
+		return nil, err
+	}
+	n := ctx.batch.Len()
+	if !st.correlated {
+		return constVec(st.scalarVal, n), nil
+	}
+	as := st.apply
+	if as.shape == plan.ApplyAgg {
+		keyVecs := make([]*Vector, len(as.outerKeys))
+		for i, k := range as.outerKeys {
+			if keyVecs[i], err = ctx.eval(k); err != nil {
+				return nil, deferToFallback(err)
+			}
+		}
+		bld := newBuilder(n)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			if nullKeyRow(keyVecs, i) {
+				bld.append(as.emptyVal)
+				continue
+			}
+			buf = encodeRowKey(buf[:0], keyVecs, i)
+			if g, ok := as.groups[string(buf)]; ok {
+				bld.append(as.groupVals.At(int(g)))
+			} else {
+				bld.append(as.emptyVal)
+			}
+		}
+		return bld.finalize()
+	}
+	cand, off, err := ctx.applyCandidates(as)
+	if err != nil {
+		return nil, err
+	}
+	bld := newBuilder(n)
+	for i := 0; i < n; i++ {
+		if off[i+1] > off[i] {
+			bld.append(as.projVals.At(int(cand[off[i]])))
+		} else {
+			bld.append(nullScalar)
+		}
+	}
+	return bld.finalize()
+}
+
+// evalInSub answers IN/NOT IN against a sub-query with the shared ternary
+// membership semantics (sqlsem.In): an uncorrelated site probes the
+// materialized set, a correlated site scans its candidate rows' projected
+// values — the per-row image of the interpreter's membership set.
+func (ctx *evalCtx) evalInSub(v *sqlparser.InExpr) (*Vector, error) {
+	st, err := ctx.subFor(v.Subquery)
+	if err != nil {
+		return nil, err
+	}
+	val, err := ctx.eval(v.Expr)
+	if err != nil {
+		return nil, err
+	}
+	n := val.Len()
+	out := NewVector(KindBool, n)
+	if !st.correlated {
+		var buf []byte
+		for i := 0; i < n; i++ {
+			a := val.At(i)
+			found := false
+			if !a.isNull() && len(st.set) > 0 {
+				buf = appendScalarKey(buf[:0], a)
+				found = st.set[string(buf)]
+			}
+			t := sqlsem.In(a.isNull(), found, st.setHasNull, st.setEmpty)
+			if v.Not {
+				t = sqlsem.Not(t)
+			}
+			setTri(out, i, t)
+		}
+		return out, nil
+	}
+	as := st.apply
+	cand, off, err := ctx.applyCandidates(as)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		a := val.At(i)
+		var found, hasNull bool
+		for k := off[i]; k < off[i+1]; k++ {
+			s := as.projVals.At(int(cand[k]))
+			if s.isNull() {
+				hasNull = true
+				continue
+			}
+			if equalScalars(a, s) {
+				found = true
+				break
+			}
+		}
+		t := sqlsem.In(a.isNull(), found, hasNull, off[i+1] == off[i])
 		if v.Not {
 			t = sqlsem.Not(t)
 		}

@@ -405,6 +405,124 @@ func (ex *executor) crossJoin(left, right *Batch) (*Batch, error) {
 	return out, nil
 }
 
+// pairBatch gathers candidate (left, right) row pairs into one combined
+// dense batch — left columns then right columns — the evaluation context of
+// per-pair join and correlation predicates. The index slices are physical
+// row indexes.
+func pairBatch(left *Batch, leftIdx []int, right *Batch, rightIdx []int) *Batch {
+	out := left.gatherRows(leftIdx)
+	rightPart := right.gatherRows(rightIdx)
+	out.cols = append(out.cols, rightPart.cols...)
+	out.meta = append(append([]colMeta(nil), left.meta...), right.meta...)
+	return out
+}
+
+// leftJoin implements LEFT [OUTER] JOIN over dense batches, mirroring the
+// interpreter's algorithm exactly: hash the right side by the equi keys (a
+// single bucket when keyless, NULL-key build rows skipped), probe the left
+// rows in order, apply the residual ON conjuncts per candidate pair with
+// two-valued truth, and null-extend the right columns of unmatched left
+// rows.
+func (ex *executor) leftJoin(left, right *Batch, leftKeys, rightKeys, residual []sqlparser.Expr) (*Batch, error) {
+	nl, nr := left.Len(), right.Len()
+	var rVecs, lVecs []*Vector
+	var err error
+	if len(rightKeys) > 0 {
+		if rVecs, err = ex.keyVectors(right, rightKeys); err != nil {
+			return nil, err
+		}
+		if lVecs, err = ex.keyVectors(left, leftKeys); err != nil {
+			return nil, err
+		}
+	}
+	buckets := map[string][]int32{}
+	var buf []byte
+	var buildRows int64
+	for i := 0; i < nr; i++ {
+		key := ""
+		if rVecs != nil {
+			if nullKeyRow(rVecs, i) {
+				// NULL = anything is UNKNOWN: the row cannot match.
+				continue
+			}
+			buf = encodeRowKey(buf[:0], rVecs, i)
+			key = string(buf)
+		}
+		buildRows++
+		buckets[key] = append(buckets[key], int32(i))
+	}
+	ex.stats.HashJoins++
+	ex.stats.JoinBuildRows += buildRows
+	ex.stats.JoinProbeRows += int64(nl)
+
+	// Candidate pairs in probe order (bucket order is right-row order). A
+	// NULL left key never matches; the row survives null-extended below.
+	var candL, candR []int
+	off := make([]int, nl+1)
+	for i := 0; i < nl; i++ {
+		keyNull := false
+		key := ""
+		if lVecs != nil {
+			if nullKeyRow(lVecs, i) {
+				keyNull = true
+			} else {
+				buf = encodeRowKey(buf[:0], lVecs, i)
+				key = string(buf)
+			}
+		}
+		if !keyNull {
+			for _, ri := range buckets[key] {
+				candL = append(candL, i)
+				candR = append(candR, int(ri))
+			}
+		}
+		off[i+1] = len(candL)
+	}
+
+	// Residual ON conjuncts filter the candidate pairs with two-valued
+	// truth, like the interpreter's per-pair check. Evaluation errors defer
+	// to the interpreter so it reports them in its own order.
+	pass := make([]bool, len(candL))
+	for i := range pass {
+		pass[i] = true
+	}
+	if len(residual) > 0 && len(candL) > 0 {
+		ctx := &evalCtx{ex: ex, batch: pairBatch(left, candL, right, candR)}
+		for _, c := range residual {
+			v, err := ctx.eval(c)
+			if err != nil {
+				return nil, deferToFallback(err)
+			}
+			for k := range pass {
+				if pass[k] && (v.IsNull(k) || !truthy(v, k)) {
+					pass[k] = false
+				}
+			}
+		}
+	}
+
+	var outL, outR []int
+	for i := 0; i < nl; i++ {
+		matched := false
+		for k := off[i]; k < off[i+1]; k++ {
+			if pass[k] {
+				matched = true
+				outL = append(outL, candL[k])
+				outR = append(outR, candR[k])
+			}
+		}
+		if !matched {
+			outL = append(outL, i)
+			outR = append(outR, -1)
+		}
+	}
+	out := left.gatherRows(outL)
+	rightPart := right.gatherRowsNullable(outR)
+	out.cols = append(out.cols, rightPart.cols...)
+	out.meta = append(append([]colMeta(nil), left.meta...), right.meta...)
+	return out, nil
+}
+
 // applyFilterBatch filters a dense batch with the conjuncts (one selection
 // pass per conjunct over a single reused selection buffer) and compacts the
 // result.

@@ -1,0 +1,158 @@
+package vexec
+
+import "sqalpel/internal/sqlsem"
+
+// This file is the exported scalar surface of the vectorized kernel: the
+// boxed value type, its kernels (arithmetic, comparison, LIKE, key
+// encoding, date math) and the aggregate accumulator, re-exported for the
+// compiled engine (internal/cexec). The compiled paradigm fuses pipelines
+// into row-at-a-time closures instead of batch operators, but both engines
+// must agree bit for bit on every value operation — sharing one
+// implementation is what makes that a theorem instead of a test suite.
+
+// Scalar is the exported face of the executor's boxed value: one SQL value
+// as it crosses block boundaries. The zero value is SQL NULL.
+type Scalar = scalar
+
+// NullScalar returns SQL NULL.
+func NullScalar() Scalar { return nullScalar }
+
+// IntScalar boxes an integer.
+func IntScalar(i int64) Scalar { return scalar{kind: KindInt, i: i} }
+
+// FloatScalar boxes a float.
+func FloatScalar(f float64) Scalar { return scalar{kind: KindFloat, f: f} }
+
+// StringScalar boxes a string.
+func StringScalar(s string) Scalar { return scalar{kind: KindString, s: s} }
+
+// BoolScalar boxes a boolean.
+func BoolScalar(b bool) Scalar {
+	if b {
+		return scalar{kind: KindBool, i: 1}
+	}
+	return scalar{kind: KindBool, i: 0}
+}
+
+// DateScalar boxes a date as days since 1970-01-01.
+func DateScalar(days int64) Scalar { return scalar{kind: KindDate, i: days} }
+
+// IsNull reports SQL NULL.
+func (s Scalar) IsNull() bool { return s.isNull() }
+
+// ScalarKind returns the value's kind.
+func (s Scalar) ScalarKind() Kind { return s.kind }
+
+// Payload decomposes the value into its kind and payload slots, the same
+// shape Vector.ValueAt reports.
+func (s Scalar) Payload() (Kind, int64, float64, string) { return s.kind, s.i, s.f, s.s }
+
+// Int returns the value coerced to an integer (truncating floats), zero
+// for non-numeric kinds.
+func (s Scalar) Int() int64 { return s.intVal() }
+
+// Float returns the value coerced to a float, zero for non-numeric kinds.
+func (s Scalar) Float() float64 { return s.floatVal() }
+
+// Render returns the value's string rendering (the interpreters' display
+// form, used by || and the string functions).
+func (s Scalar) Render() string { return s.render() }
+
+// Truthy is the two-valued truth of the value: NULL is false — the
+// predicate-consumer collapse filters and CASE WHEN arms apply.
+func (s Scalar) Truthy() bool {
+	switch s.kind {
+	case KindBool, KindInt, KindDate:
+		return s.i != 0
+	case KindFloat:
+		return s.f != 0
+	default:
+		return false
+	}
+}
+
+// Tri lifts the value into the shared ternary-logic domain: NULL is
+// UNKNOWN.
+func (s Scalar) Tri() sqlsem.Tri {
+	if s.isNull() {
+		return sqlsem.Unknown
+	}
+	return sqlsem.Of(s.Truthy())
+}
+
+// TriScalar lowers a ternary truth value into a boolean Scalar: UNKNOWN
+// becomes NULL.
+func TriScalar(t sqlsem.Tri) Scalar {
+	switch t {
+	case sqlsem.True:
+		return BoolScalar(true)
+	case sqlsem.False:
+		return BoolScalar(false)
+	default:
+		return nullScalar
+	}
+}
+
+// ArithScalar applies an arithmetic/concatenation operator with the
+// engines' shared promotion rules (integer-preserving division, date day
+// arithmetic, NULL on division by zero).
+func ArithScalar(op string, a, b Scalar) (Scalar, error) { return arithScalar(op, a, b) }
+
+// CompareScalars orders two non-NULL scalars; the caller owns NULL
+// handling (predicates lift to UNKNOWN, sorts place NULL below
+// everything).
+func CompareScalars(a, b Scalar) int { return compareScalars(a, b) }
+
+// EqualScalars is SQL equality: NULL never equals anything.
+func EqualScalars(a, b Scalar) bool { return equalScalars(a, b) }
+
+// LikeMatch reports whether s matches the SQL LIKE pattern p.
+func LikeMatch(s, p string) bool { return likeMatch(s, p) }
+
+// AppendScalarKey appends the value's hash-key encoding (matching
+// engine.Value.Key: kind-classed, with int-valued floats normalized to
+// integer digits). Multi-column keys append one encoding per column, each
+// terminated by '|' — byte-identical to the vectorized executor's row-key
+// encoding.
+func AppendScalarKey(buf []byte, s Scalar) []byte { return appendScalarKey(buf, s) }
+
+// ParseNumber parses a numeric literal with the executor's exact-integer
+// rule; unparsable literals report ErrUnsupported so the statement defers
+// to the interpreter.
+func ParseNumber(s string) (Scalar, error) { return parseNumberScalar(s) }
+
+// ParseDateDays converts an ISO date string to days since the epoch.
+func ParseDateDays(s string) (int64, error) { return parseDate(s) }
+
+// DateParts splits an epoch day count into calendar year, month, day.
+func DateParts(days int64) (year, month, day int) { return dateParts(days) }
+
+// AddInterval applies calendar interval arithmetic to an epoch day count;
+// ok is false for unknown units.
+func AddInterval(days, n int64, unit string) (int64, bool) { return addInterval(days, n, unit) }
+
+// AggAccum is the exported aggregate accumulator: one (aggregate, group)
+// fold state with the interpreters' exact semantics (int-preserving sums,
+// DISTINCT sets over key encodings, NULL results for empty inputs).
+type AggAccum struct {
+	acc aggAcc
+}
+
+// NewAggAccum allocates an accumulator; distinct enables the DISTINCT set.
+func NewAggAccum(distinct bool) *AggAccum {
+	a := &AggAccum{}
+	a.acc.sumIsInt = true
+	if distinct {
+		a.acc.distinct = newByteKeyTable(8)
+	}
+	return a
+}
+
+// Fold adds one value (NULLs are skipped, DISTINCT duplicates too).
+func (a *AggAccum) Fold(v Scalar, distinct bool) { a.acc.fold(v, distinct) }
+
+// Finalize produces the aggregate's value. groupRows is the group's total
+// row count (what count(*) reports).
+func (a *AggAccum) Finalize(name string, star bool, groupRows int64) (Scalar, error) {
+	return a.acc.finalize(name, star, groupRows)
+}

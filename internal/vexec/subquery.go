@@ -1,0 +1,281 @@
+package vexec
+
+import (
+	"fmt"
+
+	"sqalpel/internal/plan"
+	"sqalpel/internal/sqlparser"
+	"sqalpel/internal/trace"
+)
+
+// subState is the per-execution materialization of one nested sub-query.
+// Uncorrelated sub-queries run exactly once: a scalar site reads scalarVal, an
+// EXISTS site reads exists, an IN site probes the membership set. Correlated
+// sub-queries are decorrelated per the plan's Apply recipe: their own FROM
+// pipeline is built and hashed once by the inner correlation keys, and every
+// use site probes that build with the outer keys instead of re-running the
+// statement per outer row.
+//
+// All states are built by prepareSubqueries before the enclosing pipeline
+// starts and never mutated afterwards, so probes are safe from morsel workers.
+type subState struct {
+	correlated bool
+
+	// Uncorrelated materialization.
+	scalarVal  scalar          // first row of the first column; NULL when empty
+	exists     bool            // any result rows
+	set        map[string]bool // non-NULL first-column keys (appendScalarKey)
+	setHasNull bool            // the first column had a NULL row
+	setEmpty   bool            // the result was entirely empty (no rows at all)
+
+	// Correlated decorrelation.
+	apply *applyState
+}
+
+// applyState is the hash build of one decorrelated correlated sub-query: the
+// inner side materialized once, grouped by the inner correlation keys in
+// first-seen order with per-group row chains in inner-row order — the same
+// ordering discipline as the join tables, which is what keeps ApplyFirst's
+// "first matching row" identical to the interpreter's per-outer-row run.
+type applyState struct {
+	shape         plan.ApplyShape
+	outerKeys     []sqlparser.Expr
+	pairConjuncts []sqlparser.Expr
+
+	inner  *Batch           // dense inner-side rows
+	groups map[string]int32 // encoded inner key -> group id
+	lists  joinLists        // per-group inner-row chains in row order
+
+	projVals  *Vector // per inner row: the projected value (ApplyIn/ApplyFirst)
+	groupVals *Vector // per group: the aggregated projection (ApplyAgg)
+	emptyVal  scalar  // ApplyAgg value of an empty group (count 0, NULL sums)
+}
+
+// prepareSubqueries materializes the sub-query states of one SELECT core,
+// numbering them along the same clause walk the trace layer's plan JSON uses
+// so the sub-query spans land on plan-known operator ids.
+func (ex *executor) prepareSubqueries(stmt *sqlparser.SelectStatement, prefix string) error {
+	for k, s := range trace.CoreSubqueries(stmt) {
+		if _, ok := ex.subs[s]; ok {
+			continue
+		}
+		if err := ex.prepareSub(s, trace.SubPrefix(prefix, k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareSub materializes one sub-query state.
+func (ex *executor) prepareSub(s *sqlparser.SelectStatement, subPrefix string) error {
+	sp := ex.p.Sub(s)
+	if sp == nil {
+		return fmt.Errorf("%w: unplanned sub-query", ErrUnsupported)
+	}
+	st := &subState{correlated: ex.p.Correlated(s)}
+	var tm trace.Timer
+	if ex.traceOn(subPrefix) {
+		tm = ex.tracer.Span(trace.SubOpID(subPrefix), trace.KindSubquery).Start()
+	}
+	if st.correlated {
+		ap := ex.p.Apply(s)
+		if ap == nil {
+			// The verdict admits only decorrelatable correlated sites; a
+			// missing recipe means the statement should not have reached here.
+			return fmt.Errorf("%w: correlated sub-query without a decorrelation recipe", ErrUnsupported)
+		}
+		as, err := ex.buildApply(sp, ap, subPrefix)
+		if err != nil {
+			return err
+		}
+		st.apply = as
+		tm.Done(int64(as.inner.Len()))
+		ex.subs[s] = st
+		return nil
+	}
+
+	ex.stats.SubqueryExecutions++
+	res, err := ex.run(sp, subPrefix)
+	if err != nil {
+		// The interpreters reach a failing sub-query lazily (and possibly
+		// never); defer so they decide whether the query errors.
+		return deferToFallback(err)
+	}
+	n := res.NumRows()
+	st.exists = n > 0
+	st.scalarVal = nullScalar
+	if n > 0 && len(res.Cols) > 0 {
+		// Scalar sites read the first row; extra rows are not an error, like
+		// the interpreters.
+		st.scalarVal = res.Cols[0].At(0)
+	}
+	st.set = map[string]bool{}
+	if len(res.Cols) > 0 {
+		col := res.Cols[0]
+		var buf []byte
+		for i := 0; i < n; i++ {
+			sv := col.At(i)
+			if sv.isNull() {
+				st.setHasNull = true
+				continue
+			}
+			buf = appendScalarKey(buf[:0], sv)
+			st.set[string(buf)] = true
+		}
+	}
+	st.setEmpty = len(st.set) == 0 && !st.setHasNull
+	tm.Done(int64(n))
+	ex.subs[s] = st
+	return nil
+}
+
+// scalarProjExpr returns the single projected expression of a scalar/IN
+// sub-query; the plan verdict guarantees exactly one non-star item.
+func scalarProjExpr(stmt *sqlparser.SelectStatement) (sqlparser.Expr, error) {
+	for _, p := range stmt.Projection {
+		if !p.Star {
+			return p.Expr, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: sub-query projects no expression", ErrUnsupported)
+}
+
+// buildApply executes the decorrelation recipe: run the sub-query's own FROM
+// pipeline with the correlation conjuncts stripped (InnerResidual replaces the
+// plan's residual), hash the result by the inner keys, and precompute the
+// per-row or per-group projection values the use-site shape consumes.
+func (ex *executor) buildApply(sp *plan.Select, ap *plan.Apply, subPrefix string) (*applyState, error) {
+	// Sub-queries nested inside the inner statement materialize first; the
+	// inner pipeline's filters probe them.
+	if err := ex.prepareSubqueries(sp.Stmt, subPrefix); err != nil {
+		return nil, err
+	}
+	ex.stats.SubqueryExecutions++
+	inner := *sp
+	inner.VexecResidual = ap.InnerResidual
+	pipe, err := ex.buildFrom(&inner, subPrefix)
+	if err != nil {
+		return nil, deferToFallback(err)
+	}
+	b, err := ex.materializeOp(pipe)
+	if err != nil {
+		return nil, deferToFallback(err)
+	}
+
+	as := &applyState{
+		shape:         ap.Shape,
+		outerKeys:     ap.OuterKeys,
+		pairConjuncts: ap.PairConjuncts,
+		inner:         b,
+		groups:        map[string]int32{},
+	}
+	n := b.Len()
+	keyVecs, err := ex.keyVectors(b, ap.InnerKeys)
+	if err != nil {
+		return nil, deferToFallback(err)
+	}
+	as.lists = newJoinLists(n)
+	rowGroup := make([]int32, n)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		rowGroup[i] = -1
+		if nullKeyRow(keyVecs, i) {
+			// NULL = anything is UNKNOWN: the row can never match an outer key.
+			continue
+		}
+		buf = encodeRowKey(buf[:0], keyVecs, i)
+		g, ok := as.groups[string(buf)]
+		if !ok {
+			g = int32(len(as.groups))
+			as.groups[string(buf)] = g
+		}
+		as.lists.insert(int(g), int32(i), !ok)
+		rowGroup[i] = g
+	}
+
+	switch ap.Shape {
+	case plan.ApplyExists:
+		// Candidate presence decides; the projection is never evaluated.
+	case plan.ApplyIn, plan.ApplyFirst:
+		proj, err := scalarProjExpr(sp.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		ctx := &evalCtx{ex: ex, batch: b}
+		v, err := ctx.eval(proj)
+		if err != nil {
+			return nil, deferToFallback(err)
+		}
+		as.projVals = v
+	case plan.ApplyAgg:
+		if err := ex.buildApplyAgg(as, sp.Stmt, b, rowGroup); err != nil {
+			return nil, err
+		}
+	}
+	return as, nil
+}
+
+// buildApplyAgg folds the inner rows into one aggregate group per correlation
+// key — the decorrelated image of "run the aggregated sub-query once per outer
+// row" — and evaluates the sub-query's projection over the groups, plus once
+// over an empty group for outer rows with no match (count 0, NULL sums).
+func (ex *executor) buildApplyAgg(as *applyState, stmt *sqlparser.SelectStatement, b *Batch, rowGroup []int32) error {
+	proj, err := scalarProjExpr(stmt)
+	if err != nil {
+		return err
+	}
+	specs, err := collectAggregates(stmt)
+	if err != nil {
+		return deferToFallback(err)
+	}
+	carried := collectCarriedRefs(stmt)
+	_, argVecs, refVecs, err := aggBatchVectors(ex, b, stmt, specs, carried)
+	if err != nil {
+		return deferToFallback(err)
+	}
+	order := make([]*aggState, len(as.groups))
+	n := b.Len()
+	ex.stats.AggRows += int64(n)
+	for i := 0; i < n; i++ {
+		g := rowGroup[i]
+		if g < 0 {
+			continue
+		}
+		st := order[g]
+		if st == nil {
+			st = newAggState(specs, carried)
+			order[g] = st
+			for ri, rv := range refVecs {
+				st.firsts[ri] = rv.At(i)
+			}
+		}
+		st.rows++
+		for ai := range specs {
+			if specs[ai].call.Star {
+				continue
+			}
+			st.accs[ai].fold(argVecs[ai].At(i), specs[ai].call.Distinct)
+		}
+	}
+	ex.stats.Groups += int64(len(order))
+	res, err := buildAggResult(specs, carried, order)
+	if err != nil {
+		return deferToFallback(err)
+	}
+	gctx := &evalCtx{ex: ex, batch: &Batch{n: len(order)}, aggs: res.aggs, refs: res.refs}
+	if as.groupVals, err = gctx.eval(proj); err != nil {
+		return deferToFallback(err)
+	}
+
+	empty, err := buildAggResult(specs, carried, []*aggState{newAggState(specs, carried)})
+	if err != nil {
+		return deferToFallback(err)
+	}
+	ectx := &evalCtx{ex: ex, batch: &Batch{n: 1}, aggs: empty.aggs, refs: empty.refs}
+	ev, err := ectx.eval(proj)
+	if err != nil {
+		return deferToFallback(err)
+	}
+	as.emptyVal = ev.At(0)
+	return nil
+}

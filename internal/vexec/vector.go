@@ -150,6 +150,43 @@ func (v *Vector) Gather(sel []int) *Vector {
 	return out
 }
 
+// GatherNullable is Gather where index -1 yields a NULL row — the
+// null-extended side of outer joins.
+func (v *Vector) GatherNullable(sel []int) *Vector {
+	out := &Vector{Kind: v.Kind, n: len(sel)}
+	switch v.Kind {
+	case KindInt, KindDate, KindBool:
+		out.Ints = make([]int64, len(sel))
+	case KindFloat:
+		out.Floats = make([]float64, len(sel))
+		if v.IsInt != nil {
+			out.IsInt = make([]bool, len(sel))
+			out.Ints = make([]int64, len(sel))
+		}
+	case KindString:
+		out.Strs = make([]string, len(sel))
+	}
+	for i, ri := range sel {
+		if ri < 0 || v.IsNull(ri) {
+			out.SetNull(i)
+			continue
+		}
+		switch v.Kind {
+		case KindInt, KindDate, KindBool:
+			out.Ints[i] = v.Ints[ri]
+		case KindFloat:
+			out.Floats[i] = v.Floats[ri]
+			if v.IsInt != nil && v.IsInt[ri] {
+				out.IsInt[i] = true
+				out.Ints[i] = v.Ints[ri]
+			}
+		case KindString:
+			out.Strs[i] = v.Strs[ri]
+		}
+	}
+	return out
+}
+
 // Slice returns a zero-copy window [lo, hi) of the vector; the payload
 // slices are shared with v, which is safe because vectors are immutable once
 // published.

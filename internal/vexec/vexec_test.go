@@ -278,11 +278,9 @@ func TestDistinctOrderLimit(t *testing.T) {
 func TestUnsupportedStatements(t *testing.T) {
 	cat := seqCatalog(10)
 	for _, sql := range []string{
-		"SELECT x FROM t WHERE x IN (SELECT x FROM t)",
-		"SELECT x FROM t WHERE EXISTS (SELECT x FROM t)",
 		"SELECT x FROM t UNION SELECT x FROM t",
-		"SELECT d.x FROM (SELECT x FROM t) d",
-		"SELECT a.x FROM t a LEFT JOIN t b ON a.x = b.x",
+		"SELECT (SELECT max(b.x) FROM t b WHERE b.x = a.x) FROM t a",
+		"SELECT a.x FROM t a WHERE EXISTS (SELECT 1 FROM t b WHERE b.x > a.x)",
 	} {
 		err := runErr(t, cat, sql, Options{})
 		if !errors.Is(err, ErrUnsupported) {
@@ -296,6 +294,47 @@ func TestUnsupportedStatements(t *testing.T) {
 	}
 	if err := runErr(t, cat, "SELECT nope FROM t", Options{}); err == nil || errors.Is(err, ErrUnsupported) {
 		t.Errorf("unknown column: err = %v", err)
+	}
+}
+
+// TestSubqueriesAndOuterJoins covers the shapes that moved from the
+// fallback list into the native subset: derived tables, LEFT joins,
+// uncorrelated sub-queries (materialized once) and correlated ones
+// (decorrelated into hash probes).
+func TestSubqueriesAndOuterJoins(t *testing.T) {
+	cat := seqCatalog(10) // x = 0..9
+	cases := []struct {
+		sql  string
+		want []int64
+	}{
+		{"SELECT d.x FROM (SELECT x FROM t WHERE x < 3) d", []int64{0, 1, 2}},
+		{"SELECT a.x FROM t a LEFT JOIN t b ON a.x = b.x AND b.x < 2 WHERE b.x IS NULL ORDER BY a.x LIMIT 3",
+			[]int64{2, 3, 4}},
+		{"SELECT x FROM t WHERE x IN (SELECT x FROM t WHERE x < 3)", []int64{0, 1, 2}},
+		{"SELECT x FROM t WHERE x NOT IN (SELECT x FROM t WHERE x > 2) ORDER BY x", []int64{0, 1, 2}},
+		{"SELECT x FROM t WHERE EXISTS (SELECT 1 FROM t b WHERE b.x > 100)", nil},
+		{"SELECT x FROM t WHERE x < (SELECT min(x) + 2 FROM t)", []int64{0, 1}},
+		// Correlated EXISTS: rows with a matching partner below them.
+		{"SELECT a.x FROM t a WHERE EXISTS (SELECT 1 FROM t b WHERE b.x = a.x AND b.s = 's0')",
+			[]int64{0, 5}},
+		// Correlated NOT EXISTS over an equi key.
+		{"SELECT a.x FROM t a WHERE NOT EXISTS (SELECT 1 FROM t b WHERE b.x = a.x AND b.x < 8)",
+			[]int64{8, 9}},
+		// Correlated scalar aggregate: count of same-label rows.
+		{"SELECT a.x FROM t a WHERE (SELECT count(*) FROM t b WHERE b.s = a.s) = 2 ORDER BY a.x LIMIT 4",
+			[]int64{0, 1, 2, 3}},
+	}
+	for _, tc := range cases {
+		res := run(t, cat, tc.sql, Options{BatchSize: 4})
+		if res.NumRows() != len(tc.want) {
+			t.Errorf("%q: %d rows, want %d", tc.sql, res.NumRows(), len(tc.want))
+			continue
+		}
+		for i, w := range tc.want {
+			if _, got, _, _ := res.Cols[0].ValueAt(i); got != w {
+				t.Errorf("%q row %d = %d, want %d", tc.sql, i, got, w)
+			}
+		}
 	}
 }
 
