@@ -157,11 +157,15 @@ func runExplain(args []string) {
 			continue
 		}
 		qt := tr.Trace(engine.EngineKey(eng.Name(), eng.Version()))
-		fmt.Printf("\n%s: %d rows\n", key, res.NumRows())
-		fmt.Printf("%-28s %-12s %12s %10s %8s\n", "operator", "kind", "wall (ms)", "rows", "batches")
+		fmt.Printf("\n%s: %d rows", key, res.NumRows())
+		if res.Stats.BlocksSkipped > 0 {
+			fmt.Printf(" (zone maps skipped %d blocks)", res.Stats.BlocksSkipped)
+		}
+		fmt.Println()
+		fmt.Printf("%-28s %-12s %12s %10s %8s %8s\n", "operator", "kind", "wall (ms)", "rows", "batches", "skipped")
 		for _, sp := range qt.Spans {
-			fmt.Printf("%-28s %-12s %12.3f %10d %8d\n",
-				sp.OpID, sp.Kind, float64(sp.WallNS)/1e6, sp.Rows, sp.Batches)
+			fmt.Printf("%-28s %-12s %12.3f %10d %8d %8d\n",
+				sp.OpID, sp.Kind, float64(sp.WallNS)/1e6, sp.Rows, sp.Batches, sp.BlocksSkipped)
 		}
 	}
 }

@@ -24,7 +24,12 @@
 //     batch-vectorized executor built on internal/vexec) and fusil 1.0 (the
 //     data-centric compiled executor built on internal/cexec) — plus
 //     deterministic TPC-H / SSB / airtraffic data generators and the
-//     corresponding query workloads.
+//     corresponding query workloads. The typed data layer the vectorized
+//     and compiled engines scan is encoded at import: dictionary-encoded
+//     string columns (predicates, joins and group-bys run on integer
+//     codes) and per-block zone maps that let every scan skip blocks its
+//     pushed-down predicates prove empty, deterministically at any worker
+//     count.
 //   - internal/trace is the observability plane: the EXPLAIN plan-JSON
 //     document and the plan-derived operator-id scheme every engine keys its
 //     execution spans by, so traces from different paradigms compare

@@ -89,6 +89,9 @@ type Stats struct {
 	// PipelinesFused counts the fused push loops executed (one per
 	// pipeline between breakers, including nested statements).
 	PipelinesFused int64
+	// BlocksSkipped counts zone-map blocks the fused scan proved
+	// unsatisfiable under its pushed-down conjuncts and stepped over.
+	BlocksSkipped int64
 }
 
 // Result is a finished query: named output columns of boxed scalars.

@@ -241,6 +241,7 @@ func (ex *executor) fusedScanPipeline(sp *plan.Select, prefix string) (*pipeline
 	sc := &scope{meta: meta}
 	pushdown := ex.compileConds(sp.VexecPushdown[0], sc)
 	residual := ex.compileConds(sp.VexecResidual, sc)
+	zones := table.ZonePreds(in.Alias, sp.VexecPushdown[0])
 
 	var scanSpan, pushSpan, resSpan *trace.Span
 	if ex.traceOn(prefix) {
@@ -258,17 +259,27 @@ func (ex *executor) fusedScanPipeline(sp *plan.Select, prefix string) (*pipeline
 		nr := table.NumRows()
 		nc := len(table.Cols)
 		t0 := time.Now()
-		var pushed, out int64
-		for i := 0; i < nr; i++ {
-			if i&1023 == 0 {
+		var pushed, out, visited, skipped int64
+		for i := 0; i < nr; {
+			// Block boundaries double as the deadline-check cadence; the
+			// skip jump keeps i on boundaries, so every block is tested
+			// exactly once.
+			if i%vexec.ZoneBlockRows == 0 {
 				if err := ex.checkDeadline(); err != nil {
 					return err
+				}
+				if len(zones) > 0 && !table.BlockMayMatch(zones, i/vexec.ZoneBlockRows) {
+					skipped++
+					i += vexec.ZoneBlockRows
+					continue
 				}
 			}
 			row := make([]Scalar, nc)
 			for c := 0; c < nc; c++ {
 				row[c] = table.Cols[c].Vec.At(i)
 			}
+			i++
+			visited++
 			ex.stats.RowsScanned++
 			ok, err := passConds(pushdown, row)
 			if err != nil {
@@ -290,8 +301,9 @@ func (ex *executor) fusedScanPipeline(sp *plan.Select, prefix string) (*pipeline
 				return err
 			}
 		}
+		ex.stats.BlocksSkipped += skipped
 		if scanSpan != nil {
-			scanSpan.Merge(trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(nr)})
+			scanSpan.Merge(trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: visited, BlocksSkipped: skipped})
 		}
 		if pushSpan != nil {
 			pushSpan.Merge(trace.SpanDelta{Rows: pushed})

@@ -49,6 +49,10 @@ type Stats struct {
 	// Batches counts the fixed-size batches processed by the vectorized
 	// engine; the interpreters always report zero.
 	Batches int64
+	// BlocksSkipped counts zone-map blocks a scan proved unsatisfiable
+	// under its pushed-down predicates and never read; only the typed
+	// engines (vectorized and compiled) can report a non-zero count.
+	BlocksSkipped int64
 }
 
 // Add accumulates other into s.
@@ -67,6 +71,7 @@ func (s *Stats) Add(other Stats) {
 	s.AggRows += other.AggRows
 	s.RowsReturned += other.RowsReturned
 	s.Batches += other.Batches
+	s.BlocksSkipped += other.BlocksSkipped
 }
 
 // Map renders the stats as the key/value list reported to the platform.
@@ -86,6 +91,7 @@ func (s Stats) Map() map[string]int64 {
 		"agg_rows":                   s.AggRows,
 		"rows_returned":              s.RowsReturned,
 		"batches":                    s.Batches,
+		"blocks_skipped":             s.BlocksSkipped,
 	}
 }
 

@@ -100,6 +100,7 @@ func (e *fusilEngine) Execute(db *Database, sql string, opts ExecOptions) (*Resu
 			AggRows:            res.Stats.AggRows,
 			RowsReturned:       res.Stats.RowsReturned,
 			SubqueryExecutions: res.Stats.SubqueryExecutions,
+			BlocksSkipped:      res.Stats.BlocksSkipped,
 		},
 	}
 	n := res.NumRows()

@@ -35,11 +35,16 @@ type vektorEngine struct {
 // version and invalidates the entry. The owning database is recorded so a
 // reloaded table (Database.AddTable with a fresh *Table under the same
 // name) evicts only its own predecessors, never a same-named table of
-// another database served by the same engine.
+// another database served by the same engine. Entries are installed as
+// placeholders before the decode runs: ready closes once vt/err are set,
+// so concurrent importers of one version wait for the single build instead
+// of decoding (and dictionary-encoding) the columns again.
 type typedTableEntry struct {
 	version uint64
 	vt      *vexec.Table
 	db      *Database
+	ready   chan struct{}
+	err     error
 }
 
 // VektorOptions tune the vectorized engine variant.
@@ -147,6 +152,7 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 			AggRows:            res.Stats.AggRows,
 			RowsReturned:       res.Stats.RowsReturned,
 			SubqueryExecutions: res.Stats.SubqueryExecutions,
+			BlocksSkipped:      res.Stats.BlocksSkipped,
 		},
 	}
 	n := res.NumRows()
@@ -179,8 +185,9 @@ func (e *vektorEngine) Execute(db *Database, sql string, opts ExecOptions) (*Res
 // engine consuming the typed columnar form (the vectorized and compiled
 // paradigms each own one instance).
 type typedCache struct {
-	mu    sync.Mutex
-	cache map[*Table]*typedTableEntry
+	mu     sync.Mutex
+	cache  map[*Table]*typedTableEntry
+	builds uint64 // decode passes actually run, for the build-once tests
 }
 
 // newTypedCache returns an empty typed-table cache.
@@ -208,29 +215,23 @@ func (c *typedCatalog) VTable(name string) (*vexec.Table, error) {
 // typedTable converts a boxed table into typed vectors, caching the result
 // keyed by the table's data version — the same invalidation hook the plan
 // cache uses — so mutating or reloading a table can never serve stale typed
-// columns.
+// columns. Each version is decoded exactly once: the first caller installs
+// a placeholder entry and builds outside the lock; concurrent callers of
+// the same version block on the entry's ready channel and share the result.
 func (tc *typedCache) typedTable(db *Database, t *Table) (*vexec.Table, error) {
 	version := t.Version()
 	tc.mu.Lock()
-	entry, ok := tc.cache[t]
-	tc.mu.Unlock()
-	if ok && entry.version == version {
-		return entry.vt, nil
+	if entry, ok := tc.cache[t]; ok && entry.version == version {
+		tc.mu.Unlock()
+		<-entry.ready
+		return entry.vt, entry.err
 	}
-	cols := make([]vexec.TableColumn, len(t.Columns))
-	for ci, col := range t.Columns {
-		vec, err := typedColumn(t.ColumnValues(ci))
-		if err != nil {
-			return nil, fmt.Errorf("%w: table %s column %s: %v", vexec.ErrUnsupported, t.Name, col.Name, err)
-		}
-		cols[ci] = vexec.TableColumn{Name: col.Name, Vec: vec}
-	}
-	vt := vexec.NewTable(t.Name, cols...)
-	tc.mu.Lock()
+	entry := &typedTableEntry{version: version, db: db, ready: make(chan struct{})}
 	// Drop superseded entries so a table reloaded via Database.AddTable (a
 	// fresh *Table under the same name in the same database) cannot pin its
 	// predecessors' typed copies forever; the size cap bounds pathological
-	// churn on top.
+	// churn on top. Evicting an in-flight placeholder is harmless: its
+	// waiters hold the entry pointer and still receive the build's result.
 	for old, oe := range tc.cache {
 		if old != t && oe.db == db && strings.EqualFold(old.Name, t.Name) {
 			delete(tc.cache, old)
@@ -240,11 +241,44 @@ func (tc *typedCache) typedTable(db *Database, t *Table) (*vexec.Table, error) {
 		if len(tc.cache) < maxTypedTables {
 			break
 		}
+		if old == t {
+			continue
+		}
 		delete(tc.cache, old)
 	}
-	tc.cache[t] = &typedTableEntry{version: version, vt: vt, db: db}
+	tc.cache[t] = entry
+	tc.builds++
 	tc.mu.Unlock()
-	return vt, nil
+
+	vt, err := buildTypedTable(t)
+	tc.mu.Lock()
+	if err != nil {
+		// Leave no failed entry behind: the next caller retries the build.
+		if tc.cache[t] == entry {
+			delete(tc.cache, t)
+		}
+	} else {
+		entry.vt = vt
+	}
+	entry.err = err
+	tc.mu.Unlock()
+	close(entry.ready)
+	return vt, err
+}
+
+// buildTypedTable runs the full typed import of one boxed table: column
+// decode, dictionary encoding and zone-map construction (both inside
+// vexec.NewTable).
+func buildTypedTable(t *Table) (*vexec.Table, error) {
+	cols := make([]vexec.TableColumn, len(t.Columns))
+	for ci, col := range t.Columns {
+		vec, err := typedColumn(t.ColumnValues(ci))
+		if err != nil {
+			return nil, fmt.Errorf("%w: table %s column %s: %v", vexec.ErrUnsupported, t.Name, col.Name, err)
+		}
+		cols[ci] = vexec.TableColumn{Name: col.Name, Vec: vec}
+	}
+	return vexec.NewTable(t.Name, cols...), nil
 }
 
 // maxTypedTables bounds the typed-column import cache; workloads hold at

@@ -64,9 +64,16 @@ l_pred:
 	f > 120.5
 	f < 33.25
 	s = 'beta'
+	s = 'zeta'
 	s LIKE 'a%'
 	s LIKE '%o'
+	s LIKE 'br%'
 	s NOT LIKE '%l%'
+	s IN ('alpha', 'gamma', 'dora')
+	s IN ('beta', 'zeta', NULL)
+	s NOT IN ('alto', NULL)
+	s >= 'delta'
+	s < 'bravo'
 	s IS NULL
 	s IS NOT NULL
 	a IS NULL

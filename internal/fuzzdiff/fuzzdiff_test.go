@@ -79,6 +79,21 @@ func TestGrammarCoversTernaryConstructs(t *testing.T) {
 			t.Errorf("grammar literals lost sub-query shape %q", want)
 		}
 	}
+	// The dictionary-routed shapes over the low-cardinality string key s:
+	// equality on present and absent values, prefix LIKE, IN lists with
+	// present/absent/NULL members, and code-order range comparisons — the
+	// predicates the typed engines answer on dictionary codes and prune
+	// with string zone maps, which the differential run checks against the
+	// interpreters' raw-string answers.
+	for _, want := range []string{
+		"s = 'beta'", "s = 'zeta'", "s LIKE 'br%'",
+		"s IN ('alpha'", "s IN ('beta', 'zeta', NULL)", "s NOT IN ('alto', NULL)",
+		"s >= 'delta'", "s < 'bravo'",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("grammar literals lost dictionary-string shape %q", want)
+		}
+	}
 }
 
 // TestFingerprintExactness makes sure the fingerprint distinguishes what

@@ -81,15 +81,21 @@ type Span struct {
 	// one-shot applications; approximate under concurrency and absent for
 	// streaming operators.
 	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// BlocksSkipped counts the zone-map blocks a scan proved unsatisfiable
+	// and never visited; zero for engines without zone maps. Deterministic
+	// at every worker count (the skip decision depends only on the table's
+	// block statistics and the pushed-down conjuncts).
+	BlocksSkipped int64 `json:"blocks_skipped,omitempty"`
 }
 
 // SpanDelta is a thread-local span contribution accumulated by one morsel
 // worker and merged into the shared Span by the coordinator, in morsel
 // order.
 type SpanDelta struct {
-	WallNS  int64
-	Rows    int64
-	Batches int64
+	WallNS        int64
+	Rows          int64
+	Batches       int64
+	BlocksSkipped int64
 }
 
 // Merge folds a morsel-local delta into the span; safe on a nil span so
@@ -101,6 +107,7 @@ func (s *Span) Merge(d SpanDelta) {
 	s.WallNS += d.WallNS
 	s.Rows += d.Rows
 	s.Batches += d.Batches
+	s.BlocksSkipped += d.BlocksSkipped
 }
 
 // Timer measures one one-shot operator application: wall time plus the

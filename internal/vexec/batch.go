@@ -21,6 +21,10 @@ type Batch struct {
 	meta []colMeta
 	sel  []int
 	n    int // physical rows in the vectors
+	// selBuf is recycled capacity for the first selection pass; scan
+	// operators that reuse their output frame park the previous batch's
+	// sel here so steady-state filtering stops allocating per batch.
+	selBuf []int
 }
 
 // newBatch builds a batch over dense vectors.
@@ -146,16 +150,32 @@ func concatBatches(batches []*Batch) *Batch {
 func concatVectors(batches []*Batch, ci, total int) *Vector {
 	kind := KindNull
 	anyIsInt := false
+	var dict *Dictionary
+	dictOK := true
 	for _, b := range batches {
 		c := b.cols[ci]
 		if c.Kind != KindNull {
 			kind = c.Kind
+			// chunks stay dictionary-coded only when every string chunk
+			// shares one dictionary; mixed encodings fall back to raw
+			if c.Kind == KindString {
+				if c.Dict == nil || (dict != nil && c.Dict != dict) {
+					dictOK = false
+				} else {
+					dict = c.Dict
+				}
+			}
 		}
 		if c.IsInt != nil {
 			anyIsInt = true
 		}
 	}
-	out := NewVector(kind, total)
+	var out *Vector
+	if kind == KindString && dictOK && dict != nil {
+		out = &Vector{Kind: KindString, n: total, Dict: dict, Codes: make([]uint32, total)}
+	} else {
+		out = NewVector(kind, total)
+	}
 	if kind == KindFloat && anyIsInt {
 		out.Ints = make([]int64, total)
 		out.IsInt = make([]bool, total)
@@ -179,7 +199,11 @@ func concatVectors(batches []*Batch, ci, total int) *Vector {
 					out.IsInt[pos] = true
 				}
 			case KindString:
-				out.Strs[pos] = v.Strs[i]
+				if out.Codes != nil {
+					out.Codes[pos] = v.Codes[i]
+				} else {
+					out.Strs[pos] = v.StrAt(i)
+				}
 			}
 			pos++
 		}

@@ -64,6 +64,11 @@ type Stats struct {
 	// correlated sub-query — probes against the built state are not
 	// executions.
 	SubqueryExecutions int64
+	// BlocksSkipped counts zone-map blocks the scans proved unsatisfiable
+	// under their pushed-down conjuncts and never read. Deterministic at
+	// every worker count: the decision depends only on per-block statistics
+	// and the plan.
+	BlocksSkipped int64
 }
 
 // Result is a finished query: named, typed output columns.
@@ -149,6 +154,11 @@ func ExecutePlan(cat Catalog, p *plan.Plan, opts Options) (*Result, error) {
 	res, err := ex.run(p.Root, "")
 	if err != nil {
 		return nil, err
+	}
+	// Late materialization ends here: dictionary-coded result columns decode
+	// to raw strings only at the query boundary.
+	for i, c := range res.Cols {
+		res.Cols[i] = c.decode()
 	}
 	res.Stats = ex.stats
 	return res, nil
@@ -256,6 +266,12 @@ func (ex *executor) buildFrom(sp *plan.Select, prefix string) (operator, error) 
 			return nil, err
 		}
 		if len(sp.VexecPushdown[i]) > 0 {
+			// A scan under pushdown conjuncts can consult the table's zone
+			// maps and skip whole blocks; only batch sizes aligned to the
+			// block grid keep serial and morsel segmentation identical.
+			if sc, ok := p.(*scanOp); ok && ex.opts.BatchSize%ZoneBlockRows == 0 {
+				sc.zones = sc.table.ZonePreds(sc.alias, sp.VexecPushdown[i])
+			}
 			f := &filterOp{ex: ex, child: p, conjuncts: sp.VexecPushdown[i]}
 			if ex.traceOn(prefix) {
 				f.span = ex.tracer.Span(trace.PushFilterID(prefix, i), trace.KindFilter)
@@ -747,6 +763,24 @@ func compiledCmp(v *Vector) func(a, b int) int {
 		// All rows NULL: every pair ties.
 		return func(a, b int) int { return 0 }
 	case KindString:
+		if v.Dict != nil {
+			// The dictionary is sorted and deduplicated, so code order is
+			// exactly strings.Compare order.
+			codes := v.Codes
+			return func(a, b int) int {
+				if c, done := nullCmp(nulls, a, b); done {
+					return c
+				}
+				switch {
+				case codes[a] < codes[b]:
+					return -1
+				case codes[a] > codes[b]:
+					return 1
+				default:
+					return 0
+				}
+			}
+		}
 		strs := v.Strs
 		return func(a, b int) int {
 			if c, done := nullCmp(nulls, a, b); done {

@@ -144,12 +144,14 @@ func (ctx *evalCtx) resolveColumn(v *sqlparser.ColumnRef) (*Vector, error) {
 	return ctx.batch.dense(idx), nil
 }
 
-// constVec fills a vector with one scalar.
+// constVec fills a vector with one scalar and marks it as a broadcast
+// constant, which is what arms the dictionary fast paths downstream.
 func constVec(s scalar, n int) *Vector {
 	if s.kind == KindNull {
 		return NewNullVector(n)
 	}
 	out := NewVector(s.kind, n)
+	out.constVal = true
 	switch s.kind {
 	case KindInt, KindDate, KindBool:
 		for i := range out.Ints {
@@ -582,13 +584,50 @@ func cmpVec(op string, l, r *Vector) *Vector {
 			}
 			set(i, c)
 		}
+	case l.Kind == KindString && r.Kind == KindString && l.Dict != nil && l.Dict == r.Dict:
+		// Shared dictionary: code order is value order, so the comparison
+		// never touches the strings.
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			a, b := l.Codes[i], r.Codes[i]
+			c := 0
+			if a < b {
+				c = -1
+			} else if a > b {
+				c = 1
+			}
+			set(i, c)
+		}
+	case n > 0 && l.Dict != nil && r.constVal && r.Kind == KindString:
+		// Column-vs-literal: one binary search resolves the literal to a
+		// code (or its insertion point), then every row compares codes.
+		code, exact := l.Dict.Code(r.Strs[0])
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			set(i, dictCmp(l.Codes[i], code, exact))
+		}
+	case n > 0 && r.Dict != nil && l.constVal && l.Kind == KindString:
+		code, exact := r.Dict.Code(l.Strs[0])
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) || r.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			set(i, -dictCmp(r.Codes[i], code, exact))
+		}
 	case l.Kind == KindString && r.Kind == KindString:
 		for i := 0; i < n; i++ {
 			if l.IsNull(i) || r.IsNull(i) {
 				out.SetNull(i)
 				continue
 			}
-			set(i, strings.Compare(l.Strs[i], r.Strs[i]))
+			set(i, strings.Compare(l.StrAt(i), r.StrAt(i)))
 		}
 	default:
 		for i := 0; i < n; i++ {
@@ -603,12 +642,47 @@ func cmpVec(op string, l, r *Vector) *Vector {
 	return out
 }
 
+// dictCmp is the sign of strings.Compare(dict.Vals[c], q) given q's binary
+// search result: when q is present, code comparison; when absent, every
+// code below the insertion point sorts before q and every code at or above
+// it sorts after.
+func dictCmp(c, code uint32, exact bool) int {
+	if exact {
+		if c < code {
+			return -1
+		} else if c > code {
+			return 1
+		}
+		return 0
+	}
+	if c < code {
+		return -1
+	}
+	return 1
+}
+
 // likeVec applies LIKE / NOT LIKE with ternary NULL semantics: a NULL
 // string or pattern yields NULL, negation included (NOT UNKNOWN stays
 // UNKNOWN).
 func likeVec(l, r *Vector, negate bool) *Vector {
 	n := l.Len()
 	out := NewVector(KindBool, n)
+	if n > 0 && l.Dict != nil && r.constVal && r.Kind == KindString && len(l.Dict.Vals) <= 4*n {
+		// Low-cardinality dictionary against a constant pattern: match each
+		// distinct value once, then the scan loop is a table lookup.
+		table := make([]bool, len(l.Dict.Vals))
+		for c, s := range l.Dict.Vals {
+			table[c] = likeMatch(s, r.Strs[0])
+		}
+		for i := 0; i < n; i++ {
+			if l.IsNull(i) {
+				setTri(out, i, sqlsem.Like(true, false, negate))
+				continue
+			}
+			setTri(out, i, sqlsem.Like(false, table[l.Codes[i]], negate))
+		}
+		return out
+	}
 	for i := 0; i < n; i++ {
 		a, b := l.At(i), r.At(i)
 		eitherNull := a.isNull() || b.isNull()
@@ -724,6 +798,26 @@ func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
 	}
 	n := val.Len()
 	out := NewVector(KindBool, n)
+	if codes, listHasNull, ok := dictInCodes(val, items); ok {
+		// Dictionary-coded value against an all-literal string list: the
+		// list resolves to a code set once, and each row is code lookups.
+		for i := 0; i < n; i++ {
+			if val.IsNull(i) {
+				setTri(out, i, inTri(true, false, listHasNull, v.Not))
+				continue
+			}
+			c := val.Codes[i]
+			found := false
+			for _, want := range codes {
+				if c == want {
+					found = true
+					break
+				}
+			}
+			setTri(out, i, inTri(false, found, listHasNull, v.Not))
+		}
+		return out, nil
+	}
 	for i := 0; i < n; i++ {
 		a := val.At(i)
 		var found, listHasNull bool
@@ -744,6 +838,39 @@ func (ctx *evalCtx) evalIn(v *sqlparser.InExpr) (*Vector, error) {
 		setTri(out, i, t)
 	}
 	return out, nil
+}
+
+// inTri folds the IN truth table plus optional negation.
+func inTri(valNull, found, listHasNull, not bool) sqlsem.Tri {
+	t := sqlsem.In(valNull, found, listHasNull, false)
+	if not {
+		t = sqlsem.Not(t)
+	}
+	return t
+}
+
+// dictInCodes resolves an IN list against a dictionary-coded value vector:
+// ok only when every list item is a broadcast string constant (or a NULL
+// literal), in which case the present items' codes are returned. Items
+// absent from the dictionary simply contribute no code — they can never
+// match any row.
+func dictInCodes(val *Vector, items []*Vector) (codes []uint32, listHasNull, ok bool) {
+	if val.Dict == nil || val.Len() == 0 {
+		return nil, false, false
+	}
+	for _, item := range items {
+		switch {
+		case item.Kind == KindNull:
+			listHasNull = true
+		case item.constVal && item.Kind == KindString:
+			if c, exact := val.Dict.Code(item.Strs[0]); exact {
+				codes = append(codes, c)
+			}
+		default:
+			return nil, false, false
+		}
+	}
+	return codes, listHasNull, true
 }
 
 // subFor looks up the prepared state of a sub-query use site.

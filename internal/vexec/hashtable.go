@@ -29,6 +29,7 @@ const (
 	modeUnset keyMode = iota
 	modeInt           // single int-backed key vector: unboxed int64 keys
 	modeStr           // single string key vector: string keys
+	modeDict          // single dictionary-coded string key vector: codes as int64 keys
 	modeBytes         // compound or mixed keys: row encodings in a byte arena
 )
 
@@ -62,10 +63,14 @@ type hashTable struct {
 
 	// Per-group key storage; exactly one is live according to mode. keyOff
 	// has n+1 entries: group g's encoding is arena[keyOff[g]:keyOff[g+1]].
+	// modeDict stores dictionary codes in intKeys and decodes them through
+	// dict only at migration/merge boundaries; code equality is value
+	// equality because the codes of one dictionary are injective.
 	intKeys []int64
 	strKeys []string
 	keyOff  []uint32
 	arena   []byte
+	dict    *Dictionary // modeDict: the single dictionary the codes index
 
 	nullGroup int32 // typed modes: group id of the NULL key; -1 = none
 	n         int
@@ -328,10 +333,12 @@ func (ht *hashTable) lookupNull() int {
 	return -1
 }
 
-// setMode pins a freshly created table to its first batch's mode.
-func (ht *hashTable) setMode(mode keyMode, class byte) {
+// setMode pins a freshly created table to its first batch's mode; dict is
+// the shared dictionary for modeDict and nil otherwise.
+func (ht *hashTable) setMode(mode keyMode, class byte, dict *Dictionary) {
 	ht.mode = mode
 	ht.intClass = class
+	ht.dict = dict
 	if mode == modeBytes && len(ht.keyOff) == 0 {
 		ht.keyOff = append(ht.keyOff, 0)
 	}
@@ -354,6 +361,12 @@ func (ht *hashTable) appendGroupKey(buf []byte, g int) []byte {
 		buf = append(buf, classStr)
 		buf = append(buf, ht.strKeys[g]...)
 		return append(buf, '|')
+	case modeDict:
+		// decode to the modeStr byte form so dict- and raw-keyed tables
+		// produce identical encodings and can merge
+		buf = append(buf, classStr)
+		buf = append(buf, ht.dict.Vals[ht.intKeys[g]]...)
+		return append(buf, '|')
 	default:
 		return append(buf, ht.arena[ht.keyOff[g]:ht.keyOff[g+1]]...)
 	}
@@ -375,6 +388,7 @@ func (ht *hashTable) migrateToBytes() {
 	ht.arena, ht.keyOff = arena, keyOff
 	ht.intKeys, ht.strKeys = nil, nil
 	ht.mode = modeBytes
+	ht.dict = nil
 	ht.nullGroup = -1
 	for i := range ht.slots {
 		ht.slots[i] = 0
@@ -402,9 +416,13 @@ func (ht *hashTable) migrateToBytes() {
 // receiving table to byte mode first.
 func (ht *hashTable) getOrInsertKeyOf(other *hashTable, g int, buf []byte) (group int, isNew bool, scratch []byte) {
 	if ht.mode == modeUnset {
-		ht.setMode(other.mode, other.intClass)
+		ht.setMode(other.mode, other.intClass, other.dict)
 	}
 	compatible := ht.mode == other.mode
+	if compatible && ht.mode == modeDict && ht.dict != other.dict {
+		// codes of different dictionaries are not comparable
+		compatible = false
+	}
 	if compatible && ht.mode == modeInt && ht.intClass != other.intClass {
 		switch {
 		case ht.intClass == classWild:
@@ -416,13 +434,26 @@ func (ht *hashTable) getOrInsertKeyOf(other *hashTable, g int, buf []byte) (grou
 			compatible = false
 		}
 	}
+	if !compatible {
+		switch {
+		case ht.mode == modeInt && ht.intClass == classWild && other.mode == modeDict:
+			// Only the NULL group is stored here (int placeholder, same
+			// layout modeDict uses): adopt the other's dictionary keying.
+			ht.mode, ht.intClass, ht.dict = modeDict, classStr, other.dict
+			compatible = true
+		case ht.mode == modeDict && other.mode == modeInt && other.intClass == classWild:
+			// A wildcard table only ever holds the NULL group, which the
+			// null branch below transfers without touching key payloads.
+			compatible = true
+		}
+	}
 	if compatible {
 		if int32(g) == other.nullGroup && other.mode != modeBytes {
 			group, isNew = ht.getOrInsertNull()
 			return group, isNew, buf
 		}
 		switch ht.mode {
-		case modeInt:
+		case modeInt, modeDict:
 			group, isNew = ht.getOrInsertInt(other.intKeys[g])
 		case modeStr:
 			group, isNew = ht.getOrInsertStr(other.strKeys[g])
@@ -471,40 +502,62 @@ func vecMode(v *Vector) (keyMode, byte) {
 
 // jointMode reconciles the key-vector sides of one table (one side for
 // grouping and DISTINCT, build plus probe for joins) into a single mode.
-func jointMode(sides ...[]*Vector) (keyMode, byte) {
+// When every string side carries the same dictionary, the mode refines to
+// modeDict and the shared dictionary is returned: hashing and equality then
+// run on the integer codes. Mixed dictionaries or a raw string side fall
+// back to modeStr (StrAt decodes per row), which keeps correctness without
+// any cross-dictionary code translation.
+func jointMode(sides ...[]*Vector) (keyMode, byte, *Dictionary) {
 	mode, class := modeUnset, classWild
+	var dict *Dictionary
+	dictOK := true
 	for _, vecs := range sides {
 		if len(vecs) != 1 {
-			return modeBytes, 0
+			return modeBytes, 0, nil
 		}
 		m, c := vecMode(vecs[0])
 		if c == classWild {
 			continue
+		}
+		if m == modeStr {
+			if d := vecs[0].Dict; d == nil || (dict != nil && d != dict) {
+				dictOK = false
+			} else {
+				dict = d
+			}
 		}
 		if mode == modeUnset {
 			mode, class = m, c
 			continue
 		}
 		if m != mode || c != class {
-			return modeBytes, 0
+			return modeBytes, 0, nil
 		}
 	}
 	if mode == modeUnset {
 		// Every side is all-NULL: any typed mode works, ints are cheapest;
 		// the wildcard class keeps the table adoptable by later batches.
-		return modeInt, classWild
+		return modeInt, classWild, nil
 	}
-	return mode, class
+	if mode == modeStr && dictOK && dict != nil {
+		return modeDict, classStr, dict
+	}
+	return mode, class, nil
 }
 
 // prepare reconciles the table's storage mode with the key vectors of the
 // next batch (or join side pair), migrating the stored keys to the byte
 // encoding when they disagree, and returns the coder to use for those rows.
 func (ht *hashTable) prepare(sides ...[]*Vector) keyCoder {
-	mode, class := jointMode(sides...)
+	mode, class, dict := jointMode(sides...)
 	switch {
 	case ht.mode == modeUnset:
-		ht.setMode(mode, class)
+		ht.setMode(mode, class, dict)
+	case ht.mode == modeStr && mode == modeDict:
+		// Raw string keys are stored; dict-coded rows decode through StrAt
+		// under the modeStr coder, so nothing needs to migrate.
+	case ht.mode == modeDict && mode == modeDict && ht.dict != dict:
+		ht.migrateToBytes()
 	case ht.mode != mode:
 		ht.migrateToBytes()
 	case mode == modeInt && ht.intClass != class:
@@ -543,7 +596,7 @@ func appendVecKey(buf []byte, v *Vector, i int) []byte {
 	switch v.Kind {
 	case KindString:
 		buf = append(buf, classStr)
-		return append(buf, v.Strs[i]...)
+		return append(buf, v.StrAt(i)...)
 	case KindDate:
 		buf = append(buf, classDate)
 		return strconv.AppendInt(buf, v.Ints[i], 10)
@@ -597,11 +650,16 @@ func (kc *keyCoder) getOrInsert(ht *hashTable, vecs []*Vector, i int) (int, bool
 			return ht.getOrInsertNull()
 		}
 		return ht.getOrInsertInt(vecs[0].Ints[i])
+	case modeDict:
+		if vecs[0].IsNull(i) {
+			return ht.getOrInsertNull()
+		}
+		return ht.getOrInsertInt(int64(vecs[0].Codes[i]))
 	case modeStr:
 		if vecs[0].IsNull(i) {
 			return ht.getOrInsertNull()
 		}
-		return ht.getOrInsertStr(vecs[0].Strs[i])
+		return ht.getOrInsertStr(vecs[0].StrAt(i))
 	default:
 		kc.buf = encodeRowKey(kc.buf[:0], vecs, i)
 		return ht.getOrInsertBytes(kc.buf)
@@ -618,11 +676,16 @@ func (kc *keyCoder) lookup(ht *hashTable, vecs []*Vector, i int) int {
 			return ht.lookupNull()
 		}
 		return ht.lookupInt(vecs[0].Ints[i])
+	case modeDict:
+		if vecs[0].IsNull(i) {
+			return ht.lookupNull()
+		}
+		return ht.lookupInt(int64(vecs[0].Codes[i]))
 	case modeStr:
 		if vecs[0].IsNull(i) {
 			return ht.lookupNull()
 		}
-		return ht.lookupStr(vecs[0].Strs[i])
+		return ht.lookupStr(vecs[0].StrAt(i))
 	default:
 		kc.buf = encodeRowKey(kc.buf[:0], vecs, i)
 		return ht.lookupBytes(kc.buf)
@@ -640,11 +703,16 @@ func (kc *keyCoder) hash(vecs []*Vector, i int) uint64 {
 			return nullKeyHash
 		}
 		return mix64(uint64(vecs[0].Ints[i]))
+	case modeDict:
+		if vecs[0].IsNull(i) {
+			return nullKeyHash
+		}
+		return mix64(uint64(vecs[0].Codes[i]))
 	case modeStr:
 		if vecs[0].IsNull(i) {
 			return nullKeyHash
 		}
-		return hashString(vecs[0].Strs[i])
+		return hashString(vecs[0].StrAt(i))
 	default:
 		kc.buf = encodeRowKey(kc.buf[:0], vecs, i)
 		return hashBytes(kc.buf)
@@ -663,11 +731,16 @@ func (kc *keyCoder) getOrInsertHashed(ht *hashTable, vecs []*Vector, i int, h ui
 			return ht.getOrInsertNull()
 		}
 		return ht.getOrInsertIntH(vecs[0].Ints[i], h)
+	case modeDict:
+		if vecs[0].IsNull(i) {
+			return ht.getOrInsertNull()
+		}
+		return ht.getOrInsertIntH(int64(vecs[0].Codes[i]), h)
 	case modeStr:
 		if vecs[0].IsNull(i) {
 			return ht.getOrInsertNull()
 		}
-		return ht.getOrInsertStrH(vecs[0].Strs[i], h)
+		return ht.getOrInsertStrH(vecs[0].StrAt(i), h)
 	default:
 		kc.buf = encodeRowKey(kc.buf[:0], vecs, i)
 		return ht.getOrInsertBytesH(kc.buf, h)
@@ -685,11 +758,16 @@ func (kc *keyCoder) lookupHashed(ht *hashTable, vecs []*Vector, i int, h uint64)
 			return ht.lookupNull()
 		}
 		return ht.lookupIntH(vecs[0].Ints[i], h)
+	case modeDict:
+		if vecs[0].IsNull(i) {
+			return ht.lookupNull()
+		}
+		return ht.lookupIntH(int64(vecs[0].Codes[i]), h)
 	case modeStr:
 		if vecs[0].IsNull(i) {
 			return ht.lookupNull()
 		}
-		return ht.lookupStrH(vecs[0].Strs[i], h)
+		return ht.lookupStrH(vecs[0].StrAt(i), h)
 	default:
 		return ht.lookupBytesH(kc.buf, h)
 	}

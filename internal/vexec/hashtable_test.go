@@ -162,7 +162,7 @@ func TestJointMode(t *testing.T) {
 		{[][]*Vector{{iv, sv}}, modeBytes}, // compound keys
 	}
 	for i, tc := range cases {
-		if mode, _ := jointMode(tc.sides...); mode != tc.want {
+		if mode, _, _ := jointMode(tc.sides...); mode != tc.want {
 			t.Errorf("case %d: mode = %v, want %v", i, mode, tc.want)
 		}
 	}

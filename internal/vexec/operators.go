@@ -20,13 +20,30 @@ type operator interface {
 // --- scan --------------------------------------------------------------------
 
 // scanOp emits fixed-size windows over a typed base table. The windows are
-// zero-copy slices of the table's vectors.
+// zero-copy slices of the table's vectors. With zone predicates attached
+// (pushed-down conjuncts over a block-aligned batch size) each window is
+// split into its maximal runs of satisfiable blocks and the rest is never
+// read; the same run segmentation is reproduced by the morsel-parallel
+// path, so stats and traces stay identical at every worker count.
 type scanOp struct {
-	ex    *executor
-	table *Table
-	meta  []colMeta
-	pos   int
-	span  *trace.Span // nil when tracing is off
+	ex     *executor
+	table  *Table
+	alias  string
+	meta   []colMeta
+	pos    int
+	zones  []ZonePred
+	runs   [][2]int // kept runs of the current window, [lo, hi) row ranges
+	runIdx int
+	span   *trace.Span // nil when tracing is off
+
+	// reuse arms the single-frame fast path: the scan overwrites one Batch
+	// (and its Vector structs) in place instead of allocating per window.
+	// Only enabled for pipelines that fully consume each batch before the
+	// next pull and retain nothing but boxed scalars — the serial
+	// aggregation loop.
+	reuse     bool
+	frame     Batch
+	frameCols []Vector
 }
 
 func newScanOp(ex *executor, t *Table, alias string) *scanOp {
@@ -37,40 +54,131 @@ func newScanOp(ex *executor, t *Table, alias string) *scanOp {
 	for i, c := range t.Cols {
 		meta[i] = colMeta{table: strings.ToLower(alias), name: strings.ToLower(c.Name)}
 	}
-	return &scanOp{ex: ex, table: t, meta: meta}
+	return &scanOp{ex: ex, table: t, alias: alias, meta: meta}
 }
 
 func (s *scanOp) schema() []colMeta { return s.meta }
 
+// keptRuns appends the maximal runs of zone-satisfiable blocks within
+// window [lo, hi) — block-aligned at lo by construction — and returns the
+// number of skipped blocks. Without zone predicates the window is one run.
+func keptRuns(runs [][2]int, t *Table, zones []ZonePred, lo, hi int) ([][2]int, int64) {
+	if len(zones) == 0 {
+		return append(runs, [2]int{lo, hi}), 0
+	}
+	var skipped int64
+	runStart := -1
+	for b := lo / ZoneBlockRows; b*ZoneBlockRows < hi; b++ {
+		blo := b * ZoneBlockRows
+		if t.BlockMayMatch(zones, b) {
+			if runStart < 0 {
+				runStart = blo
+			}
+			continue
+		}
+		skipped++
+		if runStart >= 0 {
+			runs = append(runs, [2]int{runStart, blo})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, [2]int{runStart, hi})
+	}
+	return runs, skipped
+}
+
 func (s *scanOp) next() (*Batch, error) {
-	if s.pos >= s.table.NumRows() {
-		return nil, nil
+	for {
+		if s.runIdx >= len(s.runs) {
+			if s.pos >= s.table.NumRows() {
+				return nil, nil
+			}
+			if err := s.ex.checkDeadline(); err != nil {
+				return nil, err
+			}
+			hi := s.pos + s.ex.opts.BatchSize
+			if hi > s.table.NumRows() {
+				hi = s.table.NumRows()
+			}
+			var skipped int64
+			s.runs, skipped = keptRuns(s.runs[:0], s.table, s.zones, s.pos, hi)
+			s.runIdx = 0
+			s.pos = hi
+			if skipped > 0 {
+				s.ex.stats.BlocksSkipped += skipped
+				if s.span != nil {
+					s.span.BlocksSkipped += skipped
+				}
+			}
+			continue
+		}
+		r := s.runs[s.runIdx]
+		s.runIdx++
+		var t0 time.Time
+		if s.span != nil {
+			t0 = time.Now()
+		}
+		lo, hi := r[0], r[1]
+		var b *Batch
+		if s.reuse {
+			b = s.frameBatch(lo, hi)
+		} else {
+			b = &Batch{n: hi - lo, meta: s.meta}
+			b.cols = make([]*Vector, len(s.table.Cols))
+			for i, c := range s.table.Cols {
+				b.cols[i] = c.Vec.Slice(lo, hi)
+			}
+		}
+		s.ex.stats.RowsScanned += int64(hi - lo)
+		s.ex.stats.Batches++
+		if s.span != nil {
+			s.span.WallNS += time.Since(t0).Nanoseconds()
+			s.span.Rows += int64(hi - lo)
+			s.span.Batches++
+		}
+		return b, nil
 	}
-	if err := s.ex.checkDeadline(); err != nil {
-		return nil, err
+}
+
+// frameBatch overwrites the scan's reusable frame with window [lo, hi).
+// The previous batch's selection capacity is parked in selBuf so the first
+// filter pass stops allocating too.
+func (s *scanOp) frameBatch(lo, hi int) *Batch {
+	b := &s.frame
+	if s.frameCols == nil {
+		s.frameCols = make([]Vector, len(s.table.Cols))
+		b.cols = make([]*Vector, len(s.table.Cols))
+		for i := range s.frameCols {
+			b.cols[i] = &s.frameCols[i]
+		}
+		b.meta = s.meta
 	}
-	var t0 time.Time
-	if s.span != nil {
-		t0 = time.Now()
+	if b.sel != nil {
+		b.selBuf = b.sel[:0]
+		b.sel = nil
 	}
-	hi := s.pos + s.ex.opts.BatchSize
-	if hi > s.table.NumRows() {
-		hi = s.table.NumRows()
-	}
-	b := &Batch{n: hi - s.pos, meta: s.meta}
-	b.cols = make([]*Vector, len(s.table.Cols))
+	b.n = hi - lo
 	for i, c := range s.table.Cols {
-		b.cols[i] = c.Vec.Slice(s.pos, hi)
+		sliceInto(&s.frameCols[i], c.Vec, lo, hi)
 	}
-	s.ex.stats.RowsScanned += int64(hi - s.pos)
-	s.ex.stats.Batches++
-	if s.span != nil {
-		s.span.WallNS += time.Since(t0).Nanoseconds()
-		s.span.Rows += int64(hi - s.pos)
-		s.span.Batches++
+	return b
+}
+
+// markScanReuse arms frame reuse on the scan under a chain of filters; the
+// caller guarantees each batch is fully consumed before the next pull.
+func markScanReuse(op operator) {
+	for {
+		switch o := op.(type) {
+		case *filterOp:
+			op = o.child
+		case *scanOp:
+			o.reuse = true
+			return
+		default:
+			return
+		}
 	}
-	s.pos = hi
-	return b, nil
 }
 
 // dualOp emits a single one-row, zero-column batch: the FROM-less SELECT.
@@ -154,7 +262,13 @@ func applyConjuncts(ex *executor, b *Batch, conjuncts []sqlparser.Expr, st *Stat
 		// The empty selection must stay non-nil: a nil selection vector
 		// means "all rows live".
 		if b.sel == nil {
-			sel := make([]int, 0, b.n)
+			sel := b.selBuf // recycled capacity from a reused frame, if any
+			if sel == nil {
+				sel = make([]int, 0, b.n)
+			} else {
+				sel = sel[:0]
+				b.selBuf = nil
+			}
 			for i := 0; i < b.n; i++ {
 				if !pred.IsNull(i) && truthy(pred, i) {
 					sel = append(sel, i)
@@ -813,6 +927,10 @@ func (ex *executor) hashAggregate(child operator, stmt *sqlparser.SelectStatemen
 			return ex.parallelHashAggregate(src, layers, stmt, specs, carried)
 		}
 	}
+
+	// The serial drain fully consumes each batch before pulling the next
+	// and retains only boxed scalars, so the scan can recycle one frame.
+	markScanReuse(child)
 
 	ht := newHashTable(64)
 	var order []*aggState

@@ -87,6 +87,7 @@ func (s *Stats) add(o Stats) {
 	s.Groups += o.Groups
 	s.AggRows += o.AggRows
 	s.RowsReturned += o.RowsReturned
+	s.BlocksSkipped += o.BlocksSkipped
 }
 
 // --- morsel sources -----------------------------------------------------------
@@ -95,11 +96,13 @@ func (s *Stats) add(o Stats) {
 // either a base-table scan or the re-emission of a dense materialized
 // batch. Windows are zero-copy vector slices, like the serial operators'.
 type morselSource struct {
-	cols []*Vector
-	meta []colMeta
-	rows int
-	scan bool        // base-table scan: windows count into RowsScanned
-	span *trace.Span // the scan's span; nil when tracing is off
+	cols  []*Vector
+	meta  []colMeta
+	rows  int
+	scan  bool        // base-table scan: windows count into RowsScanned
+	span  *trace.Span // the scan's span; nil when tracing is off
+	table *Table      // zone-map owner; nil for materialized intermediates
+	zones []ZonePred  // compiled zone predicates; empty disables skipping
 }
 
 func (s *scanOp) morselSource() morselSource {
@@ -107,7 +110,8 @@ func (s *scanOp) morselSource() morselSource {
 	for i, c := range s.table.Cols {
 		cols[i] = c.Vec
 	}
-	return morselSource{cols: cols, meta: s.meta, rows: s.table.NumRows(), scan: true, span: s.span}
+	return morselSource{cols: cols, meta: s.meta, rows: s.table.NumRows(),
+		scan: true, span: s.span, table: s.table, zones: s.zones}
 }
 
 func (m *matOp) morselSource() morselSource {
@@ -147,11 +151,13 @@ type filterLayer struct {
 	span      *trace.Span
 }
 
-// filterMorsel applies the filter layers to one morsel window in
+// filterMorsel applies the filter layers to one kept run of a morsel in
 // application order; like the serial filter stack, a layer that empties
 // the batch stops the remaining layers from running. When d is non-nil it
-// receives the per-layer span deltas at d[1:] (d[0] is the source window's
-// delta, filled by the caller): a layer's delta is recorded exactly when
+// accumulates the per-layer span deltas at d[1:] (d[0] is the source
+// window's delta, filled by the caller) — accumulates, because zone-map
+// skipping can split one morsel into several kept runs, each entering the
+// filter stack as its own batch. A layer's delta is recorded exactly when
 // the layer runs, which is the serial filterOp's per-entering-batch
 // accounting, so merged traces match the serial ones bit for bit.
 func filterMorsel(ex *executor, b *Batch, layers []filterLayer, st *Stats, d []trace.SpanDelta) error {
@@ -165,7 +171,9 @@ func filterMorsel(ex *executor, b *Batch, layers []filterLayer, st *Stats, d []t
 		}
 		if d != nil {
 			now := time.Now()
-			d[li+1] = trace.SpanDelta{WallNS: now.Sub(t0).Nanoseconds(), Rows: int64(b.Len()), Batches: 1}
+			d[li+1].WallNS += now.Sub(t0).Nanoseconds()
+			d[li+1].Rows += int64(b.Len())
+			d[li+1].Batches++
 			t0 = now
 		}
 		if b.Len() == 0 {
@@ -233,7 +241,7 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 		return materialize(op)
 	}
 	nm := src.numMorsels(bs)
-	outs := make([]*Batch, nm)
+	outs := make([][]*Batch, nm)
 	errs := make([]error, nm)
 	stats := make([]Stats, nm)
 	var deltas [][]trace.SpanDelta
@@ -247,27 +255,43 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 			return
 		}
 		var d []trace.SpanDelta
-		var t0 time.Time
 		if deltas != nil {
 			d = make([]trace.SpanDelta, len(layers)+1)
 			deltas[m] = d
-			t0 = time.Now()
 		}
-		b := src.window(lo, hi)
 		st := &stats[m]
-		if src.scan {
-			st.RowsScanned += int64(hi - lo)
+		// Morsels start on BatchSize boundaries, which are block-aligned
+		// whenever zones are attached, so the kept runs here are exactly
+		// the batches the serial scan emits for this window.
+		runs, skipped := keptRuns(nil, src.table, src.zones, lo, hi)
+		if skipped > 0 {
+			st.BlocksSkipped += skipped
+			if d != nil {
+				d[0].BlocksSkipped += skipped
+			}
 		}
-		st.Batches++
-		if d != nil {
-			d[0] = trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(hi - lo), Batches: 1}
-		}
-		if err := filterMorsel(ex, b, layers, st, d); err != nil {
-			errs[m] = err
-			return
-		}
-		if b.Len() > 0 {
-			outs[m] = b
+		for _, run := range runs {
+			var t0 time.Time
+			if d != nil {
+				t0 = time.Now()
+			}
+			b := src.window(run[0], run[1])
+			if src.scan {
+				st.RowsScanned += int64(run[1] - run[0])
+			}
+			st.Batches++
+			if d != nil {
+				d[0].WallNS += time.Since(t0).Nanoseconds()
+				d[0].Rows += int64(run[1] - run[0])
+				d[0].Batches++
+			}
+			if err := filterMorsel(ex, b, layers, st, d); err != nil {
+				errs[m] = err
+				return
+			}
+			if b.Len() > 0 {
+				outs[m] = append(outs[m], b)
+			}
 		}
 	})
 	for _, st := range stats {
@@ -280,10 +304,8 @@ func (ex *executor) materializeOp(op operator) (*Batch, error) {
 		}
 	}
 	var batches []*Batch
-	for _, b := range outs {
-		if b != nil {
-			batches = append(batches, b)
-		}
+	for _, mb := range outs {
+		batches = append(batches, mb...)
 	}
 	if len(batches) == 0 {
 		out := &Batch{n: 0, meta: src.meta}
@@ -340,27 +362,53 @@ func (ex *executor) parallelHashAggregate(src morselSource, layers []filterLayer
 			mo.err = err
 			return
 		}
-		var t0 time.Time
 		if ex.tracer != nil {
 			mo.deltas = make([]trace.SpanDelta, len(layers)+1)
-			t0 = time.Now()
 		}
-		b := src.window(lo, hi)
-		if src.scan {
-			mo.stats.RowsScanned += int64(hi - lo)
+		runs, skipped := keptRuns(nil, src.table, src.zones, lo, hi)
+		if skipped > 0 {
+			mo.stats.BlocksSkipped += skipped
+			if mo.deltas != nil {
+				mo.deltas[0].BlocksSkipped += skipped
+			}
 		}
-		mo.stats.Batches++
-		if mo.deltas != nil {
-			mo.deltas[0] = trace.SpanDelta{WallNS: time.Since(t0).Nanoseconds(), Rows: int64(hi - lo), Batches: 1}
+		// Filter each kept run as its own batch — the serial scan's batch
+		// segmentation — then stitch the survivors into one dense batch for
+		// the element-wise key/argument evaluation below.
+		var kept []*Batch
+		for _, run := range runs {
+			var t0 time.Time
+			if mo.deltas != nil {
+				t0 = time.Now()
+			}
+			b := src.window(run[0], run[1])
+			if src.scan {
+				mo.stats.RowsScanned += int64(run[1] - run[0])
+			}
+			mo.stats.Batches++
+			if mo.deltas != nil {
+				mo.deltas[0].WallNS += time.Since(t0).Nanoseconds()
+				mo.deltas[0].Rows += int64(run[1] - run[0])
+				mo.deltas[0].Batches++
+			}
+			if err := filterMorsel(ex, b, layers, &mo.stats, mo.deltas); err != nil {
+				mo.err = err
+				return
+			}
+			if b.Len() > 0 {
+				kept = append(kept, b)
+			}
 		}
-		if err := filterMorsel(ex, b, layers, &mo.stats, mo.deltas); err != nil {
-			mo.err = err
+		var b *Batch
+		switch len(kept) {
+		case 0:
 			return
+		case 1:
+			b = kept[0]
+		default:
+			b = concatBatches(kept)
 		}
 		n := b.Len()
-		if n == 0 {
-			return
-		}
 		mo.n = n
 		mo.stats.AggRows += int64(n)
 		var err error
@@ -500,7 +548,7 @@ func (ex *executor) parallelHashAggregate(src morselSource, layers []filterLayer
 func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector) ([]int, []int, error) {
 	p := ex.parallelism()
 	bs := ex.opts.BatchSize
-	mode, class := jointMode(bVecs, pVecs)
+	mode, class, dict := jointMode(bVecs, pVecs)
 
 	nPart := 1
 	bits := uint(0)
@@ -552,7 +600,7 @@ func (ex *executor) parallelJoinPairs(nBuild, nProbe int, bVecs, pVecs []*Vector
 	parallelFor(p, nPart, func(pt int) {
 		rows := buckets[pt]
 		ht := newHashTable(len(rows))
-		ht.setMode(mode, class)
+		ht.setMode(mode, class, dict)
 		kc := keyCoder{mode: mode}
 		jl := joinLists{next: next}
 		var inserted int64

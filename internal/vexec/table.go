@@ -9,11 +9,15 @@ type TableColumn struct {
 // Table is a base table in vexec's typed columnar format. Instances are
 // produced by the engine-level column-import shim, which decodes the boxed
 // []Value storage of engine.Database into typed vectors once and caches the
-// result.
+// result. Construction is where the storage encodings happen: string
+// columns up to DictMaxCardinality distinct values are dictionary-encoded,
+// and per-block zone maps are computed for every column that admits them —
+// both once per table version, amortized by the typed cache.
 type Table struct {
-	Name string
-	Cols []TableColumn
-	rows int
+	Name  string
+	Cols  []TableColumn
+	rows  int
+	zones *zoneMap
 }
 
 // NewTable builds a table from typed columns; all vectors must have the same
@@ -23,7 +27,23 @@ func NewTable(name string, cols ...TableColumn) *Table {
 	if len(cols) > 0 {
 		t.rows = cols[0].Vec.Len()
 	}
+	for i, c := range t.Cols {
+		t.Cols[i].Vec = dictEncode(c.Vec)
+	}
+	t.zones = buildZoneMap(t.Cols, t.rows)
 	return t
+}
+
+// DictFor returns the dictionary of the named column, or nil when the
+// column is absent or stored raw; used by tests and the explain surface to
+// report encoding routes.
+func (t *Table) DictFor(name string) *Dictionary {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c.Vec.Dict
+		}
+	}
+	return nil
 }
 
 // NumRows returns the number of rows.

@@ -43,6 +43,11 @@ func (k Kind) String() string {
 // This per-row duality is what lets integer-preserving division and CASE
 // expressions over mixed numeric arms reproduce the boxed-value semantics of
 // internal/engine without giving up unboxed storage for the common case.
+// A KindString vector may instead be dictionary-encoded: Dict holds the
+// sorted distinct values and Codes the per-row indexes into it (Strs is nil
+// then). Code order equals value order, so comparison, grouping and sorting
+// can run on codes; StrAt and At materialize strings lazily. Null rows keep
+// code 0 so Codes is always indexable.
 type Vector struct {
 	Kind   Kind
 	Ints   []int64
@@ -50,7 +55,14 @@ type Vector struct {
 	Strs   []string
 	Nulls  []bool
 	IsInt  []bool
+	Dict   *Dictionary
+	Codes  []uint32
 	n      int
+	// constVal marks a vector broadcast from a single literal (or a
+	// materialized uncorrelated scalar sub-query): every row carries the
+	// same value, which unlocks the dictionary fast paths in cmpVec,
+	// likeVec and IN-list evaluation.
+	constVal bool
 }
 
 // NewVector allocates a vector of the given kind and length with all payload
@@ -136,6 +148,14 @@ func (v *Vector) Gather(sel []int) *Vector {
 			}
 		}
 	case KindString:
+		if v.Dict != nil {
+			out.Dict = v.Dict
+			out.Codes = make([]uint32, len(sel))
+			for i, ri := range sel {
+				out.Codes[i] = v.Codes[ri]
+			}
+			break
+		}
 		out.Strs = make([]string, len(sel))
 		for i, ri := range sel {
 			out.Strs[i] = v.Strs[ri]
@@ -164,7 +184,12 @@ func (v *Vector) GatherNullable(sel []int) *Vector {
 			out.Ints = make([]int64, len(sel))
 		}
 	case KindString:
-		out.Strs = make([]string, len(sel))
+		if v.Dict != nil {
+			out.Dict = v.Dict
+			out.Codes = make([]uint32, len(sel))
+		} else {
+			out.Strs = make([]string, len(sel))
+		}
 	}
 	for i, ri := range sel {
 		if ri < 0 || v.IsNull(ri) {
@@ -181,7 +206,11 @@ func (v *Vector) GatherNullable(sel []int) *Vector {
 				out.Ints[i] = v.Ints[ri]
 			}
 		case KindString:
-			out.Strs[i] = v.Strs[ri]
+			if v.Dict != nil {
+				out.Codes[i] = v.Codes[ri]
+			} else {
+				out.Strs[i] = v.Strs[ri]
+			}
 		}
 	}
 	return out
@@ -201,6 +230,10 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 	if v.Strs != nil {
 		out.Strs = v.Strs[lo:hi]
 	}
+	if v.Codes != nil {
+		out.Dict = v.Dict
+		out.Codes = v.Codes[lo:hi]
+	}
 	if v.Nulls != nil {
 		out.Nulls = v.Nulls[lo:hi]
 	}
@@ -208,6 +241,31 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 		out.IsInt = v.IsInt[lo:hi]
 	}
 	return out
+}
+
+// sliceInto overwrites dst with the zero-copy window [lo, hi) of src — the
+// allocation-free form of Slice used by the scan's reusable frame.
+func sliceInto(dst, src *Vector, lo, hi int) {
+	*dst = Vector{Kind: src.Kind, n: hi - lo}
+	if src.Ints != nil {
+		dst.Ints = src.Ints[lo:hi]
+	}
+	if src.Floats != nil {
+		dst.Floats = src.Floats[lo:hi]
+	}
+	if src.Strs != nil {
+		dst.Strs = src.Strs[lo:hi]
+	}
+	if src.Codes != nil {
+		dst.Dict = src.Dict
+		dst.Codes = src.Codes[lo:hi]
+	}
+	if src.Nulls != nil {
+		dst.Nulls = src.Nulls[lo:hi]
+	}
+	if src.IsInt != nil {
+		dst.IsInt = src.IsInt[lo:hi]
+	}
 }
 
 // scalar is one SQL value extracted from a vector row: the boxed form used
@@ -236,6 +294,9 @@ func (v *Vector) At(i int) scalar {
 		}
 		return scalar{kind: KindFloat, f: v.Floats[i]}
 	case KindString:
+		if v.Dict != nil {
+			return scalar{kind: KindString, s: v.Dict.Vals[v.Codes[i]]}
+		}
 		return scalar{kind: KindString, s: v.Strs[i]}
 	default:
 		return nullScalar

@@ -313,10 +313,11 @@ nav a { margin-right: 1em; }
 {{if not .Targets}}<p>No traced results for this query yet; run the driver with tracing enabled.</p>{{else}}
 <p>Per-operator spans of every traced target, keyed to the shared plan operator ids
 (see the EXPLAIN plan-JSON of the query). A dash means the target's execution
-strategy has no such operator.</p>
+strategy has no such operator. Scan spans of the typed engines additionally
+report the zone-map blocks they skipped ("+N skipped").</p>
 <table><tr><th>operator</th><th>kind</th>{{range .Targets}}<th>{{.}} (ms / rows)</th>{{end}}</tr>
 {{range .Rows}}<tr><td><code>{{.OpID}}</code></td><td>{{.Kind}}</td>
-{{range .Spans}}<td>{{if .}}{{millis .WallNS}} / {{.Rows}}{{else}}—{{end}}</td>{{end}}</tr>{{end}}
+{{range .Spans}}<td>{{if .}}{{millis .WallNS}} / {{.Rows}}{{if .BlocksSkipped}} / +{{.BlocksSkipped}} skipped{{end}}{{else}}—{{end}}</td>{{end}}</tr>{{end}}
 </table>
 {{if .Ratios}}
 <h2>Operator-level ratio: {{.TargetA}} vs {{.TargetB}}</h2>

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite with -benchmem and record the
+# results as BENCH_<date>.json in the repo root: one entry per benchmark
+# with its name, ns/op, allocs/op and bytes/op, so successive runs can be
+# diffed across PRs.
+#
+# Usage:
+#   scripts/bench.sh                       # full suite, default benchtime
+#   BENCH_PATTERN=StringEncodings scripts/bench.sh
+#   BENCH_TIME=1x scripts/bench.sh         # one iteration per benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern=${BENCH_PATTERN:-.}
+benchtime=${BENCH_TIME:-300ms}
+out="BENCH_$(date +%F).json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+awk -v date="$(date +%F)" -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, benchtime
+    sep = ""
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "ns/op") ns = $i
+        else if ($(i + 1) == "B/op") bytes = $i
+        else if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    printf "%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}", sep, name, ns, allocs, bytes
+    sep = ","
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"
