@@ -47,6 +47,13 @@
 //     snapshot plus log replay, and a crash-point fault-injection harness
 //     proves that kill -9 at any record boundary loses no acknowledged
 //     measurement and double-leases no task.
+//   - internal/lint and cmd/sqalpel-vet are the enforced-invariants plane:
+//     five go/analysis-style analyzers (mapiterdet, lockmarshal,
+//     sqlsemroute, tracenilalloc, walack) that mechanically hold the tree
+//     to the determinism, lock-discipline, NULL-semantics, trace-seam and
+//     WAL-durability contracts the earlier PRs established, as a blocking
+//     CI gate (scripts/lint.sh, or go vet -vettool). See ARCHITECTURE.md,
+//     "Enforced invariants".
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper plus the scheduler scaling table; EXPERIMENTS.md records the

@@ -349,11 +349,9 @@ func (ex *executor) inputRel(in *plan.Input, idx int, prefix string) (*rel, erro
 		// explicit JOIN trees run untraced, like the interpreters.
 		childPrefix := noTracePrefix
 		var tm trace.Timer
-		if idx >= 0 {
+		if idx >= 0 && ex.traceOn(prefix) {
 			childPrefix = trace.DerivedPrefix(prefix, idx)
-			if ex.traceOn(prefix) {
-				tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
-			}
+			tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
 		}
 		r, err := ex.runRel(in.Derived, in.Schema, childPrefix)
 		if err != nil {

@@ -35,6 +35,7 @@ type Outcome struct {
 
 // Failed reports whether the query failed on any target.
 func (o *Outcome) Failed() bool {
+	//lint:ordered existence scan; any iteration order yields the same boolean
 	for _, m := range o.ByTarget {
 		if m.Failed() {
 			return true
@@ -411,6 +412,7 @@ func (s *Search) OperatorRatios(a, b string) []OperatorRatio {
 		}
 	}
 	out := make([]OperatorRatio, 0, len(byKind))
+	//lint:ordered rows are given a total order by the Kind sort below before returning
 	for kind, c := range byKind {
 		r := OperatorRatio{
 			Kind:     kind,

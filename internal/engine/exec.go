@@ -269,7 +269,7 @@ func (ex *executor) executeSelect(sp *plan.Select, outer *scope, prefix string) 
 	j := 1
 	for cur := sp; cur.SetNext != nil; cur = cur.SetNext {
 		branchPrefix := untracedPrefix
-		if prefix != untracedPrefix {
+		if ex.traced(prefix) {
 			branchPrefix = trace.SetPrefix(prefix, j)
 		}
 		right, err := ex.executeSelectCore(cur.SetNext, outer, branchPrefix)
@@ -750,6 +750,7 @@ func (ex *executor) leftOuterJoin(left, right *relation, j *plan.Join, outer *sc
 					if err != nil {
 						return nil, err
 					}
+					//lint:nullsafe consumer collapse: ON-clause residuals reject UNKNOWN rows, per SQL join semantics
 					if !v.Bool() {
 						ok = false
 						break
@@ -849,6 +850,7 @@ func (ex *executor) applyFilter(rel *relation, conjuncts []sqlparser.Expr, outer
 			if err != nil {
 				return nil, err
 			}
+			//lint:nullsafe consumer collapse: the WHERE boundary rejects UNKNOWN rows, per SQL semantics
 			if !v.Bool() {
 				ok = false
 				break
@@ -990,6 +992,7 @@ func (ex *executor) projectGrouped(stmt *sqlparser.SelectStatement, rel *relatio
 			if err != nil {
 				return nil, nil, err
 			}
+			//lint:nullsafe consumer collapse: the HAVING boundary rejects UNKNOWN groups, per SQL semantics
 			if !v.Bool() {
 				continue
 			}

@@ -1,0 +1,12 @@
+package lockmarshal_test
+
+import (
+	"testing"
+
+	"sqalpel/internal/lint/analysistest"
+	"sqalpel/internal/lint/lockmarshal"
+)
+
+func TestLockMarshal(t *testing.T) {
+	analysistest.Run(t, "testdata", lockmarshal.Analyzer, "internal/repository")
+}

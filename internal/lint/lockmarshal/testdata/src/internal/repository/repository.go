@@ -1,0 +1,111 @@
+// Package repository is the lockmarshal fixture: a miniature of the real
+// store — write locks, a WAL writer, the blessed logApply seam, and a
+// one-hop I/O helper — exercising every flag/exempt decision the analyzer
+// makes.
+package repository
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+type walSink interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+type walWriter struct{ sink walSink }
+
+// append frames, writes and fsyncs one record: I/O by definition.
+func (w *walWriter) append(rec []byte) error {
+	if _, err := w.sink.Write(rec); err != nil {
+		return err
+	}
+	return w.sink.Sync()
+}
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	wal  *walWriter
+	data map[string]int
+}
+
+// logApply is the blessed WAL seam: marshal+append+fsync under the data
+// lock is the durability discipline itself (log order equals apply order).
+//
+//lint:iolocked WAL seam: append+fsync must happen under the same lock as the in-memory apply
+func (s *store) logApply(op string, payload any) error {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	return s.wal.append(b)
+}
+
+// writeFileAtomic performs direct I/O, making it a one-hop I/O callee.
+func writeFileAtomic(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// marshalUnderLock is the PR 5 race shape verbatim.
+func (s *store) marshalUnderLock() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(s.data) // want `json.Marshal while write lock s.mu is held`
+}
+
+// helperUnderLock: the one-hop propagation catches local helpers too.
+func (s *store) helperUnderLock(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeFileAtomic(path, nil) // want `writeFileAtomic while write lock s.mu is held`
+}
+
+// walAppendUnderLock: direct WAL writer use outside logApply is flagged.
+func (s *store) walAppendUnderLock(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.append(rec) // want `s.wal.append while write lock s.mu is held`
+}
+
+// viaLogApply: the blessed seam is exempt at its call sites.
+func (s *store) viaLogApply() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data["k"]++
+	return s.logApply("inc", s.data)
+}
+
+// underReadLock is the PR 5 *fix*: marshalling under RLock admits
+// concurrent readers and is explicitly allowed.
+func (s *store) underReadLock() ([]byte, error) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return json.Marshal(s.data)
+}
+
+// afterUnlock: sequential Unlock releases; I/O after it is fine.
+func (s *store) afterUnlock() ([]byte, error) {
+	s.mu.Lock()
+	snapshot := make(map[string]int, len(s.data))
+	for k, v := range s.data {
+		snapshot[k] = v
+	}
+	s.mu.Unlock()
+	return json.Marshal(snapshot)
+}
+
+// checkpoint carries the justified suppression of the checkpoint seam.
+func (s *store) checkpoint(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := json.Marshal(s.data) // want `json.Marshal while write lock s.mu is held`
+	if err != nil {
+		return err
+	}
+	//lint:iolocked checkpoint seam: the snapshot aliases live objects, so the write must finish under the lock
+	return writeFileAtomic(path, b)
+}

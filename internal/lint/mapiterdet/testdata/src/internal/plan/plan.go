@@ -1,0 +1,84 @@
+// Package plan is the mapiterdet fixture: each function isolates one
+// iteration idiom the analyzer must flag, exempt, or honour a suppression
+// for.
+package plan
+
+import "sort"
+
+// liftCommonOrConjuncts re-introduces the historical PR 6 bug shape: the
+// conjuncts common to every OR arm are collected into a set, then emitted
+// by ranging the set — so the lifted predicate order (and with it the plan
+// and the EXPLAIN plan-JSON golden) changes run to run. The regression
+// test asserts the analyzer catches exactly this.
+func liftCommonOrConjuncts(arms [][]string) []string {
+	common := map[string]bool{}
+	for _, p := range arms[0] {
+		common[p] = true
+	}
+	var lifted []string
+	for sql := range common { // want `iteration over map common in determinism-critical package`
+		lifted = append(lifted, sql)
+	}
+	return lifted
+}
+
+// emitSorted is the PR 6 fix shape: collect in map order, then give the
+// result a total order before it escapes. Exempt without annotation.
+func emitSorted(common map[string]bool) []string {
+	var lifted []string
+	for sql := range common {
+		lifted = append(lifted, sql)
+	}
+	sort.Strings(lifted)
+	return lifted
+}
+
+// copySet builds a map from a map: assignment through a map index cannot
+// observe iteration order. Exempt without annotation.
+func copySet(src map[string]bool) map[string]bool {
+	dst := map[string]bool{}
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
+}
+
+// intersect carries a justified suppression: the deletion filter is
+// order-insensitive.
+func intersect(common, present map[string]bool) {
+	//lint:ordered set intersection by deletion; no order-dependent output escapes
+	for k := range common {
+		if !present[k] {
+			delete(common, k)
+		}
+	}
+}
+
+// bareToken shows that a token without a reason is inert: the suppression
+// scheme demands every waiver document why.
+func bareToken(m map[string]int) int {
+	total := 0
+	//lint:ordered
+	for _, v := range m { // want `iteration over map m in determinism-critical package`
+		total += v
+	}
+	return total
+}
+
+// closureScope: the sort blesses only ranges in the same function body —
+// a closure that escapes carries its map order with it.
+func closureScope(m map[string]bool) func() []string {
+	fn := func() []string {
+		var out []string
+		for k := range m { // want `iteration over map m in determinism-critical package`
+			out = append(out, k)
+		}
+		return out
+	}
+	var primer []string
+	for k := range m {
+		primer = append(primer, k)
+	}
+	sort.Strings(primer)
+	return fn
+}

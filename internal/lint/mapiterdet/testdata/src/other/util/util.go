@@ -1,0 +1,11 @@
+// Package util is outside the determinism-critical marker set: the same
+// shapes that fire in internal/plan must stay silent here.
+package util
+
+func emit(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

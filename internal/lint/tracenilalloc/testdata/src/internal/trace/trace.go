@@ -1,0 +1,47 @@
+// Package trace is the tracenilalloc fixture stub: the Tracer/Span seam
+// and the allocating id/prefix constructors, shaped like the real
+// internal/trace surface.
+package trace
+
+import "strconv"
+
+// Kind labels a span's operator family.
+type Kind string
+
+const (
+	KindScan Kind = "scan"
+	KindSort Kind = "sort"
+)
+
+// Tracer collects spans; a nil Tracer means tracing is disabled.
+type Tracer struct{ spans map[string]*Span }
+
+// Span is one operator's measurement.
+type Span struct{}
+
+// Span returns the span for an operator id (nil-safe on the Tracer, but
+// the id argument has usually already allocated by the time it runs).
+func (t *Tracer) Span(id string, kind Kind) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{}
+}
+
+// Start begins timing (nil-safe consumer).
+func (s *Span) Start() Timer { return Timer{} }
+
+// Timer measures one operator activation.
+type Timer struct{}
+
+// Done records the elapsed time (nil-safe consumer).
+func (tm Timer) Done(rows int64) {}
+
+// ScanID is an allocating operator-id constructor.
+func ScanID(prefix string, idx int) string { return prefix + "scan" + strconv.Itoa(idx) }
+
+// SortID is an allocating operator-id constructor.
+func SortID(prefix string) string { return prefix + "sort" }
+
+// SubPrefix derives the id prefix of a sub-query's operators.
+func SubPrefix(prefix string, k int) string { return prefix + "sub" + strconv.Itoa(k) + "." }

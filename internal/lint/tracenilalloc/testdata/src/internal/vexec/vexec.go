@@ -1,0 +1,93 @@
+// Package vexec is the tracenilalloc fixture executor: every guard form
+// the analyzer recognises, and the unguarded shapes it must flag.
+package vexec
+
+import "internal/trace"
+
+type executor struct {
+	tracer *trace.Tracer
+}
+
+// traceOn is the executors' guard-helper idiom.
+func (ex *executor) traceOn(prefix string) bool {
+	return ex.tracer != nil && prefix != "\x00"
+}
+
+// directGuard: the plain nil-check dominates the calls.
+func (ex *executor) directGuard(prefix string) {
+	if ex.tracer != nil {
+		ex.tracer.Span(trace.ScanID(prefix, 0), trace.KindScan).Start()
+	}
+}
+
+// helperGuard: the traceOn helper counts as the nil-check.
+func (ex *executor) helperGuard(prefix string) {
+	var tm trace.Timer
+	if ex.traceOn(prefix) {
+		tm = ex.tracer.Span(trace.SortID(prefix), trace.KindSort).Start()
+	}
+	tm.Done(0)
+}
+
+// conjoinedGuard: the nil-check may be one conjunct of the condition.
+func (ex *executor) conjoinedGuard(prefix string, n int) {
+	if ex.tracer != nil && n > 0 {
+		ex.tracer.Span(trace.ScanID(prefix, n), trace.KindScan)
+	}
+}
+
+// earlyOut: an inverted guard whose body returns protects the rest.
+func (ex *executor) earlyOut(prefix string) {
+	if ex.tracer == nil {
+		return
+	}
+	ex.tracer.Span(trace.ScanID(prefix, 1), trace.KindScan)
+}
+
+// invertedHelper: !traceOn + return is the same dominance.
+func (ex *executor) invertedHelper(prefix string) {
+	if !ex.traceOn(prefix) {
+		return
+	}
+	ex.tracer.Span(trace.SortID(prefix), trace.KindSort)
+}
+
+// elseGuard: the else branch of a nil-equals condition is the traced arm.
+func (ex *executor) elseGuard(prefix string) {
+	if ex.tracer == nil {
+		return
+	} else {
+		ex.tracer.Span(trace.SortID(prefix), trace.KindSort)
+	}
+}
+
+// unguardedSpan allocates the id and consults the tracer on every call,
+// traced or not — the disabled-path regression the analyzer exists for.
+func (ex *executor) unguardedSpan(prefix string) {
+	ex.tracer.Span(trace.ScanID(prefix, 0), trace.KindScan) // want `ex.tracer.Span outside a tracer nil-check` `trace.ScanID outside a tracer nil-check`
+}
+
+// unguardedPrefix: a prefix derivation alone is still an allocation.
+func (ex *executor) unguardedPrefix(prefix string, k int) string {
+	return trace.SubPrefix(prefix, k) // want `trace.SubPrefix outside a tracer nil-check`
+}
+
+// wrongGuard: a condition unrelated to the tracer does not count.
+func (ex *executor) wrongGuard(prefix string, n int) {
+	if n > 0 {
+		ex.tracer.Span(trace.ScanID(prefix, n), trace.KindScan) // want `ex.tracer.Span outside a tracer nil-check` `trace.ScanID outside a tracer nil-check`
+	}
+}
+
+// suppressed documents a deliberate once-per-query allocation.
+func (ex *executor) suppressed(prefix string, k int) string {
+	//lint:tracealloc constructed once at prepare time, not on the per-row path
+	return trace.SubPrefix(prefix, k)
+}
+
+// nilSafeConsumers: Start/Done run unguarded by design and are not
+// matched.
+func (ex *executor) nilSafeConsumers(sp *trace.Span) {
+	tm := sp.Start()
+	tm.Done(42)
+}

@@ -1,0 +1,12 @@
+package tracenilalloc_test
+
+import (
+	"testing"
+
+	"sqalpel/internal/lint/analysistest"
+	"sqalpel/internal/lint/tracenilalloc"
+)
+
+func TestTraceNilAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", tracenilalloc.Analyzer, "internal/vexec")
+}

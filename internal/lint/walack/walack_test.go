@@ -1,0 +1,12 @@
+package walack_test
+
+import (
+	"testing"
+
+	"sqalpel/internal/lint/analysistest"
+	"sqalpel/internal/lint/walack"
+)
+
+func TestWALAck(t *testing.T) {
+	analysistest.Run(t, "testdata", walack.Analyzer, "internal/repository")
+}

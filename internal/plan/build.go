@@ -510,6 +510,7 @@ func liftCommonOrConjuncts(conjuncts []sqlparser.Expr) []sqlparser.Expr {
 			for _, p := range splitAnd(unwrapParens(arm)) {
 				present[p.SQL()] = true
 			}
+			//lint:ordered set intersection by deletion; emission below walks the first arm's syntactic order, never this map
 			for k := range common {
 				if !present[k] {
 					delete(common, k)
@@ -680,6 +681,7 @@ func (b *builder) neededColumns(stmt *sqlparser.SelectStatement) map[string]map[
 	collectStmt(stmt)
 
 	if star {
+		//lint:ordered add() fills the needed map-of-sets; insertion order cannot be observed
 		for alias := range aliases {
 			add(alias, "*")
 		}
@@ -689,6 +691,7 @@ func (b *builder) neededColumns(stmt *sqlparser.SelectStatement) map[string]map[
 			add(r.Table, r.Column)
 			continue
 		}
+		//lint:ordered add() fills the needed map-of-sets; insertion order cannot be observed
 		for alias, cols := range aliases {
 			if cols != nil && cols[strings.ToLower(r.Column)] {
 				add(alias, r.Column)

@@ -69,6 +69,7 @@ func (c *Cache) GetOrBuild(key CacheKey, build func() (*Plan, error)) (*Plan, er
 	// catalog at an older version is permanently unreachable (keys embed the
 	// version); drop them now instead of letting them pin the catalog's data
 	// until cap-driven eviction gets around to it.
+	//lint:ordered order-insensitive purge by key predicate; only cache residency is affected
 	for k := range c.entries {
 		if k.Catalog == key.Catalog && k.Version < key.Version {
 			delete(c.entries, k)
@@ -78,6 +79,7 @@ func (c *Cache) GetOrBuild(key CacheKey, build func() (*Plan, error)) (*Plan, er
 		// Coarse eviction: drop an arbitrary entry per overflowing insert.
 		// The cache exists to absorb the repetition discipline (the same few
 		// hundred variants measured over and over), not to be an LRU.
+		//lint:ordered eviction victim is documented as arbitrary; plans are rebuilt identically on re-miss
 		for k := range c.entries {
 			delete(c.entries, k)
 			break
@@ -96,6 +98,7 @@ func (c *Cache) GetOrBuild(key CacheKey, build func() (*Plan, error)) (*Plan, er
 // eviction.
 func (c *Cache) DropCatalog(catalog any) {
 	c.mu.Lock()
+	//lint:ordered order-insensitive purge by key predicate; only cache residency is affected
 	for k := range c.entries {
 		if k.Catalog == catalog {
 			delete(c.entries, k)

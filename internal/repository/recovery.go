@@ -45,6 +45,7 @@ func open(dir string, shardCount int, logf func(string, ...any), sinks walSinkFa
 	s.dir = dir
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
+	//lint:iolocked startup path: the store is not yet published, and the recovery checkpoint must complete before any WAL attaches
 	genDir, err := s.writeGeneration(dir, func(part, walFile string) error {
 		sink, err := sinks(walFile)
 		if err != nil {
@@ -87,6 +88,7 @@ func (s *Store) Close() error {
 	var first error
 	s.metaMu.Lock()
 	if s.metaWAL != nil {
+		//lint:iolocked detach seam: closing the sink must be atomic with clearing metaWAL, or a racing mutator appends to a closed log
 		if err := s.metaWAL.sink.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -96,6 +98,7 @@ func (s *Store) Close() error {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		if sh.wal != nil {
+			//lint:iolocked detach seam: closing the sink must be atomic with clearing sh.wal, or a racing mutator appends to a closed log
 			if err := sh.wal.sink.Close(); err != nil && first == nil {
 				first = err
 			}

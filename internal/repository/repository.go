@@ -492,6 +492,7 @@ func (s *Store) Invite(requester string, projectID int, nickname string) (string
 	}
 	p := sh.projects[projectID]
 	if c := p.contributor(nickname); c != nil {
+		//lint:acked idempotent re-invite: the contributor already exists durably; no state changes
 		return c.Key, nil
 	}
 	c := &Contributor{Nickname: nickname, Key: newKey(), Invited: s.now()}

@@ -352,11 +352,9 @@ func (ex *executor) buildInput(in *plan.Input, idx int, prefix string) (operator
 		// explicit JOIN trees run untraced, like the interpreters.
 		childPrefix := noTracePrefix
 		var tm trace.Timer
-		if idx >= 0 {
+		if idx >= 0 && ex.traceOn(prefix) {
 			childPrefix = trace.DerivedPrefix(prefix, idx)
-			if ex.traceOn(prefix) {
-				tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
-			}
+			tm = ex.tracer.Span(trace.InputID(prefix, idx), trace.KindDerived).Start()
 		}
 		b, err := ex.runBatch(in.Derived, in.Schema, childPrefix)
 		if err != nil {

@@ -59,7 +59,11 @@ func (ex *executor) prepareSubqueries(stmt *sqlparser.SelectStatement, prefix st
 		if _, ok := ex.subs[s]; ok {
 			continue
 		}
-		if err := ex.prepareSub(s, trace.SubPrefix(prefix, k)); err != nil {
+		subPrefix := noTracePrefix
+		if ex.traceOn(prefix) {
+			subPrefix = trace.SubPrefix(prefix, k)
+		}
+		if err := ex.prepareSub(s, subPrefix); err != nil {
 			return err
 		}
 	}
